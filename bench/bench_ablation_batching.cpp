@@ -1,0 +1,55 @@
+// Ablation C — semantic aggregation vs network-level batching (Section 3.2):
+// "batching can have negative effect on performance when the system is
+// subject to low loads, as the sending of messages is postponed. This does
+// not happen with semantic aggregation."
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    const int n = 13;
+
+    print_header("Ablation: semantic aggregation vs network-level batching");
+
+    struct Variant {
+        const char* name;
+        Setup setup;
+        std::size_t batch_size;
+        SimTime batch_delay;
+    };
+    const std::vector<Variant> variants{
+        {"classic gossip", Setup::Gossip, 1, SimTime::zero()},
+        {"batching (8/5ms)", Setup::Gossip, 8, SimTime::millis(5)},
+        {"batching (8/20ms)", Setup::Gossip, 8, SimTime::millis(20)},
+        {"semantic aggregation", Setup::SemanticGossip, 1, SimTime::zero()},
+    };
+
+    for (const double rate : {13.0, 52.0, 416.0}) {
+        std::printf("\n--- %.0f submissions/s (%s load) ---\n", rate,
+                    rate <= 13 ? "low" : rate <= 52 ? "moderate" : "high");
+        std::printf("%-22s %10s %12s %12s %14s\n", "variant", "tput/s", "lat(ms)",
+                    "p99(ms)", "net arrivals");
+        for (const auto& v : variants) {
+            ExperimentConfig cfg = base_config(v.setup, n, rate);
+            if (v.setup == Setup::SemanticGossip) {
+                cfg.semantic = {.filtering = false, .aggregation = true};  // isolate A1
+            }
+            cfg.gossip_params.batch_size = v.batch_size;
+            cfg.gossip_params.batch_delay = v.batch_delay;
+            const auto r = run_experiment(cfg);
+            std::printf("%-22s %10.1f %12.1f %12.1f %14llu\n", v.name, r.workload.throughput,
+                        r.workload.latencies.mean(), r.workload.latencies.percentile(99),
+                        static_cast<unsigned long long>(r.messages.net_arrivals));
+        }
+    }
+
+    std::printf("\nExpected: at low load batching inflates latency by its hold delay\n"
+                "while aggregation does not delay any message; at high load both cut\n"
+                "message counts, but aggregated votes stay small while batches grow\n"
+                "with the number of messages batched.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+// Ablation D — the transfer claim (paper Sections 4.7/5.1): the semantic
+// techniques designed for Paxos apply to a gossip-based Raft-style
+// deployment. Compares classic vs semantic gossip under leader replication:
+// message counts, ack filtering, and commit latency.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "raft/replica.hpp"
+#include "raft/semantics.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace gossipc;
+
+struct RaftRun {
+    double throughput = 0;
+    double latency_ms = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t merged = 0;
+};
+
+RaftRun run_raft(int n, bool semantic, double rate, SimTime duration) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), n, {});
+    const Graph overlay = make_connected_overlay(n, bench::median_overlay_seed(n));
+    for (const auto& [a, b] : overlay.edges()) net.allow_link(a, b);
+
+    std::vector<std::unique_ptr<GossipHooks>> hooks;
+    std::vector<std::unique_ptr<GossipNode>> gnodes;
+    std::vector<std::unique_ptr<RaftReplica>> replicas;
+    RaftConfig base;
+    base.n = n;
+    base.leader = 0;
+    for (ProcessId id = 0; id < n; ++id) {
+        if (semantic) {
+            hooks.push_back(std::make_unique<RaftSemantics>(id, base.quorum(),
+                                                            RaftSemantics::Options{}));
+        } else {
+            hooks.push_back(std::make_unique<PassThroughHooks>());
+        }
+        gnodes.push_back(std::make_unique<GossipNode>(net.node(id), overlay.neighbors(id),
+                                                      GossipNode::Params{}, *hooks.back()));
+        RaftConfig rc = base;
+        rc.id = id;
+        replicas.push_back(std::make_unique<RaftReplica>(rc, *gnodes.back()));
+    }
+
+    // Open-loop submissions through a rotating replica; latency measured at
+    // the submitting replica's commit.
+    Histogram latencies;
+    std::map<ValueId, SimTime> submitted_at;
+    for (ProcessId id = 0; id < n; ++id) {
+        replicas[static_cast<std::size_t>(id)]->set_commit_listener(
+            [&submitted_at, &latencies](LogIndex, const Value& v, CpuContext& ctx) {
+                const auto it = submitted_at.find(v.id);
+                if (it != submitted_at.end()) {
+                    latencies.add((ctx.now() - it->second).as_millis());
+                    submitted_at.erase(it);
+                }
+            });
+    }
+    const SimTime interval = SimTime::seconds(1.0 / rate);
+    std::int64_t seq = 0;
+    std::function<void(SimTime)> schedule = [&](SimTime at) {
+        if (at > duration) return;
+        sim.schedule_at(at, [&, at] {
+            Value v;
+            v.id = ValueId{7, seq++};
+            // Commit listeners fire at the replica that hosts the client.
+            const auto via = static_cast<ProcessId>(v.id.seq % n);
+            submitted_at.emplace(v.id, sim.now());
+            replicas[static_cast<std::size_t>(via)]->post_submit(v);
+            schedule(at + interval);
+        });
+    };
+    schedule(SimTime::millis(1));
+    sim.run_until(duration + SimTime::seconds(2));
+
+    RaftRun out;
+    out.throughput = static_cast<double>(latencies.count()) / duration.as_seconds();
+    out.latency_ms = latencies.mean();
+    for (ProcessId id = 0; id < n; ++id) out.arrivals += net.node(id).counters().arrivals;
+    if (semantic) {
+        for (const auto& h : hooks) {
+            const auto& st = static_cast<RaftSemantics&>(*h).stats();
+            out.filtered += st.filtered_acks;
+            out.merged += st.messages_merged;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    using namespace gossipc::bench;
+
+    const int n = full_mode() ? 105 : 53;
+    const SimTime duration = gossipc::SimTime::seconds(full_mode() ? 8 : 4);
+
+    print_header("Ablation: semantic techniques transferred to Raft-style replication\n"
+                 "(leader Append / follower Ack / leader Commit over gossip)");
+    std::printf("n=%d, commit latency measured at the submitting replica\n", n);
+
+    std::printf("\n%8s %-10s %10s %12s %14s %12s %10s\n", "rate", "gossip", "tput/s",
+                "lat(ms)", "net arrivals", "filtered", "merged");
+    for (const double rate : {26.0, 104.0, 260.0}) {
+        RaftRun classic = run_raft(n, false, rate, duration);
+        RaftRun semantic = run_raft(n, true, rate, duration);
+        std::printf("%8.0f %-10s %10.1f %12.1f %14llu %12s %10s\n", rate, "classic",
+                    classic.throughput, classic.latency_ms,
+                    static_cast<unsigned long long>(classic.arrivals), "-", "-");
+        std::printf("%8.0f %-10s %10.1f %12.1f %14llu %12llu %10llu\n", rate, "semantic",
+                    semantic.throughput, semantic.latency_ms,
+                    static_cast<unsigned long long>(semantic.arrivals),
+                    static_cast<unsigned long long>(semantic.filtered),
+                    static_cast<unsigned long long>(semantic.merged));
+        std::printf("%8s %-10s %10s %12.1f%% %13.1f%%\n", "", "(delta)", "",
+                    100.0 * (semantic.latency_ms - classic.latency_ms) / classic.latency_ms,
+                    100.0 * (static_cast<double>(semantic.arrivals) -
+                             static_cast<double>(classic.arrivals)) /
+                        static_cast<double>(classic.arrivals));
+    }
+
+    std::printf("\nExpected: the Paxos-style message reduction carries over — acks are\n"
+                "filtered once a peer knows the commit and merged when pending together,\n"
+                "with equal or better commit latency (paper Section 5.1).\n");
+    return 0;
+}

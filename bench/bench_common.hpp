@@ -1,0 +1,100 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Quick vs full mode: by default the benches run reduced grids that finish
+// in minutes; set GC_FULL=1 in the environment for paper-scale grids
+// (system sizes, overlay counts, repetition counts).
+//
+// bench_fig3 writes its sweep to fig3_results.csv; bench_fig4 reuses that
+// file when present instead of re-running the sweep.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/semantic_gossip.hpp"
+
+namespace gossipc::bench {
+
+inline bool full_mode() {
+    const char* v = std::getenv("GC_FULL");
+    return v != nullptr && v[0] == '1';
+}
+
+/// Measurement windows scaled to system size (larger systems cost more
+/// wall-clock per simulated second).
+inline void apply_windows(ExperimentConfig& cfg) {
+    if (full_mode()) {
+        cfg.warmup = SimTime::seconds(1);
+        cfg.measure = SimTime::seconds(5);
+        cfg.drain = SimTime::seconds(2);
+    } else if (cfg.n >= 100) {
+        cfg.warmup = SimTime::seconds(0.5);
+        cfg.measure = SimTime::seconds(2);
+        cfg.drain = SimTime::seconds(1);
+    } else {
+        cfg.warmup = SimTime::seconds(0.5);
+        cfg.measure = SimTime::seconds(3);
+        cfg.drain = SimTime::seconds(1.5);
+    }
+}
+
+/// Overlay seed per system size, chosen by the paper's Figure 7 method: the
+/// overlay whose median RTT from the coordinator is the median among 60
+/// random candidates (see bench_fig7_overlay_selection).
+inline std::uint64_t median_overlay_seed(int n) {
+    switch (n) {
+        case 13: return 50;   // median RTT 194 ms
+        case 53: return 39;   // median RTT 198.5 ms
+        case 105: return 32;  // median RTT 184 ms
+        default: return 42 + static_cast<std::uint64_t>(n);
+    }
+}
+
+inline ExperimentConfig base_config(Setup setup, int n, double rate) {
+    ExperimentConfig cfg;
+    cfg.setup = setup;
+    cfg.n = n;
+    cfg.total_rate = rate;
+    // One fixed overlay per system size across setups, as in the paper.
+    cfg.overlay_seed = median_overlay_seed(n);
+    apply_windows(cfg);
+    return cfg;
+}
+
+/// The paper's system sizes; quick mode drops n=105 from the heaviest
+/// sweeps only where noted per bench.
+inline std::vector<int> system_sizes() { return {13, 53, 105}; }
+
+struct SweepResult {
+    Setup setup;
+    int n = 0;
+    SweepPoint point;
+    ExperimentResult result;
+};
+
+inline SweepResult run_point(Setup setup, int n, double rate) {
+    ExperimentConfig cfg = base_config(setup, n, rate);
+    SweepResult out;
+    out.setup = setup;
+    out.n = n;
+    out.result = run_experiment(cfg);
+    out.point = SweepPoint{rate, out.result.workload.throughput,
+                           out.result.workload.latencies.mean()};
+    return out;
+}
+
+inline void print_header(const char* title) {
+    std::printf("\n==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("mode: %s (set GC_FULL=1 for paper-scale grids)\n",
+                full_mode() ? "FULL" : "quick");
+    std::printf("==============================================================\n");
+}
+
+inline void print_rule() {
+    std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace gossipc::bench

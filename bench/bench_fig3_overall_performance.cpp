@@ -1,0 +1,160 @@
+// Figure 3 — overall performance of Baseline, Gossip, and Semantic Gossip
+// with varying system sizes (n = 13, 53, 105) and 1KB values: latency vs
+// throughput curves under increasing client workloads, with the saturation
+// point (max throughput/latency "power") highlighted.
+//
+// Also reproduces the Section 4.3 message-redundancy analysis: messages
+// received by a regular gossip process vs the Baseline coordinator, the
+// duplicate share, and Semantic Gossip's reduction in messages received and
+// delivered.
+//
+// Writes fig3_results.csv for bench_fig4 to reuse.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace gossipc::bench {
+namespace {
+
+// Rough saturation throughputs from calibration probes; the grids span
+// each setup's own knee as in the paper ("increasing client workloads until
+// the protocol is saturated").
+double sat_estimate(Setup setup, int n) {
+    switch (setup) {
+        case Setup::Baseline: return n == 13 ? 6000 : n == 53 ? 1300 : 670;
+        case Setup::Gossip: return n == 13 ? 2400 : n == 53 ? 430 : 170;
+        case Setup::SemanticGossip: return n == 13 ? 2800 : n == 53 ? 750 : 420;
+    }
+    return 100;
+}
+
+std::vector<double> rate_grid(Setup setup, int n) {
+    const double sat = sat_estimate(setup, n);
+    std::vector<double> fractions{0.1, 0.4, 0.75, 1.0, 1.2};
+    if (full_mode()) fractions = {0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9, 1.0, 1.1, 1.25};
+    std::vector<double> rates;
+    for (const double f : fractions) {
+        // Round to a multiple of 13 so all clients share one integral rate.
+        rates.push_back(std::max(13.0, std::round(sat * f / 13.0) * 13.0));
+    }
+    rates.erase(std::unique(rates.begin(), rates.end()), rates.end());
+    return rates;
+}
+
+struct Row {
+    double rate, throughput, latency;
+    ExperimentResult result;
+};
+
+}  // namespace
+}  // namespace gossipc::bench
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    print_header(
+        "Figure 3: Paxos performance under Baseline / Gossip / Semantic Gossip\n"
+        "(1KB values, 13 open-loop clients; * marks the saturation point)");
+
+    std::ofstream csv("fig3_results.csv");
+    csv << "setup,n,rate,throughput,latency_ms,arrivals,arrivals_per_proc,"
+           "coordinator_arrivals,dup_frac,delivered,filtered,merged\n";
+
+    // (setup, n) -> rows, kept for the redundancy analysis below.
+    std::map<std::pair<int, int>, std::vector<Row>> all;
+
+    for (const int n : system_sizes()) {
+        for (const Setup setup : {Setup::Baseline, Setup::Gossip, Setup::SemanticGossip}) {
+            std::printf("\n--- n=%d, %s ---\n", n, setup_name(setup));
+            std::printf("%12s %14s %14s %10s\n", "offered/s", "throughput/s", "latency(ms)",
+                        "not-ord");
+            std::vector<Row> rows;
+            std::vector<SweepPoint> sweep;
+            for (const double rate : rate_grid(setup, n)) {
+                const auto r = run_point(setup, n, rate);
+                rows.push_back(Row{rate, r.point.throughput, r.point.latency_ms, r.result});
+                sweep.push_back(r.point);
+                csv << setup_name(setup) << ',' << n << ',' << rate << ','
+                    << r.point.throughput << ',' << r.point.latency_ms << ','
+                    << r.result.messages.net_arrivals << ','
+                    << r.result.messages.arrivals_per_process(n) << ','
+                    << r.result.messages.coordinator_arrivals << ','
+                    << r.result.messages.duplicate_fraction() << ','
+                    << r.result.messages.gossip_delivered << ','
+                    << r.result.semantic.filtered_phase2b << ','
+                    << r.result.semantic.messages_merged << "\n";
+            }
+            const std::size_t knee = saturation_index(sweep);
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                std::printf("%12.0f %14.1f %14.1f %10llu%s\n", rows[i].rate,
+                            rows[i].throughput, rows[i].latency,
+                            static_cast<unsigned long long>(rows[i].result.workload.not_ordered),
+                            i == knee ? "  *saturation" : "");
+            }
+            all[{static_cast<int>(setup), n}] = std::move(rows);
+        }
+    }
+
+    // --- Section 4.3 message-redundancy analysis ---
+    print_rule();
+    std::printf("Section 4.3 redundancy analysis (at the Gossip knee workload)\n");
+    std::printf("%6s %22s %22s %8s %12s\n", "n", "gossip msgs/proc", "baseline coord msgs",
+                "factor", "dup share");
+    for (const int n : system_sizes()) {
+        const auto& gossip_rows = all[{static_cast<int>(Setup::Gossip), n}];
+        std::vector<SweepPoint> sweep;
+        for (const auto& r : gossip_rows) sweep.push_back({r.rate, r.throughput, r.latency});
+        const auto& knee_row = gossip_rows[saturation_index(sweep)];
+        // Baseline run closest in offered rate to the gossip knee.
+        const auto& baseline_rows = all[{static_cast<int>(Setup::Baseline), n}];
+        const Row* closest = &baseline_rows.front();
+        for (const auto& r : baseline_rows) {
+            if (std::abs(r.rate - knee_row.rate) < std::abs(closest->rate - knee_row.rate)) {
+                closest = &r;
+            }
+        }
+        const double per_proc = knee_row.result.messages.arrivals_per_process(n);
+        // Normalize by the window ratio implicitly: same windows everywhere.
+        const double coord = static_cast<double>(closest->result.messages.coordinator_arrivals) *
+                             (knee_row.rate / std::max(closest->rate, 1.0));
+        std::printf("%6d %22.0f %22.0f %8.1fx %11.0f%%\n", n, per_proc, coord,
+                    per_proc / std::max(coord, 1.0),
+                    100.0 * knee_row.result.messages.duplicate_fraction());
+    }
+
+    print_rule();
+    std::printf("Semantic Gossip message reduction (at the Gossip knee workload)\n");
+    std::printf("%6s %16s %16s %12s %12s %12s\n", "n", "gossip recv", "semantic recv",
+                "recv delta", "dlvr delta", "sem dup");
+    for (const int n : system_sizes()) {
+        const auto& gossip_rows = all[{static_cast<int>(Setup::Gossip), n}];
+        std::vector<SweepPoint> sweep;
+        for (const auto& r : gossip_rows) sweep.push_back({r.rate, r.throughput, r.latency});
+        const auto& gk = gossip_rows[saturation_index(sweep)];
+        const auto& sem_rows = all[{static_cast<int>(Setup::SemanticGossip), n}];
+        const Row* sem = &sem_rows.front();
+        for (const auto& r : sem_rows) {
+            if (std::abs(r.rate - gk.rate) < std::abs(sem->rate - gk.rate)) sem = &r;
+        }
+        const double scale = gk.rate / std::max(sem->rate, 1.0);
+        const double g_recv = static_cast<double>(gk.result.messages.net_arrivals);
+        const double s_recv = static_cast<double>(sem->result.messages.net_arrivals) * scale;
+        const double g_dlvr = static_cast<double>(gk.result.messages.gossip_delivered);
+        const double s_dlvr = static_cast<double>(sem->result.messages.gossip_delivered) * scale;
+        std::printf("%6d %16.0f %16.0f %+11.0f%% %+11.0f%% %11.0f%%\n", n, g_recv, s_recv,
+                    100.0 * (s_recv - g_recv) / g_recv, 100.0 * (s_dlvr - g_dlvr) / g_dlvr,
+                    100.0 * sem->result.messages.duplicate_fraction());
+    }
+
+    std::printf("\nPaper reference: gossip latency overhead 25-52%% over Baseline;\n"
+                "saturation throughput 47/74/59%% lower (n=13/53/105); redundancy\n"
+                "2x/5x/8x with 49/80/87%% duplicates; Semantic Gossip: -58%% received,\n"
+                "-16%% delivered, duplicates 82%%, saturation up to 2.4x Gossip's.\n");
+    std::printf("Wrote fig3_results.csv (consumed by bench_fig4).\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 4 — normalized throughput at the saturation point for the three
+// setups and the three system sizes (absolute throughput printed in the
+// cells, as in the paper's bars).
+//
+// Reuses fig3_results.csv when bench_fig3 ran first; otherwise runs a
+// reduced sweep of its own.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace gossipc::bench {
+namespace {
+
+struct Point {
+    double rate = 0, throughput = 0, latency = 0;
+};
+
+using SweepMap = std::map<std::pair<std::string, int>, std::vector<Point>>;
+
+bool load_csv(SweepMap& out) {
+    std::ifstream csv("fig3_results.csv");
+    if (!csv) return false;
+    std::string line;
+    std::getline(csv, line);  // header
+    while (std::getline(csv, line)) {
+        std::istringstream ss(line);
+        std::string setup, field;
+        std::getline(ss, setup, ',');
+        int n = 0;
+        Point p;
+        std::getline(ss, field, ',');
+        n = std::stoi(field);
+        std::getline(ss, field, ',');
+        p.rate = std::stod(field);
+        std::getline(ss, field, ',');
+        p.throughput = std::stod(field);
+        std::getline(ss, field, ',');
+        p.latency = std::stod(field);
+        out[{setup, n}].push_back(p);
+    }
+    return !out.empty();
+}
+
+void run_own_sweep(SweepMap& out) {
+    const std::map<std::pair<int, int>, std::vector<double>> grids = {
+        {{0, 13}, {1300, 2600, 3900, 5200, 6500}},   {{1, 13}, {650, 1300, 1950, 2600, 3250}},
+        {{2, 13}, {650, 1300, 2600, 3250, 3900}},    {{0, 53}, {325, 650, 975, 1300, 1625}},
+        {{1, 53}, {104, 208, 325, 429, 520}},        {{2, 53}, {208, 416, 624, 819, 975}},
+        {{0, 105}, {156, 312, 520, 624, 832}},       {{1, 105}, {52, 104, 156, 208}},
+        {{2, 105}, {104, 208, 312, 416, 520}},
+    };
+    for (const auto& [key, rates] : grids) {
+        const auto setup = static_cast<Setup>(key.first);
+        for (const double rate : rates) {
+            const auto r = run_point(setup, key.second, rate);
+            out[{setup_name(setup), key.second}].push_back(
+                Point{rate, r.point.throughput, r.point.latency_ms});
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gossipc::bench
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    print_header("Figure 4: normalized throughput at the saturation point");
+
+    SweepMap sweeps;
+    if (load_csv(sweeps)) {
+        std::printf("(reusing fig3_results.csv)\n");
+    } else {
+        std::printf("(fig3_results.csv not found; running a reduced sweep)\n");
+        run_own_sweep(sweeps);
+    }
+
+    std::map<std::pair<std::string, int>, double> sat;
+    for (const auto& [key, points] : sweeps) {
+        std::vector<SweepPoint> sweep;
+        for (const auto& p : points) sweep.push_back({p.rate, p.throughput, p.latency});
+        sat[key] = points[saturation_index(sweep)].throughput;
+    }
+
+    // Normalize within each system size by the Baseline saturation.
+    std::printf("\n%8s %14s %18s %22s\n", "n", "Baseline", "Gossip", "SemanticGossip");
+    for (const int n : system_sizes()) {
+        const double base = sat[{"Baseline", n}];
+        const double gossip = sat[{"Gossip", n}];
+        const double semantic = sat[{"SemanticGossip", n}];
+        if (base <= 0) continue;
+        std::printf("%8d %8.0f (1.00) %10.0f (%.2f) %14.0f (%.2f)\n", n, base, gossip,
+                    gossip / base, semantic, semantic / base);
+    }
+    std::printf("\nPaper reference (normalized to Baseline): Gossip 0.53/0.26/0.41,\n"
+                "Semantic Gossip above Gossip by 1.14x/1.79x/2.4x for n=13/53/105.\n");
+    return 0;
+}

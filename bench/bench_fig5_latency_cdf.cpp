@@ -1,0 +1,69 @@
+// Figure 5 — latency cumulative distribution functions for the three setups
+// at n=105 under the common 104 submissions/s workload (the largest at which
+// none of the setups is saturated): CDF deciles, average/stddev, the
+// near-constant Gossip-vs-Semantic gap, and the distribution tail.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    print_header("Figure 5: latency distribution, n=105, 104 submissions/s, 1KB values");
+
+    const int n = full_mode() ? 105 : 105;
+    const double rate = 104.0;
+
+    struct Run {
+        Setup setup;
+        ExperimentResult result;
+    };
+    std::vector<Run> runs;
+    for (const Setup setup : {Setup::Baseline, Setup::Gossip, Setup::SemanticGossip}) {
+        ExperimentConfig cfg = base_config(setup, n, rate);
+        if (!full_mode()) {
+            cfg.measure = SimTime::seconds(3);  // enough samples for a CDF
+        }
+        runs.push_back({setup, run_experiment(cfg)});
+    }
+
+    std::printf("\n%-16s %10s %10s %8s %8s %8s %8s %9s\n", "setup", "avg(ms)", "stddev",
+                "p25", "p50", "p75", "p95", "p99.9");
+    for (const auto& run : runs) {
+        const auto& h = run.result.workload.latencies;
+        std::printf("%-16s %10.1f %10.1f %8.1f %8.1f %8.1f %8.1f %9.1f\n",
+                    setup_name(run.setup), h.mean(), h.stddev(), h.percentile(25),
+                    h.percentile(50), h.percentile(75), h.percentile(95), h.percentile(99.9));
+    }
+
+    print_rule();
+    std::printf("CDF (latency in ms at each cumulative fraction):\n%8s", "frac");
+    for (const auto& run : runs) std::printf(" %16s", setup_name(run.setup));
+    std::printf("\n");
+    for (int decile = 1; decile <= 10; ++decile) {
+        std::printf("%7d%%", decile * 10);
+        for (const auto& run : runs) {
+            std::printf(" %16.1f", run.result.workload.latencies.percentile(decile * 10.0));
+        }
+        std::printf("\n");
+    }
+
+    print_rule();
+    const auto& gossip = runs[1].result.workload.latencies;
+    const auto& semantic = runs[2].result.workload.latencies;
+    std::printf("Gossip - Semantic gap across percentiles (paper: 13-20ms, 5.0-5.6%%):\n");
+    for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 97.0}) {
+        const double g = gossip.percentile(p), s = semantic.percentile(p);
+        std::printf("  p%-5.0f %7.1f ms vs %7.1f ms  (gap %+6.1f ms, %+5.1f%%)\n", p, g, s,
+                    s - g, 100.0 * (s - g) / g);
+    }
+    std::printf("Average gap: %+.1f%% (paper: -5.4%%); p99.9 gap: %+.1f ms (paper: -140 ms)\n",
+                100.0 * (semantic.mean() - gossip.mean()) / gossip.mean(),
+                semantic.percentile(99.9) - gossip.percentile(99.9));
+    std::printf("Std-dev ordering (paper: Baseline > Gossip > Semantic): %.1f / %.1f / %.1f\n",
+                runs[0].result.workload.latencies.stddev(), gossip.stddev(),
+                semantic.stddev());
+    return 0;
+}

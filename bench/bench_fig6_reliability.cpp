@@ -1,0 +1,69 @@
+// Figure 6 — reliability of Paxos in the Gossip and Semantic Gossip setups
+// under injected message loss, with timeout-triggered procedures disabled:
+// the portion of submitted values not ordered, over a (workload x loss-rate)
+// grid, averaged over several executions.
+//
+// Quick mode uses n=53 with 2 runs per cell; GC_FULL=1 uses the paper's
+// n=105 with 10 runs per cell.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    const bool full = full_mode();
+    const int n = full ? 105 : 53;
+    const int runs = full ? 10 : 2;
+    const std::vector<double> loss_rates =
+        full ? std::vector<double>{0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+             : std::vector<double>{0.05, 0.10, 0.20, 0.30};
+    const std::vector<double> rates = full
+                                          ? std::vector<double>{26, 52, 104, 130, 156, 182}
+                                          : std::vector<double>{26, 78, 156};
+
+    print_header("Figure 6: portion of submitted values NOT ordered under injected\n"
+                 "message loss (timeout-triggered procedures disabled)");
+    std::printf("n=%d, %d run(s) per cell; rows = workload, columns = loss rate\n", n, runs);
+
+    for (const Setup setup : {Setup::Gossip, Setup::SemanticGossip}) {
+        std::printf("\n--- %s ---\n%12s", setup_name(setup), "workload");
+        for (const double loss : loss_rates) std::printf(" %9.0f%%", 100 * loss);
+        std::printf("\n");
+        for (const double rate : rates) {
+            std::printf("%10.0f/s", rate);
+            for (const double loss : loss_rates) {
+                std::uint64_t submitted = 0, not_ordered = 0;
+                for (int run = 0; run < runs; ++run) {
+                    ExperimentConfig cfg = base_config(setup, n, rate);
+                    cfg.loss_rate = loss;
+                    cfg.timeouts_enabled = false;
+                    cfg.seed = 1000 + static_cast<std::uint64_t>(run);
+                    cfg.drain = SimTime::seconds(2);
+                    const auto r = run_experiment(cfg);
+                    submitted += r.workload.submitted_in_window;
+                    not_ordered += r.workload.not_ordered;
+                }
+                const double frac =
+                    submitted == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(not_ordered) /
+                                         static_cast<double>(submitted);
+                if (not_ordered == 0) {
+                    std::printf(" %10s", ".");
+                } else {
+                    std::printf(" %9.1f%%", frac);
+                }
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\n('.' = all submitted values ordered despite the loss)\n");
+    std::printf("Paper reference (n=105): <10%% loss -> everything ordered; 10%% -> up\n"
+                "to 2.5%% unordered; 20%% -> up to 8%%; 30%% -> up to 23%% (Gossip) and\n"
+                "29%% (Semantic Gossip), i.e. the semantic extensions preserve gossip's\n"
+                "resilience up to 20%% loss and only diverge at 30%%.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7 — latency of Paxos in the Gossip setup under a low workload in
+// many distinct random overlay networks, against the median RTT from the
+// coordinator through each overlay; the median overlay (by RTT then
+// latency) is the one the core experiments enforce.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    const bool full = full_mode();
+    const int n = full ? 105 : 105;
+    const int overlays = full ? 100 : 25;
+    const double rate = 13.0;  // minimal workload: 1 value/s per client
+
+    print_header("Figure 7: Gossip-setup latency under low workload across random\n"
+                 "overlay networks, vs median RTT from the coordinator");
+    std::printf("n=%d, %d overlays, %0.f submissions/s\n", n, overlays, rate);
+
+    struct Entry {
+        std::uint64_t seed;
+        double median_rtt_ms;
+        double latency_ms;
+    };
+    std::vector<Entry> entries;
+    for (int i = 0; i < overlays; ++i) {
+        const std::uint64_t seed = 7000 + static_cast<std::uint64_t>(i);
+        ExperimentConfig cfg = base_config(Setup::Gossip, n, rate);
+        cfg.overlay = make_connected_overlay(n, seed);
+        cfg.measure = SimTime::seconds(2);
+        const auto rtt = median_rtt_from_coordinator(*cfg.overlay, LatencyModel::aws());
+        const auto r = run_experiment(cfg);
+        entries.push_back(Entry{seed, rtt.as_millis(), r.workload.latencies.mean()});
+    }
+
+    // Total order by (median RTT, latency); the median entry is selected.
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+        if (a.median_rtt_ms != b.median_rtt_ms) return a.median_rtt_ms < b.median_rtt_ms;
+        return a.latency_ms < b.latency_ms;
+    });
+    const Entry& selected = entries[entries.size() / 2];
+
+    std::printf("\n%12s %16s %16s\n", "overlay", "median RTT(ms)", "avg latency(ms)");
+    for (const auto& e : entries) {
+        std::printf("%12llu %16.1f %16.1f%s\n", static_cast<unsigned long long>(e.seed),
+                    e.median_rtt_ms, e.latency_ms,
+                    e.seed == selected.seed ? "  <= selected (median)" : "");
+    }
+
+    const auto [min_it, max_it] =
+        std::minmax_element(entries.begin(), entries.end(),
+                            [](const Entry& a, const Entry& b) {
+                                return a.latency_ms < b.latency_ms;
+                            });
+    std::printf("\nLatency range across overlays: %.1f - %.1f ms (%.0f%% spread)\n",
+                min_it->latency_ms, max_it->latency_ms,
+                100.0 * (max_it->latency_ms - min_it->latency_ms) / min_it->latency_ms);
+    std::printf("Selected overlay seed %llu: median RTT %.1f ms, latency %.1f ms.\n",
+                static_cast<unsigned long long>(selected.seed), selected.median_rtt_ms,
+                selected.latency_ms);
+    std::printf("Paper reference: latency correlates with the overlay's median RTT from\n"
+                "the coordinator, which 'ultimately dictates the latency of a Paxos\n"
+                "instance'; the median overlay is enforced in the core experiments.\n");
+    return 0;
+}

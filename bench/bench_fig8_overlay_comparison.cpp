@@ -1,0 +1,68 @@
+// Figure 8 — Gossip vs Semantic Gossip latency across many distinct random
+// overlay networks, at a workload that saturates the Gossip setup: the
+// semantic techniques' improvement must hold independently of the overlay
+// choice (paper: 11-39% lower latency, 23% on average).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    const bool full = full_mode();
+    const int n = full ? 105 : 53;
+    const int overlays = full ? 100 : 12;
+    // A workload at which the Gossip setup is saturated but Semantic Gossip
+    // is not (from the Figure 3 calibration).
+    const double rate = full ? 169.0 : 429.0;
+
+    print_header("Figure 8: Gossip vs Semantic Gossip across random overlays at a\n"
+                 "Gossip-saturating workload");
+    std::printf("n=%d, %d overlays, %.0f submissions/s\n", n, overlays, rate);
+
+    struct Entry {
+        double median_rtt_ms;
+        double gossip_ms;
+        double semantic_ms;
+    };
+    std::vector<Entry> entries;
+    for (int i = 0; i < overlays; ++i) {
+        const std::uint64_t seed = 8000 + static_cast<std::uint64_t>(i);
+        const Graph overlay = make_connected_overlay(n, seed);
+        const double rtt =
+            median_rtt_from_coordinator(overlay, LatencyModel::aws()).as_millis();
+        double lat[2] = {0, 0};
+        int idx = 0;
+        for (const Setup setup : {Setup::Gossip, Setup::SemanticGossip}) {
+            ExperimentConfig cfg = base_config(setup, n, rate);
+            cfg.overlay = overlay;
+            cfg.measure = SimTime::seconds(2);
+            lat[idx++] = run_experiment(cfg).workload.latencies.mean();
+        }
+        entries.push_back(Entry{rtt, lat[0], lat[1]});
+    }
+
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+        return a.median_rtt_ms < b.median_rtt_ms;
+    });
+
+    std::printf("\n%16s %14s %16s %14s\n", "median RTT(ms)", "Gossip(ms)", "Semantic(ms)",
+                "improvement");
+    double min_impr = 1e9, max_impr = -1e9, sum_impr = 0;
+    for (const auto& e : entries) {
+        const double impr = 100.0 * (e.gossip_ms - e.semantic_ms) / e.gossip_ms;
+        min_impr = std::min(min_impr, impr);
+        max_impr = std::max(max_impr, impr);
+        sum_impr += impr;
+        std::printf("%16.1f %14.1f %16.1f %12.1f%%\n", e.median_rtt_ms, e.gossip_ms,
+                    e.semantic_ms, impr);
+    }
+    std::printf("\nSemantic Gossip improves latency by %.1f%% to %.1f%% (avg %.1f%%)\n",
+                min_impr, max_impr, sum_impr / static_cast<double>(entries.size()));
+    std::printf("Paper reference: improvement 11%% to 39%% across 100 overlays, 23%% on\n"
+                "average -- the gain is not an artifact of the selected overlay.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Fault-injection demo (Section 4.5): Paxos over gossip keeps ordering
+// values while every process randomly drops a sizeable fraction of received
+// messages — gossip's redundancy masks the loss without any retransmission.
+// Then the loss is pushed past what redundancy can absorb, and the
+// timeout-triggered repair procedures are shown recovering everything.
+#include <cstdio>
+
+#include "core/semantic_gossip.hpp"
+
+namespace {
+
+gossipc::ExperimentResult run_with(double loss, bool timeouts) {
+    using namespace gossipc;
+    ExperimentConfig cfg;
+    cfg.setup = Setup::SemanticGossip;
+    cfg.n = 53;
+    cfg.total_rate = 52.0;
+    cfg.loss_rate = loss;
+    cfg.timeouts_enabled = timeouts;
+    cfg.warmup = SimTime::seconds(0.5);
+    cfg.measure = SimTime::seconds(3);
+    cfg.drain = SimTime::seconds(timeouts ? 8 : 3);
+    return run_experiment(cfg);
+}
+
+void report(const char* label, const gossipc::ExperimentResult& r) {
+    std::printf("%-34s dropped %8llu msgs | ordered %4llu/%-4llu | avg %7.1f ms\n", label,
+                static_cast<unsigned long long>(r.messages.net_loss_drops),
+                static_cast<unsigned long long>(r.workload.submitted_in_window -
+                                                r.workload.not_ordered),
+                static_cast<unsigned long long>(r.workload.submitted_in_window),
+                r.workload.latencies.mean());
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Reliability under injected message loss (n=53, Semantic Gossip,\n"
+                "52 submissions/s). First without any timeout-triggered repair,\n"
+                "then with repair enabled.\n\n");
+
+    std::printf("--- repair disabled (pure gossip redundancy) ---\n");
+    for (const double loss : {0.0, 0.05, 0.10, 0.20}) {
+        char label[64];
+        std::snprintf(label, sizeof label, "loss %2.0f%%:", 100 * loss);
+        report(label, run_with(loss, false));
+    }
+
+    std::printf("\n--- 30%% loss: redundancy alone starts to crack ---\n");
+    const auto broken = run_with(0.30, false);
+    report("loss 30%, repair disabled:", broken);
+
+    const auto repaired = run_with(0.30, true);
+    report("loss 30%, repair enabled:", repaired);
+
+    std::printf("\nGossip masks moderate loss by itself (the paper found full ordering\n"
+                "below 10%% loss at n=105); past that, Paxos' timeout-triggered\n"
+                "retransmissions and learner gap repair recover the rest.\n");
+    return repaired.workload.not_ordered == 0 ? 0 : 1;
+}

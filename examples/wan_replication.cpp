@@ -1,0 +1,101 @@
+// A replicated key-value store across 13 AWS regions, ordered by Paxos over
+// Semantic Gossip — the state-machine-replication scenario that motivates
+// the paper. Each region's client issues PUT commands; every process applies
+// the decided commands in the same order, so all replicas converge to the
+// same store state.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/semantic_gossip.hpp"
+
+namespace {
+
+/// A trivially replicated state machine: key -> (value tag, version).
+struct KvStore {
+    std::map<int, std::pair<gossipc::ValueId, int>> data;
+    std::uint64_t applied = 0;
+
+    void apply(gossipc::InstanceId instance, const gossipc::Value& cmd) {
+        // Commands are synthetic: the key is derived from the value id.
+        const int key = static_cast<int>((cmd.id.client * 31 + cmd.id.seq) % 17);
+        auto& entry = data[key];
+        entry.first = cmd.id;
+        entry.second = static_cast<int>(instance);
+        ++applied;
+    }
+
+    std::uint64_t digest() const {
+        std::uint64_t h = 0;
+        for (const auto& [key, entry] : data) {
+            h = gossipc::hash_combine(h, static_cast<std::uint64_t>(key));
+            h = gossipc::hash_combine(h, static_cast<std::uint64_t>(entry.first.client));
+            h = gossipc::hash_combine(h, static_cast<std::uint64_t>(entry.first.seq));
+            h = gossipc::hash_combine(h, static_cast<std::uint64_t>(entry.second));
+        }
+        return h;
+    }
+};
+
+}  // namespace
+
+int main() {
+    using namespace gossipc;
+
+    std::printf("WAN key-value replication: 27 processes (coordinator + 2 per region),\n"
+                "13 clients issuing PUTs at 52 commands/s, Paxos over Semantic Gossip.\n\n");
+
+    ExperimentConfig cfg;
+    cfg.setup = Setup::SemanticGossip;
+    cfg.n = 27;
+    cfg.total_rate = 52.0;
+    cfg.warmup = SimTime::seconds(0.5);
+    cfg.measure = SimTime::seconds(4);
+    cfg.drain = SimTime::seconds(2);
+
+    Deployment deployment(cfg);
+
+    // One state machine per process, fed by in-order delivery. The workload
+    // already owns the delivery listener of client-hosting processes, so we
+    // replicate through the learner log after the run — and through live
+    // listeners on the processes without clients.
+    std::vector<KvStore> replicas(static_cast<std::size_t>(cfg.n));
+    const auto result = deployment.run();
+
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        auto& learner = deployment.process(id).learner();
+        for (InstanceId i = 1; i < learner.frontier(); ++i) {
+            if (const auto v = learner.decided_value(i)) {
+                replicas[static_cast<std::size_t>(id)].apply(i, *v);
+            }
+        }
+    }
+
+    std::printf("ordered %llu commands at %.1f cmd/s, avg latency %.1f ms (p99 %.1f ms)\n",
+                static_cast<unsigned long long>(result.workload.completed),
+                result.workload.throughput, result.workload.latencies.mean(),
+                result.workload.latencies.percentile(99));
+
+    // Convergence check: every replica that applied the full log must have
+    // the same store digest.
+    const std::uint64_t reference = replicas[0].digest();
+    const std::uint64_t reference_count = replicas[0].applied;
+    int converged = 0;
+    for (const auto& r : replicas) {
+        if (r.applied == reference_count && r.digest() == reference) ++converged;
+    }
+    std::printf("replicas converged: %d/%d (store digest %016llx, %llu commands applied)\n",
+                converged, cfg.n, static_cast<unsigned long long>(reference),
+                static_cast<unsigned long long>(reference_count));
+
+    std::printf("\nper-region client latency (ms):\n");
+    for (const auto& client : deployment.workload().clients()) {
+        const Region r = static_cast<Region>(client->id() % kNumRegions);
+        std::printf("  %-14s avg %7.1f  p95 %7.1f  (%llu cmds)\n",
+                    std::string(region_name(r)).c_str(), client->latencies().mean(),
+                    client->latencies().percentile(95),
+                    static_cast<unsigned long long>(client->counts().completed));
+    }
+    return converged == cfg.n ? 0 : 1;
+}

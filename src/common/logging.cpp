@@ -1,0 +1,30 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace gossipc {
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::write(LogLevel level, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace gossipc

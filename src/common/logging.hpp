@@ -1,0 +1,33 @@
+// Minimal leveled logging. Off by default (Warn); experiments are silent
+// unless a component opts in. Not thread-safe by design: the simulator is
+// single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gossipc {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+public:
+    static LogLevel level();
+    static void set_level(LogLevel level);
+    static void write(LogLevel level, const std::string& msg);
+};
+
+}  // namespace gossipc
+
+#define GCLOG(lvl, expr)                                              \
+    do {                                                              \
+        if (static_cast<int>(lvl) >= static_cast<int>(::gossipc::Logger::level())) { \
+            std::ostringstream gclog_oss_;                            \
+            gclog_oss_ << expr;                                       \
+            ::gossipc::Logger::write(lvl, gclog_oss_.str());          \
+        }                                                             \
+    } while (0)
+
+#define GCLOG_DEBUG(expr) GCLOG(::gossipc::LogLevel::Debug, expr)
+#define GCLOG_INFO(expr) GCLOG(::gossipc::LogLevel::Info, expr)
+#define GCLOG_WARN(expr) GCLOG(::gossipc::LogLevel::Warn, expr)

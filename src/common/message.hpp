@@ -1,0 +1,54 @@
+// Network-layer message envelope.
+//
+// The network is payload-agnostic: upper layers (gossip, Paxos-over-direct-
+// links) ship immutable bodies derived from MessageBody. Bodies are shared
+// (never copied) across the many transmissions a gossip dissemination makes.
+// Defined in common so the simulator can carry deliveries in a typed event
+// lane without allocating a closure per message.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+/// Body kind tags: a cheap substitute for dynamic_cast on the hot path.
+enum class BodyKind : std::uint8_t {
+    Other = 0,
+    GossipEnvelope,
+    PullDigest,
+    Paxos,
+    Raft,
+};
+
+/// Immutable payload carried by the network. `wire_size` drives serialization
+/// delay and CPU per-byte costs; `describe` supports logging and tests.
+class MessageBody {
+public:
+    virtual ~MessageBody() = default;
+    virtual std::uint32_t wire_size() const = 0;
+    virtual std::string describe() const = 0;
+    virtual BodyKind kind() const { return BodyKind::Other; }
+};
+
+using BodyPtr = std::shared_ptr<const MessageBody>;
+
+struct NetMessage {
+    ProcessId from = -1;
+    ProcessId to = -1;
+    BodyPtr body;
+
+    std::uint32_t wire_size() const { return body ? body->wire_size() : 0; }
+};
+
+/// Target of the simulator's typed delivery lane (implemented by net::Node).
+class DeliveryTarget {
+public:
+    virtual ~DeliveryTarget() = default;
+    virtual void deliver_event(NetMessage msg) = 0;
+};
+
+}  // namespace gossipc

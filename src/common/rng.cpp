@@ -1,0 +1,71 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gossipc {
+
+Rng Rng::derive(std::uint64_t master_seed, std::string_view tag) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+    for (const char c : tag) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return derive(master_seed, h);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+}
+
+SimTime Rng::exponential(SimTime mean) {
+    if (mean.as_nanos() <= 0) return SimTime::zero();
+    const double u = std::max(uniform01(), 1e-12);
+    const double ns = -std::log(u) * static_cast<double>(mean.as_nanos());
+    return SimTime::nanos(static_cast<std::int64_t>(ns));
+}
+
+std::vector<std::int32_t> Rng::sample_distinct(std::int32_t n, std::int32_t k,
+                                               std::int32_t excluded) {
+    const std::int32_t pool = (excluded >= 0 && excluded < n) ? n - 1 : n;
+    if (k < 0 || k > pool) {
+        throw std::invalid_argument("Rng::sample_distinct: k out of range");
+    }
+    std::vector<std::int32_t> out;
+    out.reserve(static_cast<std::size_t>(k));
+    if (k == 0) return out;
+    // For small k relative to n, rejection sampling; otherwise shuffle a pool.
+    if (static_cast<std::int64_t>(k) * 3 < n) {
+        std::unordered_set<std::int32_t> chosen;
+        while (static_cast<std::int32_t>(out.size()) < k) {
+            const auto c = static_cast<std::int32_t>(uniform_int(0, n - 1));
+            if (c == excluded || chosen.contains(c)) continue;
+            chosen.insert(c);
+            out.push_back(c);
+        }
+    } else {
+        std::vector<std::int32_t> all;
+        all.reserve(static_cast<std::size_t>(pool));
+        for (std::int32_t i = 0; i < n; ++i) {
+            if (i != excluded) all.push_back(i);
+        }
+        shuffle(all);
+        out.assign(all.begin(), all.begin() + k);
+    }
+    return out;
+}
+
+}  // namespace gossipc

@@ -1,0 +1,63 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component (overlay generation, peer selection, link
+// jitter, loss injection, client workload) owns an independent stream derived
+// from a master seed plus a component tag, so experiments are exactly
+// reproducible and components can be re-seeded independently.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Derives an independent child stream: child(seed, tag) never overlaps
+    /// child(seed, tag') for tag != tag' in practice (SplitMix64-mixed).
+    static Rng derive(std::uint64_t master_seed, std::uint64_t tag) {
+        return Rng(mix64(master_seed ^ mix64(tag)));
+    }
+    static Rng derive(std::uint64_t master_seed, std::string_view tag);
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform real in [0, 1).
+    double uniform01();
+
+    /// Bernoulli trial with success probability p (clamped to [0, 1]).
+    bool chance(double p);
+
+    /// Exponentially distributed inter-arrival time with the given mean.
+    SimTime exponential(SimTime mean);
+
+    /// Samples k distinct values from [0, n) excluding `excluded`.
+    /// Requires k <= n - 1 (when excluded is in range) and k <= n otherwise.
+    std::vector<std::int32_t> sample_distinct(std::int32_t n, std::int32_t k,
+                                              std::int32_t excluded = -1);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    std::uint64_t next_u64() { return engine_(); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace gossipc

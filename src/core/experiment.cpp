@@ -1,0 +1,160 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "overlay/random_overlay.hpp"
+
+namespace gossipc {
+
+const char* setup_name(Setup s) {
+    switch (s) {
+        case Setup::Baseline: return "Baseline";
+        case Setup::Gossip: return "Gossip";
+        case Setup::SemanticGossip: return "SemanticGossip";
+    }
+    return "?";
+}
+
+Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
+    if (config.n < 3) throw std::invalid_argument("Deployment: n must be >= 3");
+    sim_ = std::make_unique<Simulator>();
+
+    Network::Params net_params;
+    net_params.node = config.node_params;
+    net_params.bandwidth_bytes_per_us = config.bandwidth_bytes_per_us;
+    net_params.jitter_frac = config.jitter_frac;
+    net_params.seed = config.seed;
+    network_ = std::make_unique<Network>(*sim_, LatencyModel::aws(), config.n, net_params);
+
+    const bool gossip_setup = config.setup != Setup::Baseline;
+    if (gossip_setup) {
+        overlay_ = config.overlay ? *config.overlay
+                                  : make_connected_overlay(config.n, config.overlay_seed);
+        if (overlay_->size() != config.n) {
+            throw std::invalid_argument("Deployment: overlay size != n");
+        }
+        for (const auto& [a, b] : overlay_->edges()) network_->allow_link(a, b);
+    } else {
+        // Baseline: the coordinator communicates directly with every process
+        // (fully connected star; Section 4.1).
+        for (ProcessId p = 1; p < config.n; ++p) network_->allow_link(0, p);
+    }
+
+    if (config.loss_rate > 0.0) network_->set_uniform_loss(config.loss_rate);
+
+    for (ProcessId id = 0; id < config.n; ++id) {
+        PaxosConfig pc;
+        pc.n = config.n;
+        pc.id = id;
+        pc.coordinator = 0;
+        pc.timeouts_enabled = config.timeouts_enabled;
+
+        if (gossip_setup) {
+            if (config.setup == Setup::SemanticGossip) {
+                hooks_.push_back(
+                    std::make_unique<PaxosSemantics>(id, pc.quorum(), config.semantic));
+            } else {
+                hooks_.push_back(std::make_unique<PassThroughHooks>());
+            }
+            GossipNode::Params gp = config.gossip_params;
+            gp.seed = config.seed;
+            gp.strategy = config.strategy;
+            gossip_nodes_.push_back(std::make_unique<GossipNode>(
+                network_->node(id), overlay_->neighbors(id), gp, *hooks_.back()));
+            transports_.push_back(std::make_unique<GossipTransport>(*gossip_nodes_.back()));
+        } else {
+            transports_.push_back(std::make_unique<DirectTransport>(*network_, id));
+        }
+        processes_.push_back(std::make_unique<PaxosProcess>(pc, *transports_.back()));
+    }
+
+    Workload::Params wp;
+    wp.total_rate = config.total_rate;
+    wp.num_clients = config.num_clients;
+    wp.value_size = config.value_size;
+    wp.warmup = config.warmup;
+    wp.measure = config.measure;
+    wp.drain = config.drain;
+    wp.seed = config.seed;
+    workload_ = std::make_unique<Workload>(*sim_, process_ptrs(), LatencyModel::aws(), wp);
+}
+
+std::vector<PaxosProcess*> Deployment::process_ptrs() {
+    std::vector<PaxosProcess*> out;
+    out.reserve(processes_.size());
+    for (auto& p : processes_) out.push_back(p.get());
+    return out;
+}
+
+GossipNode* Deployment::gossip_node(ProcessId id) {
+    if (gossip_nodes_.empty()) return nullptr;
+    return gossip_nodes_.at(static_cast<std::size_t>(id)).get();
+}
+
+PaxosSemantics* Deployment::semantics(ProcessId id) {
+    if (config_.setup != Setup::SemanticGossip) return nullptr;
+    return static_cast<PaxosSemantics*>(hooks_.at(static_cast<std::size_t>(id)).get());
+}
+
+void Deployment::start_processes() {
+    for (auto& p : processes_) p->post_start();
+}
+
+MessageStats Deployment::message_stats() const {
+    MessageStats ms;
+    for (ProcessId id = 0; id < config_.n; ++id) {
+        const auto& nc = network_->node(id).counters();
+        ms.net_arrivals += nc.arrivals;
+        ms.net_sent += nc.sent;
+        ms.net_loss_drops += nc.loss_drops;
+        ms.net_queue_drops += nc.queue_drops;
+        ms.bytes_sent += nc.bytes_sent;
+    }
+    ms.coordinator_arrivals = network_->node(0).counters().arrivals;
+    for (const auto& g : gossip_nodes_) {
+        const auto& gc = g->counters();
+        ms.gossip_envelopes_received += gc.envelopes_received;
+        ms.gossip_messages_received += gc.messages_received;
+        ms.gossip_duplicates += gc.duplicates;
+        ms.gossip_delivered += gc.delivered;
+        ms.gossip_filtered += gc.filtered;
+        ms.gossip_aggregated_away += gc.aggregated_away;
+        ms.gossip_send_queue_drops += gc.send_queue_drops;
+    }
+    return ms;
+}
+
+ExperimentResult Deployment::collect() {
+    ExperimentResult result;
+    result.workload = workload_->result();
+    result.messages = message_stats();
+    if (overlay_) {
+        result.overlay = analyze_overlay(*overlay_);
+        result.median_rtt = median_rtt_from_coordinator(*overlay_, LatencyModel::aws());
+    }
+    if (config_.setup == Setup::SemanticGossip) {
+        for (auto& h : hooks_) {
+            const auto& st = static_cast<PaxosSemantics&>(*h).stats();
+            result.semantic.filtered_phase2b += st.filtered_phase2b;
+            result.semantic.aggregates_built += st.aggregates_built;
+            result.semantic.messages_merged += st.messages_merged;
+            result.semantic.disaggregations += st.disaggregations;
+        }
+    }
+    result.decisions_at_coordinator = processes_.front()->learner().delivered_count();
+    return result;
+}
+
+ExperimentResult Deployment::run() {
+    start_processes();
+    workload_->start();
+    sim_->run_until(workload_->total_duration());
+    return collect();
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+    Deployment deployment(config);
+    return deployment.run();
+}
+
+}  // namespace gossipc

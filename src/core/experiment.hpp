@@ -1,0 +1,120 @@
+// End-to-end experiment construction and execution: builds one of the
+// paper's three setups (Baseline / Gossip / Semantic Gossip) on the
+// simulated WAN, runs the open-loop workload, and collects the metrics the
+// evaluation section reports.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gossip/gossip_node.hpp"
+#include "net/network.hpp"
+#include "overlay/analysis.hpp"
+#include "overlay/graph.hpp"
+#include "paxos/process.hpp"
+#include "semantic/paxos_semantics.hpp"
+#include "sim/simulator.hpp"
+#include "stats/counters.hpp"
+#include "transport/direct_transport.hpp"
+#include "transport/gossip_transport.hpp"
+#include "workload/workload.hpp"
+
+namespace gossipc {
+
+enum class Setup { Baseline, Gossip, SemanticGossip };
+
+const char* setup_name(Setup s);
+
+struct ExperimentConfig {
+    Setup setup = Setup::Gossip;
+    int n = 13;
+
+    // Workload.
+    double total_rate = 100.0;  ///< submissions/s over all clients
+    int num_clients = 13;
+    std::uint32_t value_size = 1024;
+    SimTime warmup = SimTime::seconds(1);
+    SimTime measure = SimTime::seconds(5);
+    SimTime drain = SimTime::seconds(2);
+
+    // Fault injection (Section 4.5).
+    double loss_rate = 0.0;
+    bool timeouts_enabled = true;
+
+    // Overlay (Gossip setups). The same overlay_seed is used across setups
+    // of one system size, enforcing the paper's fixed-overlay methodology;
+    // `overlay` overrides generation entirely (Figures 7/8).
+    std::uint64_t overlay_seed = 42;
+    std::optional<Graph> overlay;
+
+    // Semantic techniques (Semantic Gossip setup; ablations toggle these).
+    PaxosSemantics::Options semantic{true, true};
+
+    GossipStrategy strategy = GossipStrategy::Push;
+
+    /// Gossip-layer tuning (cache sizes, batching ablation, pull interval).
+    /// `seed` and `strategy` inside are overridden by the fields above.
+    GossipNode::Params gossip_params{};
+
+    // Substrate calibration.
+    Node::Params node_params{};
+    double bandwidth_bytes_per_us = 125.0;
+    double jitter_frac = 0.02;
+
+    std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+    Workload::Result workload;
+    MessageStats messages;
+    PaxosSemantics::Stats semantic;  ///< zeros outside Semantic Gossip
+    OverlayStats overlay;            ///< default for Baseline
+    SimTime median_rtt = SimTime::zero();  ///< overlay RTT median (gossip setups)
+    std::uint64_t decisions_at_coordinator = 0;
+};
+
+/// A fully wired deployment; exposed so examples and tests can drive the
+/// pieces directly. Non-copyable; owns every component.
+class Deployment {
+public:
+    explicit Deployment(const ExperimentConfig& config);
+    Deployment(const Deployment&) = delete;
+    Deployment& operator=(const Deployment&) = delete;
+
+    /// Starts processes and workload, runs warmup+measure+drain.
+    ExperimentResult run();
+
+    /// Starts processes only (no workload); callers drive the simulator.
+    void start_processes();
+
+    Simulator& simulator() { return *sim_; }
+    Network& network() { return *network_; }
+    PaxosProcess& process(ProcessId id) { return *processes_.at(static_cast<std::size_t>(id)); }
+    std::vector<PaxosProcess*> process_ptrs();
+    Workload& workload() { return *workload_; }
+    const ExperimentConfig& config() const { return config_; }
+    const Graph* overlay() const { return overlay_ ? &*overlay_ : nullptr; }
+    GossipNode* gossip_node(ProcessId id);
+    PaxosSemantics* semantics(ProcessId id);
+
+    /// Collects the deployment-wide message statistics (any time).
+    MessageStats message_stats() const;
+    ExperimentResult collect();
+
+private:
+    ExperimentConfig config_;
+    std::unique_ptr<Simulator> sim_;
+    std::unique_ptr<Network> network_;
+    std::optional<Graph> overlay_;
+    std::vector<std::unique_ptr<GossipHooks>> hooks_;
+    std::vector<std::unique_ptr<GossipNode>> gossip_nodes_;
+    std::vector<std::unique_ptr<Transport>> transports_;
+    std::vector<std::unique_ptr<PaxosProcess>> processes_;
+    std::unique_ptr<Workload> workload_;
+};
+
+/// Convenience: build, run, and collect in one call.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace gossipc

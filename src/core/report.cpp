@@ -1,0 +1,103 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace gossipc {
+namespace {
+
+const char* strategy_name(GossipStrategy s) {
+    switch (s) {
+        case GossipStrategy::Push: return "push";
+        case GossipStrategy::Pull: return "pull";
+        case GossipStrategy::PushPull: return "push-pull";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string to_json(const ExperimentConfig& config, const ExperimentResult& result) {
+    const auto& w = result.workload;
+    const auto& m = result.messages;
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"config\": {"
+      << "\"setup\": \"" << setup_name(config.setup) << "\""
+      << ", \"n\": " << config.n
+      << ", \"rate\": " << config.total_rate
+      << ", \"value_size\": " << config.value_size
+      << ", \"loss_rate\": " << config.loss_rate
+      << ", \"timeouts\": " << (config.timeouts_enabled ? "true" : "false")
+      << ", \"strategy\": \"" << strategy_name(config.strategy) << "\""
+      << ", \"filtering\": " << (config.semantic.filtering ? "true" : "false")
+      << ", \"aggregation\": " << (config.semantic.aggregation ? "true" : "false")
+      << ", \"seed\": " << config.seed
+      << ", \"overlay_seed\": " << config.overlay_seed
+      << ", \"warmup_s\": " << config.warmup.as_seconds()
+      << ", \"measure_s\": " << config.measure.as_seconds()
+      << ", \"drain_s\": " << config.drain.as_seconds() << "},\n";
+    o << "  \"workload\": {"
+      << "\"throughput\": " << w.throughput
+      << ", \"offered\": " << w.offered_load
+      << ", \"submitted\": " << w.submitted
+      << ", \"completed\": " << w.completed
+      << ", \"not_ordered\": " << w.not_ordered
+      << ", \"latency_ms\": {"
+      << "\"mean\": " << w.latencies.mean()
+      << ", \"stddev\": " << w.latencies.stddev()
+      << ", \"p50\": " << w.latencies.percentile(50)
+      << ", \"p95\": " << w.latencies.percentile(95)
+      << ", \"p99\": " << w.latencies.percentile(99)
+      << ", \"max\": " << w.latencies.max() << "}},\n";
+    o << "  \"messages\": {"
+      << "\"net_arrivals\": " << m.net_arrivals
+      << ", \"net_sent\": " << m.net_sent
+      << ", \"loss_drops\": " << m.net_loss_drops
+      << ", \"queue_drops\": " << m.net_queue_drops
+      << ", \"bytes_sent\": " << m.bytes_sent
+      << ", \"gossip_received\": " << m.gossip_messages_received
+      << ", \"duplicates\": " << m.gossip_duplicates
+      << ", \"duplicate_fraction\": " << m.duplicate_fraction()
+      << ", \"delivered\": " << m.gossip_delivered
+      << ", \"coordinator_arrivals\": " << m.coordinator_arrivals << "},\n";
+    o << "  \"semantic\": {"
+      << "\"filtered_phase2b\": " << result.semantic.filtered_phase2b
+      << ", \"aggregates_built\": " << result.semantic.aggregates_built
+      << ", \"messages_merged\": " << result.semantic.messages_merged
+      << ", \"disaggregations\": " << result.semantic.disaggregations << "},\n";
+    o << "  \"overlay\": {"
+      << "\"average_degree\": " << result.overlay.average_degree
+      << ", \"diameter_hops\": " << result.overlay.diameter_hops
+      << ", \"median_rtt_ms\": " << result.median_rtt.as_millis() << "}\n";
+    o << "}";
+    return o.str();
+}
+
+std::string csv_header() {
+    return "setup,n,rate,loss_rate,timeouts,strategy,filtering,aggregation,seed,"
+           "throughput,latency_mean_ms,latency_p50_ms,latency_p95_ms,latency_p99_ms,"
+           "latency_stddev_ms,submitted,completed,not_ordered,net_arrivals,net_sent,"
+           "loss_drops,queue_drops,gossip_received,duplicates,delivered,filtered_2b,"
+           "merged_2b,median_rtt_ms";
+}
+
+std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& result) {
+    const auto& w = result.workload;
+    const auto& m = result.messages;
+    std::ostringstream o;
+    o << setup_name(config.setup) << ',' << config.n << ',' << config.total_rate << ','
+      << config.loss_rate << ',' << (config.timeouts_enabled ? 1 : 0) << ','
+      << strategy_name(config.strategy) << ',' << (config.semantic.filtering ? 1 : 0) << ','
+      << (config.semantic.aggregation ? 1 : 0) << ',' << config.seed << ','
+      << w.throughput << ',' << w.latencies.mean() << ',' << w.latencies.percentile(50) << ','
+      << w.latencies.percentile(95) << ',' << w.latencies.percentile(99) << ','
+      << w.latencies.stddev() << ',' << w.submitted << ',' << w.completed << ','
+      << w.not_ordered << ',' << m.net_arrivals << ',' << m.net_sent << ','
+      << m.net_loss_drops << ',' << m.net_queue_drops << ',' << m.gossip_messages_received
+      << ',' << m.gossip_duplicates << ',' << m.gossip_delivered << ','
+      << result.semantic.filtered_phase2b << ',' << result.semantic.messages_merged << ','
+      << result.median_rtt.as_millis();
+    return o.str();
+}
+
+}  // namespace gossipc

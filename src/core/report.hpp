@@ -1,0 +1,21 @@
+// Result serialization: JSON and CSV renderings of an experiment's
+// configuration and outcome, for scripting around the CLI runner and for
+// archiving sweeps.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace gossipc {
+
+/// JSON object with the configuration and every reported metric.
+std::string to_json(const ExperimentConfig& config, const ExperimentResult& result);
+
+/// Header line matching to_csv_row's columns.
+std::string csv_header();
+
+/// One CSV row (no trailing newline).
+std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& result);
+
+}  // namespace gossipc

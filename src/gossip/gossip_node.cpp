@@ -1,0 +1,202 @@
+#include "gossip/gossip_node.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace gossipc {
+
+std::string GossipEnvelope::describe() const {
+    std::ostringstream oss;
+    oss << "gossip[id=" << msg_.id << " origin=" << msg_.origin
+        << (msg_.aggregated ? " aggregated" : "") << " "
+        << (msg_.payload ? msg_.payload->describe() : std::string{"<null>"}) << "]";
+    return oss.str();
+}
+
+std::string PullDigest::describe() const {
+    std::ostringstream oss;
+    oss << "pull-digest[" << ids_.size() << " ids]";
+    return oss.str();
+}
+
+GossipNode::GossipNode(Node& node, std::vector<ProcessId> peers, Params params,
+                       GossipHooks& hooks)
+    : node_(node),
+      peers_(std::move(peers)),
+      params_(params),
+      hooks_(hooks),
+      seen_(params.seen_cache_capacity),
+      rng_(Rng::derive(params.seed, 0x60551ULL ^ static_cast<std::uint64_t>(node.id()))),
+      queues_(peers_.size()) {
+    node_.set_receive_handler(
+        [this](const NetMessage& msg, CpuContext& ctx) { on_net_receive(msg, ctx); });
+    if (params_.strategy != GossipStrategy::Push && !peers_.empty()) {
+        schedule_pull_round();
+    }
+}
+
+void GossipNode::broadcast(GossipAppMessage msg, CpuContext& ctx) {
+    ++counters_.broadcasts;
+    if (!seen_.insert_if_new(msg.id)) return;  // re-broadcast of a known id
+    remember(msg);
+    ++counters_.delivered;
+    hooks_.on_deliver(msg);
+    if (deliver_) deliver_(msg, ctx);
+    if (params_.strategy != GossipStrategy::Pull) {
+        forward(msg, /*exclude=*/-1);
+    }
+}
+
+void GossipNode::post_broadcast(GossipAppMessage msg) {
+    node_.post([this, msg = std::move(msg)](CpuContext& ctx) { broadcast(msg, ctx); });
+}
+
+void GossipNode::on_net_receive(const NetMessage& net_msg, CpuContext& ctx) {
+    if (!net_msg.body) return;
+    if (net_msg.body->kind() == BodyKind::PullDigest) {
+        serve_digest(static_cast<const PullDigest&>(*net_msg.body), net_msg.from, ctx);
+        return;
+    }
+    if (net_msg.body->kind() != BodyKind::GossipEnvelope) return;  // not for us
+    ++counters_.envelopes_received;
+    const GossipAppMessage& wire_msg =
+        static_cast<const GossipEnvelope&>(*net_msg.body).message();
+    if (wire_msg.aggregated) {
+        // Reversible aggregation: reconstruct the original messages and
+        // process each as a regular message.
+        for (const auto& m : hooks_.disaggregate(wire_msg)) {
+            ++counters_.messages_received;
+            accept(m, net_msg.from, ctx);
+        }
+    } else {
+        ++counters_.messages_received;
+        accept(wire_msg, net_msg.from, ctx);
+    }
+}
+
+void GossipNode::accept(const GossipAppMessage& msg, ProcessId received_from, CpuContext& ctx) {
+    if (!seen_.insert_if_new(msg.id)) {
+        ++counters_.duplicates;
+        return;
+    }
+    remember(msg);
+    ++counters_.delivered;
+    hooks_.on_deliver(msg);
+    if (deliver_) deliver_(msg, ctx);
+    if (params_.strategy != GossipStrategy::Pull) {
+        forward(msg, received_from);
+    }
+}
+
+void GossipNode::forward(const GossipAppMessage& msg, ProcessId exclude) {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i] == exclude) continue;
+        PeerQueue& q = queues_[i];
+        if (q.pending.size() >= params_.peer_queue_cap) {
+            ++counters_.send_queue_drops;
+            continue;
+        }
+        if (q.pending.empty()) q.oldest_enqueued = node_.simulator().now();
+        q.pending.push_back(msg);
+        if (!q.drain_scheduled) {
+            q.drain_scheduled = true;
+            node_.post([this, i](CpuContext& ctx) { drain_peer(i, ctx); });
+        } else if (params_.batch_size > 1 && q.pending.size() >= params_.batch_size) {
+            // The queue filled while a batching deadline was pending: drain
+            // now (the deadline drain finds an empty queue and is a no-op).
+            node_.post([this, i](CpuContext& ctx) { drain_peer(i, ctx); });
+        }
+    }
+}
+
+void GossipNode::drain_peer(std::size_t peer_idx, CpuContext& ctx) {
+    PeerQueue& q = queues_[peer_idx];
+    q.drain_scheduled = false;
+    if (q.pending.empty()) return;
+    if (params_.batch_size > 1 && q.pending.size() < params_.batch_size) {
+        // Batching: hold the queue until it fills or the delay expires.
+        const SimTime deadline = q.oldest_enqueued + params_.batch_delay;
+        if (ctx.now() < deadline) {
+            q.drain_scheduled = true;
+            node_.simulator().schedule_at(deadline, [this, peer_idx] {
+                node_.post([this, peer_idx](CpuContext& c) { drain_peer(peer_idx, c); });
+            });
+            return;
+        }
+    }
+    const ProcessId peer = peers_[peer_idx];
+    std::vector<GossipAppMessage> pending;
+    pending.swap(q.pending);
+    const std::size_t before = pending.size();
+    ctx.consume(params_.aggregate_cost_per_msg * static_cast<std::int64_t>(before));
+    std::vector<GossipAppMessage> batch = hooks_.aggregate(std::move(pending), peer);
+    if (batch.size() < before) {
+        counters_.aggregated_away += before - batch.size();
+    }
+    for (const auto& m : batch) {
+        send_to_peer(m, peer, ctx);
+    }
+}
+
+void GossipNode::send_to_peer(const GossipAppMessage& msg, ProcessId peer, CpuContext& ctx) {
+    ctx.consume(params_.validate_cost);
+    if (!hooks_.validate(msg, peer)) {
+        ++counters_.filtered;
+        return;
+    }
+    ++counters_.envelopes_sent;
+    node_.transmit_in_task(
+        NetMessage{node_.id(), peer, std::make_shared<GossipEnvelope>(msg)}, ctx);
+}
+
+void GossipNode::remember(const GossipAppMessage& msg) {
+    if (params_.store_capacity == 0) return;
+    store_.push_back(msg);
+    if (store_.size() > params_.store_capacity) store_.pop_front();
+}
+
+void GossipNode::schedule_pull_round() {
+    // Jitter the period slightly so rounds of different nodes interleave.
+    const auto base = params_.pull_interval.as_nanos();
+    const auto jitter = rng_.uniform_int(-base / 8, base / 8);
+    node_.simulator().schedule_after(SimTime::nanos(base + jitter), [this] {
+        node_.post([this](CpuContext& ctx) { run_pull_round(ctx); });
+        schedule_pull_round();
+    });
+}
+
+void GossipNode::run_pull_round(CpuContext& ctx) {
+    if (peers_.empty()) return;
+    // An empty digest is still sent: it is exactly how a node that has
+    // nothing learns what it is missing.
+    ++counters_.pull_rounds;
+    const auto idx = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(peers_.size()) - 1));
+    std::vector<GossipMsgId> ids;
+    const std::size_t count = std::min(params_.digest_max, store_.size());
+    ids.reserve(count);
+    for (std::size_t i = store_.size() - count; i < store_.size(); ++i) {
+        ids.push_back(store_[i].id);
+    }
+    node_.transmit_in_task(
+        NetMessage{node_.id(), peers_[idx], std::make_shared<PullDigest>(std::move(ids))}, ctx);
+}
+
+void GossipNode::serve_digest(const PullDigest& digest, ProcessId requester, CpuContext& ctx) {
+    const std::unordered_set<GossipMsgId> have(digest.ids().begin(), digest.ids().end());
+    for (const auto& m : store_) {
+        if (have.contains(m.id)) continue;
+        ctx.consume(params_.validate_cost);
+        if (!hooks_.validate(m, requester)) {
+            ++counters_.filtered;
+            continue;
+        }
+        ++counters_.pull_served;
+        ++counters_.envelopes_sent;
+        node_.transmit_in_task(
+            NetMessage{node_.id(), requester, std::make_shared<GossipEnvelope>(m)}, ctx);
+    }
+}
+
+}  // namespace gossipc

@@ -1,0 +1,68 @@
+// The gossip layer's semantic-extension interface (Section 3.3 of the paper).
+//
+// The consensus protocol controls the gossip layer by implementing:
+//   validate(Message, Peer) -> bool          (semantic filtering)
+//   aggregate(Message[], Peer) -> Message[]  (semantic aggregation)
+//   disaggregate(Message) -> Message[]       (reversible-rule reconstruction)
+// Default implementations are pass-through, which yields classic gossip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace gossipc {
+
+/// Unique message identifier, defined by the application "to prevent hash
+/// collisions" (Section 3.3); keys the recently-seen cache.
+using GossipMsgId = std::uint64_t;
+
+/// A message as seen by the gossip layer: an application payload plus the
+/// gossip-relevant metadata.
+struct GossipAppMessage {
+    GossipMsgId id = 0;
+    ProcessId origin = -1;     ///< process that broadcast (or aggregated) it
+    BodyPtr payload;           ///< immutable application body
+    bool aggregated = false;   ///< built by an aggregation rule
+};
+
+class GossipHooks {
+public:
+    virtual ~GossipHooks() = default;
+
+    /// Invoked by a Send routine when it is ready to send `msg` to `peer`.
+    /// Returning false filters the message out (it is dropped for this peer).
+    virtual bool validate(const GossipAppMessage& msg, ProcessId peer) {
+        (void)msg;
+        (void)peer;
+        return true;
+    }
+
+    /// Invoked by a Send routine with the pending messages for `peer`.
+    /// The returned messages (original and/or aggregated) are sent in order.
+    virtual std::vector<GossipAppMessage> aggregate(std::vector<GossipAppMessage> pending,
+                                                    ProcessId peer) {
+        (void)peer;
+        return pending;
+    }
+
+    /// Invoked when a message marked as aggregated is received. For
+    /// reversible rules, returns the reconstructed original messages; they
+    /// are then processed as regular messages (seen-cache checked, delivered,
+    /// forwarded). Non-aggregated input must be returned unchanged.
+    virtual std::vector<GossipAppMessage> disaggregate(const GossipAppMessage& msg) {
+        return {msg};
+    }
+
+    /// Observation point: every message delivered to the application also
+    /// passes here, letting a hook track protocol state without touching the
+    /// consensus implementation.
+    virtual void on_deliver(const GossipAppMessage& msg) { (void)msg; }
+};
+
+/// Classic gossip: all hooks are pass-through.
+class PassThroughHooks final : public GossipHooks {};
+
+}  // namespace gossipc

@@ -1,0 +1,41 @@
+#include "gossip/seen_cache.hpp"
+
+#include <stdexcept>
+
+namespace gossipc {
+
+SeenCache::SeenCache(std::size_t capacity) {
+    if (capacity == 0) throw std::invalid_argument("SeenCache: capacity must be > 0");
+    std::size_t sets = 1;
+    while (sets * kWays < capacity) sets <<= 1;
+    mask_ = sets - 1;
+    slots_.assign(sets * kWays, 0);
+    cursor_.assign(sets, 0);
+}
+
+bool SeenCache::insert_if_new(GossipMsgId id) {
+    const std::uint64_t h = mix64(key_of(id));
+    const std::uint32_t tag = tag_of(h);
+    const std::size_t base = (h & mask_) * kWays;
+    for (std::size_t w = 0; w < kWays; ++w) {
+        if (slots_[base + w] == tag) return false;
+    }
+    const std::size_t set = base / kWays;
+    std::uint8_t& cur = cursor_[set];
+    if (slots_[base + cur] != 0) ++evictions_;
+    slots_[base + cur] = tag;
+    cur = static_cast<std::uint8_t>((cur + 1) % kWays);
+    return true;
+}
+
+bool SeenCache::contains(GossipMsgId id) const {
+    const std::uint64_t h = mix64(key_of(id));
+    const std::uint32_t tag = tag_of(h);
+    const std::size_t base = (h & mask_) * kWays;
+    for (std::size_t w = 0; w < kWays; ++w) {
+        if (slots_[base + w] == tag) return true;
+    }
+    return false;
+}
+
+}  // namespace gossipc

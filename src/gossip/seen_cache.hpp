@@ -1,0 +1,51 @@
+// Recently-seen message cache (duplication check of Figure 2).
+//
+// A fixed-size, 4-way set-associative cache of message identifiers with
+// FIFO replacement within each set; each set stores four 32-bit tags, so a
+// lookup touches a single cache line. Registering an id before delivering/
+// forwarding prevents (with high probability) a message from being processed
+// more than once; replacement means a very old message can be re-processed,
+// which is harmless for Paxos — exactly the paper's "no actual guarantee of
+// a deliver-and-forward once behavior". A ~1e-9 tag-collision chance can
+// drop a legitimate first delivery, which gossip redundancy masks.
+// Constant memory, O(1) operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gossip/hooks.hpp"
+
+namespace gossipc {
+
+class SeenCache {
+public:
+    /// `capacity` is rounded up to a power-of-two number of 4-entry sets.
+    explicit SeenCache(std::size_t capacity);
+
+    /// Registers `id`; returns true if it was not present (i.e. the message
+    /// is new and should be delivered/forwarded).
+    bool insert_if_new(GossipMsgId id);
+
+    bool contains(GossipMsgId id) const;
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::uint64_t evictions() const { return evictions_; }
+
+private:
+    static constexpr std::size_t kWays = 4;
+    /// Ids are already well-mixed hashes but 0 marks an empty slot.
+    static std::uint64_t key_of(GossipMsgId id) { return id == 0 ? 0x9e3779b9ULL : id; }
+    static std::uint32_t tag_of(std::uint64_t h) {
+        const auto t = static_cast<std::uint32_t>(h >> 32);
+        return t == 0 ? 1 : t;
+    }
+
+    std::size_t mask_;  ///< number of sets - 1
+    std::vector<std::uint32_t> slots_;
+    std::vector<std::uint8_t> cursor_;  ///< per-set FIFO replacement cursor
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,59 @@
+#include "gossip/sliding_bloom.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+SlidingBloom::SlidingBloom(std::size_t expected_per_generation) {
+    if (expected_per_generation == 0) {
+        throw std::invalid_argument("SlidingBloom: expected_per_generation must be > 0");
+    }
+    // Standard sizing for p = 1%: m = -n ln p / (ln 2)^2 ~= 9.59 n, k ~= 7.
+    bits_ = static_cast<std::size_t>(
+        std::ceil(9.585 * static_cast<double>(expected_per_generation)));
+    bits_ = std::max<std::size_t>(bits_, 64);
+    hashes_ = 7;
+    capacity_ = expected_per_generation;
+    current_.assign((bits_ + 63) / 64, 0);
+    previous_.assign((bits_ + 63) / 64, 0);
+}
+
+bool SlidingBloom::in(const std::vector<std::uint64_t>& gen, GossipMsgId id) const {
+    std::uint64_t h = mix64(id);
+    for (int i = 0; i < hashes_; ++i) {
+        const std::size_t bit = static_cast<std::size_t>(h % bits_);
+        if (!(gen[bit / 64] & (1ULL << (bit % 64)))) return false;
+        h = mix64(h + 0x9e3779b97f4a7c15ULL);
+    }
+    return true;
+}
+
+void SlidingBloom::set(std::vector<std::uint64_t>& gen, GossipMsgId id) {
+    std::uint64_t h = mix64(id);
+    for (int i = 0; i < hashes_; ++i) {
+        const std::size_t bit = static_cast<std::size_t>(h % bits_);
+        gen[bit / 64] |= 1ULL << (bit % 64);
+        h = mix64(h + 0x9e3779b97f4a7c15ULL);
+    }
+}
+
+bool SlidingBloom::probably_contains(GossipMsgId id) const {
+    return in(current_, id) || in(previous_, id);
+}
+
+bool SlidingBloom::insert_if_new(GossipMsgId id) {
+    if (probably_contains(id)) return false;
+    set(current_, id);
+    if (++current_count_ >= capacity_) {
+        previous_.swap(current_);
+        std::fill(current_.begin(), current_.end(), 0);
+        current_count_ = 0;
+        ++rotations_;
+    }
+    return true;
+}
+
+}  // namespace gossipc

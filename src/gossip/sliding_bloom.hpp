@@ -1,0 +1,44 @@
+// Sliding Bloom filter — the alternative duplicate-suppression structure the
+// paper points to (Naor & Yogev, 2013). Two generations of plain Bloom
+// filters: inserts go to the current generation; membership checks consult
+// both; when the current generation fills up, the old one is discarded.
+// Constant memory; false positives cause a (rare) legitimate message to be
+// treated as duplicate, which gossip redundancy masks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gossip/hooks.hpp"
+
+namespace gossipc {
+
+class SlidingBloom {
+public:
+    /// `expected_per_generation` items per generation at ~1% false-positive
+    /// rate for the standard k/m sizing.
+    explicit SlidingBloom(std::size_t expected_per_generation);
+
+    /// Returns true if `id` was (probably) not seen yet, inserting it.
+    bool insert_if_new(GossipMsgId id);
+
+    bool probably_contains(GossipMsgId id) const;
+
+    std::size_t bits_per_generation() const { return bits_; }
+    std::uint64_t generation_rotations() const { return rotations_; }
+
+private:
+    bool in(const std::vector<std::uint64_t>& gen, GossipMsgId id) const;
+    void set(std::vector<std::uint64_t>& gen, GossipMsgId id);
+
+    std::size_t bits_;
+    int hashes_;
+    std::size_t capacity_;
+    std::size_t current_count_ = 0;
+    std::uint64_t rotations_ = 0;
+    std::vector<std::uint64_t> current_;
+    std::vector<std::uint64_t> previous_;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,68 @@
+#include "net/latency_model.hpp"
+
+#include <stdexcept>
+
+namespace gossipc {
+namespace {
+
+// One-way latencies in milliseconds, upper triangle; row/column order follows
+// the Region enum. Row 0 (North Virginia) is Table 1 of the paper, verbatim.
+// The remaining entries are synthesized from public AWS inter-region RTT
+// measurements (c. 2021), halved to one-way.
+constexpr double kOneWayMs[kNumRegions][kNumRegions] = {
+    //        NV   CAN  NCA  ORE  LON  IRL  FRA   SP  TYO  BOM  SYD  ICN  SIN
+    /*NV */ {  0,    7,  30,  39,  38,  33,  44,  58,  73,  93,  98,  87, 105},
+    /*CAN*/ {  7,    0,  35,  30,  42,  38,  49,  63,  78,  98, 102,  90, 108},
+    /*NCA*/ { 30,   35,   0,  11,  71,  67,  75,  86,  52, 113,  72,  62,  84},
+    /*ORE*/ { 39,   30,  11,   0,  75,  70,  79,  91,  49, 109,  70,  60,  82},
+    /*LON*/ { 38,   42,  71,  75,   0,   6,   8,  94, 105,  56, 140, 120,  85},
+    /*IRL*/ { 33,   38,  67,  70,   6,   0,  13,  90, 110,  61, 132, 118,  89},
+    /*FRA*/ { 44,   49,  75,  79,   8,  13,   0, 100, 112,  55, 145, 115,  80},
+    /*SP */ { 58,   63,  86,  91,  94,  90, 100,   0, 128, 150, 160, 135, 165},
+    /*TYO*/ { 73,   78,  52,  49, 105, 110, 112, 128,   0,  60,  52,  17,  35},
+    /*BOM*/ { 93,   98, 113, 109,  56,  61,  55, 150,  60,   0, 110,  75,  30},
+    /*SYD*/ { 98,  102,  72,  70, 140, 132, 145, 160,  52, 110,   0,  65,  45},
+    /*ICN*/ { 87,   90,  62,  60, 120, 118, 115, 135,  17,  75,  65,   0,  38},
+    /*SIN*/ {105,  108,  84,  82,  85,  89,  80, 165,  35,  30,  45,  38,   0},
+};
+
+}  // namespace
+
+const LatencyModel& LatencyModel::aws() {
+    static const LatencyModel model = [] {
+        LatencyModel m;
+        for (int a = 0; a < kNumRegions; ++a) {
+            for (int b = 0; b < kNumRegions; ++b) {
+                m.one_way_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+                    SimTime::millis(kOneWayMs[a][b]);
+            }
+        }
+        m.intra_ = SimTime::micros(250);
+        return m;
+    }();
+    return model;
+}
+
+LatencyModel LatencyModel::uniform(SimTime wan_one_way, SimTime intra) {
+    LatencyModel m;
+    for (int a = 0; a < kNumRegions; ++a) {
+        for (int b = 0; b < kNumRegions; ++b) {
+            m.one_way_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+                (a == b) ? intra : wan_one_way;
+        }
+    }
+    m.intra_ = intra;
+    return m;
+}
+
+SimTime LatencyModel::one_way(Region a, Region b) const {
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (ia >= kNumRegions || ib >= kNumRegions) {
+        throw std::out_of_range("LatencyModel::one_way: bad region");
+    }
+    if (a == b) return intra_;
+    return one_way_[ia][ib];
+}
+
+}  // namespace gossipc

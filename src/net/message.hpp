@@ -1,0 +1,5 @@
+// Forwarding header: the message envelope lives in common/ so the simulator
+// can carry deliveries without a layering inversion.
+#pragma once
+
+#include "common/message.hpp"

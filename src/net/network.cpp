@@ -1,0 +1,114 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace gossipc {
+
+Network::Network(Simulator& sim, const LatencyModel& latency, int n, Params params)
+    : sim_(sim),
+      latency_(latency),
+      params_(params),
+      allowed_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), false),
+      jitter_rng_(Rng::derive(params.seed, "net-jitter")) {
+    if (n <= 0) throw std::invalid_argument("Network: n must be positive");
+    nodes_.reserve(static_cast<std::size_t>(n));
+    for (ProcessId id = 0; id < n; ++id) {
+        nodes_.push_back(
+            std::make_unique<Node>(sim, *this, id, region_of_process(id, n), params.node));
+    }
+}
+
+Node& Network::node(ProcessId id) {
+    return *nodes_.at(static_cast<std::size_t>(id));
+}
+
+const Node& Network::node(ProcessId id) const {
+    return *nodes_.at(static_cast<std::size_t>(id));
+}
+
+std::size_t Network::link_index(ProcessId a, ProcessId b) const {
+    return static_cast<std::size_t>(a) * nodes_.size() + static_cast<std::size_t>(b);
+}
+
+void Network::allow_link(ProcessId a, ProcessId b) {
+    if (a == b) throw std::invalid_argument("Network::allow_link: self link");
+    allowed_.at(link_index(a, b)) = true;
+    allowed_.at(link_index(b, a)) = true;
+}
+
+void Network::allow_all_links() {
+    for (ProcessId a = 0; a < size(); ++a) {
+        for (ProcessId b = 0; b < size(); ++b) {
+            if (a != b) allowed_[link_index(a, b)] = true;
+        }
+    }
+}
+
+bool Network::link_allowed(ProcessId a, ProcessId b) const {
+    if (a < 0 || b < 0 || a >= size() || b >= size() || a == b) return false;
+    return allowed_[link_index(a, b)];
+}
+
+SimTime Network::propagation_delay(ProcessId a, ProcessId b) const {
+    return latency_.one_way(node(a).region(), node(b).region());
+}
+
+void Network::LinkChannel::push(SimTime arrival, NetMessage msg) {
+    // FIFO per directed link: a later send never overtakes an earlier one.
+    if (arrival < last_arrival) arrival = last_arrival;
+    last_arrival = arrival;
+    queue.emplace_back(arrival, std::move(msg));
+    if (!scheduled) {
+        scheduled = true;
+        sim->schedule_delivery(arrival, *this, NetMessage{});
+    }
+}
+
+void Network::LinkChannel::deliver_event(NetMessage /*unused*/) {
+    scheduled = false;
+    if (queue.empty()) return;
+    NetMessage msg = std::move(queue.front().second);
+    queue.pop_front();
+    if (!queue.empty()) {
+        scheduled = true;
+        sim->schedule_delivery(queue.front().first, *this, NetMessage{});
+    }
+    dest->arrival(std::move(msg));
+}
+
+void Network::transmit(const NetMessage& msg, SimTime depart) {
+    if (!link_allowed(msg.from, msg.to)) {
+        throw std::logic_error("Network::transmit: link not allowed between processes " +
+                               std::to_string(msg.from) + " and " + std::to_string(msg.to));
+    }
+    ++total_transmissions_;
+    const SimTime base = propagation_delay(msg.from, msg.to);
+    double factor = 1.0;
+    if (params_.jitter_frac > 0.0) {
+        factor = 1.0 - params_.jitter_frac + 2.0 * params_.jitter_frac * jitter_rng_.uniform01();
+    }
+    const auto latency_ns =
+        static_cast<std::int64_t>(static_cast<double>(base.as_nanos()) * factor);
+    const auto serialization_ns = static_cast<std::int64_t>(
+        1000.0 * static_cast<double>(msg.wire_size()) / params_.bandwidth_bytes_per_us);
+    const SimTime arrive = depart + SimTime::nanos(latency_ns + serialization_ns);
+
+    const std::size_t idx = link_index(msg.from, msg.to);
+    if (channels_.empty()) channels_.resize(allowed_.size());
+    auto& channel = channels_[idx];
+    if (!channel) {
+        channel = std::make_unique<LinkChannel>();
+        channel->sim = &sim_;
+        channel->dest = &node(msg.to);
+    }
+    channel->push(arrive, msg);
+}
+
+void Network::set_uniform_loss(double p) {
+    for (auto& n : nodes_) {
+        n->set_loss(p, Rng::derive(params_.seed,
+                                   0x10f5ULL ^ static_cast<std::uint64_t>(n->id())));
+    }
+}
+
+}  // namespace gossipc

@@ -1,0 +1,93 @@
+// The simulated wide-area network: nodes, links, and transmission.
+//
+// Links must be explicitly allowed (partially connected network graph);
+// attempting to transmit over a missing link is a logic error, which catches
+// protocol code that silently assumes full connectivity. Link delay is the
+// one-way regional latency (with small multiplicative jitter) plus a
+// serialization term proportional to message size.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/latency_model.hpp"
+#include "net/message.hpp"
+#include "net/node.hpp"
+#include "net/region.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossipc {
+
+class Network {
+public:
+    struct Params {
+        Node::Params node;
+        /// Link bandwidth; 125 bytes/us = 1 Gbit/s.
+        double bandwidth_bytes_per_us = 125.0;
+        /// Uniform multiplicative jitter on latency: factor in [1-j, 1+j].
+        double jitter_frac = 0.02;
+        std::uint64_t seed = 1;
+    };
+
+    Network(Simulator& sim, const LatencyModel& latency, int n, Params params);
+
+    int size() const { return static_cast<int>(nodes_.size()); }
+    Node& node(ProcessId id);
+    const Node& node(ProcessId id) const;
+
+    /// Allows bidirectional communication between a and b.
+    void allow_link(ProcessId a, ProcessId b);
+    void allow_all_links();
+    bool link_allowed(ProcessId a, ProcessId b) const;
+
+    /// Ships a message; schedules arrival at the destination node. `depart`
+    /// is the (virtual CPU) time the sender finished serializing it.
+    /// Throws std::logic_error if the link is not allowed.
+    void transmit(const NetMessage& msg, SimTime depart);
+
+    /// One-way propagation delay between two processes (no jitter, no
+    /// serialization) — used by analysis and tests.
+    SimTime propagation_delay(ProcessId a, ProcessId b) const;
+
+    const LatencyModel& latency_model() const { return latency_; }
+
+    /// Sets the same receive-loss rate on every node (Section 4.5 fault
+    /// injection); seeds derive from the network seed and the node id.
+    void set_uniform_loss(double p);
+
+    std::uint64_t total_transmissions() const { return total_transmissions_; }
+
+private:
+    /// A directed link delivers messages FIFO (libp2p channels ride on TCP).
+    /// Only the head-of-line message holds an event in the simulator heap,
+    /// which keeps the heap small regardless of the number of messages in
+    /// flight.
+    struct LinkChannel final : DeliveryTarget {
+        Simulator* sim = nullptr;
+        Node* dest = nullptr;
+        std::deque<std::pair<SimTime, NetMessage>> queue;
+        bool scheduled = false;
+        SimTime last_arrival = SimTime::zero();
+
+        void push(SimTime arrival, NetMessage msg);
+        void deliver_event(NetMessage unused) override;
+    };
+
+    std::size_t link_index(ProcessId a, ProcessId b) const;
+
+    Simulator& sim_;
+    const LatencyModel& latency_;
+    Params params_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<bool> allowed_;  // n*n adjacency
+    std::vector<std::unique_ptr<LinkChannel>> channels_;  // directed, lazy
+    Rng jitter_rng_;
+    std::uint64_t total_transmissions_ = 0;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,116 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace gossipc {
+
+Node::Node(Simulator& sim, Network& network, ProcessId id, Region region, Params params)
+    : sim_(sim), network_(network), id_(id), region_(region), params_(params) {}
+
+void Node::set_loss(double p, Rng rng) {
+    loss_rate_ = std::clamp(p, 0.0, 1.0);
+    loss_rng_ = std::move(rng);
+}
+
+SimTime Node::message_cost(SimTime base, std::uint32_t bytes) const {
+    const auto byte_ns = static_cast<std::int64_t>(params_.cpu_ns_per_byte * bytes);
+    return base + SimTime::nanos(byte_ns);
+}
+
+void Node::arrival(NetMessage msg) {
+    ++counters_.arrivals;
+    if (crashed_) return;
+    if (loss_rate_ > 0.0 && loss_rng_ && loss_rng_->chance(loss_rate_)) {
+        ++counters_.loss_drops;
+        return;
+    }
+    const std::size_t pending = tasks_.size();
+    if (pending >= params_.task_queue_cap) {
+        ++counters_.queue_drops;
+        return;
+    }
+    counters_.bytes_received += msg.wire_size();
+    PendingTask task;
+    task.msg = std::move(msg);
+    task.droppable = true;
+    tasks_.push_back(std::move(task));
+    schedule_drain();
+}
+
+void Node::post(Task task) {
+    if (crashed_) return;
+    PendingTask t;
+    t.fn = std::move(task);
+    tasks_.push_back(std::move(t));
+    schedule_drain();
+}
+
+void Node::run_task(PendingTask& task, CpuContext& ctx) {
+    if (task.msg.body) {
+        ctx.consume(message_cost(params_.recv_cost, task.msg.wire_size()));
+        ++counters_.received;
+        if (handler_) handler_(task.msg, ctx);
+    } else if (task.fn) {
+        task.fn(ctx);
+    }
+}
+
+void Node::transmit_in_task(NetMessage msg, CpuContext& ctx) {
+    if (crashed_) return;
+    ctx.consume(message_cost(params_.send_cost, msg.wire_size()));
+    ++counters_.sent;
+    counters_.bytes_sent += msg.wire_size();
+    network_.transmit(msg, ctx.now());
+}
+
+void Node::post_transmit(NetMessage msg) {
+    post([this, msg = std::move(msg)](CpuContext& ctx) { transmit_in_task(msg, ctx); });
+}
+
+void Node::crash() {
+    crashed_ = true;
+    tasks_.clear();
+}
+
+void Node::recover() {
+    crashed_ = false;
+    cpu_free_at_ = sim_.now();
+}
+
+SimTime Node::backlog() const {
+    const SimTime now = sim_.now();
+    return cpu_free_at_ > now ? cpu_free_at_ - now : SimTime::zero();
+}
+
+void Node::schedule_drain() {
+    if (drain_scheduled_) return;
+    drain_scheduled_ = true;
+    const SimTime at = std::max(sim_.now(), cpu_free_at_);
+    sim_.schedule_at(at, [this] { drain(); });
+}
+
+void Node::drain() {
+    drain_scheduled_ = false;
+    if (crashed_) {
+        tasks_.clear();
+        return;
+    }
+    CpuContext ctx{std::max(sim_.now(), cpu_free_at_)};
+    // Tasks posted while draining (by handlers) are processed in the same
+    // batch, preserving FIFO order at the correct virtual times.
+    while (!tasks_.empty()) {
+        PendingTask task = std::move(tasks_.front());
+        tasks_.pop_front();
+        run_task(task, ctx);
+        if (crashed_) {
+            tasks_.clear();
+            return;
+        }
+    }
+    cpu_free_at_ = ctx.now();
+}
+
+}  // namespace gossipc

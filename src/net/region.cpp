@@ -1,0 +1,37 @@
+#include "net/region.hpp"
+
+namespace gossipc {
+
+std::string_view region_name(Region r) {
+    switch (r) {
+        case Region::NorthVirginia: return "N.Virginia";
+        case Region::Canada: return "Canada";
+        case Region::NorthCalifornia: return "N.California";
+        case Region::Oregon: return "Oregon";
+        case Region::London: return "London";
+        case Region::Ireland: return "Ireland";
+        case Region::Frankfurt: return "Frankfurt";
+        case Region::SaoPaulo: return "S.Paulo";
+        case Region::Tokyo: return "Tokyo";
+        case Region::Mumbai: return "Mumbai";
+        case Region::Sydney: return "Sydney";
+        case Region::Seoul: return "Seoul";
+        case Region::Singapore: return "Singapore";
+    }
+    return "?";
+}
+
+Region region_of_process(ProcessId id, int /*n*/) {
+    if (id == 0) return kCoordinatorRegion;
+    // Processes 1..n-1 fill regions round-robin starting from NorthVirginia,
+    // giving the paper's even spread (e.g. n=53: coordinator + 4 per region).
+    return static_cast<Region>((id - 1) % kNumRegions);
+}
+
+std::array<Region, kNumRegions> all_regions() {
+    std::array<Region, kNumRegions> out{};
+    for (int i = 0; i < kNumRegions; ++i) out[static_cast<std::size_t>(i)] = static_cast<Region>(i);
+    return out;
+}
+
+}  // namespace gossipc

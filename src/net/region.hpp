@@ -1,0 +1,45 @@
+// The 13 AWS regions used in the paper's evaluation (Section 4.2) and the
+// mapping of processes to regions ("evenly spread among 13 AWS regions",
+// coordinator in North Virginia).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+enum class Region : int {
+    NorthVirginia = 0,
+    Canada,
+    NorthCalifornia,
+    Oregon,
+    London,
+    Ireland,
+    Frankfurt,
+    SaoPaulo,
+    Tokyo,
+    Mumbai,
+    Sydney,
+    Seoul,
+    Singapore,
+};
+
+inline constexpr int kNumRegions = 13;
+
+/// The coordinator's region in all of the paper's experiments.
+inline constexpr Region kCoordinatorRegion = Region::NorthVirginia;
+
+std::string_view region_name(Region r);
+
+/// Region of process `id` in a deployment of `n` processes: process 0 (the
+/// coordinator) is in North Virginia; the others are spread round-robin over
+/// the 13 regions, matching the paper's 1/4/8-per-region placements for
+/// n = 13, 53, 105.
+Region region_of_process(ProcessId id, int n);
+
+/// All 13 regions in enum order.
+std::array<Region, kNumRegions> all_regions();
+
+}  // namespace gossipc

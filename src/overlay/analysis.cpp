@@ -1,0 +1,97 @@
+#include "overlay/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "net/region.hpp"
+
+namespace gossipc {
+
+OverlayStats analyze_overlay(const Graph& g) {
+    OverlayStats s;
+    const int n = g.size();
+    s.average_degree = g.average_degree();
+    s.min_degree = n > 0 ? g.degree(0) : 0;
+    s.max_degree = s.min_degree;
+    for (ProcessId v = 0; v < n; ++v) {
+        s.min_degree = std::min(s.min_degree, g.degree(v));
+        s.max_degree = std::max(s.max_degree, g.degree(v));
+    }
+    s.connected = true;
+    s.diameter_hops = 0;
+    for (ProcessId v = 0; v < n; ++v) {
+        const auto d = hop_distances(g, v);
+        for (const int h : d) {
+            if (h < 0) {
+                s.connected = false;
+            } else {
+                s.diameter_hops = std::max(s.diameter_hops, h);
+            }
+        }
+    }
+    if (!s.connected) s.diameter_hops = -1;
+    return s;
+}
+
+std::vector<int> hop_distances(const Graph& g, ProcessId src) {
+    std::vector<int> dist(static_cast<std::size_t>(g.size()), -1);
+    std::queue<ProcessId> q;
+    dist[static_cast<std::size_t>(src)] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        const ProcessId v = q.front();
+        q.pop();
+        for (const ProcessId u : g.neighbors(v)) {
+            if (dist[static_cast<std::size_t>(u)] < 0) {
+                dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+                q.push(u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<SimTime> shortest_delays(const Graph& g, ProcessId src,
+                                     const LatencyModel& latency) {
+    const int n = g.size();
+    std::vector<SimTime> dist(static_cast<std::size_t>(n), SimTime::max());
+    using Item = std::pair<std::int64_t, ProcessId>;  // (nanos, vertex)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(src)] = SimTime::zero();
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (SimTime::nanos(d) > dist[static_cast<std::size_t>(v)]) continue;
+        const Region rv = region_of_process(v, n);
+        for (const ProcessId u : g.neighbors(v)) {
+            const SimTime w = latency.one_way(rv, region_of_process(u, n));
+            const SimTime nd = SimTime::nanos(d) + w;
+            if (nd < dist[static_cast<std::size_t>(u)]) {
+                dist[static_cast<std::size_t>(u)] = nd;
+                pq.emplace(nd.as_nanos(), u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<SimTime> rtts_from(const Graph& g, ProcessId src, const LatencyModel& latency) {
+    auto one_way = shortest_delays(g, src, latency);
+    for (auto& d : one_way) {
+        if (d != SimTime::max()) d = d * 2;
+    }
+    return one_way;
+}
+
+SimTime median_rtt_from_coordinator(const Graph& g, const LatencyModel& latency) {
+    auto rtts = rtts_from(g, /*src=*/0, latency);
+    std::vector<SimTime> others;
+    others.reserve(rtts.size());
+    for (std::size_t i = 1; i < rtts.size(); ++i) others.push_back(rtts[i]);
+    if (others.empty()) return SimTime::zero();
+    std::sort(others.begin(), others.end());
+    return others[others.size() / 2];
+}
+
+}  // namespace gossipc

@@ -1,0 +1,40 @@
+// Overlay analysis used by the network-overlay experiments (Section 4.6):
+// shortest-path RTTs through the overlay under a latency model, and the
+// median RTT from the coordinator, which "ultimately dictates the latency of
+// a Paxos instance".
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/latency_model.hpp"
+#include "overlay/graph.hpp"
+
+namespace gossipc {
+
+struct OverlayStats {
+    double average_degree = 0.0;
+    int min_degree = 0;
+    int max_degree = 0;
+    int diameter_hops = 0;  ///< max over pairs of min hop count (-1 if disconnected)
+    bool connected = false;
+};
+
+OverlayStats analyze_overlay(const Graph& g);
+
+/// One-way shortest-path delay (through the overlay) from `src` to every
+/// process, under the latency model, with processes placed by
+/// region_of_process. Unreachable vertices get SimTime::max().
+std::vector<SimTime> shortest_delays(const Graph& g, ProcessId src, const LatencyModel& latency);
+
+/// Round-trip times from `src` to every other process through the overlay.
+std::vector<SimTime> rtts_from(const Graph& g, ProcessId src, const LatencyModel& latency);
+
+/// Median RTT from the coordinator (process 0) to all other processes —
+/// the x-axis of Figures 7 and 8.
+SimTime median_rtt_from_coordinator(const Graph& g, const LatencyModel& latency);
+
+/// Hop distance from src to every vertex (BFS); -1 if unreachable.
+std::vector<int> hop_distances(const Graph& g, ProcessId src);
+
+}  // namespace gossipc

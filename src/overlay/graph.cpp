@@ -1,0 +1,57 @@
+#include "overlay/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gossipc {
+
+Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
+    if (n <= 0) throw std::invalid_argument("Graph: n must be positive");
+}
+
+void Graph::check(ProcessId v) const {
+    if (v < 0 || v >= n_) throw std::out_of_range("Graph: vertex out of range");
+}
+
+void Graph::add_edge(ProcessId a, ProcessId b) {
+    check(a);
+    check(b);
+    if (a == b) throw std::invalid_argument("Graph::add_edge: self loop");
+    if (has_edge(a, b)) throw std::invalid_argument("Graph::add_edge: duplicate edge");
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+    ++edges_;
+}
+
+bool Graph::has_edge(ProcessId a, ProcessId b) const {
+    check(a);
+    check(b);
+    const auto& na = adj_[static_cast<std::size_t>(a)];
+    return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+const std::vector<ProcessId>& Graph::neighbors(ProcessId v) const {
+    check(v);
+    return adj_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(ProcessId v) const {
+    return static_cast<int>(neighbors(v).size());
+}
+
+double Graph::average_degree() const {
+    return 2.0 * static_cast<double>(edges_) / static_cast<double>(n_);
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> Graph::edges() const {
+    std::vector<std::pair<ProcessId, ProcessId>> out;
+    out.reserve(edges_);
+    for (ProcessId a = 0; a < n_; ++a) {
+        for (const ProcessId b : adj_[static_cast<std::size_t>(a)]) {
+            if (a < b) out.emplace_back(a, b);
+        }
+    }
+    return out;
+}
+
+}  // namespace gossipc

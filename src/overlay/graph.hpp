@@ -1,0 +1,38 @@
+// Undirected overlay graph over process ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+class Graph {
+public:
+    explicit Graph(int n);
+
+    int size() const { return n_; }
+
+    /// Adds an undirected edge; duplicate edges and self-loops are rejected.
+    void add_edge(ProcessId a, ProcessId b);
+    bool has_edge(ProcessId a, ProcessId b) const;
+
+    const std::vector<ProcessId>& neighbors(ProcessId v) const;
+    int degree(ProcessId v) const;
+
+    std::size_t edge_count() const { return edges_; }
+    double average_degree() const;
+
+    /// All edges as (a, b) with a < b.
+    std::vector<std::pair<ProcessId, ProcessId>> edges() const;
+
+private:
+    void check(ProcessId v) const;
+
+    int n_;
+    std::size_t edges_ = 0;
+    std::vector<std::vector<ProcessId>> adj_;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,63 @@
+#include "overlay/random_overlay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gossipc {
+
+int default_out_connections(int n) {
+    if (n <= 1) return 0;
+    if (n == 2) return 1;
+    // Expected degree 2k ~= log2(n); round k = log2(n)/2 up so small systems
+    // stay connected (n=13 -> k=2, degree ~3.7; n=105 -> k=4, degree ~6.7,
+    // matching the averages reported in Section 4.3).
+    const int k = static_cast<int>(std::lround(std::ceil(std::log2(static_cast<double>(n)) / 2.0)));
+    return std::min(k, n - 1);
+}
+
+Graph make_random_overlay(int n, int k, std::uint64_t seed) {
+    if (k < 0 || k > n - 1) throw std::invalid_argument("make_random_overlay: bad k");
+    Graph g(n);
+    Rng rng = Rng::derive(seed, "overlay");
+    for (ProcessId v = 0; v < n; ++v) {
+        const auto peers = rng.sample_distinct(n, k, v);
+        for (const ProcessId p : peers) {
+            if (!g.has_edge(v, p)) g.add_edge(v, p);
+        }
+    }
+    return g;
+}
+
+Graph make_connected_overlay(int n, std::uint64_t seed) {
+    const int k = default_out_connections(n);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        Graph g = make_random_overlay(n, k, seed + static_cast<std::uint64_t>(attempt) * 0x9e37ULL);
+        if (is_connected(g)) return g;
+    }
+    throw std::runtime_error("make_connected_overlay: failed to generate a connected overlay");
+}
+
+bool is_connected(const Graph& g) {
+    const int n = g.size();
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<ProcessId> stack{0};
+    seen[0] = true;
+    int visited = 1;
+    while (!stack.empty()) {
+        const ProcessId v = stack.back();
+        stack.pop_back();
+        for (const ProcessId u : g.neighbors(v)) {
+            if (!seen[static_cast<std::size_t>(u)]) {
+                seen[static_cast<std::size_t>(u)] = true;
+                ++visited;
+                stack.push_back(u);
+            }
+        }
+    }
+    return visited == n;
+}
+
+}  // namespace gossipc

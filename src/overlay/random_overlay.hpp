@@ -1,0 +1,30 @@
+// Random k-out overlay generation (Section 3.3 / 4.2 of the paper).
+//
+// Each process opens connections to k randomly selected processes;
+// connections are bidirectional, so the expected degree is ~2k. The paper
+// picks k so that each process communicates directly with ~log2(n) others on
+// average, which keeps the overlay connected with high probability
+// (Erdos & Kennedy, 1987).
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/graph.hpp"
+
+namespace gossipc {
+
+/// k such that the expected degree 2k is ~log2(n), as in the paper.
+int default_out_connections(int n);
+
+/// Generates a k-out overlay: every process opens k connections to distinct
+/// random peers (edges deduplicated, so degrees vary around 2k).
+/// Deterministic in (n, k, seed).
+Graph make_random_overlay(int n, int k, std::uint64_t seed);
+
+/// Same, with the paper's default k, retrying (bounded) until connected.
+Graph make_connected_overlay(int n, std::uint64_t seed);
+
+/// True if the graph is connected (trivially true for n == 1).
+bool is_connected(const Graph& g);
+
+}  // namespace gossipc

@@ -1,0 +1,43 @@
+#include "paxos/acceptor.hpp"
+
+namespace gossipc {
+
+Acceptor::PromiseResult Acceptor::on_phase1a(Round round, InstanceId from_instance) {
+    PromiseResult result;
+    if (round <= floor_round_) return result;  // already promised higher
+    floor_round_ = round;
+    result.promised = true;
+    for (const auto& [instance, slot] : slots_) {
+        if (instance >= from_instance && slot.vrnd > 0) {
+            result.accepted.push_back(AcceptedEntry{instance, slot.vrnd, slot.vval});
+        }
+    }
+    return result;
+}
+
+Round Acceptor::effective_round(InstanceId instance) const {
+    const auto it = slots_.find(instance);
+    const Round slot_rnd = it != slots_.end() ? it->second.rnd : 0;
+    return std::max(slot_rnd, floor_round_);
+}
+
+bool Acceptor::on_phase2a(InstanceId instance, Round round, const Value& value) {
+    if (round < effective_round(instance)) return false;
+    Slot& slot = slots_[instance];
+    slot.rnd = round;
+    slot.vrnd = round;
+    slot.vval = value;
+    return true;
+}
+
+std::optional<AcceptedEntry> Acceptor::accepted_in(InstanceId instance) const {
+    const auto it = slots_.find(instance);
+    if (it == slots_.end() || it->second.vrnd == 0) return std::nullopt;
+    return AcceptedEntry{instance, it->second.vrnd, it->second.vval};
+}
+
+void Acceptor::forget_below(InstanceId instance) {
+    slots_.erase(slots_.begin(), slots_.lower_bound(instance));
+}
+
+}  // namespace gossipc

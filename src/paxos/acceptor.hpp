@@ -1,0 +1,57 @@
+// The acceptor role (Section 2.3): promises rounds and accepts values.
+//
+// Phase 1 is ranged (classic multi-Paxos): a single promise covers every
+// instance from `from_instance` on. Per-instance accepted state is kept in a
+// map and garbage-collected below the locally-learned decision frontier.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "paxos/message.hpp"
+
+namespace gossipc {
+
+class Acceptor {
+public:
+    struct PromiseResult {
+        bool promised = false;
+        /// Values accepted in instances >= from_instance; reported in 1b.
+        std::vector<AcceptedEntry> accepted;
+    };
+
+    /// Handles a ranged Phase 1a. Promises iff `round` is strictly greater
+    /// than the current promise floor.
+    PromiseResult on_phase1a(Round round, InstanceId from_instance);
+
+    /// Handles Phase 2a: accepts iff `round` >= the effective promised round
+    /// of the instance. Returns the accepted value on success.
+    bool on_phase2a(InstanceId instance, Round round, const Value& value);
+
+    /// The round this acceptor has promised not to go below.
+    Round promise_floor() const { return floor_round_; }
+
+    /// Highest (vround, value) accepted in `instance`, if any.
+    std::optional<AcceptedEntry> accepted_in(InstanceId instance) const;
+
+    /// Drops accepted state below `instance` (locally decided and delivered;
+    /// see DESIGN.md on this benign-model simplification).
+    void forget_below(InstanceId instance);
+
+    std::size_t slot_count() const { return slots_.size(); }
+
+private:
+    struct Slot {
+        Round rnd = 0;   ///< highest round participated in (this instance)
+        Round vrnd = 0;  ///< round in which a value was accepted (0 = none)
+        Value vval{};
+    };
+
+    Round effective_round(InstanceId instance) const;
+
+    Round floor_round_ = 0;
+    std::map<InstanceId, Slot> slots_;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,34 @@
+// Deployment-wide Paxos configuration shared by every process.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+struct PaxosConfig {
+    int n = 0;                    ///< number of processes
+    ProcessId id = -1;            ///< this process
+    ProcessId coordinator = 0;    ///< elected coordinator (round owner)
+
+    /// Timeout-triggered procedures (coordinator Phase 2a retransmission and
+    /// learner gap repair). The reliability experiment (Section 4.5) runs
+    /// with these disabled.
+    bool timeouts_enabled = true;
+    SimTime retransmit_after = SimTime::millis(800);
+    SimTime retransmit_interval = SimTime::millis(300);
+    SimTime repair_after = SimTime::millis(800);
+    SimTime repair_interval = SimTime::millis(300);
+
+    int quorum() const { return n / 2 + 1; }
+
+    /// Rounds are partitioned among processes: round r is owned by process
+    /// (r - 1) mod n, so concurrent coordinators never share a round.
+    ProcessId round_owner(Round r) const {
+        return static_cast<ProcessId>((r - 1) % n);
+    }
+    Round round_for(ProcessId p, int attempt) const {
+        return static_cast<Round>(attempt * n + p + 1);
+    }
+};
+
+}  // namespace gossipc

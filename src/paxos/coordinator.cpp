@@ -1,0 +1,134 @@
+#include "paxos/coordinator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gossipc {
+
+Coordinator::Coordinator(const PaxosConfig& config, Transport& transport, Learner& learner)
+    : config_(config), transport_(transport), learner_(learner) {}
+
+void Coordinator::start(CpuContext& ctx) {
+    if (config_.timeouts_enabled && !retransmit_armed_) {
+        retransmit_armed_ = true;
+        transport_.schedule_every(config_.retransmit_interval,
+                                  [this](CpuContext& c) { retransmit_sweep(c); });
+    }
+    begin_phase1(ctx);
+}
+
+void Coordinator::begin_phase1(CpuContext& ctx) {
+    round_ = config_.round_for(config_.id, phase1_attempt_);
+    ++phase1_attempt_;
+    phase1_from_ = learner_.frontier();
+    phase1_complete_ = false;
+    promises_.clear();
+    reported_.clear();
+    GCLOG_DEBUG("coordinator " << config_.id << " starting phase 1, round " << round_);
+    transport_.broadcast(
+        std::make_shared<Phase1aMsg>(config_.id, round_, phase1_from_), ctx);
+    if (config_.timeouts_enabled) {
+        // Retry Phase 1 with a higher round if no quorum of promises arrives.
+        transport_.schedule(config_.retransmit_after * 2, [this](CpuContext& c) {
+            if (!phase1_complete_) begin_phase1(c);
+        });
+    }
+}
+
+void Coordinator::on_phase1b(const Phase1bMsg& msg, CpuContext& ctx) {
+    if (msg.round() != round_ || phase1_complete_) return;
+    promises_.insert(msg.sender());
+    for (const auto& entry : msg.accepted()) {
+        auto [it, inserted] = reported_.emplace(entry.instance, entry);
+        if (!inserted && entry.vround > it->second.vround) it->second = entry;
+    }
+    if (static_cast<int>(promises_.size()) >= config_.quorum()) {
+        complete_phase1(ctx);
+    }
+}
+
+void Coordinator::complete_phase1(CpuContext& ctx) {
+    phase1_complete_ = true;
+    next_instance_ = std::max(next_instance_, phase1_from_);
+    // Re-propose values possibly chosen in lower rounds (Phase 1 obligation).
+    for (const auto& [instance, entry] : reported_) {
+        // Reported-but-already-decided instances must still advance the
+        // proposal cursor, or fresh values would be proposed into them.
+        next_instance_ = std::max(next_instance_, instance + 1);
+        if (learner_.knows_decision(instance)) continue;
+        ++counters_.reproposals;
+        propose(instance, entry.value, ctx);
+    }
+    next_instance_ = std::max(next_instance_, learner_.frontier());
+    GCLOG_DEBUG("coordinator " << config_.id << " phase 1 complete, round " << round_
+                               << ", next instance " << next_instance_);
+    flush_pending(ctx);
+}
+
+void Coordinator::on_client_value(const Value& value, CpuContext& ctx) {
+    if (!seen_values_.insert(value.id).second) {
+        ++counters_.duplicate_values;
+        return;
+    }
+    pending_.push_back(value);
+    if (phase1_complete_) flush_pending(ctx);
+}
+
+void Coordinator::flush_pending(CpuContext& ctx) {
+    while (!pending_.empty()) {
+        // Never propose into an instance already known decided (decisions
+        // from a previous round can land between Phase 1 and the flush).
+        while (learner_.knows_decision(next_instance_)) ++next_instance_;
+        const Value value = pending_.front();
+        pending_.pop_front();
+        ++counters_.proposals;
+        propose(next_instance_++, value, ctx);
+    }
+}
+
+void Coordinator::propose(InstanceId instance, const Value& value, CpuContext& ctx) {
+    proposals_[instance] = Proposal{value, ctx.now(), 0};
+    transport_.broadcast(
+        std::make_shared<Phase2aMsg>(config_.id, instance, round_, value), ctx);
+}
+
+void Coordinator::on_decided(InstanceId instance, const Value& value, bool via_quorum,
+                             CpuContext& ctx) {
+    if (const auto it = proposals_.find(instance); it != proposals_.end()) {
+        if (!(it->second.value == value)) {
+            // Our proposal lost this instance to a value chosen in a lower
+            // round (coordinator change): re-propose it in a fresh instance.
+            pending_.push_back(it->second.value);
+        }
+        proposals_.erase(it);
+    }
+    seen_values_.insert(value.id);  // a recovered coordinator learns past values
+    next_instance_ = std::max(next_instance_, instance + 1);
+    if (!pending_.empty() && phase1_complete_) flush_pending(ctx);
+    if (via_quorum) {
+        ++counters_.decisions_sent;
+        transport_.broadcast(std::make_shared<DecisionMsg>(config_.id, instance, value.id,
+                                                           value.digest()),
+                             ctx);
+    }
+}
+
+void Coordinator::retransmit_sweep(CpuContext& ctx) {
+    if (proposals_.empty()) return;
+    for (auto& [instance, proposal] : proposals_) {
+        // Exponential backoff: under overload (decisions slower than the
+        // timeout) blind retransmission would amplify congestion.
+        const auto shift = std::min(proposal.attempt, 3);
+        if (ctx.now() - proposal.proposed_at >= config_.retransmit_after * (1 << shift)) {
+            ++proposal.attempt;
+            proposal.proposed_at = ctx.now();
+            ++counters_.retransmissions;
+            transport_.broadcast(std::make_shared<Phase2aMsg>(config_.id, instance, round_,
+                                                              proposal.value, proposal.attempt),
+                                 ctx);
+        }
+    }
+}
+
+}  // namespace gossipc

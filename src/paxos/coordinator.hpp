@@ -1,0 +1,95 @@
+// The coordinator (proposer) role: runs a ranged Phase 1 once, then
+// pipelines Phase 2 — one consensus instance per client value — and
+// broadcasts Decision messages when instances are decided (Section 2.3).
+//
+// Optional timeout-triggered retransmission of Phase 2a covers message loss;
+// it is disabled in the reliability experiment (Section 4.5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+#include <set>
+#include <unordered_set>
+
+#include "paxos/acceptor.hpp"
+#include "paxos/config.hpp"
+#include "paxos/learner.hpp"
+#include "transport/transport.hpp"
+
+namespace gossipc {
+
+class Coordinator {
+public:
+    struct Counters {
+        std::uint64_t proposals = 0;        ///< Phase 2a broadcast (first attempt)
+        std::uint64_t reproposals = 0;      ///< values re-proposed from Phase 1b
+        std::uint64_t retransmissions = 0;  ///< Phase 2a retransmitted
+        std::uint64_t decisions_sent = 0;
+        std::uint64_t duplicate_values = 0;  ///< client values already proposed
+    };
+
+    Coordinator(const PaxosConfig& config, Transport& transport, Learner& learner);
+
+    /// Starts Phase 1 for all instances >= the learner frontier.
+    void start(CpuContext& ctx);
+
+    void on_phase1b(const Phase1bMsg& msg, CpuContext& ctx);
+
+    /// A client value to order (from a local client or a ClientValueMsg).
+    void on_client_value(const Value& value, CpuContext& ctx);
+
+    /// Hook from the learner: an instance was decided; broadcast Decision if
+    /// it was learned via a quorum of 2b at this process.
+    void on_decided(InstanceId instance, const Value& value, bool via_quorum, CpuContext& ctx);
+
+    bool phase1_complete() const { return phase1_complete_; }
+    Round round() const { return round_; }
+    const Counters& counters() const { return counters_; }
+    std::size_t pending_values() const { return pending_.size(); }
+    std::size_t undecided_proposals() const { return proposals_.size(); }
+    /// Instances proposed but not yet known decided (diagnostics/tests).
+    std::vector<InstanceId> undecided_instance_ids() const {
+        std::vector<InstanceId> out;
+        out.reserve(proposals_.size());
+        for (const auto& [instance, proposal] : proposals_) out.push_back(instance);
+        return out;
+    }
+
+private:
+    void begin_phase1(CpuContext& ctx);
+    void complete_phase1(CpuContext& ctx);
+    void propose(InstanceId instance, const Value& value, CpuContext& ctx);
+    void flush_pending(CpuContext& ctx);
+    void retransmit_sweep(CpuContext& ctx);
+
+    PaxosConfig config_;
+    Transport& transport_;
+    Learner& learner_;
+
+    int phase1_attempt_ = 0;
+    Round round_ = 0;
+    InstanceId phase1_from_ = 1;
+    bool phase1_complete_ = false;
+    std::set<ProcessId> promises_;
+    /// Highest-vround accepted value per instance, merged from 1b messages.
+    std::map<InstanceId, AcceptedEntry> reported_;
+
+    InstanceId next_instance_ = 1;
+    std::deque<Value> pending_;  ///< client values awaiting Phase 1
+    std::unordered_set<ValueId> seen_values_;
+
+    struct Proposal {
+        Value value;
+        SimTime proposed_at;
+        std::int32_t attempt = 0;
+    };
+    std::map<InstanceId, Proposal> proposals_;  ///< undecided instances
+
+    bool retransmit_armed_ = false;
+    Counters counters_;
+};
+
+}  // namespace gossipc

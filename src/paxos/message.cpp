@@ -1,0 +1,99 @@
+#include "paxos/message.hpp"
+
+#include <sstream>
+
+namespace gossipc {
+
+const char* paxos_msg_type_name(PaxosMsgType t) {
+    switch (t) {
+        case PaxosMsgType::ClientValue: return "ClientValue";
+        case PaxosMsgType::Phase1a: return "Phase1a";
+        case PaxosMsgType::Phase1b: return "Phase1b";
+        case PaxosMsgType::Phase2a: return "Phase2a";
+        case PaxosMsgType::Phase2b: return "Phase2b";
+        case PaxosMsgType::Phase2bAggregate: return "Phase2bAggregate";
+        case PaxosMsgType::Decision: return "Decision";
+        case PaxosMsgType::LearnRequest: return "LearnRequest";
+    }
+    return "?";
+}
+
+std::string PaxosMessage::describe() const {
+    std::ostringstream oss;
+    oss << paxos_msg_type_name(type()) << "(from=" << sender() << ")";
+    return oss.str();
+}
+
+std::uint64_t PaxosMessage::key_base() const {
+    return hash_combine(static_cast<std::uint64_t>(type()),
+                        static_cast<std::uint64_t>(sender()));
+}
+
+namespace {
+std::uint64_t value_id_hash(const ValueId& v) {
+    return hash_combine(static_cast<std::uint64_t>(v.client),
+                        static_cast<std::uint64_t>(v.seq));
+}
+}  // namespace
+
+std::uint64_t ClientValueMsg::unique_key() const {
+    return hash_combine(hash_combine(key_base(), value_id_hash(value_.id)),
+                        static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t Phase1aMsg::unique_key() const {
+    return hash_combine(hash_combine(key_base(), static_cast<std::uint64_t>(round_)),
+                        static_cast<std::uint64_t>(from_instance_));
+}
+
+std::uint32_t Phase1bMsg::wire_size() const {
+    std::uint32_t total = 32;
+    for (const auto& e : accepted_) total += 16 + e.value.size_bytes;
+    return total;
+}
+
+std::uint64_t Phase1bMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(round_));
+    k = hash_combine(k, static_cast<std::uint64_t>(from_instance_));
+    for (const auto& e : accepted_) {
+        k = hash_combine(k, static_cast<std::uint64_t>(e.instance));
+        k = hash_combine(k, static_cast<std::uint64_t>(e.vround));
+    }
+    return k;
+}
+
+std::uint64_t Phase2aMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(instance_));
+    k = hash_combine(k, static_cast<std::uint64_t>(round_));
+    k = hash_combine(k, value_id_hash(value_.id));
+    return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t Phase2bMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(instance_));
+    k = hash_combine(k, static_cast<std::uint64_t>(round_));
+    k = hash_combine(k, value_digest_);
+    return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t Phase2bAggregateMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(instance_));
+    k = hash_combine(k, static_cast<std::uint64_t>(round_));
+    k = hash_combine(k, value_digest_);
+    for (const ProcessId s : senders_) k = hash_combine(k, static_cast<std::uint64_t>(s));
+    return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t DecisionMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(instance_));
+    k = hash_combine(k, value_digest_);
+    k = hash_combine(k, full_value_ ? 1ULL : 0ULL);
+    return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t LearnRequestMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(instance_));
+    return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+}  // namespace gossipc

@@ -1,0 +1,274 @@
+// Paxos message types (Section 2.3), plus the aggregated Phase 2b message
+// built by the semantic-aggregation rule (Section 3.2).
+//
+// Phase 1a/1b are ranged (classic multi-Paxos): one Phase 1a covers every
+// instance from `from_instance` on, and Phase 1b reports all values the
+// acceptor has accepted in that range. Phase 2b and Decision carry a value
+// digest rather than the payload — learners combine them with the value
+// received in Phase 2a — which is what makes the aggregated multi-sender
+// Phase 2b "essentially the same size" as a single one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "paxos/value.hpp"
+
+namespace gossipc {
+
+enum class PaxosMsgType {
+    ClientValue,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    Phase2bAggregate,
+    Decision,
+    LearnRequest,
+};
+
+const char* paxos_msg_type_name(PaxosMsgType t);
+
+class PaxosMessage : public MessageBody {
+public:
+    explicit PaxosMessage(ProcessId sender) : sender_(sender) {}
+
+    virtual PaxosMsgType type() const = 0;
+    ProcessId sender() const { return sender_; }
+
+    /// Unique key for gossip duplicate suppression: distinct protocol
+    /// messages (including retransmission attempts) get distinct keys,
+    /// identical re-forwards share one.
+    virtual std::uint64_t unique_key() const = 0;
+
+    std::string describe() const override;
+    BodyKind kind() const override { return BodyKind::Paxos; }
+
+protected:
+    std::uint64_t key_base() const;
+
+private:
+    ProcessId sender_;
+};
+
+using PaxosMessagePtr = std::shared_ptr<const PaxosMessage>;
+
+/// A client value forwarded to the coordinator by the process serving the
+/// client.
+class ClientValueMsg final : public PaxosMessage {
+public:
+    ClientValueMsg(ProcessId sender, Value value, std::int32_t attempt = 0)
+        : PaxosMessage(sender), value_(value), attempt_(attempt) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::ClientValue; }
+    const Value& value() const { return value_; }
+    std::int32_t attempt() const { return attempt_; }
+
+    std::uint32_t wire_size() const override { return 24 + value_.size_bytes; }
+    std::uint64_t unique_key() const override;
+
+private:
+    Value value_;
+    std::int32_t attempt_;
+};
+
+/// Ranged Phase 1a: the coordinator of `round` asks about every instance
+/// >= from_instance.
+class Phase1aMsg final : public PaxosMessage {
+public:
+    Phase1aMsg(ProcessId sender, Round round, InstanceId from_instance)
+        : PaxosMessage(sender), round_(round), from_instance_(from_instance) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Phase1a; }
+    Round round() const { return round_; }
+    InstanceId from_instance() const { return from_instance_; }
+
+    std::uint32_t wire_size() const override { return 24; }
+    std::uint64_t unique_key() const override;
+
+private:
+    Round round_;
+    InstanceId from_instance_;
+};
+
+/// One accepted value reported in Phase 1b.
+struct AcceptedEntry {
+    InstanceId instance = 0;
+    Round vround = 0;
+    Value value{};
+};
+
+class Phase1bMsg final : public PaxosMessage {
+public:
+    Phase1bMsg(ProcessId sender, Round round, InstanceId from_instance,
+               std::vector<AcceptedEntry> accepted)
+        : PaxosMessage(sender),
+          round_(round),
+          from_instance_(from_instance),
+          accepted_(std::move(accepted)) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Phase1b; }
+    Round round() const { return round_; }
+    InstanceId from_instance() const { return from_instance_; }
+    const std::vector<AcceptedEntry>& accepted() const { return accepted_; }
+
+    std::uint32_t wire_size() const override;
+    std::uint64_t unique_key() const override;
+
+private:
+    Round round_;
+    InstanceId from_instance_;
+    std::vector<AcceptedEntry> accepted_;
+};
+
+class Phase2aMsg final : public PaxosMessage {
+public:
+    Phase2aMsg(ProcessId sender, InstanceId instance, Round round, Value value,
+               std::int32_t attempt = 0)
+        : PaxosMessage(sender),
+          instance_(instance),
+          round_(round),
+          value_(value),
+          attempt_(attempt) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Phase2a; }
+    InstanceId instance() const { return instance_; }
+    Round round() const { return round_; }
+    const Value& value() const { return value_; }
+    std::int32_t attempt() const { return attempt_; }
+
+    std::uint32_t wire_size() const override { return 32 + value_.size_bytes; }
+    std::uint64_t unique_key() const override;
+
+private:
+    InstanceId instance_;
+    Round round_;
+    Value value_;
+    std::int32_t attempt_;
+};
+
+class Phase2bMsg final : public PaxosMessage {
+public:
+    Phase2bMsg(ProcessId sender, InstanceId instance, Round round, ValueId value_id,
+               std::uint64_t value_digest, std::int32_t attempt = 0)
+        : PaxosMessage(sender),
+          instance_(instance),
+          round_(round),
+          value_id_(value_id),
+          value_digest_(value_digest),
+          attempt_(attempt) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Phase2b; }
+    InstanceId instance() const { return instance_; }
+    Round round() const { return round_; }
+    ValueId value_id() const { return value_id_; }
+    std::uint64_t value_digest() const { return value_digest_; }
+    std::int32_t attempt() const { return attempt_; }
+
+    std::uint32_t wire_size() const override { return 64; }
+    std::uint64_t unique_key() const override;
+
+private:
+    InstanceId instance_;
+    Round round_;
+    ValueId value_id_;
+    std::uint64_t value_digest_;
+    std::int32_t attempt_;
+};
+
+/// The semantic-aggregation rule's output: identical Phase 2b messages
+/// (same instance, round, value) merged into one message carrying the set of
+/// senders. Reversible: the gossip layer reconstructs the originals before
+/// delivery, so Paxos never sees this type.
+class Phase2bAggregateMsg final : public PaxosMessage {
+public:
+    Phase2bAggregateMsg(ProcessId aggregator, InstanceId instance, Round round,
+                        ValueId value_id, std::uint64_t value_digest,
+                        std::vector<ProcessId> senders, std::int32_t attempt)
+        : PaxosMessage(aggregator),
+          instance_(instance),
+          round_(round),
+          value_id_(value_id),
+          value_digest_(value_digest),
+          senders_(std::move(senders)),
+          attempt_(attempt) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Phase2bAggregate; }
+    InstanceId instance() const { return instance_; }
+    Round round() const { return round_; }
+    ValueId value_id() const { return value_id_; }
+    std::uint64_t value_digest() const { return value_digest_; }
+    const std::vector<ProcessId>& senders() const { return senders_; }
+    std::int32_t attempt() const { return attempt_; }
+
+    std::uint32_t wire_size() const override {
+        return 64 + 4 * static_cast<std::uint32_t>(senders_.size());
+    }
+    std::uint64_t unique_key() const override;
+
+private:
+    InstanceId instance_;
+    Round round_;
+    ValueId value_id_;
+    std::uint64_t value_digest_;
+    std::vector<ProcessId> senders_;
+    std::int32_t attempt_;
+};
+
+/// Decision: broadcast by the coordinator once a quorum of Phase 2b is seen.
+/// Optionally carries the full value (used when answering a LearnRequest
+/// from a process that missed the Phase 2a).
+class DecisionMsg final : public PaxosMessage {
+public:
+    DecisionMsg(ProcessId sender, InstanceId instance, ValueId value_id,
+                std::uint64_t value_digest, std::optional<Value> full_value = std::nullopt,
+                std::int32_t attempt = 0)
+        : PaxosMessage(sender),
+          instance_(instance),
+          value_id_(value_id),
+          value_digest_(value_digest),
+          full_value_(full_value),
+          attempt_(attempt) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Decision; }
+    InstanceId instance() const { return instance_; }
+    ValueId value_id() const { return value_id_; }
+    std::uint64_t value_digest() const { return value_digest_; }
+    const std::optional<Value>& full_value() const { return full_value_; }
+    std::int32_t attempt() const { return attempt_; }
+
+    std::uint32_t wire_size() const override {
+        return 64 + (full_value_ ? full_value_->size_bytes : 0);
+    }
+    std::uint64_t unique_key() const override;
+
+private:
+    InstanceId instance_;
+    ValueId value_id_;
+    std::uint64_t value_digest_;
+    std::optional<Value> full_value_;
+    std::int32_t attempt_;
+};
+
+/// Learner gap repair: asks for the decision (with value) of an instance.
+class LearnRequestMsg final : public PaxosMessage {
+public:
+    LearnRequestMsg(ProcessId sender, InstanceId instance, std::int32_t attempt)
+        : PaxosMessage(sender), instance_(instance), attempt_(attempt) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::LearnRequest; }
+    InstanceId instance() const { return instance_; }
+    std::int32_t attempt() const { return attempt_; }
+
+    std::uint32_t wire_size() const override { return 32; }
+    std::uint64_t unique_key() const override;
+
+private:
+    InstanceId instance_;
+    std::int32_t attempt_;
+};
+
+}  // namespace gossipc

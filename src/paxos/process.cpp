@@ -1,0 +1,183 @@
+#include "paxos/process.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gossipc {
+
+PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport)
+    : config_(config), transport_(transport), learner_(config.quorum()) {
+    if (config_.n <= 0 || config_.id < 0 || config_.id >= config_.n) {
+        throw std::invalid_argument("PaxosProcess: bad config");
+    }
+    transport_.set_deliver(
+        [this](const PaxosMessagePtr& msg, CpuContext& ctx) { on_message(msg, ctx); });
+    learner_.set_deliver([this](InstanceId instance, const Value& value, CpuContext& ctx) {
+        // Note: accepted state is NOT garbage-collected here. Phase 1 must
+        // be able to report accepted values to a new coordinator; dropping
+        // them below the local frontier would let a new round re-propose a
+        // different value into a decided instance. Applications checkpoint
+        // via Acceptor::forget_below / Learner::truncate_log_below once a
+        // prefix is globally stable.
+        pending_submissions_.erase(value.id);
+        if (delivery_listener_) delivery_listener_(instance, value, ctx);
+    });
+    learner_.set_decided_listener(
+        [this](InstanceId instance, const Value& value, bool via_quorum, CpuContext& ctx) {
+            if (coordinator_) coordinator_->on_decided(instance, value, via_quorum, ctx);
+        });
+    if (is_coordinator()) {
+        coordinator_ = std::make_unique<Coordinator>(config_, transport_, learner_);
+    }
+}
+
+void PaxosProcess::post_start() {
+    // The repair timer is armed at the simulator level so the chain
+    // survives crash/recovery cycles of this process.
+    if (config_.timeouts_enabled && !started_) {
+        transport_.schedule_every(config_.repair_interval,
+                                  [this](CpuContext& ctx) { repair_sweep(ctx); });
+    }
+    started_ = true;
+    transport_.post([this](CpuContext& ctx) {
+        if (coordinator_) coordinator_->start(ctx);
+    });
+}
+
+void PaxosProcess::become_coordinator() {
+    if (coordinator_) return;
+    config_.coordinator = config_.id;
+    coordinator_ = std::make_unique<Coordinator>(config_, transport_, learner_);
+    post_start();
+}
+
+void PaxosProcess::submit(const Value& value, CpuContext& ctx) {
+    ++counters_.values_submitted;
+    if (config_.timeouts_enabled) {
+        pending_submissions_.emplace(value.id, PendingSubmission{value, ctx.now(), 0});
+    }
+    if (coordinator_) {
+        coordinator_->on_client_value(value, ctx);
+    } else {
+        transport_.send(config_.coordinator,
+                        std::make_shared<ClientValueMsg>(config_.id, value), ctx);
+    }
+}
+
+void PaxosProcess::post_submit(const Value& value) {
+    transport_.post([this, value](CpuContext& ctx) { submit(value, ctx); });
+}
+
+void PaxosProcess::on_message(const PaxosMessagePtr& msg, CpuContext& ctx) {
+    ++counters_.messages_handled;
+    switch (msg->type()) {
+        case PaxosMsgType::ClientValue:
+            if (coordinator_) {
+                coordinator_->on_client_value(
+                    static_cast<const ClientValueMsg&>(*msg).value(), ctx);
+            }
+            break;
+        case PaxosMsgType::Phase1a:
+            handle_phase1a(static_cast<const Phase1aMsg&>(*msg), ctx);
+            break;
+        case PaxosMsgType::Phase1b: {
+            const auto& m = static_cast<const Phase1bMsg&>(*msg);
+            if (coordinator_ && config_.round_owner(m.round()) == config_.id) {
+                coordinator_->on_phase1b(m, ctx);
+            }
+            break;
+        }
+        case PaxosMsgType::Phase2a:
+            handle_phase2a(static_cast<const Phase2aMsg&>(*msg), ctx);
+            break;
+        case PaxosMsgType::Phase2b:
+            learner_.on_phase2b(static_cast<const Phase2bMsg&>(*msg), ctx);
+            break;
+        case PaxosMsgType::Phase2bAggregate:
+            // Reversible aggregates are disaggregated by the gossip layer;
+            // Paxos itself never handles them.
+            break;
+        case PaxosMsgType::Decision:
+            learner_.on_decision(static_cast<const DecisionMsg&>(*msg), ctx);
+            break;
+        case PaxosMsgType::LearnRequest:
+            handle_learn_request(static_cast<const LearnRequestMsg&>(*msg), ctx);
+            break;
+    }
+}
+
+void PaxosProcess::handle_phase1a(const Phase1aMsg& msg, CpuContext& ctx) {
+    const auto result = acceptor_.on_phase1a(msg.round(), msg.from_instance());
+    if (!result.promised) return;
+    transport_.send(config_.round_owner(msg.round()),
+                    std::make_shared<Phase1bMsg>(config_.id, msg.round(), msg.from_instance(),
+                                                 result.accepted),
+                    ctx);
+}
+
+void PaxosProcess::handle_phase2a(const Phase2aMsg& msg, CpuContext& ctx) {
+    learner_.on_phase2a(msg, ctx);  // cache the value for digest resolution
+    if (!acceptor_.on_phase2a(msg.instance(), msg.round(), msg.value())) return;
+    transport_.send(config_.round_owner(msg.round()),
+                    std::make_shared<Phase2bMsg>(config_.id, msg.instance(), msg.round(),
+                                                 msg.value().id, msg.value().digest(),
+                                                 msg.attempt()),
+                    ctx);
+}
+
+void PaxosProcess::handle_learn_request(const LearnRequestMsg& msg, CpuContext& ctx) {
+    // Only the coordinator answers, to avoid reply storms in gossip setups.
+    // Replies cover a batch of consecutive instances so a recovering
+    // process catches up in few round trips.
+    if (!coordinator_ || msg.sender() == config_.id) return;
+    constexpr InstanceId kBatch = 32;
+    bool answered = false;
+    for (InstanceId i = msg.instance(); i < msg.instance() + kBatch; ++i) {
+        const auto value = learner_.decided_value(i);
+        if (!value) break;  // contiguous prefix only
+        answered = true;
+        transport_.send(msg.sender(),
+                        std::make_shared<DecisionMsg>(config_.id, i, value->id,
+                                                      value->digest(), *value,
+                                                      /*attempt=*/msg.attempt()),
+                        ctx);
+    }
+    if (answered) ++counters_.learn_requests_answered;
+}
+
+void PaxosProcess::repair_sweep(CpuContext& ctx) {
+    // Learner gap repair: ask the coordinator for missing decisions.
+    const InstanceId frontier = learner_.frontier();
+    if (frontier != last_frontier_) {
+        last_frontier_ = frontier;
+        frontier_changed_at_ = ctx.now();
+        repair_attempt_ = 0;
+    } else if (learner_.highest_seen() >= frontier &&
+               ctx.now() - frontier_changed_at_ >= config_.repair_after) {
+        ++counters_.learn_requests_sent;
+        transport_.send(
+            config_.coordinator,
+            std::make_shared<LearnRequestMsg>(config_.id, frontier, repair_attempt_++), ctx);
+    }
+
+    // Submission repair: re-send client values that are still undelivered
+    // (a lost ClientValue is otherwise unrecoverable).
+    for (auto& [vid, pending] : pending_submissions_) {
+        const auto shift = std::min(pending.attempt, 3);
+        if (ctx.now() - pending.last_sent < config_.retransmit_after * (1 << shift)) continue;
+        pending.last_sent = ctx.now();
+        ++pending.attempt;
+        ++counters_.value_retransmissions;
+        if (coordinator_) {
+            coordinator_->on_client_value(pending.value, ctx);
+        } else {
+            transport_.send(config_.coordinator,
+                            std::make_shared<ClientValueMsg>(config_.id, pending.value,
+                                                             pending.attempt),
+                            ctx);
+        }
+    }
+}
+
+}  // namespace gossipc

@@ -1,0 +1,93 @@
+// A Paxos process playing all three roles (proposer/acceptor/learner), as in
+// the paper. Dispatches messages delivered by the transport, serves local
+// clients (forwarding values to the coordinator), and runs the learner
+// gap-repair timer (disableable, Section 4.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "paxos/acceptor.hpp"
+#include "paxos/config.hpp"
+#include "paxos/coordinator.hpp"
+#include "paxos/learner.hpp"
+#include "transport/transport.hpp"
+
+namespace gossipc {
+
+class PaxosProcess {
+public:
+    /// Fired for each value delivered in instance order at this process.
+    using DeliveryListener = std::function<void(InstanceId, const Value&, CpuContext&)>;
+
+    struct Counters {
+        std::uint64_t values_submitted = 0;
+        std::uint64_t messages_handled = 0;
+        std::uint64_t learn_requests_sent = 0;
+        std::uint64_t learn_requests_answered = 0;
+        std::uint64_t value_retransmissions = 0;
+    };
+
+    PaxosProcess(const PaxosConfig& config, Transport& transport);
+
+    /// Kicks off the protocol (coordinator Phase 1, repair timer).
+    void post_start();
+
+    /// Submits a client value served by this process: proposes it directly
+    /// when this process is the coordinator, forwards it otherwise.
+    void submit(const Value& value, CpuContext& ctx);
+    void post_submit(const Value& value);
+
+    void set_delivery_listener(DeliveryListener fn) { delivery_listener_ = std::move(fn); }
+
+    const PaxosConfig& config() const { return config_; }
+    bool is_coordinator() const { return config_.id == config_.coordinator; }
+
+    Learner& learner() { return learner_; }
+    const Learner& learner() const { return learner_; }
+    Acceptor& acceptor() { return acceptor_; }
+    Coordinator* coordinator() { return coordinator_ ? coordinator_.get() : nullptr; }
+    const Counters& counters() const { return counters_; }
+
+    /// Makes this process start acting as coordinator (e.g. after the
+    /// configured coordinator crashed). Runs Phase 1 with a higher round.
+    void become_coordinator();
+
+private:
+    void on_message(const PaxosMessagePtr& msg, CpuContext& ctx);
+    void handle_phase1a(const Phase1aMsg& msg, CpuContext& ctx);
+    void handle_phase2a(const Phase2aMsg& msg, CpuContext& ctx);
+    void handle_learn_request(const LearnRequestMsg& msg, CpuContext& ctx);
+    void repair_sweep(CpuContext& ctx);
+
+    PaxosConfig config_;
+    Transport& transport_;
+    Acceptor acceptor_;
+    Learner learner_;
+    std::unique_ptr<Coordinator> coordinator_;  // present on the coordinator
+    DeliveryListener delivery_listener_;
+
+    bool started_ = false;  ///< guards double-arming the repair chain
+
+    // Gap-repair state.
+    InstanceId last_frontier_ = 1;
+    SimTime frontier_changed_at_ = SimTime::zero();
+    std::int32_t repair_attempt_ = 0;
+
+    // Client values submitted through this process and not yet delivered:
+    // retransmitted to the coordinator on timeout (loss of a ClientValue is
+    // otherwise unrecoverable — nobody else has the value).
+    struct PendingSubmission {
+        Value value;
+        SimTime last_sent;
+        std::int32_t attempt = 0;
+    };
+    std::unordered_map<ValueId, PendingSubmission> pending_submissions_;
+
+    Counters counters_;
+};
+
+}  // namespace gossipc

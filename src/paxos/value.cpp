@@ -1,0 +1,3 @@
+#include "paxos/value.hpp"
+
+// Value is header-only; this translation unit anchors the target.

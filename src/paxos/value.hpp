@@ -1,0 +1,28 @@
+// Client values ordered by Paxos. The payload is modelled by its size (the
+// experiments use 1KB values); identity and integrity are carried by the
+// (client, sequence) id and a digest derived from it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+struct Value {
+    ValueId id{};
+    std::uint32_t size_bytes = 1024;
+
+    /// Digest used by Phase 2b / Decision messages to refer to the value
+    /// without carrying the payload.
+    std::uint64_t digest() const {
+        return hash_combine(hash_combine(0x5a1cebULL, static_cast<std::uint64_t>(id.client)),
+                            static_cast<std::uint64_t>(id.seq));
+    }
+
+    friend bool operator==(const Value& a, const Value& b) {
+        return a.id == b.id && a.size_bytes == b.size_bytes;
+    }
+};
+
+}  // namespace gossipc

@@ -1,0 +1,61 @@
+#include "raft/message.hpp"
+
+#include <sstream>
+
+namespace gossipc {
+
+const char* raft_msg_type_name(RaftMsgType t) {
+    switch (t) {
+        case RaftMsgType::ClientForward: return "ClientForward";
+        case RaftMsgType::Append: return "Append";
+        case RaftMsgType::Ack: return "Ack";
+        case RaftMsgType::AckAggregate: return "AckAggregate";
+        case RaftMsgType::Commit: return "Commit";
+    }
+    return "?";
+}
+
+std::string RaftMessage::describe() const {
+    std::ostringstream oss;
+    oss << "raft:" << raft_msg_type_name(type()) << "(from=" << sender() << ")";
+    return oss.str();
+}
+
+std::uint64_t RaftMessage::key_base() const {
+    return hash_combine(hash_combine(0x4af7ULL, static_cast<std::uint64_t>(type())),
+                        static_cast<std::uint64_t>(sender()));
+}
+
+std::uint64_t ClientForwardMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(value_.id.client));
+    k = hash_combine(k, static_cast<std::uint64_t>(value_.id.seq));
+    return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t AppendMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(term_));
+    k = hash_combine(k, static_cast<std::uint64_t>(index_));
+    return hash_combine(k, value_.digest());
+}
+
+std::uint64_t AckMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(term_));
+    k = hash_combine(k, static_cast<std::uint64_t>(index_));
+    return hash_combine(k, value_digest_);
+}
+
+std::uint64_t AckAggregateMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(term_));
+    k = hash_combine(k, static_cast<std::uint64_t>(index_));
+    k = hash_combine(k, value_digest_);
+    for (const ProcessId s : senders_) k = hash_combine(k, static_cast<std::uint64_t>(s));
+    return k;
+}
+
+std::uint64_t CommitMsg::unique_key() const {
+    std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(term_));
+    k = hash_combine(k, static_cast<std::uint64_t>(index_));
+    return hash_combine(k, value_digest_);
+}
+
+}  // namespace gossipc

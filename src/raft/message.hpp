@@ -1,0 +1,164 @@
+// Raft-style leader replication messages.
+//
+// The paper (Section 5.1) observes that in the absence of failures Raft and
+// Paxos operate identically — the leader broadcasts values that a majority
+// must acknowledge — "which makes the semantic extensions proposed for the
+// regular operation of Paxos easily applicable to a gossip-based Raft
+// deployment". This module substantiates that claim: Append/Ack/Commit play
+// the roles of Phase 2a/2b/Decision, with terms in place of rounds.
+// Leader election and log-conflict resolution are out of scope (the paper's
+// techniques target regular operation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/message.hpp"
+#include "paxos/value.hpp"
+
+namespace gossipc {
+
+enum class RaftMsgType {
+    ClientForward,
+    Append,
+    Ack,
+    AckAggregate,
+    Commit,
+};
+
+const char* raft_msg_type_name(RaftMsgType t);
+
+/// Raft log index; commits are delivered in index order with no gaps.
+using LogIndex = std::int64_t;
+/// Raft term (the round analogue).
+using Term = std::int32_t;
+
+class RaftMessage : public MessageBody {
+public:
+    explicit RaftMessage(ProcessId sender) : sender_(sender) {}
+
+    virtual RaftMsgType type() const = 0;
+    ProcessId sender() const { return sender_; }
+    virtual std::uint64_t unique_key() const = 0;
+
+    BodyKind kind() const override { return BodyKind::Raft; }
+    std::string describe() const override;
+
+protected:
+    std::uint64_t key_base() const;
+
+private:
+    ProcessId sender_;
+};
+
+using RaftMessagePtr = std::shared_ptr<const RaftMessage>;
+
+/// A client value forwarded to the leader.
+class ClientForwardMsg final : public RaftMessage {
+public:
+    ClientForwardMsg(ProcessId sender, Value value, std::int32_t attempt = 0)
+        : RaftMessage(sender), value_(value), attempt_(attempt) {}
+
+    RaftMsgType type() const override { return RaftMsgType::ClientForward; }
+    const Value& value() const { return value_; }
+
+    std::uint32_t wire_size() const override { return 24 + value_.size_bytes; }
+    std::uint64_t unique_key() const override;
+
+private:
+    Value value_;
+    std::int32_t attempt_;
+};
+
+/// AppendEntries (single entry): the leader replicates `value` at `index`.
+class AppendMsg final : public RaftMessage {
+public:
+    AppendMsg(ProcessId leader, Term term, LogIndex index, Value value)
+        : RaftMessage(leader), term_(term), index_(index), value_(value) {}
+
+    RaftMsgType type() const override { return RaftMsgType::Append; }
+    Term term() const { return term_; }
+    LogIndex index() const { return index_; }
+    const Value& value() const { return value_; }
+
+    std::uint32_t wire_size() const override { return 32 + value_.size_bytes; }
+    std::uint64_t unique_key() const override;
+
+private:
+    Term term_;
+    LogIndex index_;
+    Value value_;
+};
+
+/// A follower's acknowledgement — the Phase 2b analogue (digest, not value).
+class AckMsg final : public RaftMessage {
+public:
+    AckMsg(ProcessId follower, Term term, LogIndex index, std::uint64_t value_digest)
+        : RaftMessage(follower), term_(term), index_(index), value_digest_(value_digest) {}
+
+    RaftMsgType type() const override { return RaftMsgType::Ack; }
+    Term term() const { return term_; }
+    LogIndex index() const { return index_; }
+    std::uint64_t value_digest() const { return value_digest_; }
+
+    std::uint32_t wire_size() const override { return 48; }
+    std::uint64_t unique_key() const override;
+
+private:
+    Term term_;
+    LogIndex index_;
+    std::uint64_t value_digest_;
+};
+
+/// Identical acks merged by the semantic-aggregation rule (reversible).
+class AckAggregateMsg final : public RaftMessage {
+public:
+    AckAggregateMsg(ProcessId aggregator, Term term, LogIndex index,
+                    std::uint64_t value_digest, std::vector<ProcessId> senders)
+        : RaftMessage(aggregator),
+          term_(term),
+          index_(index),
+          value_digest_(value_digest),
+          senders_(std::move(senders)) {}
+
+    RaftMsgType type() const override { return RaftMsgType::AckAggregate; }
+    Term term() const { return term_; }
+    LogIndex index() const { return index_; }
+    std::uint64_t value_digest() const { return value_digest_; }
+    const std::vector<ProcessId>& senders() const { return senders_; }
+
+    std::uint32_t wire_size() const override {
+        return 48 + 4 * static_cast<std::uint32_t>(senders_.size());
+    }
+    std::uint64_t unique_key() const override;
+
+private:
+    Term term_;
+    LogIndex index_;
+    std::uint64_t value_digest_;
+    std::vector<ProcessId> senders_;
+};
+
+/// Leader's commit notice — the Decision analogue.
+class CommitMsg final : public RaftMessage {
+public:
+    CommitMsg(ProcessId leader, Term term, LogIndex index, std::uint64_t value_digest)
+        : RaftMessage(leader), term_(term), index_(index), value_digest_(value_digest) {}
+
+    RaftMsgType type() const override { return RaftMsgType::Commit; }
+    Term term() const { return term_; }
+    LogIndex index() const { return index_; }
+    std::uint64_t value_digest() const { return value_digest_; }
+
+    std::uint32_t wire_size() const override { return 48; }
+    std::uint64_t unique_key() const override;
+
+private:
+    Term term_;
+    LogIndex index_;
+    std::uint64_t value_digest_;
+};
+
+}  // namespace gossipc

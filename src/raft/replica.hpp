@@ -1,0 +1,89 @@
+// A Raft-style replica over the gossip layer: the leader assigns log indices
+// to client values and replicates them with Append; followers acknowledge;
+// everyone commits an index once a majority of identical acks is seen (or a
+// Commit notice from the leader arrives); committed values are delivered in
+// index order with no gaps.
+//
+// Regular (fail-free) operation only: no elections, no log conflicts — the
+// scope in which the paper says the semantic extensions transfer directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "gossip/gossip_node.hpp"
+#include "raft/message.hpp"
+
+namespace gossipc {
+
+struct RaftConfig {
+    int n = 0;
+    ProcessId id = -1;
+    ProcessId leader = 0;
+    Term term = 1;
+
+    int quorum() const { return n / 2 + 1; }
+};
+
+class RaftReplica {
+public:
+    using CommitListener = std::function<void(LogIndex, const Value&, CpuContext&)>;
+
+    struct Counters {
+        std::uint64_t appends_sent = 0;  ///< leader replications
+        std::uint64_t acks_sent = 0;
+        std::uint64_t commits_sent = 0;
+        std::uint64_t committed = 0;  ///< delivered in order
+    };
+
+    /// Installs itself as the gossip node's application deliver callback.
+    RaftReplica(const RaftConfig& config, GossipNode& gossip);
+
+    /// Client entry point: replicates directly when this replica is the
+    /// leader, forwards otherwise.
+    void submit(const Value& value, CpuContext& ctx);
+    void post_submit(const Value& value);
+
+    void set_commit_listener(CommitListener fn) { commit_listener_ = std::move(fn); }
+
+    const RaftConfig& config() const { return config_; }
+    bool is_leader() const { return config_.id == config_.leader; }
+    LogIndex commit_frontier() const { return frontier_; }
+    const Counters& counters() const { return counters_; }
+
+    /// Committed value at `index` (delivered log), if any.
+    std::optional<Value> committed_value(LogIndex index) const;
+
+private:
+    void on_deliver(const GossipAppMessage& msg, CpuContext& ctx);
+    void handle_append(const AppendMsg& msg, CpuContext& ctx);
+    void handle_ack(const AckMsg& msg, CpuContext& ctx);
+    void handle_commit(const CommitMsg& msg, CpuContext& ctx);
+    void replicate(const Value& value, CpuContext& ctx);
+    void mark_committed(LogIndex index, std::uint64_t digest, bool via_quorum, CpuContext& ctx);
+    void try_deliver(CpuContext& ctx);
+    void broadcast(RaftMessagePtr msg, CpuContext& ctx);
+
+    RaftConfig config_;
+    GossipNode& gossip_;
+    CommitListener commit_listener_;
+
+    LogIndex next_index_ = 1;  ///< leader's next unused slot
+    std::set<ValueId> seen_values_;
+
+    struct Slot {
+        std::optional<Value> value;  // from Append
+        std::map<std::uint64_t, std::set<ProcessId>> acks;  // digest -> voters
+        bool committed = false;
+        std::uint64_t committed_digest = 0;
+    };
+    std::map<LogIndex, Slot> slots_;
+    std::map<LogIndex, Value> log_;  ///< delivered prefix
+    LogIndex frontier_ = 1;
+
+    Counters counters_;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,125 @@
+#include "raft/semantics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace gossipc {
+
+RaftSemantics::RaftSemantics(ProcessId self, int quorum, Options options)
+    : self_(self), quorum_(quorum), options_(options) {}
+
+PeerView& RaftSemantics::view(ProcessId peer) {
+    auto it = views_.find(peer);
+    if (it == views_.end()) it = views_.emplace(peer, PeerView{quorum_}).first;
+    return it->second;
+}
+
+bool RaftSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
+    if (!options_.filtering) return true;
+    if (!msg.payload || msg.payload->kind() != BodyKind::Raft) return true;
+    const auto raft = std::static_pointer_cast<const RaftMessage>(msg.payload);
+    switch (raft->type()) {
+        case RaftMsgType::Ack: {
+            const auto& m = static_cast<const AckMsg&>(*raft);
+            PeerView& pv = view(peer);
+            if (pv.knows_decision(m.index())) {
+                ++stats_.filtered_acks;
+                return false;
+            }
+            const int votes = pv.record_vote(m.index(), m.term(), m.value_digest(), m.sender());
+            if (votes >= quorum_) pv.mark_decision(m.index());
+            return true;
+        }
+        case RaftMsgType::AckAggregate: {
+            const auto& m = static_cast<const AckAggregateMsg&>(*raft);
+            PeerView& pv = view(peer);
+            if (pv.knows_decision(m.index())) {
+                ++stats_.filtered_acks;
+                return false;
+            }
+            int votes = 0;
+            for (const ProcessId s : m.senders()) {
+                votes = pv.record_vote(m.index(), m.term(), m.value_digest(), s);
+            }
+            if (votes >= quorum_) pv.mark_decision(m.index());
+            return true;
+        }
+        case RaftMsgType::Commit: {
+            const auto& m = static_cast<const CommitMsg&>(*raft);
+            view(peer).mark_decision(m.index());
+            return true;
+        }
+        default:
+            return true;
+    }
+}
+
+std::vector<GossipAppMessage> RaftSemantics::aggregate(std::vector<GossipAppMessage> pending,
+                                                       ProcessId peer) {
+    (void)peer;
+    if (!options_.aggregation || pending.size() < 2) return pending;
+    using Key = std::tuple<LogIndex, Term, std::uint64_t>;
+    struct Group {
+        std::vector<std::size_t> indices;
+        std::vector<ProcessId> senders;
+    };
+    std::map<Key, Group> groups;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const auto& payload = pending[i].payload;
+        if (!payload || payload->kind() != BodyKind::Raft) continue;
+        const auto raft = std::static_pointer_cast<const RaftMessage>(payload);
+        if (raft->type() != RaftMsgType::Ack) continue;
+        const auto& m = static_cast<const AckMsg&>(*raft);
+        Group& g = groups[Key{m.index(), m.term(), m.value_digest()}];
+        g.indices.push_back(i);
+        if (std::find(g.senders.begin(), g.senders.end(), m.sender()) == g.senders.end()) {
+            g.senders.push_back(m.sender());
+        }
+    }
+    std::vector<bool> drop(pending.size(), false);
+    std::vector<GossipAppMessage> replacement(pending.size());
+    for (auto& [key, g] : groups) {
+        if (g.indices.size() < 2) continue;
+        const auto& [index, term, digest] = key;
+        auto agg = std::make_shared<AckAggregateMsg>(self_, term, index, digest, g.senders);
+        GossipAppMessage out;
+        out.id = agg->unique_key();
+        out.origin = self_;
+        out.aggregated = true;
+        out.payload = std::move(agg);
+        replacement[g.indices.front()] = std::move(out);
+        for (std::size_t j = 1; j < g.indices.size(); ++j) drop[g.indices[j]] = true;
+        ++stats_.aggregates_built;
+        stats_.messages_merged += g.indices.size() - 1;
+    }
+    std::vector<GossipAppMessage> out;
+    out.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (drop[i]) continue;
+        out.push_back(replacement[i].payload ? std::move(replacement[i])
+                                             : std::move(pending[i]));
+    }
+    return out;
+}
+
+std::vector<GossipAppMessage> RaftSemantics::disaggregate(const GossipAppMessage& msg) {
+    if (!msg.payload || msg.payload->kind() != BodyKind::Raft) return {msg};
+    const auto raft = std::static_pointer_cast<const RaftMessage>(msg.payload);
+    if (raft->type() != RaftMsgType::AckAggregate) return {msg};
+    const auto& m = static_cast<const AckAggregateMsg&>(*raft);
+    ++stats_.disaggregations;
+    std::vector<GossipAppMessage> out;
+    out.reserve(m.senders().size());
+    for (const ProcessId sender : m.senders()) {
+        auto single = std::make_shared<AckMsg>(sender, m.term(), m.index(), m.value_digest());
+        GossipAppMessage app;
+        app.id = single->unique_key();
+        app.origin = sender;
+        app.payload = std::move(single);
+        out.push_back(std::move(app));
+    }
+    return out;
+}
+
+}  // namespace gossipc

@@ -1,0 +1,53 @@
+// Semantic Gossip rules for Raft-style replication — the transfer of the
+// Paxos rules (Section 4.7 / 5.1 of the paper):
+//   F1' — a Commit notice sent to a peer makes that index's Acks obsolete.
+//   F2' — a majority of identical Acks sent to a peer makes further Acks
+//         for that index redundant.
+//   A1' — pending identical Acks (same term, index, digest) are merged into
+//         one multi-sender AckAggregate; reversible.
+// The replication protocol itself is untouched, exactly as with Paxos.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gossip/hooks.hpp"
+#include "raft/message.hpp"
+#include "semantic/peer_view.hpp"
+
+namespace gossipc {
+
+class RaftSemantics final : public GossipHooks {
+public:
+    struct Options {
+        bool filtering = true;
+        bool aggregation = true;
+    };
+
+    struct Stats {
+        std::uint64_t filtered_acks = 0;
+        std::uint64_t aggregates_built = 0;
+        std::uint64_t messages_merged = 0;
+        std::uint64_t disaggregations = 0;
+    };
+
+    RaftSemantics(ProcessId self, int quorum, Options options);
+
+    bool validate(const GossipAppMessage& msg, ProcessId peer) override;
+    std::vector<GossipAppMessage> aggregate(std::vector<GossipAppMessage> pending,
+                                            ProcessId peer) override;
+    std::vector<GossipAppMessage> disaggregate(const GossipAppMessage& msg) override;
+
+    const Stats& stats() const { return stats_; }
+
+private:
+    PeerView& view(ProcessId peer);
+
+    ProcessId self_;
+    int quorum_;
+    Options options_;
+    std::unordered_map<ProcessId, PeerView> views_;
+    Stats stats_;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,151 @@
+#include "semantic/paxos_semantics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <tuple>
+
+namespace gossipc {
+
+PaxosSemantics::PaxosSemantics(ProcessId self, int quorum, Options options)
+    : self_(self), quorum_(quorum), options_(options) {}
+
+PeerView& PaxosSemantics::view(ProcessId peer) {
+    auto it = views_.find(peer);
+    if (it == views_.end()) {
+        it = views_.emplace(peer, PeerView{quorum_}).first;
+    }
+    return it->second;
+}
+
+const PeerView* PaxosSemantics::view_of(ProcessId peer) const {
+    const auto it = views_.find(peer);
+    return it == views_.end() ? nullptr : &it->second;
+}
+
+bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
+    if (!options_.filtering) return true;
+    if (!msg.payload || msg.payload->kind() != BodyKind::Paxos) return true;
+    const auto paxos = std::static_pointer_cast<const PaxosMessage>(msg.payload);
+    switch (paxos->type()) {
+        case PaxosMsgType::Phase2b: {
+            const auto& m = static_cast<const Phase2bMsg&>(*paxos);
+            PeerView& pv = view(peer);
+            if (pv.knows_decision(m.instance())) {
+                ++stats_.filtered_phase2b;
+                return false;
+            }
+            const int votes =
+                pv.record_vote(m.instance(), m.round(), m.value_digest(), m.sender());
+            if (votes >= quorum_) pv.mark_decision(m.instance());
+            return true;
+        }
+        case PaxosMsgType::Phase2bAggregate: {
+            const auto& m = static_cast<const Phase2bAggregateMsg&>(*paxos);
+            PeerView& pv = view(peer);
+            if (pv.knows_decision(m.instance())) {
+                ++stats_.filtered_phase2b;
+                return false;
+            }
+            int votes = 0;
+            for (const ProcessId s : m.senders()) {
+                votes = pv.record_vote(m.instance(), m.round(), m.value_digest(), s);
+            }
+            if (votes >= quorum_) pv.mark_decision(m.instance());
+            return true;
+        }
+        case PaxosMsgType::Decision: {
+            const auto& m = static_cast<const DecisionMsg&>(*paxos);
+            view(peer).mark_decision(m.instance());
+            return true;
+        }
+        default:
+            return true;
+    }
+}
+
+std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMessage> pending,
+                                                        ProcessId peer) {
+    (void)peer;
+    if (!options_.aggregation || pending.size() < 2) return pending;
+
+    // Group Phase 2b messages by (instance, round, digest); groups of two or
+    // more are merged into one multi-sender message placed at the position
+    // of the group's first member.
+    using Key = std::tuple<InstanceId, Round, std::uint64_t>;
+    struct Group {
+        std::vector<std::size_t> indices;
+        std::vector<ProcessId> senders;
+        ValueId value_id{};
+        std::int32_t max_attempt = 0;
+    };
+    std::map<Key, Group> groups;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const auto& payload = pending[i].payload;
+        if (!payload || payload->kind() != BodyKind::Paxos) continue;
+        const auto paxos = std::static_pointer_cast<const PaxosMessage>(payload);
+        if (paxos->type() != PaxosMsgType::Phase2b) continue;
+        const auto& m = static_cast<const Phase2bMsg&>(*paxos);
+        Group& g = groups[Key{m.instance(), m.round(), m.value_digest()}];
+        g.indices.push_back(i);
+        if (std::find(g.senders.begin(), g.senders.end(), m.sender()) == g.senders.end()) {
+            g.senders.push_back(m.sender());
+        }
+        g.value_id = m.value_id();
+        g.max_attempt = std::max(g.max_attempt, m.attempt());
+    }
+
+    std::vector<bool> drop(pending.size(), false);
+    std::vector<GossipAppMessage> replacement(pending.size());
+    for (auto& [key, g] : groups) {
+        if (g.indices.size() < 2) continue;
+        const auto& [instance, round, digest] = key;
+        auto agg = std::make_shared<Phase2bAggregateMsg>(self_, instance, round, g.value_id,
+                                                         digest, g.senders, g.max_attempt);
+        GossipAppMessage out;
+        out.id = agg->unique_key();
+        out.origin = self_;
+        out.aggregated = true;
+        out.payload = std::move(agg);
+        replacement[g.indices.front()] = std::move(out);
+        for (std::size_t j = 1; j < g.indices.size(); ++j) drop[g.indices[j]] = true;
+        ++stats_.aggregates_built;
+        stats_.messages_merged += g.indices.size() - 1;
+    }
+
+    std::vector<GossipAppMessage> out;
+    out.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (drop[i]) continue;
+        if (replacement[i].payload) {
+            out.push_back(std::move(replacement[i]));
+        } else {
+            out.push_back(std::move(pending[i]));
+        }
+    }
+    return out;
+}
+
+std::vector<GossipAppMessage> PaxosSemantics::disaggregate(const GossipAppMessage& msg) {
+    if (!msg.payload || msg.payload->kind() != BodyKind::Paxos) return {msg};
+    const auto paxos = std::static_pointer_cast<const PaxosMessage>(msg.payload);
+    if (paxos->type() != PaxosMsgType::Phase2bAggregate) return {msg};
+    const auto& m = static_cast<const Phase2bAggregateMsg&>(*paxos);
+    ++stats_.disaggregations;
+    std::vector<GossipAppMessage> out;
+    out.reserve(m.senders().size());
+    for (const ProcessId sender : m.senders()) {
+        auto single = std::make_shared<Phase2bMsg>(sender, m.instance(), m.round(),
+                                                   m.value_id(), m.value_digest(), m.attempt());
+        GossipAppMessage app;
+        // Reconstructed messages carry the same id the original Phase 2b
+        // would have, so the seen cache deduplicates across paths.
+        app.id = single->unique_key();
+        app.origin = sender;
+        app.payload = std::move(single);
+        out.push_back(std::move(app));
+    }
+    return out;
+}
+
+}  // namespace gossipc

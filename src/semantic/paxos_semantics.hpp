@@ -1,0 +1,65 @@
+// Semantic Gossip for Paxos (Section 3.2): the gossip-layer hooks that
+// exploit Paxos message semantics without modifying Paxos.
+//
+// Filtering rules:
+//   F1 — a Decision for an instance renders Phase 2b messages of that
+//        instance obsolete: once a Decision was sent to a peer, no further
+//        Phase 2b for that instance is forwarded to it.
+//   F2 — identical Phase 2b messages from a majority of distinct senders
+//        let a process learn the decision: once a quorum of such votes was
+//        sent to a peer, further Phase 2b for that instance are redundant.
+//
+// Aggregation rule (reversible):
+//   A1 — pending Phase 2b messages for the same (instance, round, value)
+//        differ only by sender; they are replaced by a single multi-sender
+//        message of essentially the same size. The receiver reconstructs the
+//        originals (disaggregate), so Paxos never sees the aggregate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gossip/hooks.hpp"
+#include "paxos/message.hpp"
+#include "semantic/peer_view.hpp"
+
+namespace gossipc {
+
+class PaxosSemantics final : public GossipHooks {
+public:
+    struct Options {
+        bool filtering = true;
+        bool aggregation = true;
+    };
+
+    struct Stats {
+        std::uint64_t filtered_phase2b = 0;   ///< 2b (or aggregates) dropped
+        std::uint64_t aggregates_built = 0;   ///< aggregate messages created
+        std::uint64_t messages_merged = 0;    ///< single 2b replaced by aggregates
+        std::uint64_t disaggregations = 0;    ///< aggregates unpacked on receive
+    };
+
+    PaxosSemantics(ProcessId self, int quorum, Options options);
+
+    bool validate(const GossipAppMessage& msg, ProcessId peer) override;
+    std::vector<GossipAppMessage> aggregate(std::vector<GossipAppMessage> pending,
+                                            ProcessId peer) override;
+    std::vector<GossipAppMessage> disaggregate(const GossipAppMessage& msg) override;
+
+    const Stats& stats() const { return stats_; }
+    const Options& options() const { return options_; }
+
+    /// Peer-view accessor for tests and diagnostics.
+    const PeerView* view_of(ProcessId peer) const;
+
+private:
+    PeerView& view(ProcessId peer);
+
+    ProcessId self_;
+    int quorum_;
+    Options options_;
+    std::unordered_map<ProcessId, PeerView> views_;
+    Stats stats_;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,42 @@
+#include "semantic/peer_view.hpp"
+
+#include <stdexcept>
+
+namespace gossipc {
+
+PeerView::PeerView(int quorum) : quorum_(quorum) {
+    if (quorum <= 0) throw std::invalid_argument("PeerView: quorum must be positive");
+}
+
+bool PeerView::knows_decision(InstanceId instance) const {
+    return instance < floor_ || known_.contains(instance);
+}
+
+void PeerView::mark_decision(InstanceId instance) {
+    if (knows_decision(instance)) return;
+    known_.insert(instance);
+    votes_.erase(instance);
+    compress();
+}
+
+void PeerView::compress() {
+    auto it = known_.begin();
+    while (it != known_.end() && *it == floor_) {
+        ++floor_;
+        it = known_.erase(it);
+    }
+    // Entries below the floor (possible when marks arrive out of order) are
+    // redundant.
+    known_.erase(known_.begin(), known_.lower_bound(floor_));
+    votes_.erase(votes_.begin(), votes_.lower_bound(floor_));
+}
+
+int PeerView::record_vote(InstanceId instance, Round round, std::uint64_t digest,
+                          ProcessId sender) {
+    if (knows_decision(instance)) return quorum_;
+    auto& senders = votes_[instance][VoteKey{round, digest}];
+    senders.insert(sender);
+    return static_cast<int>(senders.size());
+}
+
+}  // namespace gossipc

@@ -1,0 +1,57 @@
+// Per-peer knowledge summary kept by the semantic filtering rules.
+//
+// "The evaluation of the semantic filtering rules can be seen as a
+// lightweight execution of the consensus protocol on behalf of a peer"
+// (Section 3.2): for each peer we track which instances the peer is expected
+// to already know the decision of, based on the messages previously sent to
+// it — a Decision, or identical Phase 2b messages from a majority of
+// distinct senders.
+//
+// Memory is bounded: known instances are compressed into a floor (all
+// instances below it known) plus a sparse set, and vote tracking is dropped
+// as soon as an instance becomes known.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/types.hpp"
+
+namespace gossipc {
+
+class PeerView {
+public:
+    explicit PeerView(int quorum);
+
+    /// True if the peer is expected to already know the decision of
+    /// `instance` from the messages previously sent to it.
+    bool knows_decision(InstanceId instance) const;
+
+    /// Records that a Decision for `instance` was sent to the peer.
+    void mark_decision(InstanceId instance);
+
+    /// Records that a Phase 2b vote by `sender` for (instance, round,
+    /// digest) was sent to the peer. Returns the number of distinct senders
+    /// recorded for that key (the caller marks the decision at quorum).
+    int record_vote(InstanceId instance, Round round, std::uint64_t digest, ProcessId sender);
+
+    int quorum() const { return quorum_; }
+
+    /// Instances with live vote-tracking state (diagnostics/tests).
+    std::size_t tracked_instances() const { return votes_.size(); }
+    /// Known instances not yet compressed into the floor (diagnostics).
+    std::size_t sparse_known() const { return known_.size(); }
+    InstanceId known_floor() const { return floor_; }
+
+private:
+    void compress();
+
+    int quorum_;
+    InstanceId floor_ = 1;  ///< every instance < floor_ is known
+    std::set<InstanceId> known_;
+    using VoteKey = std::pair<Round, std::uint64_t>;
+    std::map<InstanceId, std::map<VoteKey, std::set<ProcessId>>> votes_;
+};
+
+}  // namespace gossipc

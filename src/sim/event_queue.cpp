@@ -1,0 +1,45 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gossipc {
+
+void EventQueue::push(SimTime at, Callback fn) {
+    Entry e;
+    e.at = at;
+    e.seq = next_seq_++;
+    e.fn = std::move(fn);
+    heap_.push(std::move(e));
+}
+
+void EventQueue::push_delivery(SimTime at, DeliveryTarget& target, NetMessage msg) {
+    Entry e;
+    e.at = at;
+    e.seq = next_seq_++;
+    e.target = &target;
+    e.msg = std::move(msg);
+    heap_.push(std::move(e));
+}
+
+SimTime EventQueue::next_time() const {
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+    return heap_.top().at;
+}
+
+EventQueue::Entry EventQueue::pop() {
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+    // priority_queue::top() is const; the entry must be moved out, so we
+    // const_cast the known-mutable entry before popping. This is the
+    // standard idiom for move-only payloads in std::priority_queue.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    return e;
+}
+
+void EventQueue::clear() {
+    while (!heap_.empty()) heap_.pop();
+    next_seq_ = 0;
+}
+
+}  // namespace gossipc

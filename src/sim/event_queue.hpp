@@ -1,0 +1,70 @@
+// Deterministic event queue: a min-heap ordered by (time, insertion sequence).
+// Ties are broken by insertion order so runs are exactly reproducible.
+//
+// Two event flavours share the heap: generic callbacks (timers, control
+// flow) and message deliveries. Deliveries are carried as a typed
+// (DeliveryTarget*, NetMessage) pair instead of a closure — the delivery
+// path dominates event volume, and avoiding a std::function allocation per
+// message keeps large simulations fast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/message.hpp"
+#include "common/types.hpp"
+
+namespace gossipc {
+
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    struct Entry {
+        SimTime at;
+        std::uint64_t seq = 0;
+        Callback fn;                       // empty for deliveries
+        DeliveryTarget* target = nullptr;  // non-null for deliveries
+        NetMessage msg;
+
+        void execute() {
+            if (target != nullptr) {
+                target->deliver_event(std::move(msg));
+            } else if (fn) {
+                fn();
+            }
+        }
+    };
+
+    /// Enqueues `fn` to run at time `at`.
+    void push(SimTime at, Callback fn);
+
+    /// Enqueues a message delivery at time `at`.
+    void push_delivery(SimTime at, DeliveryTarget& target, NetMessage msg);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /// Time of the earliest pending event. Requires !empty().
+    SimTime next_time() const;
+
+    /// Removes and returns the earliest pending event. Requires !empty().
+    Entry pop();
+
+    void clear();
+
+private:
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace gossipc {
+
+void Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
+    if (at < now_) at = now_;
+    queue_.push(at, std::move(fn));
+}
+
+Timer Simulator::schedule_timer(SimTime delay, EventQueue::Callback fn) {
+    auto alive = std::make_shared<bool>(true);
+    schedule_after(delay, [alive, fn = std::move(fn)]() {
+        if (*alive) {
+            *alive = false;
+            fn();
+        }
+    });
+    return Timer{std::move(alive)};
+}
+
+bool Simulator::step() {
+    if (stopped_ || queue_.empty()) return false;
+    now_ = queue_.next_time();
+    auto entry = queue_.pop();
+    ++events_executed_;
+    entry.execute();
+    return true;
+}
+
+void Simulator::run_until(SimTime t) {
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
+        step();
+    }
+    if (!stopped_ && now_ < t) now_ = t;
+}
+
+bool Simulator::run_until_idle(std::uint64_t max_events) {
+    std::uint64_t executed = 0;
+    while (!stopped_ && !queue_.empty() && executed < max_events) {
+        step();
+        ++executed;
+    }
+    return queue_.empty();
+}
+
+void Simulator::reset() {
+    queue_.clear();
+    now_ = SimTime::zero();
+    events_executed_ = 0;
+    stopped_ = false;
+}
+
+}  // namespace gossipc

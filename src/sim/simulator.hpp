@@ -1,0 +1,89 @@
+// Single-threaded discrete-event simulator.
+//
+// The simulator owns the clock and the event queue. Components schedule
+// callbacks; `run_until`/`run_for` advance the clock by executing events in
+// deterministic order. Cancellable timers are provided for protocol timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace gossipc {
+
+/// Handle to a scheduled timer; cancelling prevents the callback from firing.
+/// Safe to destroy before or after the timer fires.
+class Timer {
+public:
+    Timer() = default;
+
+    void cancel() {
+        if (alive_) *alive_ = false;
+        alive_.reset();
+    }
+    bool pending() const { return alive_ && *alive_; }
+
+private:
+    friend class Simulator;
+    explicit Timer(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+    std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    SimTime now() const { return now_; }
+    std::uint64_t events_executed() const { return events_executed_; }
+
+    /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
+    void schedule_at(SimTime at, EventQueue::Callback fn);
+
+    /// Schedules `fn` after the given delay.
+    void schedule_after(SimTime delay, EventQueue::Callback fn) {
+        schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Schedules a message delivery (typed fast path; no closure).
+    void schedule_delivery(SimTime at, DeliveryTarget& target, NetMessage msg) {
+        if (at < now_) at = now_;
+        queue_.push_delivery(at, target, std::move(msg));
+    }
+
+    /// Schedules a cancellable callback after `delay`.
+    [[nodiscard]] Timer schedule_timer(SimTime delay, EventQueue::Callback fn);
+
+    /// Executes the next event, if any. Returns false when the queue is empty
+    /// or the simulator was stopped.
+    bool step();
+
+    /// Runs events with time <= t, then advances the clock to t.
+    void run_until(SimTime t);
+    void run_for(SimTime d) { run_until(now_ + d); }
+
+    /// Runs until the queue drains or `max_events` more events execute.
+    /// Returns true if the queue drained.
+    bool run_until_idle(std::uint64_t max_events = 100'000'000);
+
+    /// Makes step()/run_* return immediately; cleared by reset().
+    void stop() { stopped_ = true; }
+    bool stopped() const { return stopped_; }
+
+    /// Clears all pending events and rewinds the clock to zero.
+    void reset();
+
+    std::size_t pending_events() const { return queue_.size(); }
+
+private:
+    EventQueue queue_;
+    SimTime now_ = SimTime::zero();
+    std::uint64_t events_executed_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,3 @@
+#include "stats/counters.hpp"
+
+// MessageStats is header-only; this translation unit anchors the target.

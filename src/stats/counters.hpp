@@ -1,0 +1,43 @@
+// Aggregated message-level statistics across a deployment — the quantities
+// Section 4.3 reports (messages received per process, duplicate share,
+// messages delivered to Paxos, filtering/aggregation effect).
+#pragma once
+
+#include <cstdint>
+
+namespace gossipc {
+
+struct MessageStats {
+    // Network level (per deployment totals).
+    std::uint64_t net_arrivals = 0;
+    std::uint64_t net_sent = 0;
+    std::uint64_t net_loss_drops = 0;
+    std::uint64_t net_queue_drops = 0;
+    std::uint64_t bytes_sent = 0;
+
+    // Gossip level.
+    std::uint64_t gossip_envelopes_received = 0;
+    std::uint64_t gossip_messages_received = 0;  ///< after disaggregation
+    std::uint64_t gossip_duplicates = 0;
+    std::uint64_t gossip_delivered = 0;  ///< handed to Paxos
+    std::uint64_t gossip_filtered = 0;
+    std::uint64_t gossip_aggregated_away = 0;
+    std::uint64_t gossip_send_queue_drops = 0;
+
+    // Coordinator-specific (Baseline redundancy comparison).
+    std::uint64_t coordinator_arrivals = 0;
+
+    double duplicate_fraction() const {
+        return gossip_messages_received == 0
+                   ? 0.0
+                   : static_cast<double>(gossip_duplicates) /
+                         static_cast<double>(gossip_messages_received);
+    }
+
+    /// Messages received by an average process (network arrivals / n).
+    double arrivals_per_process(int n) const {
+        return n == 0 ? 0.0 : static_cast<double>(net_arrivals) / n;
+    }
+};
+
+}  // namespace gossipc

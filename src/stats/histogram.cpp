@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gossipc {
+
+double Histogram::mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (const double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::ensure_sorted() const {
+    if (sorted_ && sorted_samples_.size() == samples_.size()) return;
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+}
+
+double Histogram::percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("Histogram::percentile: bad p");
+    ensure_sorted();
+    if (p == 0.0) return sorted_samples_.front();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted_samples_.size())));
+    return sorted_samples_[std::min(rank, sorted_samples_.size()) - 1];
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf(std::size_t points) const {
+    std::vector<std::pair<double, double>> out;
+    if (samples_.empty() || points == 0) return out;
+    ensure_sorted();
+    out.reserve(points);
+    for (std::size_t i = 1; i <= points; ++i) {
+        const double frac = static_cast<double>(i) / static_cast<double>(points);
+        const auto idx = static_cast<std::size_t>(
+            std::ceil(frac * static_cast<double>(sorted_samples_.size()))) - 1;
+        out.emplace_back(sorted_samples_[std::min(idx, sorted_samples_.size() - 1)], frac);
+    }
+    return out;
+}
+
+void Histogram::merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+}
+
+}  // namespace gossipc

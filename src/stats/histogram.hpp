@@ -1,0 +1,41 @@
+// Latency sample accumulator: mean, standard deviation, percentiles, CDF.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossipc {
+
+class Histogram {
+public:
+    void add(double sample) { samples_.push_back(sample); }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /// p in [0, 100]; nearest-rank on the sorted samples.
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    /// CDF as `points` evenly spaced (value, cumulative fraction) pairs.
+    std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+    const std::vector<double>& samples() const { return samples_; }
+
+    void merge(const Histogram& other);
+    void clear() { samples_.clear(), sorted_ = false; }
+
+private:
+    void ensure_sorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_samples_;
+    mutable bool sorted_ = false;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,19 @@
+#include "stats/saturation.hpp"
+
+namespace gossipc {
+
+std::size_t saturation_index(const std::vector<SweepPoint>& sweep) {
+    std::size_t best = 0;
+    double best_power = -1.0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        if (sweep[i].latency_ms <= 0.0) continue;
+        const double power = sweep[i].throughput / sweep[i].latency_ms;
+        if (power > best_power) {
+            best_power = power;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace gossipc

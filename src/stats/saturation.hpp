@@ -1,0 +1,21 @@
+// Saturation-point detection for throughput/latency sweeps (Figure 3): the
+// highlighted point maximizes the throughput-to-latency ratio ("power" knee);
+// past it, load increases buy little throughput at relevant latency cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossipc {
+
+struct SweepPoint {
+    double offered_load = 0.0;   ///< client submissions/s
+    double throughput = 0.0;     ///< decided values/s
+    double latency_ms = 0.0;     ///< average end-to-end latency
+};
+
+/// Index of the saturation point (max throughput/latency ratio). Returns 0
+/// for an empty sweep.
+std::size_t saturation_index(const std::vector<SweepPoint>& sweep);
+
+}  // namespace gossipc

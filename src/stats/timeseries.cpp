@@ -1,0 +1,44 @@
+#include "stats/timeseries.hpp"
+
+#include <stdexcept>
+
+namespace gossipc {
+
+TimeSeries::TimeSeries(Simulator& sim, SimTime interval, SimTime until,
+                       std::function<double()> probe)
+    : sim_(sim), interval_(interval), until_(until), probe_(std::move(probe)) {
+    if (interval.as_nanos() <= 0) {
+        throw std::invalid_argument("TimeSeries: interval must be positive");
+    }
+    arm(sim_.now() + interval_);
+}
+
+void TimeSeries::arm(SimTime at) {
+    if (at > until_) return;
+    sim_.schedule_at(at, [this, at] {
+        points_.push_back(Point{at, probe_()});
+        arm(at + interval_);
+    });
+}
+
+std::vector<TimeSeries::Point> TimeSeries::rates() const {
+    std::vector<Point> out;
+    double prev = 0.0;
+    for (const auto& p : points_) {
+        out.push_back(Point{p.at, (p.value - prev) / interval_.as_seconds()});
+        prev = p.value;
+    }
+    return out;
+}
+
+double TimeSeries::max_value() const {
+    double best = 0.0;
+    for (const auto& p : points_) best = std::max(best, p.value);
+    return best;
+}
+
+double TimeSeries::last_value() const {
+    return points_.empty() ? 0.0 : points_.back().value;
+}
+
+}  // namespace gossipc

@@ -1,0 +1,46 @@
+// Time-series instrumentation: samples a numeric probe at a fixed simulated
+// interval, giving per-run dynamics (throughput ramp, CPU backlog growth at
+// saturation, loss bursts) that end-of-run aggregates hide.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossipc {
+
+class TimeSeries {
+public:
+    struct Point {
+        SimTime at;
+        double value;
+    };
+
+    /// Samples `probe` every `interval` until `until` (inclusive start at
+    /// `interval`). The probe sees cumulative state; use `deltas()` for
+    /// rates.
+    TimeSeries(Simulator& sim, SimTime interval, SimTime until,
+               std::function<double()> probe);
+
+    const std::vector<Point>& points() const { return points_; }
+
+    /// Successive differences divided by the interval (per-second rate for
+    /// cumulative counters).
+    std::vector<Point> rates() const;
+
+    double max_value() const;
+    double last_value() const;
+
+private:
+    void arm(SimTime at);
+
+    Simulator& sim_;
+    SimTime interval_;
+    SimTime until_;
+    std::function<double()> probe_;
+    std::vector<Point> points_;
+};
+
+}  // namespace gossipc

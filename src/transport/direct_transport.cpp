@@ -1,0 +1,49 @@
+#include "transport/direct_transport.hpp"
+
+namespace gossipc {
+
+DirectTransport::DirectTransport(Network& network, ProcessId self)
+    : network_(network), self_(self), node_(network.node(self)) {
+    node_.set_receive_handler(
+        [this](const NetMessage& msg, CpuContext& ctx) { on_net_receive(msg, ctx); });
+}
+
+void DirectTransport::on_net_receive(const NetMessage& msg, CpuContext& ctx) {
+    if (msg.body && msg.body->kind() == BodyKind::Paxos) {
+        deliver_up(std::static_pointer_cast<const PaxosMessage>(msg.body), ctx);
+    }
+}
+
+void DirectTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    deliver_up(msg, ctx);  // local delivery, as with gossip broadcast
+    for (ProcessId p = 0; p < network_.size(); ++p) {
+        if (p == self_) continue;
+        node_.transmit_in_task(NetMessage{self_, p, msg}, ctx);
+    }
+}
+
+void DirectTransport::send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) {
+    if (to == self_) {
+        deliver_up(msg, ctx);
+        return;
+    }
+    node_.transmit_in_task(NetMessage{self_, to, std::move(msg)}, ctx);
+}
+
+void DirectTransport::schedule(SimTime delay, std::function<void(CpuContext&)> fn) {
+    node_.simulator().schedule_after(
+        delay, [this, fn = std::move(fn)] { node_.post(fn); });
+}
+
+void DirectTransport::schedule_every(SimTime period, std::function<void(CpuContext&)> fn) {
+    node_.simulator().schedule_after(period, [this, period, fn = std::move(fn)]() mutable {
+        node_.post(fn);
+        schedule_every(period, std::move(fn));
+    });
+}
+
+void DirectTransport::post(std::function<void(CpuContext&)> fn) {
+    node_.post(std::move(fn));
+}
+
+}  // namespace gossipc

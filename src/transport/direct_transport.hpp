@@ -1,0 +1,33 @@
+// Point-to-point transport for the Baseline setup: messages travel directly
+// over (required) links; broadcast is a fan-out of unicasts plus local
+// delivery. Transmitting without a link is a logic error — Baseline networks
+// must provision the coordinator star explicitly.
+#pragma once
+
+#include "net/network.hpp"
+#include "transport/transport.hpp"
+
+namespace gossipc {
+
+class DirectTransport final : public Transport {
+public:
+    DirectTransport(Network& network, ProcessId self);
+
+    ProcessId self() const override { return self_; }
+    void broadcast(PaxosMessagePtr msg, CpuContext& ctx) override;
+    void send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) override;
+    void schedule(SimTime delay, std::function<void(CpuContext&)> fn) override;
+    void schedule_every(SimTime period, std::function<void(CpuContext&)> fn) override;
+    void post(std::function<void(CpuContext&)> fn) override;
+
+    Node& node() { return node_; }
+
+private:
+    void on_net_receive(const NetMessage& msg, CpuContext& ctx);
+
+    Network& network_;
+    ProcessId self_;
+    Node& node_;
+};
+
+}  // namespace gossipc

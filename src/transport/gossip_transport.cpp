@@ -1,0 +1,45 @@
+#include "transport/gossip_transport.hpp"
+
+namespace gossipc {
+
+GossipTransport::GossipTransport(GossipNode& gossip) : gossip_(gossip) {
+    gossip_.set_deliver([this](const GossipAppMessage& msg, CpuContext& ctx) {
+        if (msg.payload && msg.payload->kind() == BodyKind::Paxos) {
+            deliver_up(std::static_pointer_cast<const PaxosMessage>(msg.payload), ctx);
+        }
+    });
+}
+
+void GossipTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    GossipAppMessage app;
+    app.id = msg->unique_key();
+    app.origin = self();
+    app.payload = std::move(msg);
+    gossip_.broadcast(std::move(app), ctx);
+}
+
+void GossipTransport::send(ProcessId /*to*/, PaxosMessagePtr msg, CpuContext& ctx) {
+    // Gossip provides no unicast: one-to-one messages are broadcast and
+    // delivered to all participants (Section 3.1).
+    broadcast(std::move(msg), ctx);
+}
+
+void GossipTransport::schedule(SimTime delay, std::function<void(CpuContext&)> fn) {
+    Node& node = gossip_.node();
+    node.simulator().schedule_after(delay, [&node, fn = std::move(fn)] { node.post(fn); });
+}
+
+void GossipTransport::schedule_every(SimTime period, std::function<void(CpuContext&)> fn) {
+    Node& node = gossip_.node();
+    node.simulator().schedule_after(period,
+                                    [this, &node, period, fn = std::move(fn)]() mutable {
+                                        node.post(fn);
+                                        schedule_every(period, std::move(fn));
+                                    });
+}
+
+void GossipTransport::post(std::function<void(CpuContext&)> fn) {
+    gossip_.node().post(std::move(fn));
+}
+
+}  // namespace gossipc

@@ -1,0 +1,69 @@
+#include "workload/client.hpp"
+
+#include <stdexcept>
+
+namespace gossipc {
+
+Client::Client(Simulator& sim, PaxosProcess& process, SimTime link_delay, Params params)
+    : sim_(sim),
+      process_(process),
+      link_delay_(link_delay),
+      params_(params),
+      rng_(Rng::derive(params.seed, 0xc11e47ULL ^ static_cast<std::uint64_t>(params.client_id))) {
+    if (params.rate <= 0.0) throw std::invalid_argument("Client: rate must be positive");
+}
+
+void Client::start() {
+    const SimTime interval = SimTime::seconds(1.0 / params_.rate);
+    // Stagger the first submission uniformly within one interval so the 13
+    // clients do not fire in lockstep.
+    const SimTime offset =
+        SimTime::nanos(rng_.uniform_int(0, std::max<std::int64_t>(interval.as_nanos() - 1, 0)));
+    schedule_next(params_.start + offset);
+}
+
+void Client::schedule_next(SimTime at) {
+    if (at > params_.stop) return;
+    sim_.schedule_at(at, [this, at] {
+        submit_one();
+        schedule_next(at + SimTime::seconds(1.0 / params_.rate));
+    });
+}
+
+void Client::submit_one() {
+    const SimTime now = sim_.now();
+    Value value;
+    value.id = ValueId{params_.client_id, next_seq_++};
+    value.size_bytes = params_.value_size;
+    ++counts_.submitted;
+    const bool in_window = now >= params_.measure_start && now < params_.measure_end;
+    if (in_window) ++counts_.submitted_in_window;
+    // SimTime::max() marks values submitted outside the measurement window:
+    // tracked for completion accounting, excluded from latency samples.
+    inflight_.emplace(value.id.seq, in_window ? now : SimTime::max());
+    // The client->process connection is reliable: deliver after link_delay.
+    sim_.schedule_at(now + link_delay_, [this, value] { process_.post_submit(value); });
+}
+
+void Client::on_decision(const Value& value, SimTime delivered_at) {
+    if (value.id.client != params_.client_id) return;
+    const auto it = inflight_.find(value.id.seq);
+    if (it == inflight_.end()) return;  // duplicate notification
+    const SimTime submit_time = it->second;
+    inflight_.erase(it);
+    ++counts_.completed;
+    const SimTime notified_at = delivered_at + link_delay_;
+    if (notified_at >= params_.measure_start && notified_at < params_.measure_end) {
+        ++counts_.completed_in_window;
+    }
+    if (submit_time != SimTime::max()) {
+        ++completed_in_window_submitted_;
+        latencies_.add((notified_at - submit_time).as_millis());
+    }
+}
+
+std::uint64_t Client::not_ordered_in_window() const {
+    return counts_.submitted_in_window - completed_in_window_submitted_;
+}
+
+}  // namespace gossipc

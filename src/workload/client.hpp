@@ -1,0 +1,71 @@
+// Open-loop client (Section 4.2): one client per region, submitting values
+// at a fixed rate to a Paxos process in its region, without waiting for
+// decisions. End-to-end latency is measured from submission to the client
+// being notified of the decision of its own value by the same process.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "paxos/process.hpp"
+#include "sim/simulator.hpp"
+#include "stats/histogram.hpp"
+
+namespace gossipc {
+
+class Client {
+public:
+    struct Params {
+        std::int32_t client_id = 0;
+        double rate = 10.0;  ///< submissions per second
+        std::uint32_t value_size = 1024;
+        SimTime start = SimTime::zero();          ///< first submission
+        SimTime stop = SimTime::seconds(10);      ///< last submission deadline
+        SimTime measure_start = SimTime::zero();  ///< measurement window
+        SimTime measure_end = SimTime::seconds(10);
+        std::uint64_t seed = 1;
+    };
+
+    struct Counts {
+        std::uint64_t submitted = 0;
+        std::uint64_t submitted_in_window = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t completed_in_window = 0;  ///< notify time in window
+    };
+
+    /// `link_delay` models the (reliable) client<->process connection.
+    Client(Simulator& sim, PaxosProcess& process, SimTime link_delay, Params params);
+
+    /// Begins the submission schedule (staggered within one interval).
+    void start();
+
+    /// Called by the workload when the attached process delivers a value.
+    void on_decision(const Value& value, SimTime delivered_at);
+
+    const Counts& counts() const { return counts_; }
+    const Histogram& latencies() const { return latencies_; }
+    std::int32_t id() const { return params_.client_id; }
+    ProcessId attached_process() const { return process_.config().id; }
+
+    /// Values submitted in the window but never ordered (for Section 4.5).
+    std::uint64_t not_ordered_in_window() const;
+
+private:
+    void schedule_next(SimTime at);
+    void submit_one();
+
+    Simulator& sim_;
+    PaxosProcess& process_;
+    SimTime link_delay_;
+    Params params_;
+    Rng rng_;
+
+    std::int64_t next_seq_ = 0;
+    std::unordered_map<std::int64_t, SimTime> inflight_;  ///< seq -> submit time
+    std::uint64_t completed_in_window_submitted_ = 0;     ///< completions of window submissions
+    Counts counts_;
+    Histogram latencies_;  ///< ms, for values submitted in the window
+};
+
+}  // namespace gossipc

@@ -1,0 +1,82 @@
+#include "workload/workload.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "net/region.hpp"
+
+namespace gossipc {
+
+Workload::Workload(Simulator& sim, std::vector<PaxosProcess*> processes,
+                   const LatencyModel& latency, Params params)
+    : sim_(sim), params_(params) {
+    if (processes.empty()) throw std::invalid_argument("Workload: no processes");
+    if (params.num_clients <= 0 || params.num_clients > kNumRegions) {
+        throw std::invalid_argument("Workload: bad num_clients");
+    }
+    const int n = static_cast<int>(processes.size());
+
+    // First process hosted in each region, by id order.
+    std::unordered_map<int, PaxosProcess*> region_host;
+    for (PaxosProcess* p : processes) {
+        const int r = static_cast<int>(region_of_process(p->config().id, n));
+        region_host.try_emplace(r, p);
+    }
+
+    const SimTime client_link = latency.intra_region();
+    const double per_client_rate = params.total_rate / params.num_clients;
+    const SimTime measure_start = params.warmup;
+    const SimTime measure_end = params.warmup + params.measure;
+
+    // One delivery listener per hosting process fans decisions out to the
+    // clients attached to it.
+    std::unordered_map<PaxosProcess*, std::vector<Client*>> attached;
+    for (int c = 0; c < params.num_clients; ++c) {
+        // The client's region may have no process when n < 13; fall back to
+        // a process chosen round-robin.
+        PaxosProcess* host = nullptr;
+        if (const auto it = region_host.find(c % kNumRegions); it != region_host.end()) {
+            host = it->second;
+        } else {
+            host = processes[static_cast<std::size_t>(c) % processes.size()];
+        }
+        Client::Params cp;
+        cp.client_id = c;
+        cp.rate = per_client_rate;
+        cp.value_size = params.value_size;
+        cp.start = SimTime::zero();
+        cp.stop = measure_end;
+        cp.measure_start = measure_start;
+        cp.measure_end = measure_end;
+        cp.seed = params.seed;
+        clients_.push_back(std::make_unique<Client>(sim_, *host, client_link, cp));
+        attached[host].push_back(clients_.back().get());
+    }
+    for (auto& [host, cs] : attached) {
+        host->set_delivery_listener(
+            [clients = cs](InstanceId, const Value& value, CpuContext& ctx) {
+                for (Client* c : clients) c->on_decision(value, ctx.now());
+            });
+    }
+}
+
+void Workload::start() {
+    for (auto& c : clients_) c->start();
+}
+
+Workload::Result Workload::result() const {
+    Result r;
+    r.offered_load = params_.total_rate;
+    for (const auto& c : clients_) {
+        r.submitted += c->counts().submitted;
+        r.submitted_in_window += c->counts().submitted_in_window;
+        r.completed += c->counts().completed;
+        r.not_ordered += c->not_ordered_in_window();
+        r.latencies.merge(c->latencies());
+        r.throughput += static_cast<double>(c->counts().completed_in_window);
+    }
+    r.throughput /= params_.measure.as_seconds();
+    return r;
+}
+
+}  // namespace gossipc

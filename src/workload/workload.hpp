@@ -1,0 +1,59 @@
+// Drives the paper's workload: one open-loop client per region, all
+// submitting at the same rate, with warmup / measurement / drain phases.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "paxos/process.hpp"
+#include "stats/histogram.hpp"
+#include "workload/client.hpp"
+
+namespace gossipc {
+
+class Workload {
+public:
+    struct Params {
+        double total_rate = 100.0;  ///< submissions/s summed over all clients
+        int num_clients = 13;       ///< one per region
+        std::uint32_t value_size = 1024;
+        SimTime warmup = SimTime::seconds(1);
+        SimTime measure = SimTime::seconds(5);
+        SimTime drain = SimTime::seconds(2);
+        std::uint64_t seed = 1;
+    };
+
+    struct Result {
+        double throughput = 0.0;  ///< decisions notified per second, in window
+        double offered_load = 0.0;
+        Histogram latencies;  ///< ms, values submitted in the window
+        std::uint64_t submitted = 0;
+        std::uint64_t submitted_in_window = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t not_ordered = 0;  ///< window submissions never ordered
+    };
+
+    /// Attaches one client per region to the first process located in that
+    /// region (clients interact with the closest region, Section 2.1).
+    Workload(Simulator& sim, std::vector<PaxosProcess*> processes,
+             const LatencyModel& latency, Params params);
+
+    /// Starts all clients. Run the simulator for at least
+    /// warmup + measure + drain afterwards.
+    void start();
+
+    SimTime total_duration() const {
+        return params_.warmup + params_.measure + params_.drain;
+    }
+
+    Result result() const;
+    const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
+
+private:
+    Simulator& sim_;
+    Params params_;
+    std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace gossipc

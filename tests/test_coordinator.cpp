@@ -1,0 +1,194 @@
+// Unit tests: coordinator Phase 1, value proposal pipeline, re-proposal of
+// reported values, Decision broadcast, and retransmission timers.
+#include <gtest/gtest.h>
+
+#include "paxos/coordinator.hpp"
+#include "test_util.hpp"
+
+namespace gossipc {
+namespace {
+
+using testutil::FakeTransport;
+using testutil::make_value;
+
+struct CoordFixture {
+    Simulator sim;
+    FakeTransport transport;
+    PaxosConfig config;
+    Learner learner;
+    Coordinator coordinator;
+    CpuContext ctx{SimTime::zero()};
+
+    explicit CoordFixture(int n = 3, bool timeouts = false)
+        : transport(sim, 0),
+          config(make_config(n, timeouts)),
+          learner(config.quorum()),
+          coordinator(config, transport, learner) {
+        learner.set_decided_listener(
+            [this](InstanceId i, const Value& v, bool via_quorum, CpuContext& c) {
+                coordinator.on_decided(i, v, via_quorum, c);
+            });
+    }
+
+    static PaxosConfig make_config(int n, bool timeouts) {
+        PaxosConfig c;
+        c.n = n;
+        c.id = 0;
+        c.coordinator = 0;
+        c.timeouts_enabled = timeouts;
+        return c;
+    }
+
+    void promise(ProcessId from, std::vector<AcceptedEntry> accepted = {}) {
+        coordinator.on_phase1b(
+            Phase1bMsg{from, coordinator.round(), 1, std::move(accepted)}, ctx);
+    }
+};
+
+TEST(CoordinatorTest, StartsPhase1WithOwnedRound) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    const auto p1a = f.transport.sent_of(PaxosMsgType::Phase1a);
+    ASSERT_EQ(p1a.size(), 1u);
+    const auto& msg = static_cast<const Phase1aMsg&>(*p1a[0]);
+    EXPECT_EQ(msg.round(), 1);  // round 1 is owned by process 0
+    EXPECT_EQ(f.config.round_owner(msg.round()), 0);
+    EXPECT_FALSE(f.coordinator.phase1_complete());
+}
+
+TEST(CoordinatorTest, Phase1CompletesAtQuorum) {
+    CoordFixture f(5);  // quorum 3
+    f.coordinator.start(f.ctx);
+    f.promise(0);
+    f.promise(1);
+    EXPECT_FALSE(f.coordinator.phase1_complete());
+    f.promise(2);
+    EXPECT_TRUE(f.coordinator.phase1_complete());
+}
+
+TEST(CoordinatorTest, DuplicatePromisesDontCount) {
+    CoordFixture f(5);
+    f.coordinator.start(f.ctx);
+    f.promise(1);
+    f.promise(1);
+    f.promise(1);
+    EXPECT_FALSE(f.coordinator.phase1_complete());
+}
+
+TEST(CoordinatorTest, ValuesQueueUntilPhase1Completes) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    EXPECT_TRUE(f.transport.sent_of(PaxosMsgType::Phase2a).empty());
+    EXPECT_EQ(f.coordinator.pending_values(), 1u);
+    f.promise(0);
+    f.promise(1);
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 1u);
+    EXPECT_EQ(static_cast<const Phase2aMsg&>(*p2a[0]).instance(), 1);
+}
+
+TEST(CoordinatorTest, PipelinesOneInstancePerValue) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    f.promise(0);
+    f.promise(1);
+    for (int s = 1; s <= 4; ++s) f.coordinator.on_client_value(make_value(0, s), f.ctx);
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 4u);
+    for (int s = 1; s <= 4; ++s) {
+        EXPECT_EQ(static_cast<const Phase2aMsg&>(*p2a[static_cast<std::size_t>(s - 1)]).instance(), s);
+    }
+}
+
+TEST(CoordinatorTest, DuplicateClientValuesIgnored) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    f.promise(0);
+    f.promise(1);
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    EXPECT_EQ(f.transport.sent_of(PaxosMsgType::Phase2a).size(), 1u);
+    EXPECT_EQ(f.coordinator.counters().duplicate_values, 1u);
+}
+
+TEST(CoordinatorTest, ReproposesReportedValuesWithHighestVround) {
+    CoordFixture f(5);
+    f.coordinator.start(f.ctx);
+    const Value v_low = make_value(1, 1);
+    const Value v_high = make_value(2, 2);
+    f.promise(0);
+    f.promise(1, {AcceptedEntry{3, 1, v_low}});
+    f.promise(2, {AcceptedEntry{3, 2, v_high}});  // higher vround wins
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 1u);
+    const auto& m = static_cast<const Phase2aMsg&>(*p2a[0]);
+    EXPECT_EQ(m.instance(), 3);
+    EXPECT_EQ(m.value(), v_high);
+    EXPECT_EQ(f.coordinator.counters().reproposals, 1u);
+    // New client values go to instances after the re-proposed one.
+    f.coordinator.on_client_value(make_value(0, 9), f.ctx);
+    const auto p2a2 = f.transport.sent_of(PaxosMsgType::Phase2a);
+    EXPECT_EQ(static_cast<const Phase2aMsg&>(*p2a2.back()).instance(), 4);
+}
+
+TEST(CoordinatorTest, BroadcastsDecisionOnQuorumLearn) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    f.promise(0);
+    f.promise(1);
+    const Value v = make_value(0, 1);
+    f.coordinator.on_client_value(v, f.ctx);
+    f.learner.on_phase2a(Phase2aMsg{0, 1, 1, v}, f.ctx);
+    f.learner.on_phase2b(Phase2bMsg{0, 1, 1, v.id, v.digest()}, f.ctx);
+    f.learner.on_phase2b(Phase2bMsg{1, 1, 1, v.id, v.digest()}, f.ctx);
+    const auto decisions = f.transport.sent_of(PaxosMsgType::Decision);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(static_cast<const DecisionMsg&>(*decisions[0]).instance(), 1);
+    EXPECT_EQ(f.coordinator.undecided_proposals(), 0u);
+}
+
+TEST(CoordinatorTest, NoDecisionBroadcastWhenLearnedFromDecision) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    f.promise(0);
+    f.promise(1);
+    const Value v = make_value(0, 1);
+    f.learner.on_phase2a(Phase2aMsg{0, 1, 1, v}, f.ctx);
+    f.learner.on_decision(DecisionMsg{1, 1, v.id, v.digest()}, f.ctx);
+    EXPECT_TRUE(f.transport.sent_of(PaxosMsgType::Decision).empty());
+}
+
+TEST(CoordinatorTest, RetransmitsUndecidedProposals) {
+    CoordFixture f(3, /*timeouts=*/true);
+    f.coordinator.start(f.ctx);
+    f.promise(0);
+    f.promise(1);
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    EXPECT_EQ(f.transport.sent_of(PaxosMsgType::Phase2a).size(), 1u);
+    f.sim.run_until(SimTime::seconds(3));
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    EXPECT_GT(p2a.size(), 1u);
+    EXPECT_GT(f.coordinator.counters().retransmissions, 0u);
+    // Retransmissions carry increasing attempts (fresh gossip ids).
+    EXPECT_GT(static_cast<const Phase2aMsg&>(*p2a.back()).attempt(), 0);
+}
+
+TEST(CoordinatorTest, RetriesPhase1WithHigherRound) {
+    CoordFixture f(3, /*timeouts=*/true);
+    f.coordinator.start(f.ctx);
+    const Round first = f.coordinator.round();
+    f.sim.run_until(SimTime::seconds(5));  // no promises arrive
+    EXPECT_GT(f.coordinator.round(), first);
+    EXPECT_EQ(f.config.round_owner(f.coordinator.round()), 0);
+}
+
+TEST(CoordinatorTest, StalePhase1bIgnored) {
+    CoordFixture f;
+    f.coordinator.start(f.ctx);
+    f.coordinator.on_phase1b(Phase1bMsg{1, 999, 1, {}}, f.ctx);  // wrong round
+    EXPECT_FALSE(f.coordinator.phase1_complete());
+}
+
+}  // namespace
+}  // namespace gossipc

@@ -1,0 +1,106 @@
+// Tests for the Deployment facade: component accessors, mid-run statistics,
+// manual driving without the bundled workload, and configuration plumbing.
+#include <gtest/gtest.h>
+
+#include "core/semantic_gossip.hpp"
+#include "test_util.hpp"
+
+namespace gossipc {
+namespace {
+
+ExperimentConfig tiny(Setup setup) {
+    ExperimentConfig cfg;
+    cfg.setup = setup;
+    cfg.n = 7;
+    cfg.total_rate = 26.0;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(1.5);
+    return cfg;
+}
+
+TEST(DeploymentTest, AccessorsMatchSetup) {
+    Deployment baseline(tiny(Setup::Baseline));
+    EXPECT_EQ(baseline.overlay(), nullptr);
+    EXPECT_EQ(baseline.gossip_node(0), nullptr);
+    EXPECT_EQ(baseline.semantics(0), nullptr);
+
+    Deployment gossip(tiny(Setup::Gossip));
+    ASSERT_NE(gossip.overlay(), nullptr);
+    ASSERT_NE(gossip.gossip_node(3), nullptr);
+    EXPECT_EQ(gossip.semantics(3), nullptr);  // classic hooks
+
+    Deployment semantic(tiny(Setup::SemanticGossip));
+    ASSERT_NE(semantic.semantics(3), nullptr);
+    EXPECT_EQ(semantic.semantics(3)->options().filtering, true);
+}
+
+TEST(DeploymentTest, ManualDrivingWithoutWorkload) {
+    Deployment d(tiny(Setup::SemanticGossip));
+    d.start_processes();
+    // Submit values by hand through arbitrary processes.
+    for (int s = 1; s <= 5; ++s) {
+        d.process(s % 7).post_submit(testutil::make_value(99, s));
+    }
+    d.simulator().run_until(SimTime::seconds(3));
+    EXPECT_EQ(d.process(2).learner().delivered_count(), 5u);
+    const auto stats = d.message_stats();
+    EXPECT_GT(stats.net_arrivals, 0u);
+    EXPECT_GT(stats.gossip_delivered, 0u);
+}
+
+TEST(DeploymentTest, MidRunStatsAreMonotone) {
+    Deployment d(tiny(Setup::Gossip));
+    d.start_processes();
+    d.workload().start();
+    d.simulator().run_until(SimTime::seconds(0.5));
+    const auto early = d.message_stats();
+    d.simulator().run_until(SimTime::seconds(2));
+    const auto late = d.message_stats();
+    EXPECT_GE(late.net_arrivals, early.net_arrivals);
+    EXPECT_GE(late.gossip_delivered, early.gossip_delivered);
+    EXPECT_GT(late.net_arrivals, 0u);
+}
+
+TEST(DeploymentTest, GossipParamsPlumbedThrough) {
+    auto cfg = tiny(Setup::Gossip);
+    cfg.gossip_params.peer_queue_cap = 3;  // absurdly small: forces drops
+    cfg.total_rate = 260.0;
+    Deployment d(cfg);
+    const auto result = d.run();
+    EXPECT_GT(result.messages.gossip_send_queue_drops, 0u);
+}
+
+TEST(DeploymentTest, NodeParamsPlumbedThrough) {
+    auto cfg = tiny(Setup::Baseline);
+    cfg.node_params.recv_cost = SimTime::millis(20);  // pathologically slow CPU
+    const auto slow = run_experiment(cfg);
+    const auto fast = run_experiment(tiny(Setup::Baseline));
+    EXPECT_GT(slow.workload.latencies.mean(), fast.workload.latencies.mean());
+}
+
+TEST(DeploymentTest, StrategyPlumbedThrough) {
+    auto cfg = tiny(Setup::Gossip);
+    cfg.strategy = GossipStrategy::PushPull;
+    Deployment d(cfg);
+    const auto result = d.run();
+    EXPECT_EQ(result.workload.not_ordered, 0u);
+    std::uint64_t pull_rounds = 0;
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        pull_rounds += d.gossip_node(id)->counters().pull_rounds;
+    }
+    EXPECT_GT(pull_rounds, 0u);
+}
+
+TEST(DeploymentTest, ValueSizePropagatesToWire) {
+    auto small_cfg = tiny(Setup::Gossip);
+    small_cfg.value_size = 64;
+    auto large_cfg = tiny(Setup::Gossip);
+    large_cfg.value_size = 4096;
+    const auto small = run_experiment(small_cfg);
+    const auto large = run_experiment(large_cfg);
+    EXPECT_GT(large.messages.bytes_sent, small.messages.bytes_sent);
+}
+
+}  // namespace
+}  // namespace gossipc

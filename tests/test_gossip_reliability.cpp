@@ -1,0 +1,130 @@
+// Property tests: gossip dissemination coverage as a function of injected
+// loss — the redundancy mechanism the paper's reliability results rest on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gossip/gossip_node.hpp"
+#include "net/network.hpp"
+#include "overlay/random_overlay.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossipc {
+namespace {
+
+class Payload final : public MessageBody {
+public:
+    std::uint32_t wire_size() const override { return 64; }
+    std::string describe() const override { return "payload"; }
+};
+
+struct Coverage {
+    double fraction = 0.0;  ///< deliveries / (messages * nodes)
+    std::uint64_t transmissions = 0;
+};
+
+Coverage measure_coverage(int n, double loss, std::uint64_t seed, int messages) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), n, Network::Params{.seed = seed});
+    const Graph overlay = make_connected_overlay(n, seed);
+    for (const auto& [a, b] : overlay.edges()) net.allow_link(a, b);
+    if (loss > 0) net.set_uniform_loss(loss);
+    PassThroughHooks hooks;
+    std::vector<std::unique_ptr<GossipNode>> nodes;
+    std::uint64_t delivered = 0;
+    for (ProcessId id = 0; id < n; ++id) {
+        nodes.push_back(std::make_unique<GossipNode>(net.node(id), overlay.neighbors(id),
+                                                     GossipNode::Params{}, hooks));
+        nodes.back()->set_deliver(
+            [&delivered](const GossipAppMessage&, CpuContext&) { ++delivered; });
+    }
+    for (int m = 1; m <= messages; ++m) {
+        nodes[static_cast<std::size_t>(m % n)]->post_broadcast([&] {
+            GossipAppMessage msg;
+            msg.id = static_cast<GossipMsgId>(m) * 0x9e3779b97f4a7c15ULL;
+            msg.origin = static_cast<ProcessId>(m % n);
+            msg.payload = std::make_shared<Payload>();
+            return msg;
+        }());
+    }
+    sim.run_until(SimTime::seconds(5));
+    Coverage c;
+    c.fraction = static_cast<double>(delivered) /
+                 (static_cast<double>(messages) * static_cast<double>(n));
+    c.transmissions = net.total_transmissions();
+    return c;
+}
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, CoverageDegradesGracefully) {
+    const double loss = GetParam();
+    const auto c = measure_coverage(53, loss, 11, 40);
+    if (loss <= 0.10) {
+        // Paper Section 4.5: up to ~10% loss, gossip redundancy masks the
+        // drops almost completely.
+        EXPECT_GT(c.fraction, 0.99) << "loss " << loss;
+    } else if (loss <= 0.30) {
+        EXPECT_GT(c.fraction, 0.80) << "loss " << loss;
+    } else {
+        // Even at 50% loss a majority of deliveries still happen.
+        EXPECT_GT(c.fraction, 0.40) << "loss " << loss;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.20, 0.30, 0.50));
+
+TEST(GossipReliabilityTest, ZeroLossIsFullCoverage) {
+    const auto c = measure_coverage(30, 0.0, 3, 25);
+    EXPECT_DOUBLE_EQ(c.fraction, 1.0);
+}
+
+TEST(GossipReliabilityTest, RedundancyCostsTransmissions) {
+    // Transmissions per broadcast are ~2|E| (each edge used at most once in
+    // each direction), i.e. ~degree copies per node — the redundancy the
+    // paper quantifies in Section 4.3.
+    const int n = 53;
+    const Graph overlay = make_connected_overlay(n, 11);
+    const auto c = measure_coverage(n, 0.0, 11, 40);
+    const double per_broadcast = static_cast<double>(c.transmissions) / 40.0;
+    EXPECT_GT(per_broadcast, static_cast<double>(overlay.edge_count()));
+    EXPECT_LE(per_broadcast, 2.0 * static_cast<double>(overlay.edge_count()));
+}
+
+TEST(GossipReliabilityTest, HigherDegreeMasksMoreLoss) {
+    // Same loss, denser overlay -> better coverage (redundancy exponential
+    // in degree).
+    Simulator sim;
+    const double loss = 0.35;
+    auto run = [&](int k) {
+        Simulator local_sim;
+        Network net(local_sim, LatencyModel::aws(), 40, {});
+        const Graph overlay = make_random_overlay(40, k, 21);
+        for (const auto& [a, b] : overlay.edges()) net.allow_link(a, b);
+        net.set_uniform_loss(loss);
+        PassThroughHooks hooks;
+        std::vector<std::unique_ptr<GossipNode>> nodes;
+        std::uint64_t delivered = 0;
+        for (ProcessId id = 0; id < 40; ++id) {
+            nodes.push_back(std::make_unique<GossipNode>(net.node(id), overlay.neighbors(id),
+                                                         GossipNode::Params{}, hooks));
+            nodes.back()->set_deliver(
+                [&delivered](const GossipAppMessage&, CpuContext&) { ++delivered; });
+        }
+        for (int m = 1; m <= 30; ++m) {
+            GossipAppMessage msg;
+            msg.id = static_cast<GossipMsgId>(m) * 0x9e3779bULL;
+            msg.origin = 0;
+            msg.payload = std::make_shared<Payload>();
+            nodes[0]->post_broadcast(msg);
+        }
+        local_sim.run_until(SimTime::seconds(5));
+        return static_cast<double>(delivered) / (30.0 * 40.0);
+    };
+    EXPECT_GE(run(6), run(2));
+}
+
+}  // namespace
+}  // namespace gossipc

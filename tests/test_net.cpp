@@ -1,0 +1,283 @@
+// Unit tests: regions, the latency model (Table 1 row verbatim), node CPU
+// model, loss injection, and network link semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/latency_model.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/region.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossipc {
+namespace {
+
+class TestBody final : public MessageBody {
+public:
+    explicit TestBody(std::uint32_t size) : size_(size) {}
+    std::uint32_t wire_size() const override { return size_; }
+    std::string describe() const override { return "test"; }
+
+private:
+    std::uint32_t size_;
+};
+
+NetMessage msg(ProcessId from, ProcessId to, std::uint32_t size = 100) {
+    return NetMessage{from, to, std::make_shared<TestBody>(size)};
+}
+
+// --- regions ---
+
+TEST(RegionTest, CoordinatorInNorthVirginia) {
+    EXPECT_EQ(region_of_process(0, 105), Region::NorthVirginia);
+    EXPECT_EQ(region_of_process(0, 13), Region::NorthVirginia);
+}
+
+TEST(RegionTest, EvenSpread) {
+    // n=53: coordinator + 4 processes per region.
+    std::array<int, kNumRegions> counts{};
+    for (ProcessId id = 1; id < 53; ++id) {
+        counts[static_cast<std::size_t>(region_of_process(id, 53))]++;
+    }
+    for (const int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(RegionTest, NamesAreDistinct) {
+    std::set<std::string_view> names;
+    for (const Region r : all_regions()) names.insert(region_name(r));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumRegions));
+}
+
+// --- latency model ---
+
+TEST(LatencyModelTest, Table1RowVerbatim) {
+    // Table 1: one-way latencies from North Virginia, in ms.
+    const auto& m = LatencyModel::aws();
+    const std::pair<Region, double> expected[] = {
+        {Region::Canada, 7},        {Region::NorthCalifornia, 30}, {Region::Oregon, 39},
+        {Region::London, 38},       {Region::Ireland, 33},         {Region::Frankfurt, 44},
+        {Region::SaoPaulo, 58},     {Region::Tokyo, 73},           {Region::Mumbai, 93},
+        {Region::Sydney, 98},       {Region::Seoul, 87},           {Region::Singapore, 105},
+    };
+    for (const auto& [region, ms] : expected) {
+        EXPECT_DOUBLE_EQ(m.one_way(Region::NorthVirginia, region).as_millis(), ms)
+            << region_name(region);
+    }
+}
+
+TEST(LatencyModelTest, Symmetric) {
+    const auto& m = LatencyModel::aws();
+    for (const Region a : all_regions()) {
+        for (const Region b : all_regions()) {
+            EXPECT_EQ(m.one_way(a, b), m.one_way(b, a));
+        }
+    }
+}
+
+TEST(LatencyModelTest, IntraRegionSmall) {
+    const auto& m = LatencyModel::aws();
+    for (const Region a : all_regions()) {
+        EXPECT_EQ(m.one_way(a, a), m.intra_region());
+        EXPECT_LT(m.intra_region(), SimTime::millis(1));
+    }
+}
+
+TEST(LatencyModelTest, RttIsTwiceOneWay) {
+    const auto& m = LatencyModel::aws();
+    EXPECT_EQ(m.rtt(Region::NorthVirginia, Region::Tokyo),
+              m.one_way(Region::NorthVirginia, Region::Tokyo) * 2);
+}
+
+TEST(LatencyModelTest, UniformModel) {
+    const auto m = LatencyModel::uniform(SimTime::millis(25));
+    EXPECT_EQ(m.one_way(Region::Tokyo, Region::Canada), SimTime::millis(25));
+    EXPECT_EQ(m.one_way(Region::Tokyo, Region::Tokyo), m.intra_region());
+}
+
+// --- network & node ---
+
+struct NetFixture {
+    Simulator sim;
+    Network net;
+    explicit NetFixture(int n, Network::Params p = {}) : net(sim, LatencyModel::aws(), n, p) {}
+};
+
+TEST(NetworkTest, TransmitWithoutLinkThrows) {
+    NetFixture f(4);
+    EXPECT_THROW(f.net.transmit(msg(0, 1), SimTime::zero()), std::logic_error);
+}
+
+TEST(NetworkTest, SelfLinkRejected) {
+    NetFixture f(4);
+    EXPECT_THROW(f.net.allow_link(2, 2), std::invalid_argument);
+}
+
+TEST(NetworkTest, DeliversAfterPropagationDelay) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    NetFixture f(14, p);
+    f.net.allow_link(0, 1);  // process 1 is in NorthVirginia region? id1 -> region 0
+    int received = 0;
+    SimTime at = SimTime::zero();
+    f.net.node(1).set_receive_handler([&](const NetMessage&, CpuContext& ctx) {
+        ++received;
+        at = ctx.now();
+    });
+    f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    EXPECT_EQ(received, 1);
+    const SimTime expected = f.net.propagation_delay(0, 1) +
+                             f.net.node(1).params().recv_cost;
+    EXPECT_EQ(at, expected);
+}
+
+TEST(NetworkTest, SerializationDelayScalesWithSize) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    p.bandwidth_bytes_per_us = 100.0;
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    std::vector<SimTime> arrivals;
+    f.net.node(1).set_receive_handler(
+        [&](const NetMessage&, CpuContext& ctx) { arrivals.push_back(ctx.now()); });
+    f.net.transmit(msg(0, 1, 10000), SimTime::zero());  // 100us serialization
+    f.sim.run_until_idle();
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_GE(arrivals[0] - f.net.propagation_delay(0, 1), SimTime::micros(100));
+}
+
+TEST(NetworkTest, FifoPerLink) {
+    NetFixture f(4);  // jitter on: FIFO must still hold
+    f.net.allow_link(0, 1);
+    std::vector<std::uint32_t> sizes;
+    f.net.node(1).set_receive_handler(
+        [&](const NetMessage& m, CpuContext&) { sizes.push_back(m.wire_size()); });
+    for (std::uint32_t s = 1; s <= 20; ++s) f.net.transmit(msg(0, 1, s), SimTime::zero());
+    f.sim.run_until_idle();
+    ASSERT_EQ(sizes.size(), 20u);
+    for (std::uint32_t s = 1; s <= 20; ++s) EXPECT_EQ(sizes[s - 1], s);
+}
+
+TEST(NetworkTest, JitterBounded) {
+    Network::Params p;
+    p.jitter_frac = 0.05;
+    NetFixture f(14, p);
+    f.net.allow_link(0, 8);  // id 8 -> region 7 (SaoPaulo)? region_of_process(8,14)=(8-1)%13=7
+    std::vector<SimTime> arrivals;
+    f.net.node(8).set_receive_handler(
+        [&](const NetMessage&, CpuContext& ctx) { arrivals.push_back(ctx.now()); });
+    for (int i = 0; i < 50; ++i) f.net.transmit(msg(0, 8, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    const double base_ms = f.net.propagation_delay(0, 8).as_millis();
+    for (const auto a : arrivals) {
+        EXPECT_GE(a.as_millis(), base_ms * 0.95 - 0.001);
+        // FIFO + recv costs make later arrivals slightly later; allow slack.
+        EXPECT_LE(a.as_millis(), base_ms * 1.05 + 1.0);
+    }
+}
+
+TEST(NodeTest, CpuSerializesWork) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    p.node.recv_cost = SimTime::micros(100);
+    p.node.cpu_ns_per_byte = 0.0;
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    std::vector<SimTime> completions;
+    f.net.node(1).set_receive_handler(
+        [&](const NetMessage&, CpuContext& ctx) { completions.push_back(ctx.now()); });
+    for (int i = 0; i < 5; ++i) f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    ASSERT_EQ(completions.size(), 5u);
+    for (std::size_t i = 1; i < completions.size(); ++i) {
+        EXPECT_EQ(completions[i] - completions[i - 1], SimTime::micros(100));
+    }
+}
+
+TEST(NodeTest, BacklogGrowsUnderOverload) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    p.node.recv_cost = SimTime::millis(10);
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    f.net.node(1).set_receive_handler([](const NetMessage&, CpuContext&) {});
+    for (int i = 0; i < 100; ++i) f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    // Run just past the first arrival: CPU now owes ~1s of work.
+    f.sim.run_until(f.net.propagation_delay(0, 1) + SimTime::millis(50));
+    EXPECT_GT(f.net.node(1).backlog(), SimTime::millis(100));
+}
+
+TEST(NodeTest, QueueOverflowDropsReceives) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    p.node.recv_cost = SimTime::millis(1);
+    p.node.task_queue_cap = 10;
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    int received = 0;
+    f.net.node(1).set_receive_handler([&](const NetMessage&, CpuContext&) { ++received; });
+    for (int i = 0; i < 100; ++i) f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    const auto& c = f.net.node(1).counters();
+    EXPECT_EQ(c.arrivals, 100u);
+    EXPECT_GT(c.queue_drops, 0u);
+    EXPECT_EQ(c.received + c.queue_drops, 100u);
+    EXPECT_EQ(static_cast<std::uint64_t>(received), c.received);
+}
+
+TEST(NodeTest, LossInjectionApproximatesRate) {
+    NetFixture f(4);
+    f.net.allow_link(0, 1);
+    f.net.node(1).set_loss(0.3, Rng(99));
+    f.net.node(1).set_receive_handler([](const NetMessage&, CpuContext&) {});
+    for (int i = 0; i < 5000; ++i) f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    const auto& c = f.net.node(1).counters();
+    EXPECT_NEAR(static_cast<double>(c.loss_drops) / 5000.0, 0.3, 0.03);
+}
+
+TEST(NodeTest, CrashDropsTrafficAndRecovers) {
+    NetFixture f(4);
+    f.net.allow_link(0, 1);
+    int received = 0;
+    f.net.node(1).set_receive_handler([&](const NetMessage&, CpuContext&) { ++received; });
+    f.net.node(1).crash();
+    f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    EXPECT_EQ(received, 0);
+    f.net.node(1).recover();
+    f.net.transmit(msg(0, 1, 0), f.sim.now());
+    f.sim.run_until_idle();
+    EXPECT_EQ(received, 1);
+}
+
+TEST(NodeTest, TransmitInTaskConsumesSendCost) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    p.node.send_cost = SimTime::micros(50);
+    p.node.cpu_ns_per_byte = 0.0;
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    f.net.node(1).set_receive_handler([](const NetMessage&, CpuContext&) {});
+    SimTime after = SimTime::zero();
+    f.net.node(0).post([&](CpuContext& ctx) {
+        const SimTime before = ctx.now();
+        f.net.node(0).transmit_in_task(msg(0, 1, 0), ctx);
+        after = ctx.now() - before;
+    });
+    f.sim.run_until_idle();
+    EXPECT_EQ(after, SimTime::micros(50));
+    EXPECT_EQ(f.net.node(0).counters().sent, 1u);
+}
+
+TEST(NetworkTest, UniformLossAppliesToAllNodes) {
+    NetFixture f(5);
+    f.net.set_uniform_loss(0.5);
+    for (ProcessId id = 0; id < 5; ++id) {
+        EXPECT_DOUBLE_EQ(f.net.node(id).loss_rate(), 0.5);
+    }
+}
+
+}  // namespace
+}  // namespace gossipc

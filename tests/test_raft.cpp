@@ -1,0 +1,199 @@
+// Tests for the Raft-style extension: leader replication over gossip, the
+// transferred semantic rules (F1'/F2'/A1'), and the equivalence of classic
+// vs semantic behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "overlay/random_overlay.hpp"
+#include "raft/replica.hpp"
+#include "raft/semantics.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossipc {
+namespace {
+
+struct RaftFixture {
+    Simulator sim;
+    Network net;
+    std::vector<std::unique_ptr<GossipHooks>> hooks;
+    std::vector<std::unique_ptr<GossipNode>> gnodes;
+    std::vector<std::unique_ptr<RaftReplica>> replicas;
+    std::vector<std::map<LogIndex, ValueId>> committed;
+
+    RaftFixture(int n, bool semantic, std::uint64_t seed = 5)
+        : net(sim, LatencyModel::aws(), n, {}), committed(static_cast<std::size_t>(n)) {
+        const Graph overlay = make_connected_overlay(n, seed);
+        for (const auto& [a, b] : overlay.edges()) net.allow_link(a, b);
+        RaftConfig base;
+        base.n = n;
+        base.leader = 0;
+        for (ProcessId id = 0; id < n; ++id) {
+            if (semantic) {
+                hooks.push_back(
+                    std::make_unique<RaftSemantics>(id, base.quorum(), RaftSemantics::Options{}));
+            } else {
+                hooks.push_back(std::make_unique<PassThroughHooks>());
+            }
+            gnodes.push_back(std::make_unique<GossipNode>(net.node(id), overlay.neighbors(id),
+                                                          GossipNode::Params{}, *hooks.back()));
+            RaftConfig rc = base;
+            rc.id = id;
+            replicas.push_back(std::make_unique<RaftReplica>(rc, *gnodes.back()));
+            replicas.back()->set_commit_listener(
+                [this, id](LogIndex index, const Value& v, CpuContext&) {
+                    committed[static_cast<std::size_t>(id)][index] = v.id;
+                });
+        }
+    }
+
+    void submit(ProcessId via, std::int32_t client, std::int64_t seq) {
+        Value v;
+        v.id = ValueId{client, seq};
+        v.size_bytes = 1024;
+        replicas[static_cast<std::size_t>(via)]->post_submit(v);
+    }
+
+    std::uint64_t total_arrivals() const {
+        std::uint64_t total = 0;
+        for (ProcessId id = 0; id < net.size(); ++id) total += net.node(id).counters().arrivals;
+        return total;
+    }
+};
+
+TEST(RaftTest, LeaderReplicatesInOrderEverywhere) {
+    RaftFixture f(7, /*semantic=*/false);
+    for (int s = 1; s <= 10; ++s) f.submit(0, 0, s);
+    f.sim.run_until(SimTime::seconds(3));
+    for (int r = 0; r < 7; ++r) {
+        ASSERT_EQ(f.committed[static_cast<std::size_t>(r)].size(), 10u) << "replica " << r;
+        for (LogIndex i = 1; i <= 10; ++i) {
+            EXPECT_EQ(f.committed[static_cast<std::size_t>(r)][i], (ValueId{0, i}));
+        }
+    }
+}
+
+TEST(RaftTest, FollowersForwardClientValues) {
+    RaftFixture f(7, false);
+    for (int s = 1; s <= 5; ++s) f.submit(static_cast<ProcessId>(s % 7), 1, s);
+    f.sim.run_until(SimTime::seconds(3));
+    EXPECT_EQ(f.committed[0].size(), 5u);
+    EXPECT_EQ(f.replicas[0]->counters().appends_sent, 5u);
+}
+
+TEST(RaftTest, DuplicateForwardsReplicatedOnce) {
+    RaftFixture f(5, false);
+    for (int i = 0; i < 3; ++i) f.submit(1, 2, 7);  // same value thrice
+    f.sim.run_until(SimTime::seconds(3));
+    EXPECT_EQ(f.committed[0].size(), 1u);
+}
+
+TEST(RaftTest, AllReplicasAgree) {
+    RaftFixture f(9, false);
+    for (int s = 1; s <= 20; ++s) f.submit(static_cast<ProcessId>(s % 9), 3, s);
+    f.sim.run_until(SimTime::seconds(4));
+    for (int r = 1; r < 9; ++r) {
+        EXPECT_EQ(f.committed[static_cast<std::size_t>(r)], f.committed[0]) << "replica " << r;
+    }
+    EXPECT_EQ(f.replicas[0]->commit_frontier(), 21);
+}
+
+TEST(RaftTest, SemanticVariantCommitsSameLog) {
+    RaftFixture classic(9, false), semantic(9, true);
+    for (int s = 1; s <= 20; ++s) {
+        classic.submit(static_cast<ProcessId>(s % 9), 3, s);
+        semantic.submit(static_cast<ProcessId>(s % 9), 3, s);
+    }
+    classic.sim.run_until(SimTime::seconds(4));
+    semantic.sim.run_until(SimTime::seconds(4));
+    EXPECT_EQ(classic.committed[0].size(), 20u);
+    EXPECT_EQ(semantic.committed[0].size(), 20u);
+    // Committed value sets agree (index assignment may differ: forwarding
+    // order can vary with message flow).
+    std::set<ValueId> a, b;
+    for (const auto& [i, v] : classic.committed[0]) a.insert(v);
+    for (const auto& [i, v] : semantic.committed[0]) b.insert(v);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RaftTest, SemanticVariantUsesFewerMessages) {
+    RaftFixture classic(13, false, 9), semantic(13, true, 9);
+    for (int s = 1; s <= 40; ++s) {
+        classic.submit(0, 0, s);
+        semantic.submit(0, 0, s);
+    }
+    classic.sim.run_until(SimTime::seconds(4));
+    semantic.sim.run_until(SimTime::seconds(4));
+    ASSERT_EQ(classic.committed[5].size(), 40u);
+    ASSERT_EQ(semantic.committed[5].size(), 40u);
+    EXPECT_LT(semantic.total_arrivals(), classic.total_arrivals());
+    const auto& stats = static_cast<RaftSemantics&>(*semantic.hooks[0]).stats();
+    EXPECT_GT(stats.filtered_acks, 0u);
+}
+
+TEST(RaftTest, RejectsBadConfig) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 3, {});
+    PassThroughHooks hooks;
+    GossipNode g(net.node(0), {}, GossipNode::Params{}, hooks);
+    RaftConfig rc;
+    rc.n = 0;
+    rc.id = 0;
+    EXPECT_THROW(RaftReplica(rc, g), std::invalid_argument);
+}
+
+// --- semantic rules at the unit level ---
+
+GossipAppMessage wrap_raft(RaftMessagePtr msg) {
+    GossipAppMessage app;
+    app.id = msg->unique_key();
+    app.origin = msg->sender();
+    app.payload = std::move(msg);
+    return app;
+}
+
+TEST(RaftSemanticsTest, CommitSupersedesAcks) {
+    RaftSemantics sem(0, 3, RaftSemantics::Options{});
+    EXPECT_TRUE(sem.validate(wrap_raft(std::make_shared<CommitMsg>(0, 1, 5, 42)), 9));
+    EXPECT_FALSE(sem.validate(wrap_raft(std::make_shared<AckMsg>(1, 1, 5, 42)), 9));
+    EXPECT_EQ(sem.stats().filtered_acks, 1u);
+    EXPECT_TRUE(sem.validate(wrap_raft(std::make_shared<AckMsg>(1, 1, 6, 42)), 9));
+}
+
+TEST(RaftSemanticsTest, MajorityAcksSupersedeFurtherAcks) {
+    RaftSemantics sem(0, 3, RaftSemantics::Options{});
+    for (ProcessId s = 0; s < 3; ++s) {
+        EXPECT_TRUE(sem.validate(wrap_raft(std::make_shared<AckMsg>(s, 1, 5, 42)), 9));
+    }
+    EXPECT_FALSE(sem.validate(wrap_raft(std::make_shared<AckMsg>(3, 1, 5, 42)), 9));
+}
+
+TEST(RaftSemanticsTest, AggregationRoundTrip) {
+    RaftSemantics sem(0, 5, RaftSemantics::Options{});
+    std::vector<GossipAppMessage> pending;
+    for (ProcessId s = 1; s <= 3; ++s) {
+        pending.push_back(wrap_raft(std::make_shared<AckMsg>(s, 1, 5, 42)));
+    }
+    const std::vector<GossipMsgId> ids{pending[0].id, pending[1].id, pending[2].id};
+    const auto out = sem.aggregate(std::move(pending), 9);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].aggregated);
+    const auto rebuilt = sem.disaggregate(out[0]);
+    ASSERT_EQ(rebuilt.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(rebuilt[i].id, ids[i]);
+}
+
+TEST(RaftSemanticsTest, DistinctIndicesNotMerged) {
+    RaftSemantics sem(0, 5, RaftSemantics::Options{});
+    std::vector<GossipAppMessage> pending{
+        wrap_raft(std::make_shared<AckMsg>(1, 1, 5, 42)),
+        wrap_raft(std::make_shared<AckMsg>(2, 1, 6, 42)),
+    };
+    EXPECT_EQ(sem.aggregate(std::move(pending), 9).size(), 2u);
+}
+
+}  // namespace
+}  // namespace gossipc

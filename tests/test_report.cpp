@@ -1,0 +1,67 @@
+// Unit tests for the JSON/CSV result serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace gossipc {
+namespace {
+
+std::pair<ExperimentConfig, ExperimentResult> small_run() {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::SemanticGossip;
+    cfg.n = 7;
+    cfg.total_rate = 26.0;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(1.5);
+    return {cfg, run_experiment(cfg)};
+}
+
+TEST(ReportTest, JsonContainsKeyFields) {
+    const auto [cfg, result] = small_run();
+    const std::string json = to_json(cfg, result);
+    for (const char* needle :
+         {"\"setup\": \"SemanticGossip\"", "\"n\": 7", "\"throughput\":", "\"latency_ms\":",
+          "\"net_arrivals\":", "\"filtered_phase2b\":", "\"median_rtt_ms\":"}) {
+        EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+    }
+    // Balanced braces (cheap structural sanity).
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportTest, CsvRowMatchesHeaderArity) {
+    const auto [cfg, result] = small_run();
+    const std::string header = csv_header();
+    const std::string row = to_csv_row(cfg, result);
+    const auto count_fields = [](const std::string& s) {
+        std::size_t n = 1;
+        for (const char c : s) n += c == ',' ? 1 : 0;
+        return n;
+    };
+    EXPECT_EQ(count_fields(header), count_fields(row));
+    EXPECT_NE(row.find("SemanticGossip"), std::string::npos);
+}
+
+TEST(ReportTest, CsvDeterministicForSameRun) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = 7;
+    cfg.total_rate = 26.0;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(1);
+    const auto a = to_csv_row(cfg, run_experiment(cfg));
+    const auto b = to_csv_row(cfg, run_experiment(cfg));
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gossipc

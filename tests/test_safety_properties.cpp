@@ -1,0 +1,145 @@
+// Property-based safety tests: across randomized environments (loss rates,
+// overlays, seeds, setups), Paxos must never violate agreement (no two
+// processes decide different values in the same instance) or integrity
+// (only submitted values are decided, each instance decided once), and
+// delivery must be gap-free in instance order at every process.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/semantic_gossip.hpp"
+
+namespace gossipc {
+namespace {
+
+struct Env {
+    Setup setup;
+    int n;
+    double loss;
+    bool timeouts;
+    std::uint64_t seed;
+};
+
+class SafetySweep : public ::testing::TestWithParam<Env> {};
+
+TEST_P(SafetySweep, AgreementIntegrityAndGapFreeDelivery) {
+    const Env env = GetParam();
+    ExperimentConfig cfg;
+    cfg.setup = env.setup;
+    cfg.n = env.n;
+    cfg.total_rate = 52.0;
+    cfg.loss_rate = env.loss;
+    cfg.timeouts_enabled = env.timeouts;
+    cfg.seed = env.seed;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1.5);
+    cfg.drain = SimTime::seconds(1.5);
+
+    Deployment d(cfg);
+
+    // Track every delivery at every process, replacing the workload's
+    // listeners after construction is too late (workload installed its own
+    // on client hosts); instead reconstruct from learner logs afterwards and
+    // additionally check the learner's own frontier invariant.
+    const auto result = d.run();
+
+    std::map<InstanceId, ValueId> reference;
+    std::uint64_t decided_total = 0;
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        auto& learner = d.process(id).learner();
+        // Gap-free: every instance below the frontier has a decided value.
+        for (InstanceId i = 1; i < learner.frontier(); ++i) {
+            const auto v = learner.decided_value(i);
+            ASSERT_TRUE(v.has_value()) << "gap at process " << id << " instance " << i;
+            // Integrity: the value must be a real client value.
+            EXPECT_GE(v->id.client, 0);
+            EXPECT_LT(v->id.client, 13);
+            EXPECT_GE(v->id.seq, 0);
+            // Agreement across processes.
+            const auto [it, inserted] = reference.emplace(i, v->id);
+            if (!inserted) {
+                ASSERT_EQ(it->second, v->id)
+                    << "divergent decision at instance " << i << " process " << id;
+            }
+            ++decided_total;
+        }
+        EXPECT_EQ(learner.delivered_count(),
+                  static_cast<std::uint64_t>(learner.frontier() - 1));
+    }
+    // Each instance holds a distinct value (the coordinator deduplicates).
+    std::set<ValueId> values;
+    for (const auto& [inst, vid] : reference) {
+        EXPECT_TRUE(values.insert(vid).second) << "value decided twice";
+    }
+    // Sanity: the run actually did something.
+    EXPECT_GT(decided_total, 0u);
+    (void)result;
+}
+
+std::vector<Env> sweep_envs() {
+    std::vector<Env> envs;
+    for (const Setup setup : {Setup::Baseline, Setup::Gossip, Setup::SemanticGossip}) {
+        for (const std::uint64_t seed : {1ull, 7ull}) {
+            envs.push_back(Env{setup, 13, 0.0, true, seed});
+        }
+    }
+    // Lossy gossip environments, with and without repair.
+    for (const double loss : {0.1, 0.3}) {
+        for (const bool timeouts : {false, true}) {
+            envs.push_back(Env{Setup::Gossip, 13, loss, timeouts, 11});
+            envs.push_back(Env{Setup::SemanticGossip, 13, loss, timeouts, 13});
+        }
+    }
+    return envs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Environments, SafetySweep, ::testing::ValuesIn(sweep_envs()),
+                         [](const ::testing::TestParamInfo<Env>& info) {
+                             const Env& e = info.param;
+                             std::string name = setup_name(e.setup);
+                             name += "_n" + std::to_string(e.n);
+                             name += "_loss" + std::to_string(static_cast<int>(e.loss * 100));
+                             name += e.timeouts ? "_repair" : "_norepair";
+                             name += "_s" + std::to_string(e.seed);
+                             return name;
+                         });
+
+// The semantic techniques change only how messages flow, not what consensus
+// achieves: with the same overlay and workload, Gossip and Semantic Gossip
+// order the same set of client values. (The instance each value lands in may
+// differ — filtering/aggregation legitimately reorders ClientValue arrivals
+// at the coordinator.)
+TEST(SemanticEquivalence, SameValueSetOrderedAsClassicGossip) {
+    std::set<ValueId> ordered[2];
+    int idx = 0;
+    using ::gossipc::Setup;  // disambiguate from testing::Test::Setup
+    for (const auto setup : {Setup::Gossip, Setup::SemanticGossip}) {
+        ExperimentConfig cfg;
+        cfg.setup = setup;
+        cfg.n = 13;
+        cfg.total_rate = 52.0;
+        cfg.warmup = SimTime::seconds(0.25);
+        cfg.measure = SimTime::seconds(1.5);
+        cfg.drain = SimTime::seconds(2);
+        Deployment d(cfg);
+        const auto r = d.run();
+        EXPECT_EQ(r.workload.not_ordered, 0u) << setup_name(setup);
+        auto& learner = d.process(0).learner();
+        for (InstanceId i = 1; i < learner.frontier(); ++i) {
+            ordered[idx].insert(learner.decided_value(i)->id);
+        }
+        ++idx;
+    }
+    ASSERT_FALSE(ordered[0].empty());
+    // Identical submission schedules: both runs decide the same values, up
+    // to a small in-flight tail at the simulation cutoff.
+    std::vector<ValueId> only_in_one;
+    std::set_symmetric_difference(ordered[0].begin(), ordered[0].end(), ordered[1].begin(),
+                                  ordered[1].end(), std::back_inserter(only_in_one));
+    EXPECT_LE(only_in_one.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gossipc

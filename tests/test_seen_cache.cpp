@@ -1,0 +1,103 @@
+// Unit tests: recently-seen cache and sliding Bloom filter.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gossip/seen_cache.hpp"
+#include "gossip/sliding_bloom.hpp"
+
+namespace gossipc {
+namespace {
+
+TEST(SeenCacheTest, DetectsDuplicates) {
+    SeenCache cache(1024);
+    EXPECT_TRUE(cache.insert_if_new(42));
+    EXPECT_FALSE(cache.insert_if_new(42));
+    EXPECT_TRUE(cache.contains(42));
+    EXPECT_FALSE(cache.contains(43));
+}
+
+TEST(SeenCacheTest, ZeroIdHandled) {
+    SeenCache cache(64);
+    EXPECT_TRUE(cache.insert_if_new(0));
+    EXPECT_FALSE(cache.insert_if_new(0));
+}
+
+TEST(SeenCacheTest, RejectsZeroCapacity) {
+    EXPECT_THROW(SeenCache(0), std::invalid_argument);
+}
+
+TEST(SeenCacheTest, NoFalseDuplicatesAtLowOccupancy) {
+    // Distinct random ids inserted well below capacity must all be "new".
+    SeenCache cache(1 << 16);
+    Rng rng(1);
+    for (int i = 0; i < 4000; ++i) {
+        EXPECT_TRUE(cache.insert_if_new(rng.next_u64())) << i;
+    }
+}
+
+TEST(SeenCacheTest, RecentIdsSurviveModerateChurn) {
+    // After inserting far fewer ids than capacity, early ids are still seen.
+    SeenCache cache(1 << 14);
+    for (std::uint64_t id = 1; id <= 1000; ++id) cache.insert_if_new(id);
+    int still_seen = 0;
+    for (std::uint64_t id = 1; id <= 1000; ++id) still_seen += cache.contains(id) ? 1 : 0;
+    EXPECT_GT(still_seen, 990);  // set-collision evictions are rare
+}
+
+TEST(SeenCacheTest, EvictsUnderOverflow) {
+    SeenCache cache(256);
+    for (std::uint64_t id = 1; id <= 100000; ++id) cache.insert_if_new(id);
+    EXPECT_GT(cache.evictions(), 0u);
+    // Very old ids were (mostly) forgotten.
+    int forgotten = 0;
+    for (std::uint64_t id = 1; id <= 100; ++id) forgotten += cache.contains(id) ? 0 : 1;
+    EXPECT_GT(forgotten, 90);
+}
+
+TEST(SlidingBloomTest, DetectsDuplicates) {
+    SlidingBloom bloom(1000);
+    EXPECT_TRUE(bloom.insert_if_new(7));
+    EXPECT_FALSE(bloom.insert_if_new(7));
+    EXPECT_TRUE(bloom.probably_contains(7));
+}
+
+TEST(SlidingBloomTest, RejectsZeroCapacity) {
+    EXPECT_THROW(SlidingBloom(0), std::invalid_argument);
+}
+
+TEST(SlidingBloomTest, FalsePositiveRateNearOnePercent) {
+    SlidingBloom bloom(10000);
+    Rng rng(2);
+    for (int i = 0; i < 9000; ++i) bloom.insert_if_new(rng.next_u64());
+    int false_positives = 0;
+    const int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+        // Fresh ids from an independent stream.
+        if (bloom.probably_contains(mix64(0xabcdef ^ static_cast<std::uint64_t>(i)))) {
+            ++false_positives;
+        }
+    }
+    EXPECT_LT(static_cast<double>(false_positives) / kProbes, 0.05);
+}
+
+TEST(SlidingBloomTest, SlidesGenerations) {
+    SlidingBloom bloom(100);
+    for (std::uint64_t id = 1; id <= 1000; ++id) bloom.insert_if_new(id);
+    EXPECT_GT(bloom.generation_rotations(), 0u);
+    // Recent generation is still remembered.
+    EXPECT_TRUE(bloom.probably_contains(1000));
+    // Ids older than two generations are forgotten.
+    EXPECT_FALSE(bloom.probably_contains(1));
+}
+
+TEST(SlidingBloomTest, RecentWindowRetained) {
+    SlidingBloom bloom(1000);
+    for (std::uint64_t id = 1; id <= 1500; ++id) bloom.insert_if_new(id);
+    // The last generation's worth of ids must still be present.
+    int seen = 0;
+    for (std::uint64_t id = 1400; id <= 1500; ++id) seen += bloom.probably_contains(id) ? 1 : 0;
+    EXPECT_EQ(seen, 101);
+}
+
+}  // namespace
+}  // namespace gossipc

@@ -1,0 +1,248 @@
+// Unit tests: PeerView bookkeeping and the PaxosSemantics hooks — filtering
+// rules F1/F2, the reversible aggregation rule A1, and their interplay.
+#include <gtest/gtest.h>
+
+#include "semantic/paxos_semantics.hpp"
+#include "test_util.hpp"
+
+namespace gossipc {
+namespace {
+
+using testutil::make_value;
+using testutil::wrap;
+
+// --- PeerView ---
+
+TEST(PeerViewTest, MarkAndQuery) {
+    PeerView pv(3);
+    EXPECT_FALSE(pv.knows_decision(1));
+    pv.mark_decision(1);
+    EXPECT_TRUE(pv.knows_decision(1));
+    EXPECT_FALSE(pv.knows_decision(2));
+}
+
+TEST(PeerViewTest, FloorCompression) {
+    PeerView pv(3);
+    pv.mark_decision(2);
+    pv.mark_decision(3);
+    EXPECT_EQ(pv.known_floor(), 1);
+    EXPECT_EQ(pv.sparse_known(), 2u);
+    pv.mark_decision(1);
+    EXPECT_EQ(pv.known_floor(), 4);  // 1,2,3 compressed away
+    EXPECT_EQ(pv.sparse_known(), 0u);
+    EXPECT_TRUE(pv.knows_decision(2));
+}
+
+TEST(PeerViewTest, VoteCountingDistinctSenders) {
+    PeerView pv(3);
+    EXPECT_EQ(pv.record_vote(1, 1, 42, 0), 1);
+    EXPECT_EQ(pv.record_vote(1, 1, 42, 0), 1);  // duplicate sender
+    EXPECT_EQ(pv.record_vote(1, 1, 42, 1), 2);
+    EXPECT_EQ(pv.record_vote(1, 2, 42, 2), 1);  // different round: own tally
+    EXPECT_EQ(pv.record_vote(1, 1, 43, 2), 1);  // different digest: own tally
+}
+
+TEST(PeerViewTest, VoteStateDroppedOnceKnown) {
+    PeerView pv(2);
+    pv.record_vote(1, 1, 42, 0);
+    EXPECT_EQ(pv.tracked_instances(), 1u);
+    pv.mark_decision(1);
+    EXPECT_EQ(pv.tracked_instances(), 0u);
+    // Further votes for known instances saturate at quorum.
+    EXPECT_EQ(pv.record_vote(1, 1, 42, 5), 2);
+}
+
+TEST(PeerViewTest, RejectsBadQuorum) {
+    EXPECT_THROW(PeerView(0), std::invalid_argument);
+}
+
+// --- filtering ---
+
+struct SemanticsFixture {
+    PaxosSemantics sem{0, 3, PaxosSemantics::Options{}};  // self=0, quorum=3
+    Value v = make_value(7, 1);
+
+    GossipAppMessage msg_2b(ProcessId sender, InstanceId inst, Round round = 1) {
+        return wrap(testutil::make_2b(sender, inst, round, v));
+    }
+    GossipAppMessage msg_decision(InstanceId inst) {
+        return wrap(std::make_shared<DecisionMsg>(0, inst, v.id, v.digest()));
+    }
+};
+
+TEST(SemanticFilterTest, F1DecisionSupersedesPhase2b) {
+    SemanticsFixture f;
+    EXPECT_TRUE(f.sem.validate(f.msg_decision(1), /*peer=*/9));
+    EXPECT_FALSE(f.sem.validate(f.msg_2b(1, 1), 9));  // peer already knows
+    EXPECT_EQ(f.sem.stats().filtered_phase2b, 1u);
+    // Other instances unaffected.
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(1, 2), 9));
+}
+
+TEST(SemanticFilterTest, F2MajorityOf2bSupersedesFurther2b) {
+    SemanticsFixture f;
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(0, 1), 9));
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(1, 1), 9));
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(2, 1), 9));  // completes the quorum
+    EXPECT_FALSE(f.sem.validate(f.msg_2b(3, 1), 9));
+    EXPECT_FALSE(f.sem.validate(f.msg_2b(4, 1), 9));
+    EXPECT_EQ(f.sem.stats().filtered_phase2b, 2u);
+}
+
+TEST(SemanticFilterTest, PerPeerStateIsIndependent) {
+    SemanticsFixture f;
+    EXPECT_TRUE(f.sem.validate(f.msg_decision(1), 9));
+    EXPECT_FALSE(f.sem.validate(f.msg_2b(1, 1), 9));
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(1, 1), 8));  // peer 8 knows nothing yet
+}
+
+TEST(SemanticFilterTest, DuplicateSendersDontCompleteQuorum) {
+    SemanticsFixture f;
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(0, 1), 9));
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(0, 1), 9));
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(0, 1), 9));
+    EXPECT_TRUE(f.sem.validate(f.msg_2b(1, 1), 9));  // still only 2 distinct
+}
+
+TEST(SemanticFilterTest, OtherMessageTypesPass) {
+    SemanticsFixture f;
+    auto p1a = wrap(std::make_shared<Phase1aMsg>(0, 1, 1));
+    auto p2a = wrap(std::make_shared<Phase2aMsg>(0, 1, 1, f.v));
+    auto cv = wrap(std::make_shared<ClientValueMsg>(0, f.v));
+    EXPECT_TRUE(f.sem.validate(p1a, 9));
+    EXPECT_TRUE(f.sem.validate(p2a, 9));
+    EXPECT_TRUE(f.sem.validate(cv, 9));
+    // Even for an instance the peer knows.
+    f.sem.validate(f.msg_decision(1), 9);
+    EXPECT_TRUE(f.sem.validate(wrap(std::make_shared<Phase2aMsg>(0, 1, 1, f.v)), 9));
+}
+
+TEST(SemanticFilterTest, DisabledFilteringPassesEverything) {
+    PaxosSemantics sem{0, 3, PaxosSemantics::Options{.filtering = false, .aggregation = true}};
+    SemanticsFixture f;
+    sem.validate(f.msg_decision(1), 9);
+    EXPECT_TRUE(sem.validate(f.msg_2b(1, 1), 9));
+    EXPECT_EQ(sem.stats().filtered_phase2b, 0u);
+}
+
+TEST(SemanticFilterTest, AggregateVotesCountTowardF2) {
+    SemanticsFixture f;
+    auto agg = std::make_shared<Phase2bAggregateMsg>(
+        5, 1, 1, f.v.id, f.v.digest(), std::vector<ProcessId>{0, 1, 2}, 0);
+    GossipAppMessage m;
+    m.id = agg->unique_key();
+    m.origin = 5;
+    m.aggregated = true;
+    m.payload = agg;
+    EXPECT_TRUE(f.sem.validate(m, 9));   // carries the full quorum
+    EXPECT_FALSE(f.sem.validate(f.msg_2b(3, 1), 9));
+}
+
+// --- aggregation ---
+
+TEST(SemanticAggregationTest, MergesIdentical2b) {
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{f.msg_2b(1, 1), f.msg_2b(2, 1), f.msg_2b(3, 1)};
+    const auto out = f.sem.aggregate(pending, 9);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].aggregated);
+    const auto& agg = static_cast<const Phase2bAggregateMsg&>(*out[0].payload);
+    EXPECT_EQ(agg.senders(), (std::vector<ProcessId>{1, 2, 3}));
+    EXPECT_EQ(agg.instance(), 1);
+    EXPECT_EQ(f.sem.stats().aggregates_built, 1u);
+    EXPECT_EQ(f.sem.stats().messages_merged, 2u);
+}
+
+TEST(SemanticAggregationTest, DistinctInstancesNotMerged) {
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{f.msg_2b(1, 1), f.msg_2b(1, 2)};
+    const auto out = f.sem.aggregate(pending, 9);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_FALSE(out[0].aggregated);
+}
+
+TEST(SemanticAggregationTest, DistinctRoundsNotMerged) {
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{f.msg_2b(1, 1, /*round=*/1),
+                                          f.msg_2b(2, 1, /*round=*/2)};
+    EXPECT_EQ(f.sem.aggregate(pending, 9).size(), 2u);
+}
+
+TEST(SemanticAggregationTest, NonPhase2bUntouchedAndOrderPreserved) {
+    SemanticsFixture f;
+    auto p2a = wrap(std::make_shared<Phase2aMsg>(0, 1, 1, f.v));
+    auto dec = f.msg_decision(2);
+    std::vector<GossipAppMessage> pending{p2a, f.msg_2b(1, 1), dec, f.msg_2b(2, 1)};
+    const auto out = f.sem.aggregate(pending, 9);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].id, p2a.id);          // untouched, in place
+    EXPECT_TRUE(out[1].aggregated);        // at the first 2b's position
+    EXPECT_EQ(out[2].id, dec.id);
+}
+
+TEST(SemanticAggregationTest, SingletonsLeftAlone) {
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{f.msg_2b(1, 1)};
+    const auto out = f.sem.aggregate(pending, 9);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].aggregated);
+    EXPECT_EQ(f.sem.stats().aggregates_built, 0u);
+}
+
+TEST(SemanticAggregationTest, DisabledAggregationPassesThrough) {
+    PaxosSemantics sem{0, 3, PaxosSemantics::Options{.filtering = true, .aggregation = false}};
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{f.msg_2b(1, 1), f.msg_2b(2, 1)};
+    EXPECT_EQ(sem.aggregate(pending, 9).size(), 2u);
+}
+
+TEST(SemanticAggregationTest, RoundTripReconstructsOriginals) {
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{f.msg_2b(1, 1), f.msg_2b(2, 1), f.msg_2b(3, 1)};
+    const std::vector<GossipMsgId> original_ids{pending[0].id, pending[1].id, pending[2].id};
+    const auto out = f.sem.aggregate(pending, 9);
+    ASSERT_EQ(out.size(), 1u);
+    const auto rebuilt = f.sem.disaggregate(out[0]);
+    ASSERT_EQ(rebuilt.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        // Ids match the originals, so the seen cache deduplicates across
+        // aggregated and plain paths (the rule is reversible).
+        EXPECT_EQ(rebuilt[i].id, original_ids[i]);
+        EXPECT_FALSE(rebuilt[i].aggregated);
+        const auto& m = static_cast<const Phase2bMsg&>(*rebuilt[i].payload);
+        EXPECT_EQ(m.instance(), 1);
+        EXPECT_EQ(m.value_digest(), f.v.digest());
+    }
+    EXPECT_EQ(f.sem.stats().disaggregations, 1u);
+}
+
+TEST(SemanticAggregationTest, DisaggregateOfPlainMessageIsIdentity) {
+    SemanticsFixture f;
+    const auto m = f.msg_2b(1, 1);
+    const auto out = f.sem.disaggregate(m);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].id, m.id);
+}
+
+TEST(SemanticAggregationTest, AttemptsMergedToMax) {
+    SemanticsFixture f;
+    std::vector<GossipAppMessage> pending{
+        wrap(testutil::make_2b(1, 1, 1, f.v, /*attempt=*/0)),
+        wrap(testutil::make_2b(2, 1, 1, f.v, /*attempt=*/3)),
+    };
+    const auto out = f.sem.aggregate(pending, 9);
+    ASSERT_EQ(out.size(), 1u);
+    const auto& agg = static_cast<const Phase2bAggregateMsg&>(*out[0].payload);
+    EXPECT_EQ(agg.attempt(), 3);
+}
+
+TEST(SemanticsTest, ViewOfAccessor) {
+    SemanticsFixture f;
+    EXPECT_EQ(f.sem.view_of(9), nullptr);
+    f.sem.validate(f.msg_2b(1, 1), 9);
+    ASSERT_NE(f.sem.view_of(9), nullptr);
+    EXPECT_EQ(f.sem.view_of(9)->quorum(), 3);
+}
+
+}  // namespace
+}  // namespace gossipc

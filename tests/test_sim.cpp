@@ -1,0 +1,160 @@
+// Unit tests: event queue ordering and simulator semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace gossipc {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+    EventQueue q;
+    std::vector<int> order;
+    q.push(SimTime::millis(3), [&] { order.push_back(3); });
+    q.push(SimTime::millis(1), [&] { order.push_back(1); });
+    q.push(SimTime::millis(2), [&] { order.push_back(2); });
+    while (!q.empty()) q.pop().execute();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        q.push(SimTime::millis(5), [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.pop().execute();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeAndErrors) {
+    EventQueue q;
+    EXPECT_THROW(q.next_time(), std::logic_error);
+    EXPECT_THROW(q.pop(), std::logic_error);
+    q.push(SimTime::millis(7), [] {});
+    EXPECT_EQ(q.next_time(), SimTime::millis(7));
+    EXPECT_EQ(q.size(), 1u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+namespace {
+struct CountingTarget final : DeliveryTarget {
+    int delivered = 0;
+    void deliver_event(NetMessage) override { ++delivered; }
+};
+}  // namespace
+
+TEST(EventQueueTest, DeliveryLaneInterleavesWithCallbacks) {
+    EventQueue q;
+    CountingTarget target;
+    std::vector<int> order;
+    q.push(SimTime::millis(2), [&] { order.push_back(2); });
+    q.push_delivery(SimTime::millis(1), target, NetMessage{});
+    while (!q.empty()) q.pop().execute();
+    EXPECT_EQ(target.delivered, 1);
+    EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+    Simulator sim;
+    SimTime seen = SimTime::zero();
+    sim.schedule_after(SimTime::millis(10), [&] { seen = sim.now(); });
+    sim.run_until(SimTime::millis(20));
+    EXPECT_EQ(seen, SimTime::millis(10));
+    EXPECT_EQ(sim.now(), SimTime::millis(20));  // clock advances to target
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+    Simulator sim;
+    sim.run_until(SimTime::millis(5));
+    bool ran = false;
+    sim.schedule_at(SimTime::millis(1), [&] {
+        ran = true;
+        EXPECT_EQ(sim.now(), SimTime::millis(5));
+    });
+    sim.run_until(SimTime::millis(5));
+    EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_after(SimTime::millis(1), [&] {
+        order.push_back(1);
+        sim.schedule_after(SimTime::millis(1), [&] { order.push_back(2); });
+    });
+    sim.run_until(SimTime::millis(10));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilIdleReportsDrain) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_after(SimTime::millis(1), [&] { ++count; });
+    sim.schedule_after(SimTime::millis(2), [&] { ++count; });
+    EXPECT_TRUE(sim.run_until_idle());
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, StopHaltsExecution) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_after(SimTime::millis(1), [&] {
+        ++count;
+        sim.stop();
+    });
+    sim.schedule_after(SimTime::millis(2), [&] { ++count; });
+    sim.run_until(SimTime::millis(10));
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.stopped());
+}
+
+TEST(SimulatorTest, ResetClearsState) {
+    Simulator sim;
+    sim.schedule_after(SimTime::millis(1), [] {});
+    sim.run_until(SimTime::millis(5));
+    sim.stop();
+    sim.reset();
+    EXPECT_EQ(sim.now(), SimTime::zero());
+    EXPECT_FALSE(sim.stopped());
+    EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, TimerFiresOnce) {
+    Simulator sim;
+    int fired = 0;
+    auto t = sim.schedule_timer(SimTime::millis(3), [&] { ++fired; });
+    EXPECT_TRUE(t.pending());
+    sim.run_until(SimTime::millis(10));
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(t.pending());
+}
+
+TEST(SimulatorTest, CancelledTimerDoesNotFire) {
+    Simulator sim;
+    int fired = 0;
+    auto t = sim.schedule_timer(SimTime::millis(3), [&] { ++fired; });
+    t.cancel();
+    sim.run_until(SimTime::millis(10));
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, DeterministicEventCount) {
+    auto run = [] {
+        Simulator sim;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 100; ++i) {
+            sim.schedule_after(SimTime::micros(i * 7 % 50), [&sum, i] { sum += std::uint64_t(i); });
+        }
+        sim.run_until_idle();
+        return sum;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace gossipc

@@ -1,0 +1,27 @@
+// End-to-end smoke: each of the three setups orders values.
+#include <gtest/gtest.h>
+
+#include "core/semantic_gossip.hpp"
+
+namespace gossipc {
+namespace {
+
+TEST(Smoke, AllSetupsOrderValues) {
+    using ::gossipc::Setup;  // disambiguate from testing::Test::Setup
+    for (const auto setup : {Setup::Baseline, Setup::Gossip, Setup::SemanticGossip}) {
+        ExperimentConfig cfg;
+        cfg.setup = setup;
+        cfg.n = 7;
+        cfg.total_rate = 20.0;
+        cfg.warmup = SimTime::seconds(0.5);
+        cfg.measure = SimTime::seconds(2.0);
+        cfg.drain = SimTime::seconds(2.0);
+        const auto result = run_experiment(cfg);
+        EXPECT_GT(result.workload.completed, 0u) << setup_name(setup);
+        EXPECT_EQ(result.workload.not_ordered, 0u) << setup_name(setup);
+        EXPECT_GT(result.workload.latencies.mean(), 0.0) << setup_name(setup);
+    }
+}
+
+}  // namespace
+}  // namespace gossipc

@@ -1,0 +1,93 @@
+// Unit tests: histogram/CDF/percentiles and saturation-knee detection.
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+#include "stats/saturation.hpp"
+
+namespace gossipc {
+namespace {
+
+TEST(HistogramTest, BasicMoments) {
+    Histogram h;
+    for (const double s : {1.0, 2.0, 3.0, 4.0}) h.add(s);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 4.0);
+    EXPECT_NEAR(h.stddev(), 1.29099, 1e-4);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(HistogramTest, PercentilesNearestRank) {
+    Histogram h;
+    for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_THROW(h.percentile(-1), std::invalid_argument);
+    EXPECT_THROW(h.percentile(101), std::invalid_argument);
+}
+
+TEST(HistogramTest, PercentileAfterMoreSamples) {
+    Histogram h;
+    h.add(10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+    h.add(20.0);
+    h.add(30.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 20.0);  // re-sorts after growth
+}
+
+TEST(HistogramTest, CdfMonotone) {
+    Histogram h;
+    for (const double s : {5.0, 1.0, 3.0, 2.0, 4.0}) h.add(s);
+    const auto cdf = h.cdf(10);
+    ASSERT_EQ(cdf.size(), 10u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.back().first, 5.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+    Histogram a, b;
+    a.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(SaturationTest, KneeAtPowerMaximum) {
+    // Throughput tracks offered load until latency explodes.
+    std::vector<SweepPoint> sweep{
+        {10, 10, 100},  {20, 20, 100}, {40, 40, 105},
+        {80, 80, 120},  // knee: best throughput/latency
+        {160, 110, 400}, {320, 115, 1500},
+    };
+    EXPECT_EQ(saturation_index(sweep), 3u);
+}
+
+TEST(SaturationTest, MonotoneLatencyPicksLast) {
+    std::vector<SweepPoint> sweep{{10, 10, 100}, {20, 20, 100}, {40, 40, 100}};
+    EXPECT_EQ(saturation_index(sweep), 2u);
+}
+
+TEST(SaturationTest, EmptyAndDegenerate) {
+    EXPECT_EQ(saturation_index({}), 0u);
+    std::vector<SweepPoint> zero_latency{{10, 10, 0.0}};
+    EXPECT_EQ(saturation_index(zero_latency), 0u);
+}
+
+}  // namespace
+}  // namespace gossipc

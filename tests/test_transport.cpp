@@ -1,0 +1,159 @@
+// Unit tests: DirectTransport routing (Baseline star) and GossipTransport's
+// broadcast-only mapping.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gossip/gossip_node.hpp"
+#include "net/network.hpp"
+#include "overlay/random_overlay.hpp"
+#include "test_util.hpp"
+#include "transport/direct_transport.hpp"
+#include "transport/gossip_transport.hpp"
+
+namespace gossipc {
+namespace {
+
+using testutil::make_value;
+
+TEST(DirectTransportTest, SendRoutesPointToPoint) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 3, {});
+    net.allow_all_links();
+    DirectTransport t0(net, 0), t1(net, 1), t2(net, 2);
+    std::vector<ProcessId> got_at;
+    for (auto* t : {&t0, &t1, &t2}) {
+        t->set_deliver([&got_at, t](const PaxosMessagePtr&, CpuContext&) {
+            got_at.push_back(t->self());
+        });
+    }
+    net.node(0).post([&](CpuContext& ctx) {
+        t0.send(2, std::make_shared<Phase1aMsg>(0, 1, 1), ctx);
+    });
+    sim.run_until_idle();
+    EXPECT_EQ(got_at, (std::vector<ProcessId>{2}));
+}
+
+TEST(DirectTransportTest, BroadcastDeliversLocallyAndRemotely) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 3, {});
+    net.allow_all_links();
+    DirectTransport t0(net, 0), t1(net, 1), t2(net, 2);
+    std::multiset<ProcessId> got_at;
+    for (auto* t : {&t0, &t1, &t2}) {
+        t->set_deliver([&got_at, t](const PaxosMessagePtr&, CpuContext&) {
+            got_at.insert(t->self());
+        });
+    }
+    net.node(0).post([&](CpuContext& ctx) {
+        t0.broadcast(std::make_shared<Phase1aMsg>(0, 1, 1), ctx);
+    });
+    sim.run_until_idle();
+    EXPECT_EQ(got_at, (std::multiset<ProcessId>{0, 1, 2}));
+}
+
+TEST(DirectTransportTest, SelfSendIsLocal) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 3, {});  // no links at all
+    DirectTransport t0(net, 0);
+    int got = 0;
+    t0.set_deliver([&](const PaxosMessagePtr&, CpuContext&) { ++got; });
+    net.node(0).post([&](CpuContext& ctx) {
+        t0.send(0, std::make_shared<Phase1aMsg>(0, 1, 1), ctx);
+    });
+    sim.run_until_idle();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(net.node(0).counters().sent, 0u);
+}
+
+TEST(DirectTransportTest, MissingLinkIsLogicError) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 3, {});
+    DirectTransport t0(net, 0);
+    bool threw = false;
+    net.node(0).post([&](CpuContext& ctx) {
+        try {
+            t0.send(1, std::make_shared<Phase1aMsg>(0, 1, 1), ctx);
+        } catch (const std::logic_error&) {
+            threw = true;
+        }
+    });
+    sim.run_until_idle();
+    EXPECT_TRUE(threw);
+}
+
+TEST(DirectTransportTest, ScheduleRunsOnNodeCpu) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 3, {});
+    DirectTransport t0(net, 0);
+    SimTime fired_at = SimTime::zero();
+    t0.schedule(SimTime::millis(5), [&](CpuContext& ctx) { fired_at = ctx.now(); });
+    sim.run_until_idle();
+    EXPECT_GE(fired_at, SimTime::millis(5));
+}
+
+struct GossipTransportFixture {
+    Simulator sim;
+    Network net;
+    std::vector<std::unique_ptr<PassThroughHooks>> hooks;
+    std::vector<std::unique_ptr<GossipNode>> gnodes;
+    std::vector<std::unique_ptr<GossipTransport>> transports;
+    std::vector<std::vector<PaxosMsgType>> delivered;
+
+    explicit GossipTransportFixture(int n, std::uint64_t seed = 3)
+        : net(sim, LatencyModel::aws(), n, {}), delivered(static_cast<std::size_t>(n)) {
+        const Graph overlay = make_connected_overlay(n, seed);
+        for (const auto& [a, b] : overlay.edges()) net.allow_link(a, b);
+        for (ProcessId id = 0; id < n; ++id) {
+            hooks.push_back(std::make_unique<PassThroughHooks>());
+            gnodes.push_back(std::make_unique<GossipNode>(net.node(id), overlay.neighbors(id),
+                                                          GossipNode::Params{}, *hooks.back()));
+            transports.push_back(std::make_unique<GossipTransport>(*gnodes.back()));
+            transports.back()->set_deliver(
+                [this, id](const PaxosMessagePtr& m, CpuContext&) {
+                    delivered[static_cast<std::size_t>(id)].push_back(m->type());
+                });
+        }
+    }
+};
+
+TEST(GossipTransportTest, BroadcastReachesAll) {
+    GossipTransportFixture f(10);
+    f.net.node(0).post([&](CpuContext& ctx) {
+        f.transports[0]->broadcast(std::make_shared<Phase1aMsg>(0, 1, 1), ctx);
+    });
+    f.sim.run_until_idle();
+    for (int v = 0; v < 10; ++v) {
+        EXPECT_EQ(f.delivered[static_cast<std::size_t>(v)].size(), 1u) << v;
+    }
+}
+
+TEST(GossipTransportTest, SendIsBroadcast) {
+    // "Phase 1b messages ... will be delivered to all participants".
+    GossipTransportFixture f(10);
+    f.net.node(3).post([&](CpuContext& ctx) {
+        f.transports[3]->send(
+            0, std::make_shared<Phase1bMsg>(3, 1, 1, std::vector<AcceptedEntry>{}), ctx);
+    });
+    f.sim.run_until_idle();
+    for (int v = 0; v < 10; ++v) {
+        ASSERT_EQ(f.delivered[static_cast<std::size_t>(v)].size(), 1u) << v;
+        EXPECT_EQ(f.delivered[static_cast<std::size_t>(v)][0], PaxosMsgType::Phase1b);
+    }
+}
+
+TEST(GossipTransportTest, DuplicateBroadcastSuppressedByMessageKey) {
+    GossipTransportFixture f(6);
+    const auto msg = std::make_shared<Phase1aMsg>(0, 1, 1);
+    f.net.node(0).post([&](CpuContext& ctx) {
+        f.transports[0]->broadcast(msg, ctx);
+        f.transports[0]->broadcast(msg, ctx);  // same unique key
+    });
+    f.sim.run_until_idle();
+    for (int v = 0; v < 6; ++v) {
+        EXPECT_EQ(f.delivered[static_cast<std::size_t>(v)].size(), 1u);
+    }
+}
+
+}  // namespace
+}  // namespace gossipc

@@ -1,0 +1,104 @@
+// Shared test helpers: an in-memory transport with scriptable delivery and
+// small factories for protocol messages.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gossip/hooks.hpp"
+#include "paxos/message.hpp"
+#include "sim/simulator.hpp"
+#include "transport/transport.hpp"
+
+namespace gossipc::testutil {
+
+/// Transport that records outgoing messages and lets tests deliver messages
+/// by hand. schedule()/post() run through a Simulator so timer-driven logic
+/// is testable.
+class FakeTransport final : public Transport {
+public:
+    struct Sent {
+        bool broadcast = false;
+        ProcessId to = -1;
+        PaxosMessagePtr msg;
+    };
+
+    FakeTransport(Simulator& sim, ProcessId self) : sim_(sim), self_(self) {}
+
+    ProcessId self() const override { return self_; }
+
+    void broadcast(PaxosMessagePtr msg, CpuContext& ctx) override {
+        sent.push_back(Sent{true, -1, msg});
+        if (loopback) deliver_up(msg, ctx);
+    }
+
+    void send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) override {
+        sent.push_back(Sent{false, to, msg});
+        if (loopback && to == self_) deliver_up(msg, ctx);
+    }
+
+    void schedule(SimTime delay, std::function<void(CpuContext&)> fn) override {
+        sim_.schedule_after(delay, [this, fn = std::move(fn)] {
+            CpuContext ctx{sim_.now()};
+            fn(ctx);
+        });
+    }
+
+    void schedule_every(SimTime period, std::function<void(CpuContext&)> fn) override {
+        sim_.schedule_after(period, [this, period, fn = std::move(fn)]() mutable {
+            CpuContext ctx{sim_.now()};
+            fn(ctx);
+            schedule_every(period, std::move(fn));
+        });
+    }
+
+    void post(std::function<void(CpuContext&)> fn) override {
+        CpuContext ctx{sim_.now()};
+        fn(ctx);
+    }
+
+    /// Delivers a message to the upper layer as if received.
+    void inject(const PaxosMessagePtr& msg) {
+        CpuContext ctx{sim_.now()};
+        deliver_up(msg, ctx);
+    }
+
+    /// Messages of a given type, in send order.
+    std::vector<PaxosMessagePtr> sent_of(PaxosMsgType type) const {
+        std::vector<PaxosMessagePtr> out;
+        for (const auto& s : sent) {
+            if (s.msg->type() == type) out.push_back(s.msg);
+        }
+        return out;
+    }
+
+    std::vector<Sent> sent;
+    bool loopback = true;  ///< deliver broadcasts/self-sends locally
+private:
+    Simulator& sim_;
+    ProcessId self_;
+};
+
+inline Value make_value(std::int32_t client, std::int64_t seq, std::uint32_t size = 1024) {
+    Value v;
+    v.id = ValueId{client, seq};
+    v.size_bytes = size;
+    return v;
+}
+
+inline std::shared_ptr<const Phase2bMsg> make_2b(ProcessId sender, InstanceId inst, Round round,
+                                                 const Value& v, std::int32_t attempt = 0) {
+    return std::make_shared<Phase2bMsg>(sender, inst, round, v.id, v.digest(), attempt);
+}
+
+inline GossipAppMessage wrap(PaxosMessagePtr msg) {
+    GossipAppMessage app;
+    app.id = msg->unique_key();
+    app.origin = msg->sender();
+    app.payload = std::move(msg);
+    return app;
+}
+
+}  // namespace gossipc::testutil

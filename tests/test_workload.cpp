@@ -1,0 +1,108 @@
+// Unit tests: open-loop clients and workload accounting.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "workload/client.hpp"
+#include "workload/workload.hpp"
+
+namespace gossipc {
+namespace {
+
+TEST(ClientTest, OpenLoopSubmitsAtRate) {
+    // Drive a real (small) deployment; check submission counts only.
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 3;
+    cfg.num_clients = 1;
+    cfg.total_rate = 50.0;
+    cfg.warmup = SimTime::seconds(0);
+    cfg.measure = SimTime::seconds(2);
+    cfg.drain = SimTime::seconds(1);
+    Deployment d(cfg);
+    const auto result = d.run();
+    // 50/s for 2s: ~100 submissions (open loop: independent of decisions).
+    EXPECT_NEAR(static_cast<double>(result.workload.submitted), 100.0, 3.0);
+    EXPECT_EQ(result.workload.not_ordered, 0u);
+}
+
+TEST(ClientTest, RejectsNonPositiveRate) {
+    Simulator sim;
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 3;
+    Deployment d(cfg);
+    Client::Params cp;
+    cp.rate = 0.0;
+    EXPECT_THROW(Client(d.simulator(), d.process(0), SimTime::micros(250), cp),
+                 std::invalid_argument);
+}
+
+TEST(WorkloadTest, LatencyIncludesClientLinks) {
+    // Minimum possible latency is 2x the client link plus one WAN round.
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 13;
+    cfg.total_rate = 13.0;
+    cfg.warmup = SimTime::seconds(0.5);
+    cfg.measure = SimTime::seconds(2);
+    cfg.drain = SimTime::seconds(2);
+    const auto result = run_experiment(cfg);
+    ASSERT_GT(result.workload.latencies.count(), 0u);
+    // Fastest client sits with the coordinator: ~ RTT to Canada (14ms) floor.
+    EXPECT_GT(result.workload.latencies.min(), 10.0);
+}
+
+TEST(WorkloadTest, ThroughputMatchesOfferedBelowSaturation) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 13;
+    cfg.total_rate = 100.0;
+    cfg.warmup = SimTime::seconds(1);
+    cfg.measure = SimTime::seconds(3);
+    cfg.drain = SimTime::seconds(2);
+    const auto result = run_experiment(cfg);
+    EXPECT_NEAR(result.workload.throughput, 100.0, 10.0);
+    EXPECT_EQ(result.workload.not_ordered, 0u);
+}
+
+TEST(WorkloadTest, PerClientHistogramsPopulated) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 13;
+    cfg.total_rate = 52.0;
+    cfg.warmup = SimTime::seconds(0.5);
+    cfg.measure = SimTime::seconds(2);
+    cfg.drain = SimTime::seconds(2);
+    Deployment d(cfg);
+    d.run();
+    for (const auto& c : d.workload().clients()) {
+        EXPECT_GT(c->counts().submitted, 0u) << "client " << c->id();
+        EXPECT_GT(c->latencies().count(), 0u) << "client " << c->id();
+    }
+    // 13 clients, one per region, attached to processes in their region.
+    EXPECT_EQ(d.workload().clients().size(), 13u);
+}
+
+TEST(WorkloadTest, ClientsAttachToOwnRegion) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 27;  // coordinator + 2 per region
+    Deployment d(cfg);
+    for (const auto& c : d.workload().clients()) {
+        const Region client_region = static_cast<Region>(c->id() % kNumRegions);
+        EXPECT_EQ(region_of_process(c->attached_process(), cfg.n), client_region);
+    }
+}
+
+TEST(WorkloadTest, RejectsBadParams) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 3;
+    cfg.num_clients = 0;
+    EXPECT_THROW(Deployment{cfg}, std::invalid_argument);
+    cfg.num_clients = kNumRegions + 1;
+    EXPECT_THROW(Deployment{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossipc
