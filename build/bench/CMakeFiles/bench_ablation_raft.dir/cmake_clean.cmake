@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_raft.dir/bench_ablation_raft.cpp.o"
+  "CMakeFiles/bench_ablation_raft.dir/bench_ablation_raft.cpp.o.d"
+  "bench_ablation_raft"
+  "bench_ablation_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_semantic.dir/bench_ablation_semantic.cpp.o"
+  "CMakeFiles/bench_ablation_semantic.dir/bench_ablation_semantic.cpp.o.d"
+  "bench_ablation_semantic"
+  "bench_ablation_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

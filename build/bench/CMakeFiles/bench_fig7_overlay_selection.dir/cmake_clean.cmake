@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_overlay_selection.dir/bench_fig7_overlay_selection.cpp.o"
+  "CMakeFiles/bench_fig7_overlay_selection.dir/bench_fig7_overlay_selection.cpp.o.d"
+  "bench_fig7_overlay_selection"
+  "bench_fig7_overlay_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_overlay_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_overlay_selection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partially_connected.dir/partially_connected.cpp.o"
+  "CMakeFiles/partially_connected.dir/partially_connected.cpp.o.d"
+  "partially_connected"
+  "partially_connected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partially_connected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for partially_connected.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_demo.dir/reliability_demo.cpp.o"
+  "CMakeFiles/reliability_demo.dir/reliability_demo.cpp.o.d"
+  "reliability_demo"
+  "reliability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_replication.dir/wan_replication.cpp.o"
+  "CMakeFiles/wan_replication.dir/wan_replication.cpp.o.d"
+  "wan_replication"
+  "wan_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

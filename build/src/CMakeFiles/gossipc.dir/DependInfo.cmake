@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/gossipc.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/gossipc.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/gossipc.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/gossipc.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/core/report.cpp.o.d"
+  "/root/repo/src/gossip/gossip_node.cpp" "src/CMakeFiles/gossipc.dir/gossip/gossip_node.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/gossip/gossip_node.cpp.o.d"
+  "/root/repo/src/gossip/seen_cache.cpp" "src/CMakeFiles/gossipc.dir/gossip/seen_cache.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/gossip/seen_cache.cpp.o.d"
+  "/root/repo/src/gossip/sliding_bloom.cpp" "src/CMakeFiles/gossipc.dir/gossip/sliding_bloom.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/gossip/sliding_bloom.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/CMakeFiles/gossipc.dir/net/latency_model.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/net/latency_model.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/gossipc.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/gossipc.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/region.cpp" "src/CMakeFiles/gossipc.dir/net/region.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/net/region.cpp.o.d"
+  "/root/repo/src/overlay/analysis.cpp" "src/CMakeFiles/gossipc.dir/overlay/analysis.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/overlay/analysis.cpp.o.d"
+  "/root/repo/src/overlay/graph.cpp" "src/CMakeFiles/gossipc.dir/overlay/graph.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/overlay/graph.cpp.o.d"
+  "/root/repo/src/overlay/random_overlay.cpp" "src/CMakeFiles/gossipc.dir/overlay/random_overlay.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/overlay/random_overlay.cpp.o.d"
+  "/root/repo/src/paxos/acceptor.cpp" "src/CMakeFiles/gossipc.dir/paxos/acceptor.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/paxos/acceptor.cpp.o.d"
+  "/root/repo/src/paxos/coordinator.cpp" "src/CMakeFiles/gossipc.dir/paxos/coordinator.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/paxos/coordinator.cpp.o.d"
+  "/root/repo/src/paxos/learner.cpp" "src/CMakeFiles/gossipc.dir/paxos/learner.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/paxos/learner.cpp.o.d"
+  "/root/repo/src/paxos/message.cpp" "src/CMakeFiles/gossipc.dir/paxos/message.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/paxos/message.cpp.o.d"
+  "/root/repo/src/paxos/process.cpp" "src/CMakeFiles/gossipc.dir/paxos/process.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/paxos/process.cpp.o.d"
+  "/root/repo/src/paxos/value.cpp" "src/CMakeFiles/gossipc.dir/paxos/value.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/paxos/value.cpp.o.d"
+  "/root/repo/src/raft/message.cpp" "src/CMakeFiles/gossipc.dir/raft/message.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/raft/message.cpp.o.d"
+  "/root/repo/src/raft/replica.cpp" "src/CMakeFiles/gossipc.dir/raft/replica.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/raft/replica.cpp.o.d"
+  "/root/repo/src/raft/semantics.cpp" "src/CMakeFiles/gossipc.dir/raft/semantics.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/raft/semantics.cpp.o.d"
+  "/root/repo/src/semantic/paxos_semantics.cpp" "src/CMakeFiles/gossipc.dir/semantic/paxos_semantics.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/semantic/paxos_semantics.cpp.o.d"
+  "/root/repo/src/semantic/peer_view.cpp" "src/CMakeFiles/gossipc.dir/semantic/peer_view.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/semantic/peer_view.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/gossipc.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/gossipc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/counters.cpp" "src/CMakeFiles/gossipc.dir/stats/counters.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/stats/counters.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/gossipc.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/saturation.cpp" "src/CMakeFiles/gossipc.dir/stats/saturation.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/stats/saturation.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/gossipc.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/transport/direct_transport.cpp" "src/CMakeFiles/gossipc.dir/transport/direct_transport.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/transport/direct_transport.cpp.o.d"
+  "/root/repo/src/transport/gossip_transport.cpp" "src/CMakeFiles/gossipc.dir/transport/gossip_transport.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/transport/gossip_transport.cpp.o.d"
+  "/root/repo/src/workload/client.cpp" "src/CMakeFiles/gossipc.dir/workload/client.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/workload/client.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/gossipc.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/gossipc.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

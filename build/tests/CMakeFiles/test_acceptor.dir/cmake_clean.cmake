@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acceptor.dir/test_acceptor.cpp.o"
+  "CMakeFiles/test_acceptor.dir/test_acceptor.cpp.o.d"
+  "test_acceptor"
+  "test_acceptor.pdb"
+  "test_acceptor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acceptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

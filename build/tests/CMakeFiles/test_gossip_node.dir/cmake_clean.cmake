@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip_node.dir/test_gossip_node.cpp.o"
+  "CMakeFiles/test_gossip_node.dir/test_gossip_node.cpp.o.d"
+  "test_gossip_node"
+  "test_gossip_node.pdb"
+  "test_gossip_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

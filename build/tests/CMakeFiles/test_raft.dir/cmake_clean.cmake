@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raft.dir/test_raft.cpp.o"
+  "CMakeFiles/test_raft.dir/test_raft.cpp.o.d"
+  "test_raft"
+  "test_raft.pdb"
+  "test_raft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

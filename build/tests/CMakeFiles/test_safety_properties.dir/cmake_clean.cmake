@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safety_properties.dir/test_safety_properties.cpp.o"
+  "CMakeFiles/test_safety_properties.dir/test_safety_properties.cpp.o.d"
+  "test_safety_properties"
+  "test_safety_properties.pdb"
+  "test_safety_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safety_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

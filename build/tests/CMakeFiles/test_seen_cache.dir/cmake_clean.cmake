@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seen_cache.dir/test_seen_cache.cpp.o"
+  "CMakeFiles/test_seen_cache.dir/test_seen_cache.cpp.o.d"
+  "test_seen_cache"
+  "test_seen_cache.pdb"
+  "test_seen_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seen_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_seen_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip_node[1]_include.cmake")
+include("/root/repo/build/tests/test_message[1]_include.cmake")
+include("/root/repo/build/tests/test_acceptor[1]_include.cmake")
+include("/root/repo/build/tests/test_learner[1]_include.cmake")
+include("/root/repo/build/tests/test_coordinator[1]_include.cmake")
+include("/root/repo/build/tests/test_process[1]_include.cmake")
+include("/root/repo/build/tests/test_semantic[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_safety_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_crash_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_raft[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_regressions[1]_include.cmake")
+include("/root/repo/build/tests/test_batching[1]_include.cmake")
+include("/root/repo/build/tests/test_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_gossip_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_deployment[1]_include.cmake")
