@@ -1,0 +1,73 @@
+#include "check/gossip_invariants.hpp"
+
+#if GC_ENABLE_INVARIANTS
+
+#include <set>
+#include <tuple>
+
+#include "paxos/message.hpp"
+
+namespace gossipc::check {
+
+namespace {
+
+/// One Phase 2b vote, identified by what matters to the protocol. The
+/// retransmission attempt is deliberately excluded: merging an original and
+/// its retransmission is content-preserving.
+using VoteKey = std::tuple<ProcessId, InstanceId, Round, std::uint64_t>;
+
+struct Flattened {
+    std::set<VoteKey> votes;             ///< Phase 2b content, aggregates expanded
+    std::multiset<GossipMsgId> others;   ///< everything else, by gossip id
+};
+
+Flattened flatten(const std::vector<GossipAppMessage>& msgs) {
+    Flattened f;
+    for (const GossipAppMessage& m : msgs) {
+        const PaxosMessage* paxos = nullptr;
+        if (m.payload && m.payload->kind() == BodyKind::Paxos) {
+            paxos = static_cast<const PaxosMessage*>(m.payload.get());
+        }
+        if (paxos != nullptr && paxos->type() == PaxosMsgType::Phase2b) {
+            const auto& b = static_cast<const Phase2bMsg&>(*paxos);
+            f.votes.insert(VoteKey{b.sender(), b.instance(), b.round(), b.value_digest()});
+        } else if (paxos != nullptr && paxos->type() == PaxosMsgType::Phase2bAggregate) {
+            const auto& a = static_cast<const Phase2bAggregateMsg&>(*paxos);
+            for (const ProcessId s : a.senders()) {
+                f.votes.insert(VoteKey{s, a.instance(), a.round(), a.value_digest()});
+            }
+        } else {
+            f.others.insert(m.id);
+        }
+    }
+    return f;
+}
+
+}  // namespace
+
+void check_aggregate_wellformed(const Phase2bAggregateMsg& msg) {
+    GC_INVARIANT(!msg.senders().empty(), "aggregate for instance %lld carries no senders",
+                 static_cast<long long>(msg.instance()));
+    const std::set<ProcessId> distinct(msg.senders().begin(), msg.senders().end());
+    GC_INVARIANT(distinct.size() == msg.senders().size(),
+                 "aggregate for instance %lld carries duplicate senders "
+                 "(%zu distinct of %zu)",
+                 static_cast<long long>(msg.instance()), distinct.size(),
+                 msg.senders().size());
+}
+
+void check_aggregation_roundtrip(const std::vector<GossipAppMessage>& before,
+                                 const std::vector<GossipAppMessage>& after) {
+    const Flattened in = flatten(before);
+    const Flattened out = flatten(after);
+    GC_INVARIANT(in.votes == out.votes,
+                 "aggregation altered the Phase 2b vote set (%zu votes in, %zu out)",
+                 in.votes.size(), out.votes.size());
+    GC_INVARIANT(in.others == out.others,
+                 "aggregation altered non-Phase-2b messages (%zu in, %zu out)",
+                 in.others.size(), out.others.size());
+}
+
+}  // namespace gossipc::check
+
+#endif  // GC_ENABLE_INVARIANTS

@@ -1,0 +1,46 @@
+// Semantic-gossip soundness invariants (Section 3.2 of the paper).
+//
+// The gossip-layer optimisations are only trustworthy when their soundness
+// conditions are machine-checked: filtering may drop nothing but provably
+// obsolete Phase 2b traffic, and aggregation must be losslessly reversible.
+// check_aggregation_roundtrip() re-derives reversibility on every batch the
+// aggregation hook produces: the set of Phase 2b votes — (sender, instance,
+// round, digest) — recoverable by disaggregating the output must equal the
+// votes of the input, and every non-Phase-2b message must pass through
+// untouched. In release builds both checks compile to empty inlines.
+#pragma once
+
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "gossip/hooks.hpp"
+
+namespace gossipc {
+class Phase2bAggregateMsg;
+}
+
+namespace gossipc::check {
+
+#if GC_ENABLE_INVARIANTS
+
+/// G-AGG-2: an aggregate carries a non-empty set of distinct senders. A
+/// duplicated sender would double-count one acceptor's vote toward a quorum,
+/// breaking the filtering rule's soundness at every downstream peer.
+void check_aggregate_wellformed(const Phase2bAggregateMsg& msg);
+
+/// S-AGG-1: aggregation is losslessly reversible (see file comment). Fails
+/// via GC_INVARIANT when a vote or a non-Phase-2b message was lost, invented,
+/// or altered between `before` (the pending batch) and `after` (the batch
+/// actually sent).
+void check_aggregation_roundtrip(const std::vector<GossipAppMessage>& before,
+                                 const std::vector<GossipAppMessage>& after);
+
+#else
+
+inline void check_aggregate_wellformed(const Phase2bAggregateMsg& /*msg*/) {}
+inline void check_aggregation_roundtrip(const std::vector<GossipAppMessage>& /*before*/,
+                                        const std::vector<GossipAppMessage>& /*after*/) {}
+
+#endif
+
+}  // namespace gossipc::check

@@ -1,0 +1,21 @@
+#include "check/invariant.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gossipc::check {
+
+void invariant_failed(const char* condition, const char* file, int line, const char* fmt,
+                      ...) {
+    std::fprintf(stderr, "\nINVARIANT VIOLATION: %s\n  at %s:%d\n  ", condition, file, line);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace gossipc::check

@@ -1,0 +1,63 @@
+// Paxos safety invariants checked continuously at runtime.
+//
+// The monitors are shadow models: each observe() compares a component's
+// externally visible state against the previous snapshot and fails via
+// GC_INVARIANT on any transition Paxos forbids —
+//   * an acceptor's promise floor moving backwards,
+//   * an accepted (instance, vround) changing its value,
+//   * a learner's delivery frontier regressing or disagreeing with its
+//     delivered count,
+//   * two learners deciding different values for one instance (agreement).
+// register_paxos_checks() bundles them for a whole deployment; the
+// experiment driver runs the bundle through the simulator's event probe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "common/types.hpp"
+
+namespace gossipc {
+class Acceptor;
+class Learner;
+}  // namespace gossipc
+
+namespace gossipc::check {
+
+/// Shadow of one acceptor's promise/accept state.
+class AcceptorMonitor {
+public:
+    void observe(const Acceptor& acceptor);
+
+private:
+    Round last_floor_ = 0;
+    /// instance -> (vround, value digest) at the previous observation.
+    std::map<InstanceId, std::pair<Round, std::uint64_t>> accepted_;
+};
+
+/// Cross-learner agreement plus per-learner delivery consistency. The same
+/// learner set (same order) must be passed to every observe().
+class AgreementMonitor {
+public:
+    void observe(const std::vector<const Learner*>& learners);
+
+private:
+    /// instance -> digest of the first decision observed anywhere.
+    std::map<InstanceId, std::uint64_t> decided_digest_;
+    /// Instances below this are delivered by every learner and cross-checked;
+    /// they can no longer change and are retired from the map.
+    InstanceId floor_ = 1;
+    std::vector<InstanceId> last_frontier_;  // per learner
+};
+
+/// Registers the standard Paxos safety checks over a deployment's processes:
+/// one AcceptorMonitor per acceptor and one AgreementMonitor across all
+/// learners. The pointed-to components must outlive `checker`.
+void register_paxos_checks(InvariantChecker& checker,
+                           std::vector<const Learner*> learners,
+                           std::vector<const Acceptor*> acceptors);
+
+}  // namespace gossipc::check

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/paxos_invariants.hpp"
 #include "overlay/random_overlay.hpp"
 
 namespace gossipc {
@@ -68,6 +69,23 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
         processes_.push_back(std::make_unique<PaxosProcess>(pc, *transports_.back()));
     }
 
+#if GC_ENABLE_INVARIANTS
+    // Always-on correctness observer (debug/sanitizer builds): Paxos safety
+    // invariants are re-checked continuously while the experiment runs.
+    if (config.invariant_probe_events > 0) {
+        invariants_ = std::make_unique<check::InvariantChecker>();
+        std::vector<const Learner*> learners;
+        std::vector<const Acceptor*> acceptors;
+        for (const auto& p : processes_) {
+            learners.push_back(&p->learner());
+            acceptors.push_back(&p->acceptor());
+        }
+        check::register_paxos_checks(*invariants_, std::move(learners),
+                                     std::move(acceptors));
+        sim_->set_probe(config.invariant_probe_events, [this] { invariants_->run_all(); });
+    }
+#endif
+
     Workload::Params wp;
     wp.total_rate = config.total_rate;
     wp.num_clients = config.num_clients;
@@ -125,6 +143,7 @@ MessageStats Deployment::message_stats() const {
 }
 
 ExperimentResult Deployment::collect() {
+    if (invariants_) invariants_->run_all();  // final whole-run safety check
     ExperimentResult result;
     result.workload = workload_->result();
     result.messages = message_stats();

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "gossip/gossip_node.hpp"
 #include "net/network.hpp"
 #include "overlay/analysis.hpp"
@@ -62,6 +63,12 @@ struct ExperimentConfig {
     double bandwidth_bytes_per_us = 125.0;
     double jitter_frac = 0.02;
 
+    /// Runtime invariant checking (debug/sanitizer builds only): the Paxos
+    /// safety checks run every this-many simulator events and once more when
+    /// results are collected. 0 disables the periodic probe. No effect in
+    /// builds with GC_INVARIANTS off — the checks compile out.
+    std::uint64_t invariant_probe_events = 25'000;
+
     std::uint64_t seed = 1;
 };
 
@@ -97,6 +104,9 @@ public:
     const Graph* overlay() const { return overlay_ ? &*overlay_ : nullptr; }
     GossipNode* gossip_node(ProcessId id);
     PaxosSemantics* semantics(ProcessId id);
+    /// The deployment's invariant checker; null when invariants are compiled
+    /// out or the probe is disabled in the config.
+    check::InvariantChecker* invariants() { return invariants_.get(); }
 
     /// Collects the deployment-wide message statistics (any time).
     MessageStats message_stats() const;
@@ -112,6 +122,7 @@ private:
     std::vector<std::unique_ptr<Transport>> transports_;
     std::vector<std::unique_ptr<PaxosProcess>> processes_;
     std::unique_ptr<Workload> workload_;
+    std::unique_ptr<check::InvariantChecker> invariants_;
 };
 
 /// Convenience: build, run, and collect in one call.

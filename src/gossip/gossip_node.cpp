@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "check/invariant.hpp"
+
 namespace gossipc {
 
 std::string GossipEnvelope::describe() const {
@@ -37,6 +39,12 @@ GossipNode::GossipNode(Node& node, std::vector<ProcessId> peers, Params params,
 }
 
 void GossipNode::broadcast(GossipAppMessage msg, CpuContext& ctx) {
+    // G-AGG-1: aggregates exist only on the wire, between aggregation at a
+    // sender's drain and disaggregation on receive; the application never
+    // broadcasts one (it could not interpret it on delivery either).
+    GC_INVARIANT(!msg.aggregated,
+                 "aggregated gossip message %016llx entered the broadcast path at node %d",
+                 static_cast<unsigned long long>(msg.id), node_.id());
     ++counters_.broadcasts;
     if (!seen_.insert_if_new(msg.id)) return;  // re-broadcast of a known id
     remember(msg);
@@ -76,6 +84,11 @@ void GossipNode::on_net_receive(const NetMessage& net_msg, CpuContext& ctx) {
 }
 
 void GossipNode::accept(const GossipAppMessage& msg, ProcessId received_from, CpuContext& ctx) {
+    // G-AGG-1 (receive side): disaggregation must have reversed the
+    // aggregation rule before a message reaches the delivery path.
+    GC_INVARIANT(!msg.aggregated,
+                 "aggregated gossip message %016llx reached the delivery path at node %d",
+                 static_cast<unsigned long long>(msg.id), node_.id());
     if (!seen_.insert_if_new(msg.id)) {
         ++counters_.duplicates;
         return;

@@ -5,9 +5,16 @@
 
 namespace gossipc {
 
-Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
+namespace {
+// Validates before the int -> size_t conversion: a negative n must reject,
+// not wrap into a huge vector size in the member initializer.
+std::size_t checked_vertex_count(int n) {
     if (n <= 0) throw std::invalid_argument("Graph: n must be positive");
+    return static_cast<std::size_t>(n);
 }
+}  // namespace
+
+Graph::Graph(int n) : n_(n), adj_(checked_vertex_count(n)) {}
 
 void Graph::check(ProcessId v) const {
     if (v < 0 || v >= n_) throw std::out_of_range("Graph: vertex out of range");

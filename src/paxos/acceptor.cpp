@@ -24,6 +24,16 @@ Round Acceptor::effective_round(InstanceId instance) const {
 bool Acceptor::on_phase2a(InstanceId instance, Round round, const Value& value) {
     if (round < effective_round(instance)) return false;
     Slot& slot = slots_[instance];
+    // P-ACC-1: within one round an acceptor votes for at most one value. A
+    // round has a single proposer which proposes a single value per instance;
+    // a second value here means a proposer bug or state corruption, and
+    // accepting it could let two quorums form for different values.
+    GC_INVARIANT(slot.vrnd == 0 || slot.vrnd != round || slot.vval.digest() == value.digest(),
+                 "acceptor re-accepting a different value in round %d of instance %lld "
+                 "(digest %016llx -> %016llx)",
+                 round, static_cast<long long>(instance),
+                 static_cast<unsigned long long>(slot.vval.digest()),
+                 static_cast<unsigned long long>(value.digest()));
     slot.rnd = round;
     slot.vrnd = round;
     slot.vval = value;
@@ -34,6 +44,15 @@ std::optional<AcceptedEntry> Acceptor::accepted_in(InstanceId instance) const {
     const auto it = slots_.find(instance);
     if (it == slots_.end() || it->second.vrnd == 0) return std::nullopt;
     return AcceptedEntry{instance, it->second.vrnd, it->second.vval};
+}
+
+std::vector<AcceptedEntry> Acceptor::accepted_snapshot() const {
+    std::vector<AcceptedEntry> out;
+    out.reserve(slots_.size());
+    for (const auto& [instance, slot] : slots_) {
+        if (slot.vrnd > 0) out.push_back(AcceptedEntry{instance, slot.vrnd, slot.vval});
+    }
+    return out;
 }
 
 void Acceptor::forget_below(InstanceId instance) {

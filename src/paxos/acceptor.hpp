@@ -5,10 +5,12 @@
 // map and garbage-collected below the locally-learned decision frontier.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "paxos/message.hpp"
 
 namespace gossipc {
@@ -40,6 +42,21 @@ public:
     void forget_below(InstanceId instance);
 
     std::size_t slot_count() const { return slots_.size(); }
+
+    /// All accepted entries currently held (for the invariant monitors).
+    std::vector<AcceptedEntry> accepted_snapshot() const;
+
+#if GC_ENABLE_INVARIANTS
+    /// Test-only corruption hooks: deliberately violate acceptor state so the
+    /// invariant layer's detection can be exercised. Compiled out in release.
+    void debug_set_promise_floor(Round round) { floor_round_ = round; }
+    void debug_overwrite_accepted(InstanceId instance, Round vround, const Value& value) {
+        Slot& slot = slots_[instance];
+        slot.rnd = std::max(slot.rnd, vround);
+        slot.vrnd = vround;
+        slot.vval = value;
+    }
+#endif
 
 private:
     struct Slot {

@@ -40,6 +40,15 @@ void Learner::on_decision(const DecisionMsg& msg, CpuContext& ctx) {
     note_instance(msg.instance());
     if (msg.instance() < frontier_) return;
     InstState& st = inst_[msg.instance()];
+    // P-LRN-1: all decisions for one instance carry the same value. A
+    // Decision disagreeing with an earlier one (from a quorum of 2b or a
+    // previous Decision) is direct evidence of an agreement violation.
+    GC_INVARIANT(!st.decided || st.decided_digest == msg.value_digest(),
+                 "conflicting decisions for instance %lld: digest %016llx, then %016llx "
+                 "from process %d",
+                 static_cast<long long>(msg.instance()),
+                 static_cast<unsigned long long>(st.decided_digest),
+                 static_cast<unsigned long long>(msg.value_digest()), msg.sender());
     if (msg.full_value()) {
         st.values_by_digest.emplace(msg.value_digest(), *msg.full_value());
     }
@@ -101,6 +110,15 @@ std::optional<Value> Learner::decided_value(InstanceId instance) const {
     const auto vit = it->second.values_by_digest.find(it->second.decided_digest);
     if (vit == it->second.values_by_digest.end()) return std::nullopt;
     return vit->second;
+}
+
+std::optional<std::uint64_t> Learner::decided_digest(InstanceId instance) const {
+    if (const auto lit = log_.find(instance); lit != log_.end()) {
+        return lit->second.digest();
+    }
+    const auto it = inst_.find(instance);
+    if (it == inst_.end() || !it->second.decided) return std::nullopt;
+    return it->second.decided_digest;
 }
 
 bool Learner::value_missing(InstanceId instance) const {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <set>
 
+#include "check/invariant.hpp"
 #include "net/node.hpp"
 #include "paxos/message.hpp"
 
@@ -39,6 +40,9 @@ public:
     bool knows_decision(InstanceId instance) const;
     /// Decided value, if the instance is decided and the payload is known.
     std::optional<Value> decided_value(InstanceId instance) const;
+    /// Digest of the decided value; known even while the payload is missing.
+    /// nullopt when undecided, or delivered and truncated from the log.
+    std::optional<std::uint64_t> decided_digest(InstanceId instance) const;
 
     /// Next instance to be delivered (all below are decided and delivered).
     InstanceId frontier() const { return frontier_; }

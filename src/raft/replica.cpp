@@ -67,13 +67,18 @@ void RaftReplica::on_deliver(const GossipAppMessage& msg, CpuContext& ctx) {
 void RaftReplica::handle_append(const AppendMsg& msg, CpuContext& ctx) {
     if (msg.term() != config_.term) return;  // single-term regular operation
     if (msg.index() < frontier_) return;     // already committed & delivered
-    Slot& slot = slots_[msg.index()];
-    slot.value = msg.value();
+    slots_[msg.index()].value = msg.value();
     ++counters_.acks_sent;
+    // broadcast() self-delivers our own Ack synchronously; if it completes
+    // the quorum, try_deliver() erases this slot — no reference into slots_
+    // may be held across the call.
     broadcast(std::make_shared<AckMsg>(config_.id, msg.term(), msg.index(),
                                        msg.value().digest()),
               ctx);
-    if (slot.committed) try_deliver(ctx);  // value may unblock delivery
+    const auto it = slots_.find(msg.index());
+    if (it != slots_.end() && it->second.committed) {
+        try_deliver(ctx);  // value may unblock delivery
+    }
 }
 
 void RaftReplica::handle_ack(const AckMsg& msg, CpuContext& ctx) {

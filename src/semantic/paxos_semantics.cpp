@@ -5,6 +5,8 @@
 #include <memory>
 #include <tuple>
 
+#include "check/gossip_invariants.hpp"
+
 namespace gossipc {
 
 PaxosSemantics::PaxosSemantics(ProcessId self, int quorum, Options options)
@@ -42,6 +44,10 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
         }
         case PaxosMsgType::Phase2bAggregate: {
             const auto& m = static_cast<const Phase2bAggregateMsg&>(*paxos);
+            // S-AGG-2: a malformed aggregate (duplicate or missing senders)
+            // would double-count one acceptor's vote toward the quorum below
+            // and could mark a decision the peer cannot actually learn.
+            check::check_aggregate_wellformed(m);
             PeerView& pv = view(peer);
             if (pv.knows_decision(m.instance())) {
                 ++stats_.filtered_phase2b;
@@ -56,7 +62,14 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
         }
         case PaxosMsgType::Decision: {
             const auto& m = static_cast<const DecisionMsg&>(*paxos);
-            view(peer).mark_decision(m.instance());
+            PeerView& pv = view(peer);
+            pv.mark_decision(m.instance());
+            // S-FLT-1: the sent Decision must be visible in the peer view
+            // immediately — filtering rule F1 is only sound while the view
+            // remembers every Decision this process forwarded to the peer.
+            GC_INVARIANT(pv.knows_decision(m.instance()),
+                         "peer view lost the decision just marked for instance %lld",
+                         static_cast<long long>(m.instance()));
             return true;
         }
         default:
@@ -68,6 +81,9 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
                                                         ProcessId peer) {
     (void)peer;
     if (!options_.aggregation || pending.size() < 2) return pending;
+#if GC_ENABLE_INVARIANTS
+    const std::vector<GossipAppMessage> before = pending;  // for S-AGG-1 below
+#endif
 
     // Group Phase 2b messages by (instance, round, digest); groups of two or
     // more are merged into one multi-sender message placed at the position
@@ -123,6 +139,11 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
             out.push_back(std::move(pending[i]));
         }
     }
+#if GC_ENABLE_INVARIANTS
+    // S-AGG-1: aggregation is losslessly reversible — the receiver must be
+    // able to reconstruct exactly the Phase 2b votes this batch carried.
+    check::check_aggregation_roundtrip(before, out);
+#endif
     return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/invariant.hpp"
+
 namespace gossipc {
 
 void Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
@@ -22,10 +24,17 @@ Timer Simulator::schedule_timer(SimTime delay, EventQueue::Callback fn) {
 
 bool Simulator::step() {
     if (stopped_ || queue_.empty()) return false;
+    // SIM-1: simulated time never runs backwards — every schedule path clamps
+    // to `now`, so a past-dated event means queue or clamping corruption.
+    GC_INVARIANT(queue_.next_time() >= now_,
+                 "event scheduled in the past: next=%lld now=%lld",
+                 static_cast<long long>(queue_.next_time().as_nanos()),
+                 static_cast<long long>(now_.as_nanos()));
     now_ = queue_.next_time();
     auto entry = queue_.pop();
     ++events_executed_;
     entry.execute();
+    if (probe_every_ != 0 && events_executed_ % probe_every_ == 0) probe_();
     return true;
 }
 

@@ -79,11 +79,21 @@ public:
 
     std::size_t pending_events() const { return queue_.size(); }
 
+    /// Installs an observer invoked after every `every_events`-th executed
+    /// event (0 or an empty fn disables). The invariant layer hooks its
+    /// whole-system checks here; the per-event cost when set is one modulo.
+    void set_probe(std::uint64_t every_events, std::function<void()> fn) {
+        probe_every_ = fn ? every_events : 0;
+        probe_ = std::move(fn);
+    }
+
 private:
     EventQueue queue_;
     SimTime now_ = SimTime::zero();
     std::uint64_t events_executed_ = 0;
     bool stopped_ = false;
+    std::uint64_t probe_every_ = 0;
+    std::function<void()> probe_;
 };
 
 }  // namespace gossipc

@@ -28,7 +28,11 @@ public:
     const std::vector<double>& samples() const { return samples_; }
 
     void merge(const Histogram& other);
-    void clear() { samples_.clear(), sorted_ = false; }
+    void clear() {
+        samples_.clear();
+        sorted_samples_.clear();
+        sorted_ = false;
+    }
 
 private:
     void ensure_sorted() const;

@@ -26,7 +26,9 @@ struct Coverage {
 
 Coverage measure_coverage(int n, double loss, std::uint64_t seed, int messages) {
     Simulator sim;
-    Network net(sim, LatencyModel::aws(), n, Network::Params{.seed = seed});
+    Network::Params net_params;
+    net_params.seed = seed;
+    Network net(sim, LatencyModel::aws(), n, net_params);
     const Graph overlay = make_connected_overlay(n, seed);
     for (const auto& [a, b] : overlay.edges()) net.allow_link(a, b);
     if (loss > 0) net.set_uniform_loss(loss);

@@ -1,0 +1,255 @@
+// Correctness-tooling tests: GC_INVARIANT death tests, the Paxos safety
+// monitors tripped by deliberately corrupted protocol state, the
+// semantic-gossip soundness checks, and the deployment-level wiring of the
+// InvariantChecker observer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/gossip_invariants.hpp"
+#include "check/invariant.hpp"
+#include "check/paxos_invariants.hpp"
+#include "core/experiment.hpp"
+#include "gossip/gossip_node.hpp"
+#include "net/network.hpp"
+#include "paxos/acceptor.hpp"
+#include "paxos/learner.hpp"
+#include "semantic/paxos_semantics.hpp"
+#include "test_util.hpp"
+
+namespace gossipc {
+namespace {
+
+using testutil::make_2b;
+using testutil::make_value;
+using testutil::wrap;
+
+TEST(InvariantCheckerTest, RunsRegisteredChecks) {
+    check::InvariantChecker checker;
+    int calls = 0;
+    checker.add_check("count", [&calls] { ++calls; });
+    checker.add_check("count-again", [&calls] { ++calls; });
+    EXPECT_EQ(checker.check_count(), 2u);
+    checker.run_all();
+    checker.run_all();
+    EXPECT_EQ(calls, 4);
+    EXPECT_EQ(checker.runs(), 2u);
+}
+
+#if GC_ENABLE_INVARIANTS
+
+TEST(InvariantMacroTest, PassingConditionEvaluatesOnceAndContinues) {
+    int evaluations = 0;
+    GC_INVARIANT(++evaluations == 1, "evaluated %d times", evaluations);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(InvariantMacroDeathTest, FailingConditionAbortsWithDiagnostics) {
+    EXPECT_DEATH(GC_INVARIANT(1 == 2, "math broke: %d", 42), "INVARIANT VIOLATION");
+    EXPECT_DEATH(GC_INVARIANT(false, "context %s", "payload"), "context payload");
+}
+
+// --- Paxos invariants -------------------------------------------------------
+
+TEST(PaxosInvariantDeathTest, AcceptorRejectsSecondValueInSameRound) {
+    Acceptor acceptor;
+    ASSERT_TRUE(acceptor.on_phase2a(1, 1, make_value(0, 1)));
+    // Same instance and round, different value: P-ACC-1.
+    EXPECT_DEATH(acceptor.on_phase2a(1, 1, make_value(0, 2)),
+                 "re-accepting a different value");
+    // Same value again is a benign retransmission.
+    EXPECT_TRUE(acceptor.on_phase2a(1, 1, make_value(0, 1)));
+    // A higher round may change the value.
+    EXPECT_TRUE(acceptor.on_phase2a(1, 2, make_value(0, 3)));
+}
+
+TEST(PaxosInvariantTest, AcceptorMonitorAcceptsLegalTransitions) {
+    Acceptor acceptor;
+    check::AcceptorMonitor monitor;
+    monitor.observe(acceptor);
+    acceptor.on_phase1a(1, 1);
+    acceptor.on_phase2a(1, 1, make_value(0, 1));
+    monitor.observe(acceptor);
+    acceptor.on_phase1a(3, 1);                      // higher promise
+    acceptor.on_phase2a(1, 3, make_value(0, 2));    // re-accept at higher round
+    acceptor.on_phase2a(2, 3, make_value(0, 3));
+    monitor.observe(acceptor);
+    acceptor.forget_below(2);                       // GC below the frontier
+    monitor.observe(acceptor);
+}
+
+TEST(PaxosInvariantDeathTest, AcceptorMonitorCatchesPromiseFloorRegression) {
+    Acceptor acceptor;
+    check::AcceptorMonitor monitor;
+    acceptor.on_phase1a(5, 1);
+    monitor.observe(acceptor);
+    acceptor.debug_set_promise_floor(2);  // deliberate corruption: P-ACC-2
+    EXPECT_DEATH(monitor.observe(acceptor), "promise floor moved backwards");
+}
+
+TEST(PaxosInvariantDeathTest, AcceptorMonitorCatchesRewrittenVote) {
+    Acceptor acceptor;
+    check::AcceptorMonitor monitor;
+    acceptor.on_phase2a(1, 3, make_value(0, 1));
+    monitor.observe(acceptor);
+    // Deliberate corruption: same (instance, vround), different value.
+    acceptor.debug_overwrite_accepted(1, 3, make_value(0, 9));
+    EXPECT_DEATH(monitor.observe(acceptor), "accepted value changed within round");
+}
+
+TEST(PaxosInvariantDeathTest, LearnerRejectsConflictingDecisions) {
+    Learner learner(2);
+    CpuContext ctx{SimTime::zero()};
+    const Value v1 = make_value(0, 1);
+    const Value v2 = make_value(0, 2);
+    learner.on_decision(DecisionMsg{0, 1, v1.id, v1.digest()}, ctx);
+    EXPECT_TRUE(learner.knows_decision(1));
+    // P-LRN-1: a Decision carrying a different value for the same instance.
+    EXPECT_DEATH(learner.on_decision(DecisionMsg{1, 1, v2.id, v2.digest()}, ctx),
+                 "conflicting decisions");
+}
+
+TEST(PaxosInvariantDeathTest, CorruptedAcceptorsTripAgreementCheck) {
+    // Three acceptors decide v1 in instance 1; a quorum of their votes is
+    // shown to learner A. The acceptors' slots are then deliberately
+    // corrupted to v2, votes are re-derived from the corrupted state and
+    // shown to learner B — which decides differently. The cross-learner
+    // agreement monitor must catch the divergence.
+    const Value v1 = make_value(0, 1);
+    const Value v2 = make_value(7, 9);
+    std::vector<Acceptor> acceptors(3);
+    for (Acceptor& a : acceptors) ASSERT_TRUE(a.on_phase2a(1, 1, v1));
+
+    CpuContext ctx{SimTime::zero()};
+    Learner learner_a(2);
+    Learner learner_b(2);
+    check::AgreementMonitor monitor;
+    for (ProcessId id = 0; id < 2; ++id) {
+        const auto e = acceptors[static_cast<std::size_t>(id)].accepted_in(1);
+        ASSERT_TRUE(e.has_value());
+        learner_a.on_phase2b(Phase2bMsg{id, 1, e->vround, e->value.id, e->value.digest()},
+                             ctx);
+    }
+    EXPECT_TRUE(learner_a.knows_decision(1));
+    monitor.observe({&learner_a, &learner_b});  // consistent so far
+
+    for (Acceptor& a : acceptors) a.debug_overwrite_accepted(1, 1, v2);
+    for (ProcessId id = 0; id < 2; ++id) {
+        const auto e = acceptors[static_cast<std::size_t>(id)].accepted_in(1);
+        ASSERT_TRUE(e.has_value());
+        learner_b.on_phase2b(Phase2bMsg{id, 1, e->vround, e->value.id, e->value.digest()},
+                             ctx);
+    }
+    EXPECT_TRUE(learner_b.knows_decision(1));
+    EXPECT_DEATH(monitor.observe({&learner_a, &learner_b}), "agreement violated");
+}
+
+TEST(PaxosInvariantTest, AgreementMonitorAcceptsConsistentLearners) {
+    CpuContext ctx{SimTime::zero()};
+    Learner l1(2);
+    Learner l2(2);
+    check::AgreementMonitor monitor;
+    const Value v = make_value(0, 1);
+    l1.on_decision(DecisionMsg{0, 1, v.id, v.digest(), v}, ctx);
+    monitor.observe({&l1, &l2});
+    l2.on_decision(DecisionMsg{0, 1, v.id, v.digest(), v}, ctx);
+    monitor.observe({&l1, &l2});
+    EXPECT_EQ(l1.frontier(), 2);
+    EXPECT_EQ(l2.frontier(), 2);
+}
+
+// --- Semantic-gossip invariants --------------------------------------------
+
+TEST(SemanticInvariantDeathTest, DuplicateSenderAggregateIsRejected) {
+    PaxosSemantics sem(0, 2, PaxosSemantics::Options{true, true});
+    const Value v = make_value(0, 1);
+    // A duplicated sender would double-count one acceptor's vote: G-AGG-2.
+    auto dup = std::make_shared<Phase2bAggregateMsg>(
+        1, 1, 1, v.id, v.digest(), std::vector<ProcessId>{2, 2}, 0);
+    EXPECT_DEATH(sem.validate(wrap(dup), 3), "duplicate senders");
+}
+
+TEST(SemanticInvariantDeathTest, EmptyAggregateIsRejected) {
+    PaxosSemantics sem(0, 2, PaxosSemantics::Options{true, true});
+    const Value v = make_value(0, 1);
+    auto empty = std::make_shared<Phase2bAggregateMsg>(
+        1, 1, 1, v.id, v.digest(), std::vector<ProcessId>{}, 0);
+    EXPECT_DEATH(sem.validate(wrap(empty), 3), "no senders");
+}
+
+TEST(SemanticInvariantDeathTest, RoundtripCheckCatchesLostVote) {
+    const Value v = make_value(0, 1);
+    const std::vector<GossipAppMessage> before{wrap(make_2b(1, 1, 1, v)),
+                                               wrap(make_2b(2, 1, 1, v))};
+    // A lossy aggregator that dropped sender 2's vote: S-AGG-1.
+    auto lossy = std::make_shared<Phase2bAggregateMsg>(
+        0, 1, 1, v.id, v.digest(), std::vector<ProcessId>{1}, 0);
+    std::vector<GossipAppMessage> after{wrap(lossy)};
+    after.front().aggregated = true;
+    EXPECT_DEATH(check::check_aggregation_roundtrip(before, after),
+                 "altered the Phase 2b vote set");
+}
+
+TEST(SemanticInvariantTest, AggregationPassesItsOwnRoundtripCheck) {
+    PaxosSemantics sem(0, 2, PaxosSemantics::Options{true, true});
+    const Value v = make_value(0, 1);
+    std::vector<GossipAppMessage> pending{wrap(make_2b(1, 1, 1, v)),
+                                          wrap(make_2b(2, 1, 1, v)),
+                                          wrap(make_2b(3, 2, 1, v))};
+    // aggregate() runs S-AGG-1 internally; surviving it is the assertion.
+    const auto out = sem.aggregate(pending, 4);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(sem.stats().aggregates_built, 1u);
+    check::check_aggregation_roundtrip(pending, out);
+}
+
+// --- Gossip-layer invariants ------------------------------------------------
+
+TEST(GossipInvariantDeathTest, AggregatedMessageMustNotReachDelivery) {
+    Simulator sim;
+    Network net(sim, LatencyModel::aws(), 2, Network::Params{});
+    net.allow_link(0, 1);
+    PassThroughHooks hooks;
+    GossipNode node(net.node(0), {1}, GossipNode::Params{}, hooks);
+    const Value v = make_value(0, 1);
+    GossipAppMessage msg = wrap(make_2b(1, 1, 1, v));
+    msg.aggregated = true;  // an unreversed aggregate on the delivery path
+    CpuContext ctx{SimTime::zero()};
+    EXPECT_DEATH(node.broadcast(msg, ctx), "entered the broadcast path");
+}
+
+// --- Deployment wiring ------------------------------------------------------
+
+TEST(InvariantCheckerTest, DeploymentRunsChecksDuringExperiment) {
+    ExperimentConfig config;
+    config.setup = Setup::SemanticGossip;
+    config.n = 5;
+    config.num_clients = 5;
+    config.total_rate = 200.0;
+    config.warmup = SimTime::seconds(0.1);
+    config.measure = SimTime::seconds(0.5);
+    config.drain = SimTime::seconds(0.2);
+    config.invariant_probe_events = 1000;
+    Deployment deployment(config);
+    ASSERT_NE(deployment.invariants(), nullptr);
+    EXPECT_EQ(deployment.invariants()->check_count(), 2u);
+    const ExperimentResult result = deployment.run();
+    EXPECT_GT(result.decisions_at_coordinator, 0u);
+    // The probe fired during the run and collect() ran the final sweep.
+    EXPECT_GT(deployment.invariants()->runs(), 1u);
+}
+
+#else  // !GC_ENABLE_INVARIANTS
+
+TEST(InvariantMacroTest, CompiledOutEvaluatesNothing) {
+    int evaluations = 0;
+    GC_INVARIANT(++evaluations > 0, "never evaluated (%d)", evaluations);
+    GC_INVARIANT(false, "a false invariant must not abort in release");
+    EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // GC_ENABLE_INVARIANTS
+
+}  // namespace
+}  // namespace gossipc

@@ -252,7 +252,9 @@ TEST(PaxosMeshTest, NoTimeoutsMeansNoRepairTraffic) {
     f.sim.run_until(SimTime::seconds(5));
     for (const auto& p : f.processes) {
         EXPECT_EQ(p->counters().learn_requests_sent, 0u);
-        if (p->coordinator()) EXPECT_EQ(p->coordinator()->counters().retransmissions, 0u);
+        if (p->coordinator()) {
+            EXPECT_EQ(p->coordinator()->counters().retransmissions, 0u);
+        }
     }
     EXPECT_EQ(f.logs[2].size(), 3u);  // still decides without loss
 }
