@@ -29,6 +29,10 @@ namespace {
         "  --no-filtering / --no-aggregation  disable one semantic technique\n"
         "  --batch <size>                     network-level batching (default off)\n"
         "  --seed <u64> / --overlay-seed <u64>\n"
+        "  --chaos light|moderate|heavy       seeded fault schedule (crashes,\n"
+        "                                     partitions, link faults, churn)\n"
+        "  --chaos-seed <u64>                 replay seed (default: --seed)\n"
+        "  --fault-log                        print the injected-fault log\n"
         "  --warmup <s> --measure <s> --drain <s>\n"
         "  --json | --csv                     machine-readable output\n",
         argv0);
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
     cfg.setup = Setup::SemanticGossip;
     cfg.total_rate = 52.0;
     enum class Output { Table, Json, Csv } output = Output::Table;
+    bool fault_log = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -85,6 +90,16 @@ int main(int argc, char** argv) {
             cfg.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--overlay-seed") {
             cfg.overlay_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--chaos") {
+            const std::string v = next();
+            if (v == "light") cfg.chaos = ChaosProfile::light();
+            else if (v == "moderate") cfg.chaos = ChaosProfile::moderate();
+            else if (v == "heavy") cfg.chaos = ChaosProfile::heavy();
+            else usage(argv[0]);
+        } else if (arg == "--chaos-seed") {
+            cfg.chaos_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--fault-log") {
+            fault_log = true;
         } else if (arg == "--warmup") {
             cfg.warmup = SimTime::seconds(num(next()));
         } else if (arg == "--measure") {
@@ -126,8 +141,18 @@ int main(int argc, char** argv) {
                         100.0 * result.messages.duplicate_fraction(),
                         static_cast<unsigned long long>(result.semantic.filtered_phase2b),
                         static_cast<unsigned long long>(result.semantic.messages_merged));
+            if (cfg.chaos) {
+                std::printf("chaos %s seed %llu: %llu faults injected\n",
+                            cfg.chaos->name.c_str(),
+                            static_cast<unsigned long long>(
+                                cfg.chaos_seed != 0 ? cfg.chaos_seed : cfg.seed),
+                            static_cast<unsigned long long>(result.faults_injected));
+            }
             break;
         }
+    }
+    if (fault_log) {
+        for (const std::string& line : result.fault_log) std::printf("%s\n", line.c_str());
     }
     return result.workload.completed > 0 ? 0 : 1;
 }

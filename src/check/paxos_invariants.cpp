@@ -86,8 +86,9 @@ void AgreementMonitor::observe(const std::vector<const Learner*>& learners) {
     }
 }
 
-void register_paxos_checks(InvariantChecker& checker, std::vector<const Learner*> learners,
-                           std::vector<const Acceptor*> acceptors) {
+PaxosCheckHandles register_paxos_checks(InvariantChecker& checker,
+                                        std::vector<const Learner*> learners,
+                                        std::vector<const Acceptor*> acceptors) {
     auto agreement = std::make_shared<AgreementMonitor>();
     checker.add_check("paxos-agreement",
                       [agreement, learners = std::move(learners)] {
@@ -99,6 +100,12 @@ void register_paxos_checks(InvariantChecker& checker, std::vector<const Learner*
             (*monitors)[i].observe(*acceptors[i]);
         }
     });
+    PaxosCheckHandles handles;
+    handles.forget_process = [agreement, monitors](std::size_t i) {
+        agreement->forget_learner(i);
+        if (i < monitors->size()) (*monitors)[i].forget();
+    };
+    return handles;
 }
 
 }  // namespace gossipc::check

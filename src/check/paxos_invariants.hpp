@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -32,6 +33,15 @@ class AcceptorMonitor {
 public:
     void observe(const Acceptor& acceptor);
 
+    /// Forgets the shadow after a deliberate durable-state wipe (fault
+    /// engine): the next observe() re-baselines instead of reporting the
+    /// wipe as a promise/vote regression. Ordinary crash/recovery (durable
+    /// state preserved) must NOT call this — the monitor stays armed.
+    void forget() {
+        last_floor_ = 0;
+        accepted_.clear();
+    }
+
 private:
     Round last_floor_ = 0;
     /// instance -> (vround, value digest) at the previous observation.
@@ -44,6 +54,13 @@ class AgreementMonitor {
 public:
     void observe(const std::vector<const Learner*>& learners);
 
+    /// Re-baselines learner i's frontier shadow after a durable-state wipe.
+    /// Cross-learner agreement stays fully armed: re-learned decisions are
+    /// still checked against the digests recorded before the wipe.
+    void forget_learner(std::size_t i) {
+        if (i < last_frontier_.size()) last_frontier_[i] = 1;
+    }
+
 private:
     /// instance -> digest of the first decision observed anywhere.
     std::map<InstanceId, std::uint64_t> decided_digest_;
@@ -53,11 +70,21 @@ private:
     std::vector<InstanceId> last_frontier_;  // per learner
 };
 
+/// Hooks into the registered monitors for events the checks cannot infer on
+/// their own. Only a deliberate wipe needs one: crash/recovery with durable
+/// state preserved keeps every monitor armed, unchanged.
+struct PaxosCheckHandles {
+    /// Clears process i's shadow state (acceptor + learner frontier) after a
+    /// durable-state wipe; without it the monitors would report the wipe
+    /// itself as a safety violation.
+    std::function<void(std::size_t)> forget_process;
+};
+
 /// Registers the standard Paxos safety checks over a deployment's processes:
 /// one AcceptorMonitor per acceptor and one AgreementMonitor across all
 /// learners. The pointed-to components must outlive `checker`.
-void register_paxos_checks(InvariantChecker& checker,
-                           std::vector<const Learner*> learners,
-                           std::vector<const Acceptor*> acceptors);
+PaxosCheckHandles register_paxos_checks(InvariantChecker& checker,
+                                        std::vector<const Learner*> learners,
+                                        std::vector<const Acceptor*> acceptors);
 
 }  // namespace gossipc::check

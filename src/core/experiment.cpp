@@ -80,11 +80,31 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             learners.push_back(&p->learner());
             acceptors.push_back(&p->acceptor());
         }
-        check::register_paxos_checks(*invariants_, std::move(learners),
-                                     std::move(acceptors));
+        auto handles = check::register_paxos_checks(*invariants_, std::move(learners),
+                                                    std::move(acceptors));
+        forget_monitor_ = std::move(handles.forget_process);
         sim_->set_probe(config.invariant_probe_events, [this] { invariants_->run_all(); });
     }
 #endif
+
+    // Fault engine: merge the explicit schedule with a generated chaos
+    // schedule (if any) and arm the injector. Armed before the workload so
+    // fault events land in the queue ahead of same-instant protocol traffic.
+    FaultSchedule schedule = config.faults;
+    if (config.chaos) {
+        const std::uint64_t cseed = config.chaos_seed != 0 ? config.chaos_seed : config.seed;
+        schedule.merge(generate_chaos(config.n, /*coordinator=*/0, *config.chaos, cseed,
+                                      overlay_ ? &*overlay_ : nullptr));
+    }
+    if (!schedule.empty()) {
+        FaultInjector::Hooks hooks;
+        hooks.gossip_node = [this](ProcessId p) { return gossip_node(p); };
+        hooks.wipe_state = [this](ProcessId p) { wipe_process_state(p); };
+        hooks.overlay = overlay_ ? &*overlay_ : nullptr;
+        injector_ = std::make_unique<FaultInjector>(*sim_, *network_, std::move(schedule),
+                                                    std::move(hooks));
+        injector_->arm();
+    }
 
     Workload::Params wp;
     wp.total_rate = config.total_rate;
@@ -107,6 +127,11 @@ std::vector<PaxosProcess*> Deployment::process_ptrs() {
 GossipNode* Deployment::gossip_node(ProcessId id) {
     if (gossip_nodes_.empty()) return nullptr;
     return gossip_nodes_.at(static_cast<std::size_t>(id)).get();
+}
+
+void Deployment::wipe_process_state(ProcessId id) {
+    processes_.at(static_cast<std::size_t>(id))->wipe_state();
+    if (forget_monitor_) forget_monitor_(static_cast<std::size_t>(id));
 }
 
 PaxosSemantics* Deployment::semantics(ProcessId id) {
@@ -161,6 +186,10 @@ ExperimentResult Deployment::collect() {
         }
     }
     result.decisions_at_coordinator = processes_.front()->learner().delivered_count();
+    if (injector_) {
+        result.fault_log = injector_->log();
+        result.faults_injected = injector_->counters().applied;
+    }
     return result;
 }
 

@@ -4,11 +4,15 @@
 // evaluation section reports.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "check/invariant.hpp"
+#include "fault/chaos.hpp"
+#include "fault/injector.hpp"
 #include "gossip/gossip_node.hpp"
 #include "net/network.hpp"
 #include "overlay/analysis.hpp"
@@ -39,9 +43,18 @@ struct ExperimentConfig {
     SimTime measure = SimTime::seconds(5);
     SimTime drain = SimTime::seconds(2);
 
-    // Fault injection (Section 4.5).
+    // Fault injection (Section 4.5 / DESIGN.md §7). `loss_rate` is the
+    // paper's uniform receive-side loss; `faults` is an explicit schedule of
+    // typed fault events; `chaos` additionally samples a schedule from
+    // (chaos_seed, profile) — both are merged and replayed by the
+    // deployment's FaultInjector.
     double loss_rate = 0.0;
     bool timeouts_enabled = true;
+    FaultSchedule faults;
+    std::optional<ChaosProfile> chaos;
+    /// Seed for chaos generation; 0 means "reuse `seed`". Splitting the two
+    /// lets a sweep hold the deployment fixed while varying only the chaos.
+    std::uint64_t chaos_seed = 0;
 
     // Overlay (Gossip setups). The same overlay_seed is used across setups
     // of one system size, enforcing the paper's fixed-overlay methodology;
@@ -79,6 +92,12 @@ struct ExperimentResult {
     OverlayStats overlay;            ///< default for Baseline
     SimTime median_rtt = SimTime::zero();  ///< overlay RTT median (gossip setups)
     std::uint64_t decisions_at_coordinator = 0;
+
+    /// Injected-fault log: one line per fault event in execution order,
+    /// byte-identical across replays of the same config (empty when the run
+    /// had no fault schedule).
+    std::vector<std::string> fault_log;
+    std::uint64_t faults_injected = 0;  ///< applied events (skips excluded)
 };
 
 /// A fully wired deployment; exposed so examples and tests can drive the
@@ -107,6 +126,14 @@ public:
     /// The deployment's invariant checker; null when invariants are compiled
     /// out or the probe is disabled in the config.
     check::InvariantChecker* invariants() { return invariants_.get(); }
+    /// The deployment's fault injector; null when the config has no fault
+    /// schedule and no chaos profile.
+    FaultInjector* fault_injector() { return injector_.get(); }
+
+    /// Wipes one process's durable state (acceptor + learner), re-baselining
+    /// its shadow monitors so the loss is not itself reported as a safety
+    /// violation. Used by the fault engine for wipe-marked restarts.
+    void wipe_process_state(ProcessId id);
 
     /// Collects the deployment-wide message statistics (any time).
     MessageStats message_stats() const;
@@ -123,6 +150,10 @@ private:
     std::vector<std::unique_ptr<PaxosProcess>> processes_;
     std::unique_ptr<Workload> workload_;
     std::unique_ptr<check::InvariantChecker> invariants_;
+    std::unique_ptr<FaultInjector> injector_;
+    /// Re-baselines one process's shadow monitors after a state wipe; bound
+    /// only when invariants are compiled in and enabled.
+    std::function<void(std::size_t)> forget_monitor_;
 };
 
 /// Convenience: build, run, and collect in one call.

@@ -14,6 +14,18 @@ const char* strategy_name(GossipStrategy s) {
     return "?";
 }
 
+/// Minimal JSON string escaping; fault-log lines are ASCII but quotes and
+/// backslashes must not break the document.
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
 }  // namespace
 
 std::string to_json(const ExperimentConfig& config, const ExperimentResult& result) {
@@ -68,7 +80,16 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
     o << "  \"overlay\": {"
       << "\"average_degree\": " << result.overlay.average_degree
       << ", \"diameter_hops\": " << result.overlay.diameter_hops
-      << ", \"median_rtt_ms\": " << result.median_rtt.as_millis() << "}\n";
+      << ", \"median_rtt_ms\": " << result.median_rtt.as_millis() << "},\n";
+    o << "  \"faults\": {"
+      << "\"profile\": \"" << (config.chaos ? json_escape(config.chaos->name) : "") << "\""
+      << ", \"chaos_seed\": " << (config.chaos_seed != 0 ? config.chaos_seed : config.seed)
+      << ", \"injected\": " << result.faults_injected << ", \"log\": [";
+    for (std::size_t i = 0; i < result.fault_log.size(); ++i) {
+        if (i != 0) o << ", ";
+        o << '"' << json_escape(result.fault_log[i]) << '"';
+    }
+    o << "]}\n";
     o << "}";
     return o.str();
 }
@@ -78,7 +99,7 @@ std::string csv_header() {
            "throughput,latency_mean_ms,latency_p50_ms,latency_p95_ms,latency_p99_ms,"
            "latency_stddev_ms,submitted,completed,not_ordered,net_arrivals,net_sent,"
            "loss_drops,queue_drops,gossip_received,duplicates,delivered,filtered_2b,"
-           "merged_2b,median_rtt_ms";
+           "merged_2b,median_rtt_ms,chaos_profile,faults_injected";
 }
 
 std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& result) {
@@ -96,7 +117,8 @@ std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& r
       << m.net_loss_drops << ',' << m.net_queue_drops << ',' << m.gossip_messages_received
       << ',' << m.gossip_duplicates << ',' << m.gossip_delivered << ','
       << result.semantic.filtered_phase2b << ',' << result.semantic.messages_merged << ','
-      << result.median_rtt.as_millis();
+      << result.median_rtt.as_millis() << ','
+      << (config.chaos ? config.chaos->name : "") << ',' << result.faults_injected;
     return o.str();
 }
 

@@ -15,6 +15,9 @@
 #pragma once
 
 #include "core/experiment.hpp"
+#include "fault/chaos.hpp"
+#include "fault/fault_schedule.hpp"
+#include "fault/injector.hpp"
 #include "gossip/gossip_node.hpp"
 #include "gossip/hooks.hpp"
 #include "gossip/seen_cache.hpp"

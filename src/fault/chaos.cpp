@@ -1,0 +1,172 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gossipc {
+
+ChaosProfile ChaosProfile::light() {
+    ChaosProfile p;
+    p.name = "light";
+    p.crashes = 1;
+    p.wipe_prob = 0.0;
+    p.partitions = 1;
+    p.link_faults = 1;
+    p.link_loss_max = 0.2;
+    p.churn_ops = 2;
+    return p;
+}
+
+ChaosProfile ChaosProfile::moderate() {
+    return ChaosProfile{};
+}
+
+ChaosProfile ChaosProfile::heavy() {
+    ChaosProfile p;
+    p.name = "heavy";
+    p.crashes = 4;
+    p.wipe_prob = 0.5;
+    p.crash_coordinator = true;
+    p.partitions = 2;
+    p.link_faults = 6;
+    p.link_loss_max = 0.6;
+    p.link_delay_max = SimTime::millis(60);
+    p.link_duplicate_max = 0.5;
+    p.link_reorder_max = SimTime::millis(8);
+    p.churn_ops = 8;
+    return p;
+}
+
+namespace {
+
+/// Places a fault window inside [slot_begin, slot_end]: the length is drawn
+/// from [min_len, max_len] (clamped to the slot), the offset uniformly.
+std::pair<SimTime, SimTime> place_window(Rng& rng, SimTime slot_begin, SimTime slot_end,
+                                         SimTime min_len, SimTime max_len) {
+    const std::int64_t slot = std::max<std::int64_t>(
+        slot_end.as_nanos() - slot_begin.as_nanos(), 1);
+    const std::int64_t lo = std::min(min_len.as_nanos(), slot);
+    const std::int64_t hi = std::min(max_len.as_nanos(), slot);
+    const std::int64_t len = rng.uniform_int(std::min(lo, hi), std::max(lo, hi));
+    const std::int64_t t0 =
+        slot_begin.as_nanos() + rng.uniform_int(0, slot - len);
+    return {SimTime::nanos(t0), SimTime::nanos(t0 + len)};
+}
+
+/// One directed link to target with a fault window: a random overlay edge
+/// when an overlay is given, a random coordinator spoke otherwise (Baseline
+/// star — the only links that exist there).
+std::pair<ProcessId, ProcessId> pick_link(Rng& rng, int n, ProcessId coordinator,
+                                          const Graph* overlay) {
+    if (overlay != nullptr && overlay->edge_count() > 0) {
+        const auto edges = overlay->edges();
+        const auto& e = edges[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(edges.size()) - 1))];
+        return rng.chance(0.5) ? std::pair{e.first, e.second}
+                               : std::pair{e.second, e.first};
+    }
+    auto spoke = static_cast<ProcessId>(rng.uniform_int(0, n - 1));
+    if (spoke == coordinator) spoke = (spoke + 1) % n;
+    return rng.chance(0.5) ? std::pair{coordinator, spoke} : std::pair{spoke, coordinator};
+}
+
+}  // namespace
+
+FaultSchedule generate_chaos(int n, ProcessId coordinator, const ChaosProfile& profile,
+                             std::uint64_t seed, const Graph* overlay) {
+    if (n < 3) throw std::invalid_argument("generate_chaos: n must be >= 3");
+    FaultSchedule schedule;
+    Rng rng = Rng::derive(seed, "chaos");
+    const SimTime window_end = profile.start + profile.horizon;
+
+    // Crashes: disjoint slots keep at most one process down at a time.
+    for (int i = 0; i < profile.crashes; ++i) {
+        const SimTime slot_begin =
+            profile.start + SimTime::nanos(profile.horizon.as_nanos() * i / profile.crashes);
+        const SimTime slot_end =
+            profile.start +
+            SimTime::nanos(profile.horizon.as_nanos() * (i + 1) / profile.crashes);
+        const auto [down, up] =
+            place_window(rng, slot_begin, slot_end, profile.crash_min, profile.crash_max);
+        auto victim = static_cast<ProcessId>(rng.uniform_int(0, n - 1));
+        if (victim == coordinator && !profile.crash_coordinator) {
+            victim = (victim + 1) % n;
+        }
+        const bool wipe = victim != coordinator && rng.chance(profile.wipe_prob);
+        schedule.crash(down, victim, wipe);
+        schedule.restart(up, victim);
+    }
+
+    // Partitions: a minority side excluding the coordinator, healed in-slot.
+    for (int i = 0; i < profile.partitions; ++i) {
+        const SimTime slot_begin =
+            profile.start +
+            SimTime::nanos(profile.horizon.as_nanos() * i / profile.partitions);
+        const SimTime slot_end =
+            profile.start +
+            SimTime::nanos(profile.horizon.as_nanos() * (i + 1) / profile.partitions);
+        const auto [cut, heal] = place_window(rng, slot_begin, slot_end,
+                                              profile.partition_min, profile.partition_max);
+        const auto side_size =
+            static_cast<std::int32_t>(rng.uniform_int(1, std::max(1, (n - 1) / 2)));
+        const auto members = rng.sample_distinct(n, side_size, coordinator);
+        std::vector<ProcessId> side(members.begin(), members.end());
+        schedule.partition(cut, std::move(side));
+        schedule.heal(heal);
+    }
+
+    // Asymmetric link-fault windows; may overlap each other and everything
+    // else (that is the point).
+    for (int i = 0; i < profile.link_faults; ++i) {
+        const auto [from, to] = pick_link(rng, n, coordinator, overlay);
+        const auto [begin, end] = place_window(rng, profile.start, window_end,
+                                               profile.link_fault_min, profile.link_fault_max);
+        LinkFaultSpec spec;
+        spec.loss = rng.uniform01() * profile.link_loss_max;
+        spec.extra_delay =
+            SimTime::nanos(rng.uniform_int(0, profile.link_delay_max.as_nanos()));
+        spec.duplicate = rng.uniform01() * profile.link_duplicate_max;
+        spec.reorder_window =
+            SimTime::nanos(rng.uniform_int(0, profile.link_reorder_max.as_nanos()));
+        schedule.link_fault(begin, from, to, spec);
+        schedule.link_fault_end(end, from, to);
+    }
+
+    // Overlay churn: only meaningful with a gossip overlay.
+    if (overlay != nullptr && overlay->edge_count() > 0) {
+        for (int i = 0; i < profile.churn_ops; ++i) {
+            const std::int64_t latest =
+                window_end.as_nanos() - profile.churn_revert_min.as_nanos();
+            const SimTime t0 = SimTime::nanos(
+                rng.uniform_int(profile.start.as_nanos(), std::max(profile.start.as_nanos(), latest)));
+            const std::int64_t revert_len = rng.uniform_int(
+                profile.churn_revert_min.as_nanos(), profile.churn_revert_max.as_nanos());
+            const SimTime t1 = SimTime::nanos(
+                std::min(t0.as_nanos() + revert_len, window_end.as_nanos()));
+            if (i % 2 == 0) {
+                // Drop an existing edge, re-add it later. The injector skips
+                // the drop when it would disconnect the overlay.
+                const auto edges = overlay->edges();
+                const auto& e = edges[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(edges.size()) - 1))];
+                schedule.churn_drop(t0, e.first, e.second);
+                schedule.churn_add(t1, e.first, e.second);
+            } else {
+                // Wire a fresh random edge, tear it down later.
+                const auto a = static_cast<ProcessId>(rng.uniform_int(0, n - 1));
+                auto b = static_cast<ProcessId>(rng.uniform_int(0, n - 2));
+                if (b >= a) ++b;
+                schedule.churn_add(t0, a, b);
+                schedule.churn_drop(t1, a, b);
+            }
+        }
+    }
+
+    return schedule;
+}
+
+}  // namespace gossipc

@@ -1,0 +1,77 @@
+// Seeded chaos-schedule generation (DESIGN.md §7).
+//
+// A ChaosProfile describes fault *intensity* (how many crashes, partitions,
+// link-fault windows, and churn operations, and how severe each may be);
+// generate_chaos() samples a concrete FaultSchedule from (profile, seed).
+// Every run is replayable from the pair: the generator derives one RNG
+// stream from the seed and draws from it in a fixed order, so the same
+// (profile, seed, topology) always yields the identical schedule.
+//
+// Generated schedules are self-resolving: every crash has a restart, every
+// partition a heal, every link-fault window an end, and every dropped
+// overlay edge a re-add, all within [start, start + horizon]. Safety must
+// hold throughout; liveness assertions belong after the horizon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_schedule.hpp"
+#include "overlay/graph.hpp"
+
+namespace gossipc {
+
+struct ChaosProfile {
+    std::string name = "moderate";
+
+    /// Faults are injected within [start, start + horizon] and all resolved
+    /// by the end of the window.
+    SimTime start = SimTime::millis(250);
+    SimTime horizon = SimTime::seconds(2);
+
+    // Crash/restart cycles. Windows are placed in disjoint time slots, so at
+    // most one process is down at any instant and a quorum stays live.
+    int crashes = 2;
+    /// Probability that a crash loses durable storage (never applied to the
+    /// coordinator — a wiped proposal ledger is not a recoverable state).
+    double wipe_prob = 0.25;
+    /// Allow the coordinator itself to crash (state always preserved).
+    bool crash_coordinator = false;
+    SimTime crash_min = SimTime::millis(100);
+    SimTime crash_max = SimTime::millis(500);
+
+    // Partition/heal cycles, also in disjoint slots. The side is a minority
+    // never containing the coordinator, so the majority keeps deciding and
+    // the healed side must catch up.
+    int partitions = 1;
+    SimTime partition_min = SimTime::millis(200);
+    SimTime partition_max = SimTime::millis(800);
+
+    // Structured per-link fault windows (asymmetric: one direction each).
+    int link_faults = 3;
+    double link_loss_max = 0.4;
+    SimTime link_delay_max = SimTime::millis(30);
+    double link_duplicate_max = 0.3;
+    SimTime link_reorder_max = SimTime::millis(4);
+    SimTime link_fault_min = SimTime::millis(200);
+    SimTime link_fault_max = SimTime::millis(900);
+
+    // Overlay churn operations: alternately drop-then-re-add an existing
+    // edge and add-then-drop a fresh edge.
+    int churn_ops = 4;
+    SimTime churn_revert_min = SimTime::millis(150);
+    SimTime churn_revert_max = SimTime::millis(600);
+
+    static ChaosProfile light();
+    static ChaosProfile moderate();
+    static ChaosProfile heavy();
+};
+
+/// Samples a fault schedule for an n-process deployment. `overlay` (when
+/// present) targets link faults and churn at real overlay edges; without it
+/// (Baseline star) link faults target coordinator links and churn is
+/// omitted. Deterministic in (n, coordinator, profile, seed, overlay).
+FaultSchedule generate_chaos(int n, ProcessId coordinator, const ChaosProfile& profile,
+                             std::uint64_t seed, const Graph* overlay = nullptr);
+
+}  // namespace gossipc

@@ -1,0 +1,106 @@
+#include "fault/fault_schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace gossipc {
+
+namespace {
+
+struct DescribeVisitor {
+    std::ostringstream& o;
+
+    void operator()(const CrashFault& f) {
+        o << "crash p" << f.process << (f.wipe_state ? " wipe" : " preserve");
+    }
+    void operator()(const RestartFault& f) { o << "restart p" << f.process; }
+    void operator()(const PartitionFault& f) {
+        std::vector<ProcessId> side = f.side;
+        std::sort(side.begin(), side.end());
+        o << "partition {";
+        for (std::size_t i = 0; i < side.size(); ++i) {
+            if (i != 0) o << ',';
+            o << side[i];
+        }
+        o << '}';
+    }
+    void operator()(const HealFault&) { o << "heal"; }
+    void operator()(const LinkFaultStart& f) {
+        o << "link-fault " << f.from << "->" << f.to << " loss=" << f.spec.loss
+          << " delay_ns=" << f.spec.extra_delay.as_nanos() << " dup=" << f.spec.duplicate
+          << " reorder_ns=" << f.spec.reorder_window.as_nanos();
+    }
+    void operator()(const LinkFaultEnd& f) {
+        o << "link-fault-end " << f.from << "->" << f.to;
+    }
+    void operator()(const ChurnDropEdge& f) {
+        o << "churn-drop " << f.a << "-" << f.b;
+    }
+    void operator()(const ChurnAddEdge& f) {
+        o << "churn-add " << f.a << "-" << f.b;
+    }
+};
+
+}  // namespace
+
+std::string describe(const FaultAction& action) {
+    std::ostringstream o;
+    std::visit(DescribeVisitor{o}, action);
+    return o.str();
+}
+
+void FaultSchedule::add(SimTime at, FaultAction action) {
+    // Insert before the first strictly-later event: equal times keep
+    // insertion order, matching the simulator queue's tie-break.
+    const auto pos = std::upper_bound(
+        events_.begin(), events_.end(), at,
+        [](SimTime t, const FaultEvent& e) { return t < e.at; });
+    events_.insert(pos, FaultEvent{at, std::move(action)});
+}
+
+void FaultSchedule::crash(SimTime at, ProcessId process, bool wipe_state) {
+    add(at, CrashFault{process, wipe_state});
+}
+
+void FaultSchedule::restart(SimTime at, ProcessId process) {
+    add(at, RestartFault{process});
+}
+
+void FaultSchedule::partition(SimTime at, std::vector<ProcessId> side) {
+    add(at, PartitionFault{std::move(side)});
+}
+
+void FaultSchedule::heal(SimTime at) {
+    add(at, HealFault{});
+}
+
+void FaultSchedule::link_fault(SimTime at, ProcessId from, ProcessId to, LinkFaultSpec spec) {
+    add(at, LinkFaultStart{from, to, spec});
+}
+
+void FaultSchedule::link_fault_end(SimTime at, ProcessId from, ProcessId to) {
+    add(at, LinkFaultEnd{from, to});
+}
+
+void FaultSchedule::churn_drop(SimTime at, ProcessId a, ProcessId b) {
+    add(at, ChurnDropEdge{a, b});
+}
+
+void FaultSchedule::churn_add(SimTime at, ProcessId a, ProcessId b) {
+    add(at, ChurnAddEdge{a, b});
+}
+
+void FaultSchedule::merge(const FaultSchedule& other) {
+    for (const FaultEvent& e : other.events()) add(e.at, e.action);
+}
+
+std::string FaultSchedule::describe() const {
+    std::ostringstream o;
+    for (const FaultEvent& e : events_) {
+        o << e.at.as_nanos() << ' ' << gossipc::describe(e.action) << '\n';
+    }
+    return o.str();
+}
+
+}  // namespace gossipc

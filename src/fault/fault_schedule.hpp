@@ -1,0 +1,122 @@
+// Deterministic fault schedules (DESIGN.md §7).
+//
+// A FaultSchedule is a time-ordered list of typed, simulator-clock-driven
+// fault events: process crashes/restarts (with or without durable-state
+// loss), network partitions and heals, structured per-link fault windows
+// (asymmetric loss, delay spikes, duplication, reordering), and overlay
+// churn. A schedule is pure data — building one performs no side effects;
+// the FaultInjector replays it against a live deployment, and the
+// ChaosGenerator samples one from a (seed, profile) pair. Everything is
+// replayable: the same schedule applied to the same deployment produces a
+// byte-identical injected-fault log.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace gossipc {
+
+/// Crash a process at the scheduled time: pending tasks are discarded and
+/// all traffic is dropped until the matching Restart. `wipe_state` marks the
+/// crash as losing durable storage — the wipe itself happens at Restart
+/// (state is unobservable while the process is down).
+struct CrashFault {
+    ProcessId process = -1;
+    bool wipe_state = false;
+};
+
+/// Restart a crashed process; if its crash was marked wipe_state, the
+/// acceptor/learner state is wiped and the shadow monitors re-baselined.
+struct RestartFault {
+    ProcessId process = -1;
+};
+
+/// Cut every allowed link between `side` and the rest of the deployment
+/// (both directions — partitions are symmetric). Partitions do not compose:
+/// a Heal restores every cut link.
+struct PartitionFault {
+    std::vector<ProcessId> side;
+};
+
+/// Heal the current partition (restores all cut links).
+struct HealFault {};
+
+/// Install a structured fault window on the directed link from -> to.
+struct LinkFaultStart {
+    ProcessId from = -1;
+    ProcessId to = -1;
+    LinkFaultSpec spec;
+};
+
+/// Remove the fault window from the directed link from -> to.
+struct LinkFaultEnd {
+    ProcessId from = -1;
+    ProcessId to = -1;
+};
+
+/// Overlay churn: drop the undirected overlay edge (a, b). Skipped (and
+/// logged) when the edge is absent or dropping it would disconnect the
+/// overlay — gossip over a disconnected overlay cannot make progress and
+/// real churned overlays re-establish connectivity.
+struct ChurnDropEdge {
+    ProcessId a = -1;
+    ProcessId b = -1;
+};
+
+/// Overlay churn: add the undirected overlay edge (a, b) (re-adding a
+/// dropped edge or wiring a fresh one). Skipped when already present.
+struct ChurnAddEdge {
+    ProcessId a = -1;
+    ProcessId b = -1;
+};
+
+using FaultAction = std::variant<CrashFault, RestartFault, PartitionFault, HealFault,
+                                 LinkFaultStart, LinkFaultEnd, ChurnDropEdge, ChurnAddEdge>;
+
+/// Canonical one-line rendering, used for the injected-fault log. Stable
+/// across runs: field order fixed, times in integer nanoseconds, partition
+/// sides sorted.
+std::string describe(const FaultAction& action);
+
+struct FaultEvent {
+    SimTime at;
+    FaultAction action;
+};
+
+/// An ordered fault schedule. Events keep (time, insertion-order) order —
+/// same tie-break as the simulator queue, so iterating the schedule lists
+/// events exactly in execution order.
+class FaultSchedule {
+public:
+    void add(SimTime at, FaultAction action);
+
+    // Convenience builders.
+    void crash(SimTime at, ProcessId process, bool wipe_state = false);
+    void restart(SimTime at, ProcessId process);
+    void partition(SimTime at, std::vector<ProcessId> side);
+    void heal(SimTime at);
+    void link_fault(SimTime at, ProcessId from, ProcessId to, LinkFaultSpec spec);
+    void link_fault_end(SimTime at, ProcessId from, ProcessId to);
+    void churn_drop(SimTime at, ProcessId a, ProcessId b);
+    void churn_add(SimTime at, ProcessId a, ProcessId b);
+
+    /// Appends every event of `other`, re-sorting into execution order.
+    void merge(const FaultSchedule& other);
+
+    const std::vector<FaultEvent>& events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /// The schedule rendered one event per line ("<nanos> <action>\n"...);
+    /// byte-stable for identical schedules.
+    std::string describe() const;
+
+private:
+    std::vector<FaultEvent> events_;  // kept sorted by (at, insertion order)
+};
+
+}  // namespace gossipc

@@ -1,0 +1,189 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "gossip/gossip_node.hpp"
+#include "overlay/random_overlay.hpp"
+
+namespace gossipc {
+
+FaultInjector::FaultInjector(Simulator& sim, Network& network, FaultSchedule schedule,
+                             Hooks hooks)
+    : sim_(sim), network_(network), schedule_(std::move(schedule)), hooks_(std::move(hooks)) {
+    for (const FaultEvent& e : schedule_.events()) {
+        if (const auto* crash = std::get_if<CrashFault>(&e.action)) {
+            if (crash->process < 0 || crash->process >= network_.size()) {
+                throw std::invalid_argument("FaultInjector: crash targets unknown process");
+            }
+        } else if (const auto* restart = std::get_if<RestartFault>(&e.action)) {
+            if (restart->process < 0 || restart->process >= network_.size()) {
+                throw std::invalid_argument("FaultInjector: restart targets unknown process");
+            }
+        } else if (const auto* part = std::get_if<PartitionFault>(&e.action)) {
+            for (const ProcessId p : part->side) {
+                if (p < 0 || p >= network_.size()) {
+                    throw std::invalid_argument("FaultInjector: partition side out of range");
+                }
+            }
+        }
+    }
+}
+
+FaultInjector::FaultInjector(Simulator& sim, Network& network, FaultSchedule schedule)
+    : FaultInjector(sim, network, std::move(schedule), Hooks{}) {}
+
+void FaultInjector::arm() {
+    if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
+    armed_ = true;
+    for (std::size_t i = 0; i < schedule_.events().size(); ++i) {
+        const FaultEvent& e = schedule_.events()[i];
+        sim_.schedule_fault(e.at, [this, &e] { apply(e); });
+    }
+}
+
+void FaultInjector::record(const FaultAction& action) {
+    std::ostringstream o;
+    o << sim_.now().as_nanos() << ' ' << describe(action);
+    log_.push_back(o.str());
+    ++counters_.applied;
+}
+
+void FaultInjector::record_skip(const FaultAction& action, const char* reason) {
+    std::ostringstream o;
+    o << sim_.now().as_nanos() << ' ' << describe(action) << " [skipped: " << reason << ']';
+    log_.push_back(o.str());
+    ++counters_.skipped;
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+    if (const auto* f = std::get_if<CrashFault>(&event.action)) {
+        apply_crash(*f);
+    } else if (const auto* f = std::get_if<RestartFault>(&event.action)) {
+        apply_restart(*f);
+    } else if (const auto* f = std::get_if<PartitionFault>(&event.action)) {
+        apply_partition(*f);
+    } else if (std::get_if<HealFault>(&event.action) != nullptr) {
+        apply_heal();
+    } else if (const auto* f = std::get_if<LinkFaultStart>(&event.action)) {
+        network_.set_link_fault(f->from, f->to, f->spec);
+        ++counters_.link_faults;
+        record(event.action);
+    } else if (const auto* f = std::get_if<LinkFaultEnd>(&event.action)) {
+        network_.clear_link_fault(f->from, f->to);
+        ++counters_.link_fault_ends;
+        record(event.action);
+    } else if (const auto* f = std::get_if<ChurnDropEdge>(&event.action)) {
+        apply_churn_drop(*f);
+    } else if (const auto* f = std::get_if<ChurnAddEdge>(&event.action)) {
+        apply_churn_add(*f);
+    }
+}
+
+void FaultInjector::apply_crash(const CrashFault& f) {
+    Node& node = network_.node(f.process);
+    if (node.crashed()) {
+        record_skip(CrashFault{f.process, f.wipe_state}, "already crashed");
+        return;
+    }
+    node.crash();
+    // The wipe is deferred to the restart: durable state is unobservable
+    // while the process is down, and a process that never restarts is
+    // indistinguishable from one whose disk burned.
+    wipe_on_restart_[f.process] = f.wipe_state;
+    ++counters_.crashes;
+    record(CrashFault{f.process, f.wipe_state});
+}
+
+void FaultInjector::apply_restart(const RestartFault& f) {
+    Node& node = network_.node(f.process);
+    if (!node.crashed()) {
+        record_skip(RestartFault{f.process}, "not crashed");
+        return;
+    }
+    node.recover();
+    ++counters_.restarts;
+    const auto it = wipe_on_restart_.find(f.process);
+    if (it != wipe_on_restart_.end() && it->second) {
+        if (hooks_.wipe_state) {
+            hooks_.wipe_state(f.process);
+            ++counters_.wipes;
+        } else {
+            record_skip(RestartFault{f.process}, "wipe requested but no wipe hook");
+            return;
+        }
+    }
+    record(RestartFault{f.process});
+}
+
+void FaultInjector::apply_partition(const PartitionFault& f) {
+    std::vector<bool> in_side(static_cast<std::size_t>(network_.size()), false);
+    for (const ProcessId p : f.side) in_side[static_cast<std::size_t>(p)] = true;
+    for (ProcessId a = 0; a < network_.size(); ++a) {
+        if (!in_side[static_cast<std::size_t>(a)]) continue;
+        for (ProcessId b = 0; b < network_.size(); ++b) {
+            if (in_side[static_cast<std::size_t>(b)] || a == b) continue;
+            if (network_.link_allowed(a, b)) network_.set_link_cut(a, b, true);
+        }
+    }
+    ++counters_.partitions;
+    record(PartitionFault{f.side});
+}
+
+void FaultInjector::apply_heal() {
+    network_.clear_all_cuts();
+    ++counters_.heals;
+    record(HealFault{});
+}
+
+void FaultInjector::apply_churn_drop(const ChurnDropEdge& f) {
+    if (hooks_.overlay == nullptr || !hooks_.gossip_node) {
+        record_skip(ChurnDropEdge{f.a, f.b}, "no overlay");
+        return;
+    }
+    if (!hooks_.overlay->has_edge(f.a, f.b)) {
+        record_skip(ChurnDropEdge{f.a, f.b}, "edge absent");
+        return;
+    }
+    // Refuse churn that would disconnect the overlay: gossip over a
+    // disconnected overlay cannot converge, and real churned membership
+    // re-establishes connectivity. The check is O(V+E) on a copy.
+    Graph probe = *hooks_.overlay;
+    probe.remove_edge(f.a, f.b);
+    if (!is_connected(probe)) {
+        record_skip(ChurnDropEdge{f.a, f.b}, "would disconnect overlay");
+        return;
+    }
+    hooks_.overlay->remove_edge(f.a, f.b);
+    if (GossipNode* ga = hooks_.gossip_node(f.a)) ga->remove_peer(f.b);
+    if (GossipNode* gb = hooks_.gossip_node(f.b)) gb->remove_peer(f.a);
+    ++counters_.edges_dropped;
+    record(ChurnDropEdge{f.a, f.b});
+}
+
+void FaultInjector::apply_churn_add(const ChurnAddEdge& f) {
+    if (hooks_.overlay == nullptr || !hooks_.gossip_node) {
+        record_skip(ChurnAddEdge{f.a, f.b}, "no overlay");
+        return;
+    }
+    if (hooks_.overlay->has_edge(f.a, f.b)) {
+        record_skip(ChurnAddEdge{f.a, f.b}, "edge present");
+        return;
+    }
+    hooks_.overlay->add_edge(f.a, f.b);
+    if (!network_.link_allowed(f.a, f.b)) network_.allow_link(f.a, f.b);
+    if (GossipNode* ga = hooks_.gossip_node(f.a)) ga->add_peer(f.b);
+    if (GossipNode* gb = hooks_.gossip_node(f.b)) gb->add_peer(f.a);
+    ++counters_.edges_added;
+    record(ChurnAddEdge{f.a, f.b});
+}
+
+std::string FaultInjector::rendered_log() const {
+    std::ostringstream o;
+    for (const std::string& line : log_) o << line << '\n';
+    return o.str();
+}
+
+}  // namespace gossipc

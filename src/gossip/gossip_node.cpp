@@ -30,7 +30,8 @@ GossipNode::GossipNode(Node& node, std::vector<ProcessId> peers, Params params,
       hooks_(hooks),
       seen_(params.seen_cache_capacity),
       rng_(Rng::derive(params.seed, 0x60551ULL ^ static_cast<std::uint64_t>(node.id()))),
-      queues_(peers_.size()) {
+      queues_(peers_.size()),
+      peer_active_(peers_.size(), true) {
     node_.set_receive_handler(
         [this](const NetMessage& msg, CpuContext& ctx) { on_net_receive(msg, ctx); });
     if (params_.strategy != GossipStrategy::Push && !peers_.empty()) {
@@ -102,9 +103,49 @@ void GossipNode::accept(const GossipAppMessage& msg, ProcessId received_from, Cp
     }
 }
 
+bool GossipNode::add_peer(ProcessId peer) {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i] != peer) continue;
+        if (peer_active_[i]) return false;
+        peer_active_[i] = true;
+        queues_[i].pending.clear();  // stale forwards from before the churn-out
+        ++counters_.peers_added;
+        return true;
+    }
+    peers_.push_back(peer);
+    queues_.emplace_back();
+    peer_active_.push_back(true);
+    ++counters_.peers_added;
+    return true;
+}
+
+bool GossipNode::remove_peer(ProcessId peer) {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i] != peer || !peer_active_[i]) continue;
+        peer_active_[i] = false;
+        queues_[i].pending.clear();
+        ++counters_.peers_removed;
+        return true;
+    }
+    return false;
+}
+
+bool GossipNode::is_peer(ProcessId peer) const {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i] == peer && peer_active_[i]) return true;
+    }
+    return false;
+}
+
+std::size_t GossipNode::active_peer_count() const {
+    std::size_t count = 0;
+    for (const bool active : peer_active_) count += active ? 1 : 0;
+    return count;
+}
+
 void GossipNode::forward(const GossipAppMessage& msg, ProcessId exclude) {
     for (std::size_t i = 0; i < peers_.size(); ++i) {
-        if (peers_[i] == exclude) continue;
+        if (peers_[i] == exclude || !peer_active_[i]) continue;
         PeerQueue& q = queues_[i];
         if (q.pending.size() >= params_.peer_queue_cap) {
             ++counters_.send_queue_drops;
@@ -126,6 +167,10 @@ void GossipNode::forward(const GossipAppMessage& msg, ProcessId exclude) {
 void GossipNode::drain_peer(std::size_t peer_idx, CpuContext& ctx) {
     PeerQueue& q = queues_[peer_idx];
     q.drain_scheduled = false;
+    if (!peer_active_[peer_idx]) {  // churned out while the drain was pending
+        q.pending.clear();
+        return;
+    }
     if (q.pending.empty()) return;
     if (params_.batch_size > 1 && q.pending.size() < params_.batch_size) {
         // Batching: hold the queue until it fills or the delay expires.
@@ -180,12 +225,17 @@ void GossipNode::schedule_pull_round() {
 }
 
 void GossipNode::run_pull_round(CpuContext& ctx) {
-    if (peers_.empty()) return;
+    std::vector<std::size_t> active;
+    active.reserve(peers_.size());
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peer_active_[i]) active.push_back(i);
+    }
+    if (active.empty()) return;
     // An empty digest is still sent: it is exactly how a node that has
     // nothing learns what it is missing.
     ++counters_.pull_rounds;
-    const auto idx = static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(peers_.size()) - 1));
+    const auto idx = active[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1))];
     std::vector<GossipMsgId> ids;
     const std::size_t count = std::min(params_.digest_max, store_.size());
     ids.reserve(count);

@@ -106,6 +106,8 @@ public:
         std::uint64_t send_queue_drops = 0;    ///< forwards dropped (peer queue full)
         std::uint64_t pull_rounds = 0;
         std::uint64_t pull_served = 0;         ///< messages sent in response to digests
+        std::uint64_t peers_added = 0;         ///< overlay churn: edges (re-)attached
+        std::uint64_t peers_removed = 0;       ///< overlay churn: edges detached
     };
 
     using DeliverFn = std::function<void(const GossipAppMessage&, CpuContext&)>;
@@ -124,7 +126,20 @@ public:
     /// Broadcasts from outside the CPU (e.g. a client submission event).
     void post_broadcast(GossipAppMessage msg);
 
+    /// Overlay churn (fault engine): attaches a peer mid-run, or re-activates
+    /// a previously removed one. Returns false if already an active peer.
+    /// The caller must ensure the network link is allowed.
+    bool add_peer(ProcessId peer);
+    /// Detaches a peer mid-run; its pending forwards are dropped. Returns
+    /// false if not an active peer. Slots are tombstoned, not erased, so
+    /// in-flight drain tasks keep their indices.
+    bool remove_peer(ProcessId peer);
+    bool is_peer(ProcessId peer) const;
+    std::size_t active_peer_count() const;
+
     const Counters& counters() const { return counters_; }
+    /// All peer slots ever attached, including churned-out (inactive) ones;
+    /// use is_peer() for current adjacency.
     const std::vector<ProcessId>& peers() const { return peers_; }
     Node& node() { return node_; }
 
@@ -152,7 +167,8 @@ private:
         bool drain_scheduled = false;
         SimTime oldest_enqueued = SimTime::zero();  ///< batching deadline base
     };
-    std::vector<PeerQueue> queues_;  // parallel to peers_
+    std::vector<PeerQueue> queues_;      // parallel to peers_
+    std::vector<bool> peer_active_;      // parallel to peers_ (churn tombstones)
 
     // Recent messages kept to answer pull digests.
     std::deque<GossipAppMessage> store_;

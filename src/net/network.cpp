@@ -9,7 +9,8 @@ Network::Network(Simulator& sim, const LatencyModel& latency, int n, Params para
       latency_(latency),
       params_(params),
       allowed_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), false),
-      jitter_rng_(Rng::derive(params.seed, "net-jitter")) {
+      jitter_rng_(Rng::derive(params.seed, "net-jitter")),
+      fault_rng_(Rng::derive(params.seed, "net-fault")) {
     if (n <= 0) throw std::invalid_argument("Network: n must be positive");
     nodes_.reserve(static_cast<std::size_t>(n));
     for (ProcessId id = 0; id < n; ++id) {
@@ -82,6 +83,11 @@ void Network::transmit(const NetMessage& msg, SimTime depart) {
                                std::to_string(msg.from) + " and " + std::to_string(msg.to));
     }
     ++total_transmissions_;
+    const std::size_t idx = link_index(msg.from, msg.to);
+    if (!cut_.empty() && cut_[idx]) {
+        ++fault_counters_.cut_drops;
+        return;
+    }
     const SimTime base = propagation_delay(msg.from, msg.to);
     double factor = 1.0;
     if (params_.jitter_frac > 0.0) {
@@ -91,9 +97,36 @@ void Network::transmit(const NetMessage& msg, SimTime depart) {
         static_cast<std::int64_t>(static_cast<double>(base.as_nanos()) * factor);
     const auto serialization_ns = static_cast<std::int64_t>(
         1000.0 * static_cast<double>(msg.wire_size()) / params_.bandwidth_bytes_per_us);
-    const SimTime arrive = depart + SimTime::nanos(latency_ns + serialization_ns);
+    SimTime arrive = depart + SimTime::nanos(latency_ns + serialization_ns);
 
-    const std::size_t idx = link_index(msg.from, msg.to);
+    // Structured link faults (fault engine): the rng is consumed only on
+    // faulted links, so runs without an active fault window are unchanged.
+    const LinkFaultSpec* fault = link_fault(msg.from, msg.to);
+    bool fifo = true;
+    if (fault != nullptr) {
+        if (fault->loss > 0.0 && fault_rng_.chance(fault->loss)) {
+            ++fault_counters_.loss_drops;
+            return;
+        }
+        arrive += fault->extra_delay;
+        if (fault->reorder_window > SimTime::zero()) {
+            arrive += SimTime::nanos(
+                fault_rng_.uniform_int(0, fault->reorder_window.as_nanos()));
+            fifo = false;
+            ++fault_counters_.reordered;
+        }
+        if (fault->duplicate > 0.0 && fault_rng_.chance(fault->duplicate)) {
+            // The copy takes the out-of-order path; a duplicate that also
+            // overtakes the original is exactly the interesting case.
+            ++fault_counters_.duplicates;
+            sim_.schedule_delivery(arrive, node(msg.to), msg);
+        }
+    }
+    if (!fifo) {
+        sim_.schedule_delivery(arrive, node(msg.to), msg);
+        return;
+    }
+
     if (channels_.empty()) channels_.resize(allowed_.size());
     auto& channel = channels_[idx];
     if (!channel) {
@@ -106,9 +139,52 @@ void Network::transmit(const NetMessage& msg, SimTime depart) {
 
 void Network::set_uniform_loss(double p) {
     for (auto& n : nodes_) {
-        n->set_loss(p, Rng::derive(params_.seed,
-                                   0x10f5ULL ^ static_cast<std::uint64_t>(n->id())));
+        if (loss_streams_installed_) {
+            n->set_loss_rate(p);
+        } else {
+            n->set_loss(p, Rng::derive(params_.seed,
+                                       0x10f5ULL ^ static_cast<std::uint64_t>(n->id())));
+        }
     }
+    loss_streams_installed_ = true;
+}
+
+void Network::set_link_cut(ProcessId a, ProcessId b, bool cut) {
+    if (a == b || a < 0 || b < 0 || a >= size() || b >= size()) {
+        throw std::invalid_argument("Network::set_link_cut: bad link");
+    }
+    if (cut_.empty()) {
+        if (!cut) return;
+        cut_.resize(allowed_.size(), false);
+    }
+    cut_[link_index(a, b)] = cut;
+    cut_[link_index(b, a)] = cut;
+}
+
+bool Network::link_cut(ProcessId a, ProcessId b) const {
+    if (cut_.empty() || a < 0 || b < 0 || a >= size() || b >= size()) return false;
+    return cut_[link_index(a, b)];
+}
+
+void Network::clear_all_cuts() {
+    cut_.clear();
+}
+
+void Network::set_link_fault(ProcessId from, ProcessId to, LinkFaultSpec spec) {
+    if (from == to || from < 0 || to < 0 || from >= size() || to >= size()) {
+        throw std::invalid_argument("Network::set_link_fault: bad link");
+    }
+    link_faults_[link_index(from, to)] = spec;
+}
+
+void Network::clear_link_fault(ProcessId from, ProcessId to) {
+    link_faults_.erase(link_index(from, to));
+}
+
+const LinkFaultSpec* Network::link_fault(ProcessId from, ProcessId to) const {
+    if (link_faults_.empty()) return nullptr;
+    const auto it = link_faults_.find(link_index(from, to));
+    return it == link_faults_.end() ? nullptr : &it->second;
 }
 
 }  // namespace gossipc

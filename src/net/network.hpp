@@ -11,6 +11,7 @@
 #include <deque>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,29 @@
 #include "sim/simulator.hpp"
 
 namespace gossipc {
+
+/// A structured fault window on one *directed* link (fault engine, DESIGN.md
+/// §7): independent loss, a deterministic delay spike, probabilistic
+/// duplication, and reordering. Asymmetric faults are expressed by installing
+/// different specs on the two directions of a link.
+struct LinkFaultSpec {
+    /// Probability that a traversal is dropped in flight.
+    double loss = 0.0;
+    /// Added to every traversal's propagation delay (delay spike).
+    SimTime extra_delay = SimTime::zero();
+    /// Probability that a traversal is delivered twice (the copy bypasses
+    /// the FIFO channel, so it may also arrive out of order).
+    double duplicate = 0.0;
+    /// When non-zero, each traversal gets uniform extra delay in
+    /// [0, reorder_window] and bypasses the FIFO channel — later sends can
+    /// overtake earlier ones, modelling multipath/UDP-like reordering.
+    SimTime reorder_window = SimTime::zero();
+
+    bool active() const {
+        return loss > 0.0 || extra_delay > SimTime::zero() || duplicate > 0.0 ||
+               reorder_window > SimTime::zero();
+    }
+};
 
 class Network {
 public:
@@ -57,8 +81,36 @@ public:
     const LatencyModel& latency_model() const { return latency_; }
 
     /// Sets the same receive-loss rate on every node (Section 4.5 fault
-    /// injection); seeds derive from the network seed and the node id.
+    /// injection). Each node's loss stream is derived from the network seed
+    /// and the node id exactly once (on the first call); later calls only
+    /// adjust the rate — re-deriving would rewind the streams and replay the
+    /// same drop pattern, silently correlating drops across the phases of a
+    /// run that changes the rate mid-flight.
     void set_uniform_loss(double p);
+
+    /// Cuts or restores both directions of a link (partition primitive).
+    /// Transmissions over a cut link are dropped silently (counted), unlike
+    /// disallowed links, which are logic errors.
+    void set_link_cut(ProcessId a, ProcessId b, bool cut);
+    bool link_cut(ProcessId a, ProcessId b) const;
+    /// Restores every cut link (partition heal).
+    void clear_all_cuts();
+
+    /// Installs a structured fault window on the directed link from -> to
+    /// (replacing any previous spec); clear_link_fault removes it. Faults on
+    /// links that are never used are inert.
+    void set_link_fault(ProcessId from, ProcessId to, LinkFaultSpec spec);
+    void clear_link_fault(ProcessId from, ProcessId to);
+    const LinkFaultSpec* link_fault(ProcessId from, ProcessId to) const;
+
+    /// Drops, duplicates, and reorders caused by injected link faults/cuts.
+    struct FaultCounters {
+        std::uint64_t cut_drops = 0;    ///< transmissions dropped by a cut link
+        std::uint64_t loss_drops = 0;   ///< dropped by link-fault loss
+        std::uint64_t duplicates = 0;   ///< extra copies delivered
+        std::uint64_t reordered = 0;    ///< traversals sent down the reorder path
+    };
+    const FaultCounters& fault_counters() const { return fault_counters_; }
 
     std::uint64_t total_transmissions() const { return total_transmissions_; }
 
@@ -85,8 +137,14 @@ private:
     Params params_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<bool> allowed_;  // n*n adjacency
+    std::vector<bool> cut_;      // n*n partition cuts, lazy (empty = none)
+    std::unordered_map<std::size_t, LinkFaultSpec> link_faults_;  // by link index
     std::vector<std::unique_ptr<LinkChannel>> channels_;  // directed, lazy
     Rng jitter_rng_;
+    Rng fault_rng_;  ///< consumed only on faulted links, so fault-free runs
+                     ///< are bit-identical with and without the engine
+    bool loss_streams_installed_ = false;
+    FaultCounters fault_counters_;
     std::uint64_t total_transmissions_ = 0;
 };
 

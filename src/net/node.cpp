@@ -15,6 +15,13 @@ void Node::set_loss(double p, Rng rng) {
     loss_rng_ = std::move(rng);
 }
 
+void Node::set_loss_rate(double p) {
+    loss_rate_ = std::clamp(p, 0.0, 1.0);
+    if (loss_rate_ > 0.0 && !loss_rng_) {
+        throw std::logic_error("Node::set_loss_rate: no loss stream installed");
+    }
+}
+
 SimTime Node::message_cost(SimTime base, std::uint32_t bytes) const {
     const auto byte_ns = static_cast<std::int64_t>(params_.cpu_ns_per_byte * bytes);
     return base + SimTime::nanos(byte_ns);

@@ -30,6 +30,19 @@ void Graph::add_edge(ProcessId a, ProcessId b) {
     ++edges_;
 }
 
+bool Graph::remove_edge(ProcessId a, ProcessId b) {
+    check(a);
+    check(b);
+    auto& na = adj_[static_cast<std::size_t>(a)];
+    const auto ita = std::find(na.begin(), na.end(), b);
+    if (ita == na.end()) return false;
+    na.erase(ita);
+    auto& nb = adj_[static_cast<std::size_t>(b)];
+    nb.erase(std::find(nb.begin(), nb.end(), a));
+    --edges_;
+    return true;
+}
+
 bool Graph::has_edge(ProcessId a, ProcessId b) const {
     check(a);
     check(b);

@@ -16,6 +16,8 @@ public:
 
     /// Adds an undirected edge; duplicate edges and self-loops are rejected.
     void add_edge(ProcessId a, ProcessId b);
+    /// Removes an undirected edge (overlay churn); returns false if absent.
+    bool remove_edge(ProcessId a, ProcessId b);
     bool has_edge(ProcessId a, ProcessId b) const;
 
     const std::vector<ProcessId>& neighbors(ProcessId v) const;

@@ -41,6 +41,14 @@ public:
     /// see DESIGN.md on this benign-model simplification).
     void forget_below(InstanceId instance);
 
+    /// Wipes ALL durable state (fault engine: crash with storage loss). The
+    /// acceptor forgets every promise and vote, as if freshly installed.
+    /// Safety-critical: the shadow monitors must be told (DESIGN.md §7).
+    void reset() {
+        floor_round_ = 0;
+        slots_.clear();
+    }
+
     std::size_t slot_count() const { return slots_.size(); }
 
     /// All accepted entries currently held (for the invariant monitors).

@@ -59,6 +59,17 @@ public:
     /// Truncates the delivered log below `instance` (state-machine snapshot).
     void truncate_log_below(InstanceId instance);
 
+    /// Wipes ALL learner state (fault engine: crash with storage loss); the
+    /// delivery frontier rewinds to 1 and every decision is re-learnable.
+    /// Listeners are kept. The shadow monitors must be told (DESIGN.md §7).
+    void reset() {
+        frontier_ = 1;
+        highest_seen_ = 0;
+        delivered_count_ = 0;
+        inst_.clear();
+        log_.clear();
+    }
+
 private:
     struct InstState {
         std::map<std::uint64_t, Value> values_by_digest;  // from Phase 2a

@@ -45,6 +45,18 @@ void PaxosProcess::post_start() {
     });
 }
 
+void PaxosProcess::wipe_state() {
+    if (coordinator_) {
+        throw std::logic_error("PaxosProcess::wipe_state: cannot wipe an acting coordinator");
+    }
+    acceptor_.reset();
+    learner_.reset();
+    pending_submissions_.clear();
+    last_frontier_ = 1;
+    frontier_changed_at_ = SimTime::zero();
+    repair_attempt_ = 0;
+}
+
 void PaxosProcess::become_coordinator() {
     if (coordinator_) return;
     config_.coordinator = config_.id;

@@ -56,6 +56,13 @@ public:
     /// configured coordinator crashed). Runs Phase 1 with a higher round.
     void become_coordinator();
 
+    /// Fault engine: wipes the durable acceptor/learner state and the
+    /// volatile submission/repair bookkeeping, modelling a restart after
+    /// storage loss. The process rejoins as a blank replica and relearns via
+    /// gap repair. Wiping an acting coordinator is not supported — its
+    /// proposal ledger references the wiped learner.
+    void wipe_state();
+
 private:
     void on_message(const PaxosMessagePtr& msg, CpuContext& ctx);
     void handle_phase1a(const Phase1aMsg& msg, CpuContext& ctx);

@@ -22,6 +22,15 @@ void EventQueue::push_delivery(SimTime at, DeliveryTarget& target, NetMessage ms
     heap_.push(std::move(e));
 }
 
+void EventQueue::push_fault(SimTime at, Callback fn) {
+    Entry e;
+    e.at = at;
+    e.seq = next_seq_++;
+    e.fault = true;
+    e.fn = std::move(fn);
+    heap_.push(std::move(e));
+}
+
 SimTime EventQueue::next_time() const {
     if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
     return heap_.top().at;

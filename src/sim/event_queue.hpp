@@ -1,11 +1,15 @@
 // Deterministic event queue: a min-heap ordered by (time, insertion sequence).
 // Ties are broken by insertion order so runs are exactly reproducible.
 //
-// Two event flavours share the heap: generic callbacks (timers, control
-// flow) and message deliveries. Deliveries are carried as a typed
-// (DeliveryTarget*, NetMessage) pair instead of a closure — the delivery
-// path dominates event volume, and avoiding a std::function allocation per
-// message keeps large simulations fast.
+// Three event flavours share the heap: generic callbacks (timers, control
+// flow), message deliveries, and injected faults. Deliveries are carried as
+// a typed (DeliveryTarget*, NetMessage) pair instead of a closure — the
+// delivery path dominates event volume, and avoiding a std::function
+// allocation per message keeps large simulations fast. Fault events are
+// callbacks flagged so that, at equal timestamps, they execute before
+// ordinary events: a crash or partition scheduled for time T hits before any
+// protocol activity at T, which makes fault schedules adversarial and their
+// effect independent of unrelated same-instant traffic.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,7 @@ public:
     struct Entry {
         SimTime at;
         std::uint64_t seq = 0;
+        bool fault = false;                // injected fault (fires first at ties)
         Callback fn;                       // empty for deliveries
         DeliveryTarget* target = nullptr;  // non-null for deliveries
         NetMessage msg;
@@ -44,6 +49,11 @@ public:
     /// Enqueues a message delivery at time `at`.
     void push_delivery(SimTime at, DeliveryTarget& target, NetMessage msg);
 
+    /// Enqueues an injected-fault callback at time `at`. At equal timestamps
+    /// fault entries execute before every ordinary entry (faults among
+    /// themselves keep insertion order).
+    void push_fault(SimTime at, Callback fn);
+
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
 
@@ -59,6 +69,7 @@ private:
     struct Later {
         bool operator()(const Entry& a, const Entry& b) const {
             if (a.at != b.at) return a.at > b.at;
+            if (a.fault != b.fault) return b.fault;  // faults first
             return a.seq > b.seq;
         }
     };

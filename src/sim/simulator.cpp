@@ -11,6 +11,11 @@ void Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
     queue_.push(at, std::move(fn));
 }
 
+void Simulator::schedule_fault(SimTime at, EventQueue::Callback fn) {
+    if (at < now_) at = now_;
+    queue_.push_fault(at, std::move(fn));
+}
+
 Timer Simulator::schedule_timer(SimTime delay, EventQueue::Callback fn) {
     auto alive = std::make_shared<bool>(true);
     schedule_after(delay, [alive, fn = std::move(fn)]() {
@@ -33,6 +38,7 @@ bool Simulator::step() {
     now_ = queue_.next_time();
     auto entry = queue_.pop();
     ++events_executed_;
+    if (entry.fault) ++faults_executed_;
     entry.execute();
     if (probe_every_ != 0 && events_executed_ % probe_every_ == 0) probe_();
     return true;
@@ -58,6 +64,7 @@ void Simulator::reset() {
     queue_.clear();
     now_ = SimTime::zero();
     events_executed_ = 0;
+    faults_executed_ = 0;
     stopped_ = false;
 }
 

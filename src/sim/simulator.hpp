@@ -40,6 +40,7 @@ public:
 
     SimTime now() const { return now_; }
     std::uint64_t events_executed() const { return events_executed_; }
+    std::uint64_t faults_executed() const { return faults_executed_; }
 
     /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
     void schedule_at(SimTime at, EventQueue::Callback fn);
@@ -54,6 +55,12 @@ public:
         if (at < now_) at = now_;
         queue_.push_delivery(at, target, std::move(msg));
     }
+
+    /// Schedules an injected-fault event at absolute time `at` (clamped to
+    /// now if in the past). Fault events are first-class queue entries: at
+    /// equal timestamps they execute before every ordinary event, so a fault
+    /// scheduled for T always hits before protocol activity at T.
+    void schedule_fault(SimTime at, EventQueue::Callback fn);
 
     /// Schedules a cancellable callback after `delay`.
     [[nodiscard]] Timer schedule_timer(SimTime delay, EventQueue::Callback fn);
@@ -91,6 +98,7 @@ private:
     EventQueue queue_;
     SimTime now_ = SimTime::zero();
     std::uint64_t events_executed_ = 0;
+    std::uint64_t faults_executed_ = 0;
     bool stopped_ = false;
     std::uint64_t probe_every_ = 0;
     std::function<void()> probe_;

@@ -1,0 +1,333 @@
+// Unit tests for the fault-injection engine: schedule ordering and canonical
+// rendering, chaos generation, and injector semantics (fault-lane priority,
+// partition symmetry, crash-then-restart state wipe vs. preserve, churn edge
+// accounting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/semantic_gossip.hpp"
+
+namespace gossipc {
+namespace {
+
+// --- schedule data model ---
+
+TEST(FaultScheduleTest, EventsSortedByTimeInsertionOrderOnTies) {
+    FaultSchedule s;
+    s.heal(SimTime::millis(5));
+    s.crash(SimTime::millis(1), 2, /*wipe_state=*/true);
+    s.restart(SimTime::millis(5), 2);
+    s.crash(SimTime::millis(3), 4);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.events()[0].at, SimTime::millis(1));
+    EXPECT_EQ(s.events()[1].at, SimTime::millis(3));
+    // Equal times keep insertion order (heal was added before restart),
+    // matching the simulator queue's tie-break.
+    EXPECT_EQ(s.events()[2].at, SimTime::millis(5));
+    EXPECT_TRUE(std::holds_alternative<HealFault>(s.events()[2].action));
+    EXPECT_TRUE(std::holds_alternative<RestartFault>(s.events()[3].action));
+}
+
+TEST(FaultScheduleTest, MergePreservesExecutionOrder) {
+    FaultSchedule a;
+    a.crash(SimTime::millis(1), 0);
+    a.restart(SimTime::millis(9), 0);
+    FaultSchedule b;
+    b.heal(SimTime::millis(5));
+    a.merge(b);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_TRUE(std::holds_alternative<HealFault>(a.events()[1].action));
+}
+
+TEST(FaultScheduleTest, DescribeIsCanonical) {
+    EXPECT_EQ(describe(FaultAction{CrashFault{4, true}}), "crash p4 wipe");
+    EXPECT_EQ(describe(FaultAction{CrashFault{4, false}}), "crash p4 preserve");
+    EXPECT_EQ(describe(FaultAction{RestartFault{4}}), "restart p4");
+    // Partition sides render sorted regardless of construction order.
+    EXPECT_EQ(describe(FaultAction{PartitionFault{{5, 2, 3}}}), "partition {2,3,5}");
+    EXPECT_EQ(describe(FaultAction{HealFault{}}), "heal");
+    EXPECT_EQ(describe(FaultAction{ChurnDropEdge{1, 2}}), "churn-drop 1-2");
+    EXPECT_EQ(describe(FaultAction{ChurnAddEdge{1, 2}}), "churn-add 1-2");
+    LinkFaultSpec spec;
+    spec.loss = 0.5;
+    spec.extra_delay = SimTime::millis(1);
+    EXPECT_EQ(describe(FaultAction{LinkFaultStart{0, 1, spec}}),
+              "link-fault 0->1 loss=0.5 delay_ns=1000000 dup=0 reorder_ns=0");
+    EXPECT_EQ(describe(FaultAction{LinkFaultEnd{0, 1}}), "link-fault-end 0->1");
+}
+
+// --- chaos generation ---
+
+TEST(ChaosGeneratorTest, DeterministicInSeedAndProfile) {
+    const Graph overlay = make_connected_overlay(9, 7);
+    const auto a = generate_chaos(9, 0, ChaosProfile::moderate(), 33, &overlay);
+    const auto b = generate_chaos(9, 0, ChaosProfile::moderate(), 33, &overlay);
+    EXPECT_EQ(a.describe(), b.describe());
+    const auto c = generate_chaos(9, 0, ChaosProfile::moderate(), 34, &overlay);
+    EXPECT_NE(a.describe(), c.describe());
+    const auto d = generate_chaos(9, 0, ChaosProfile::heavy(), 33, &overlay);
+    EXPECT_NE(a.describe(), d.describe());
+}
+
+TEST(ChaosGeneratorTest, SchedulesAreSelfResolvingWithinWindow) {
+    const int n = 13;
+    const Graph overlay = make_connected_overlay(n, 42);
+    for (const ChaosProfile& profile :
+         {ChaosProfile::light(), ChaosProfile::moderate(), ChaosProfile::heavy()}) {
+        for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            const auto s = generate_chaos(n, 0, profile, seed, &overlay);
+            int crashes = 0, restarts = 0, partitions = 0, heals = 0;
+            int lf_starts = 0, lf_ends = 0, churn_drops = 0, churn_adds = 0;
+            const SimTime window_end = profile.start + profile.horizon;
+            for (const FaultEvent& e : s.events()) {
+                EXPECT_GE(e.at, profile.start) << profile.name << " seed " << seed;
+                EXPECT_LE(e.at, window_end) << profile.name << " seed " << seed;
+                if (const auto* c = std::get_if<CrashFault>(&e.action)) {
+                    ++crashes;
+                    if (!profile.crash_coordinator) {
+                        EXPECT_NE(c->process, 0);
+                    }
+                } else if (std::holds_alternative<RestartFault>(e.action)) {
+                    ++restarts;
+                } else if (const auto* p = std::get_if<PartitionFault>(&e.action)) {
+                    ++partitions;
+                    // Minority side, never containing the coordinator.
+                    EXPECT_LE(p->side.size(), static_cast<std::size_t>((n - 1) / 2));
+                    EXPECT_FALSE(p->side.empty());
+                    for (const ProcessId m : p->side) EXPECT_NE(m, 0);
+                } else if (std::holds_alternative<HealFault>(e.action)) {
+                    ++heals;
+                } else if (std::holds_alternative<LinkFaultStart>(e.action)) {
+                    ++lf_starts;
+                } else if (std::holds_alternative<LinkFaultEnd>(e.action)) {
+                    ++lf_ends;
+                } else if (std::holds_alternative<ChurnDropEdge>(e.action)) {
+                    ++churn_drops;
+                } else if (std::holds_alternative<ChurnAddEdge>(e.action)) {
+                    ++churn_adds;
+                }
+            }
+            EXPECT_EQ(crashes, profile.crashes);
+            EXPECT_EQ(restarts, crashes);  // every crash has its restart
+            EXPECT_EQ(partitions, profile.partitions);
+            EXPECT_EQ(heals, partitions);
+            EXPECT_EQ(lf_starts, profile.link_faults);
+            EXPECT_EQ(lf_ends, lf_starts);
+            EXPECT_EQ(churn_drops, churn_adds);  // churn reverts itself
+            EXPECT_EQ(churn_drops + churn_adds, 2 * profile.churn_ops);
+        }
+    }
+}
+
+TEST(ChaosGeneratorTest, BaselineWithoutOverlayOmitsChurn) {
+    const auto s = generate_chaos(7, 0, ChaosProfile::moderate(), 5, nullptr);
+    for (const FaultEvent& e : s.events()) {
+        EXPECT_FALSE(std::holds_alternative<ChurnDropEdge>(e.action));
+        EXPECT_FALSE(std::holds_alternative<ChurnAddEdge>(e.action));
+    }
+    EXPECT_FALSE(s.empty());
+}
+
+// --- simulator fault lane ---
+
+TEST(FaultLaneTest, FaultsRunBeforeOrdinaryEventsAtSameInstant) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(SimTime::millis(1), [&] { order.push_back(1); });
+    sim.schedule_fault(SimTime::millis(1), [&] { order.push_back(2); });
+    sim.schedule_at(SimTime::millis(1), [&] { order.push_back(3); });
+    sim.run_until(SimTime::millis(2));
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 2);  // the fault fires first despite later insertion
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_EQ(sim.faults_executed(), 1u);
+    EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+// --- injector semantics (driven through a real deployment) ---
+
+TEST(FaultInjectorTest, PartitionCutsAreSymmetricAndHealRestores) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = 7;
+    cfg.faults.partition(SimTime::millis(10), {1, 2});
+    cfg.faults.heal(SimTime::millis(50));
+    Deployment d(cfg);
+    d.start_processes();
+    d.simulator().run_until(SimTime::millis(20));
+
+    Network& net = d.network();
+    int cross_links = 0;
+    for (const ProcessId a : {1, 2}) {
+        for (ProcessId b = 0; b < cfg.n; ++b) {
+            if (b == 1 || b == 2) continue;
+            if (!net.link_allowed(a, b)) continue;
+            EXPECT_TRUE(net.link_cut(a, b)) << a << "->" << b;
+            EXPECT_TRUE(net.link_cut(b, a)) << b << "->" << a;  // symmetric
+            ++cross_links;
+        }
+    }
+    EXPECT_GT(cross_links, 0);  // a connected overlay has cross edges
+    if (net.link_allowed(1, 2)) {
+        EXPECT_FALSE(net.link_cut(1, 2));  // intra-side links stay up
+    }
+
+    d.simulator().run_until(SimTime::millis(60));
+    for (ProcessId a = 0; a < cfg.n; ++a) {
+        for (ProcessId b = 0; b < cfg.n; ++b) {
+            if (a != b && net.link_allowed(a, b)) {
+                EXPECT_FALSE(net.link_cut(a, b));
+            }
+        }
+    }
+    const auto& c = d.fault_injector()->counters();
+    EXPECT_EQ(c.partitions, 1u);
+    EXPECT_EQ(c.heals, 1u);
+}
+
+TEST(FaultInjectorTest, CrashThenRestartWipeVsPreserve) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = 7;
+    cfg.total_rate = 52.0;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(2.5);
+    // Two concurrent crash/restart cycles: p3 loses its disk, p4 keeps it.
+    cfg.faults.crash(SimTime::millis(800), 3, /*wipe_state=*/true);
+    cfg.faults.crash(SimTime::millis(800), 4, /*wipe_state=*/false);
+    cfg.faults.restart(SimTime::millis(1200), 3);
+    cfg.faults.restart(SimTime::millis(1200), 4);
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    const auto& c = d.fault_injector()->counters();
+    EXPECT_EQ(c.crashes, 2u);
+    EXPECT_EQ(c.restarts, 2u);
+    EXPECT_EQ(c.wipes, 1u);  // only p3's restart wiped durable state
+    EXPECT_EQ(result.faults_injected, 4u);
+    const std::string log = d.fault_injector()->rendered_log();
+    EXPECT_NE(log.find("crash p3 wipe"), std::string::npos);
+    EXPECT_NE(log.find("crash p4 preserve"), std::string::npos);
+
+    // Both recovered: the wiped process re-learned the log through repair.
+    EXPECT_GT(d.process(3).learner().frontier(), 1);
+    EXPECT_GT(d.process(4).learner().frontier(), 1);
+}
+
+TEST(FaultInjectorTest, WipeResetsAcceptorAndLearnerState) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = 7;
+    cfg.total_rate = 52.0;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(1.5);
+    Deployment d(cfg);
+    d.run();
+    ASSERT_GT(d.process(3).learner().frontier(), 1);
+
+    d.wipe_process_state(3);
+    EXPECT_EQ(d.process(3).learner().frontier(), 1);
+    EXPECT_EQ(d.process(3).learner().delivered_count(), 0u);
+    const auto report = d.process(3).acceptor().on_phase1a(999, 1);
+    EXPECT_TRUE(report.accepted.empty());
+
+    // Wiping an acting coordinator is not a recoverable state — refused.
+    EXPECT_THROW(d.wipe_process_state(0), std::logic_error);
+}
+
+TEST(FaultInjectorTest, ChurnEdgeAccountingRestoresOverlay) {
+    // A ring: every edge sits on a cycle, so any single drop keeps the
+    // overlay connected and the injector never refuses.
+    const int n = 7;
+    Graph ring(n);
+    for (ProcessId p = 0; p < n; ++p) ring.add_edge(p, (p + 1) % n);
+
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = n;
+    cfg.overlay = ring;
+    cfg.faults.churn_drop(SimTime::millis(10), 0, 1);   // existing edge out...
+    cfg.faults.churn_add(SimTime::millis(15), 0, 3);    // ...fresh chord in...
+    cfg.faults.churn_add(SimTime::millis(30), 0, 1);    // ...ring restored...
+    cfg.faults.churn_drop(SimTime::millis(40), 0, 3);   // ...chord removed.
+    Deployment d(cfg);
+    d.start_processes();
+    d.simulator().run_until(SimTime::millis(60));
+
+    const auto& c = d.fault_injector()->counters();
+    EXPECT_EQ(c.edges_dropped, 2u);
+    EXPECT_EQ(c.edges_added, 2u);
+    EXPECT_EQ(c.skipped, 0u);
+    // Edge accounting: the overlay is back to the original ring.
+    ASSERT_NE(d.overlay(), nullptr);
+    EXPECT_EQ(d.overlay()->edge_count(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(d.overlay()->has_edge(0, 1));
+    EXPECT_FALSE(d.overlay()->has_edge(0, 3));
+    // The gossip layer tracked the same membership changes.
+    EXPECT_EQ(d.gossip_node(0)->counters().peers_removed, 2u);
+    EXPECT_EQ(d.gossip_node(0)->counters().peers_added, 2u);
+    EXPECT_TRUE(d.gossip_node(0)->is_peer(1));
+    EXPECT_FALSE(d.gossip_node(0)->is_peer(3));
+    EXPECT_EQ(d.gossip_node(0)->active_peer_count(), 2u);
+}
+
+TEST(FaultInjectorTest, ChurnRefusesToDisconnectOverlay) {
+    // A path: every edge is a bridge, so any drop would disconnect.
+    const int n = 5;
+    Graph path(n);
+    for (ProcessId p = 0; p + 1 < n; ++p) path.add_edge(p, p + 1);
+
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = n;
+    cfg.overlay = path;
+    cfg.faults.churn_drop(SimTime::millis(10), 1, 2);
+    Deployment d(cfg);
+    d.start_processes();
+    d.simulator().run_until(SimTime::millis(20));
+
+    const auto& c = d.fault_injector()->counters();
+    EXPECT_EQ(c.edges_dropped, 0u);
+    EXPECT_EQ(c.skipped, 1u);
+    EXPECT_TRUE(d.overlay()->has_edge(1, 2));
+    EXPECT_NE(d.fault_injector()->rendered_log().find("would disconnect overlay"),
+              std::string::npos);
+}
+
+TEST(FaultInjectorTest, InapplicableEventsAreLoggedAsSkipped) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 5;
+    cfg.faults.restart(SimTime::millis(5), 2);      // restart of a live process
+    cfg.faults.churn_drop(SimTime::millis(6), 0, 1);  // Baseline has no overlay
+    Deployment d(cfg);
+    d.start_processes();
+    d.simulator().run_until(SimTime::millis(10));
+
+    const auto& c = d.fault_injector()->counters();
+    EXPECT_EQ(c.applied, 0u);
+    EXPECT_EQ(c.skipped, 2u);
+    const auto& log = d.fault_injector()->log();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_NE(log[0].find("[skipped: not crashed]"), std::string::npos);
+    EXPECT_NE(log[1].find("[skipped: no overlay]"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, ScheduleTargetingUnknownProcessIsRejected) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 5;
+    cfg.faults.crash(SimTime::millis(1), 9);
+    EXPECT_THROW(Deployment d(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossipc

@@ -2,7 +2,9 @@
 // model, loss injection, and network link semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "net/latency_model.hpp"
 #include "net/network.hpp"
@@ -277,6 +279,157 @@ TEST(NetworkTest, UniformLossAppliesToAllNodes) {
     for (ProcessId id = 0; id < 5; ++id) {
         EXPECT_DOUBLE_EQ(f.net.node(id).loss_rate(), 0.5);
     }
+}
+
+// Regression: set_uniform_loss used to re-derive every node's loss stream on
+// each call, rewinding the RNGs — a mid-run rate change replayed the exact
+// drop pattern already consumed. Streams must be derived once; later calls
+// only adjust the rate.
+TEST(NetworkTest, UniformLossReapplyDoesNotRewindStreams) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    NetFixture a(4, p), b(4, p);  // identical seeds
+    for (NetFixture* f : {&a, &b}) {
+        f->net.allow_link(0, 1);
+        f->net.set_uniform_loss(0.3);
+    }
+    std::vector<std::uint32_t> got_a, got_b;
+    a.net.node(1).set_receive_handler(
+        [&](const NetMessage& m, CpuContext&) { got_a.push_back(m.wire_size()); });
+    b.net.node(1).set_receive_handler(
+        [&](const NetMessage& m, CpuContext&) { got_b.push_back(m.wire_size()); });
+    for (std::uint32_t s = 1; s <= 500; ++s) a.net.transmit(msg(0, 1, s), SimTime::zero());
+    for (std::uint32_t s = 1; s <= 250; ++s) b.net.transmit(msg(0, 1, s), SimTime::zero());
+    b.net.set_uniform_loss(0.3);  // must be a no-op on the streams
+    for (std::uint32_t s = 251; s <= 500; ++s) b.net.transmit(msg(0, 1, s), SimTime::zero());
+    a.sim.run_until_idle();
+    b.sim.run_until_idle();
+    EXPECT_EQ(got_a, got_b);  // same drop pattern despite the re-apply
+    EXPECT_GT(got_a.size(), 0u);
+    EXPECT_LT(got_a.size(), 500u);  // losses actually happened
+}
+
+// --- link-level fault primitives (fault engine) ---
+
+TEST(NetworkTest, CutLinkDropsSilentlyAndRestores) {
+    NetFixture f(4);
+    f.net.allow_link(0, 1);
+    int received = 0;
+    f.net.node(1).set_receive_handler([&](const NetMessage&, CpuContext&) { ++received; });
+    f.net.set_link_cut(0, 1, true);
+    EXPECT_TRUE(f.net.link_cut(0, 1));
+    EXPECT_TRUE(f.net.link_cut(1, 0));  // cuts are symmetric
+    f.net.transmit(msg(0, 1), SimTime::zero());  // no throw, unlike disallowed
+    f.sim.run_until_idle();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(f.net.fault_counters().cut_drops, 1u);
+    f.net.clear_all_cuts();
+    f.net.transmit(msg(0, 1), f.sim.now());
+    f.sim.run_until_idle();
+    EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, LinkFaultLossIsDirectional) {
+    NetFixture f(4);
+    f.net.allow_link(0, 1);
+    int fwd = 0, rev = 0;
+    f.net.node(1).set_receive_handler([&](const NetMessage&, CpuContext&) { ++fwd; });
+    f.net.node(0).set_receive_handler([&](const NetMessage&, CpuContext&) { ++rev; });
+    LinkFaultSpec spec;
+    spec.loss = 1.0;
+    f.net.set_link_fault(0, 1, spec);  // only the 0 -> 1 direction
+    for (int i = 0; i < 10; ++i) {
+        f.net.transmit(msg(0, 1), SimTime::zero());
+        f.net.transmit(msg(1, 0), SimTime::zero());
+    }
+    f.sim.run_until_idle();
+    EXPECT_EQ(fwd, 0);   // faulted direction fully lossy
+    EXPECT_EQ(rev, 10);  // reverse direction untouched (asymmetric)
+    EXPECT_EQ(f.net.fault_counters().loss_drops, 10u);
+    f.net.clear_link_fault(0, 1);
+    f.net.transmit(msg(0, 1), f.sim.now());
+    f.sim.run_until_idle();
+    EXPECT_EQ(fwd, 1);
+}
+
+TEST(NetworkTest, LinkFaultDelaySpikeAddsExactDelay) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    SimTime at = SimTime::zero();
+    f.net.node(1).set_receive_handler(
+        [&](const NetMessage&, CpuContext& ctx) { at = ctx.now(); });
+    LinkFaultSpec spec;
+    spec.extra_delay = SimTime::millis(5);
+    f.net.set_link_fault(0, 1, spec);
+    f.net.transmit(msg(0, 1, 0), SimTime::zero());
+    f.sim.run_until_idle();
+    EXPECT_EQ(at, f.net.propagation_delay(0, 1) + SimTime::millis(5) +
+                      f.net.node(1).params().recv_cost);
+}
+
+TEST(NetworkTest, LinkFaultDuplicateDeliversTwice) {
+    NetFixture f(4);
+    f.net.allow_link(0, 1);
+    int received = 0;
+    f.net.node(1).set_receive_handler([&](const NetMessage&, CpuContext&) { ++received; });
+    LinkFaultSpec spec;
+    spec.duplicate = 1.0;
+    f.net.set_link_fault(0, 1, spec);
+    for (int i = 0; i < 10; ++i) f.net.transmit(msg(0, 1), SimTime::zero());
+    f.sim.run_until_idle();
+    EXPECT_EQ(received, 20);
+    EXPECT_EQ(f.net.fault_counters().duplicates, 10u);
+}
+
+TEST(NetworkTest, LinkFaultReorderCanOvertakeFifo) {
+    Network::Params p;
+    p.jitter_frac = 0.0;
+    NetFixture f(4, p);
+    f.net.allow_link(0, 1);
+    std::vector<std::uint32_t> order;
+    f.net.node(1).set_receive_handler(
+        [&](const NetMessage& m, CpuContext&) { order.push_back(m.wire_size()); });
+    LinkFaultSpec spec;
+    spec.reorder_window = SimTime::millis(5);
+    f.net.set_link_fault(0, 1, spec);
+    for (std::uint32_t s = 1; s <= 30; ++s) f.net.transmit(msg(0, 1, s), SimTime::zero());
+    f.sim.run_until_idle();
+    ASSERT_EQ(order.size(), 30u);
+    EXPECT_EQ(f.net.fault_counters().reordered, 30u);
+    // Every message arrived, but not in FIFO order.
+    std::vector<std::uint32_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t s = 1; s <= 30; ++s) EXPECT_EQ(sorted[s - 1], s);
+    EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(NetworkTest, FaultFreeTrafficUnchangedByEngine) {
+    // Installing a fault on one link must not perturb any other link's
+    // timing: the fault RNG is consumed only on faulted traversals.
+    Network::Params p;
+    NetFixture a(4, p), b(4, p);
+    for (NetFixture* f : {&a, &b}) {
+        f->net.allow_link(0, 1);
+        f->net.allow_link(2, 3);
+    }
+    LinkFaultSpec spec;
+    spec.loss = 0.5;
+    spec.duplicate = 0.5;
+    b.net.set_link_fault(2, 3, spec);  // other link entirely
+    std::vector<SimTime> times_a, times_b;
+    a.net.node(1).set_receive_handler(
+        [&](const NetMessage&, CpuContext& ctx) { times_a.push_back(ctx.now()); });
+    b.net.node(1).set_receive_handler(
+        [&](const NetMessage&, CpuContext& ctx) { times_b.push_back(ctx.now()); });
+    for (int i = 0; i < 20; ++i) {
+        a.net.transmit(msg(0, 1), SimTime::zero());
+        b.net.transmit(msg(0, 1), SimTime::zero());
+    }
+    a.sim.run_until_idle();
+    b.sim.run_until_idle();
+    EXPECT_EQ(times_a, times_b);  // bit-identical arrivals
 }
 
 }  // namespace

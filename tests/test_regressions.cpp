@@ -150,5 +150,69 @@ TEST(Regression, AcceptedStateRetainedForPhase1) {
     }
 }
 
+// Chaos seed-replay corpus: byte-exact pins of generated schedules and an
+// injected-fault log. These strings ARE the replay contract — archived chaos
+// runs are reproduced from (seed, profile), so a change that alters them
+// silently invalidates every pinned seed. Deliberate generator changes must
+// update the corpus (and accept that old seeds no longer replay).
+TEST(Regression, ChaosCorpusLightProfileSeed1) {
+    const Graph overlay = make_connected_overlay(7, 42);
+    const auto s = generate_chaos(7, 0, ChaosProfile::light(), 1, &overlay);
+    EXPECT_EQ(s.describe(),
+              "268346351 crash p4 preserve\n"
+              "516939933 restart p4\n"
+              "663965334 churn-drop 4-6\n"
+              "811552381 partition {6}\n"
+              "1018163822 churn-add 4-6\n"
+              "1065652768 link-fault 0->6 loss=0.139436 delay_ns=184601 dup=0.0628049"
+              " reorder_ns=491612\n"
+              "1225669766 heal\n"
+              "1333708675 link-fault-end 0->6\n"
+              "1456495703 churn-add 3-1\n"
+              "1987368994 churn-drop 3-1\n");
+}
+
+TEST(Regression, ChaosCorpusModerateProfileSeed2NoOverlay) {
+    const auto s = generate_chaos(7, 0, ChaosProfile::moderate(), 2, nullptr);
+    EXPECT_EQ(s.describe(),
+              "306956950 link-fault 0->6 loss=0.385706 delay_ns=13122451 dup=0.1892"
+              " reorder_ns=1430969\n"
+              "533915043 crash p4 preserve\n"
+              "715766989 link-fault 0->4 loss=0.248772 delay_ns=8100275 dup=0.209013"
+              " reorder_ns=3505052\n"
+              "777484571 restart p4\n"
+              "861498261 partition {1,2,6}\n"
+              "1098409671 link-fault-end 0->4\n"
+              "1190694498 link-fault-end 0->6\n"
+              "1377631109 heal\n"
+              "1425573231 link-fault 5->0 loss=0.126239 delay_ns=321830 dup=0.0801682"
+              " reorder_ns=3740916\n"
+              "1671101057 crash p3 preserve\n"
+              "1864883261 link-fault-end 5->0\n"
+              "2094832810 restart p3\n");
+}
+
+TEST(Regression, ChaosCorpusInjectedFaultLogIsPinned) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Baseline;
+    cfg.n = 5;
+    cfg.faults.crash(SimTime::millis(10), 2, /*wipe_state=*/true);
+    cfg.faults.restart(SimTime::millis(20), 2);
+    cfg.faults.restart(SimTime::millis(25), 3);  // never crashed -> skip
+    cfg.faults.partition(SimTime::millis(30), {1});
+    cfg.faults.heal(SimTime::millis(40));
+    cfg.faults.churn_drop(SimTime::millis(45), 0, 1);  // no overlay -> skip
+    Deployment d(cfg);
+    d.start_processes();
+    d.simulator().run_until(SimTime::millis(50));
+    EXPECT_EQ(d.fault_injector()->rendered_log(),
+              "10000000 crash p2 wipe\n"
+              "20000000 restart p2\n"
+              "25000000 restart p3 [skipped: not crashed]\n"
+              "30000000 partition {1}\n"
+              "40000000 heal\n"
+              "45000000 churn-drop 0-1 [skipped: no overlay]\n");
+}
+
 }  // namespace
 }  // namespace gossipc
