@@ -29,9 +29,16 @@ namespace {
         "  --no-filtering / --no-aggregation  disable one semantic technique\n"
         "  --batch <size>                     network-level batching (default off)\n"
         "  --seed <u64> / --overlay-seed <u64>\n"
-        "  --chaos light|moderate|heavy       seeded fault schedule (crashes,\n"
-        "                                     partitions, link faults, churn)\n"
+        "  --chaos light|moderate|heavy|heavy-failover\n"
+        "                                     seeded fault schedule (crashes,\n"
+        "                                     partitions, link faults, churn;\n"
+        "                                     heavy-failover adds a permanent\n"
+        "                                     coordinator crash mid-horizon)\n"
         "  --chaos-seed <u64>                 replay seed (default: --seed)\n"
+        "  --failover                         failure detector + coordinator\n"
+        "                                     failover (DESIGN.md Sec. 8)\n"
+        "  --heartbeat <s>                    heartbeat interval (default 0.1)\n"
+        "  --suspect-after <s>                suspicion timeout (default 0.45)\n"
         "  --fault-log                        print the injected-fault log\n"
         "  --warmup <s> --measure <s> --drain <s>\n"
         "  --json | --csv                     machine-readable output\n",
@@ -95,9 +102,16 @@ int main(int argc, char** argv) {
             if (v == "light") cfg.chaos = ChaosProfile::light();
             else if (v == "moderate") cfg.chaos = ChaosProfile::moderate();
             else if (v == "heavy") cfg.chaos = ChaosProfile::heavy();
+            else if (v == "heavy-failover") cfg.chaos = ChaosProfile::heavy_failover();
             else usage(argv[0]);
         } else if (arg == "--chaos-seed") {
             cfg.chaos_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--failover") {
+            cfg.failover = true;
+        } else if (arg == "--heartbeat") {
+            cfg.heartbeat_interval = SimTime::seconds(num(next()));
+        } else if (arg == "--suspect-after") {
+            cfg.suspect_after = SimTime::seconds(num(next()));
         } else if (arg == "--fault-log") {
             fault_log = true;
         } else if (arg == "--warmup") {
@@ -147,6 +161,17 @@ int main(int argc, char** argv) {
                             static_cast<unsigned long long>(
                                 cfg.chaos_seed != 0 ? cfg.chaos_seed : cfg.seed),
                             static_cast<unsigned long long>(result.faults_injected));
+            }
+            if (cfg.failover) {
+                const auto& f = result.failover;
+                std::printf("failover: %llu suspicions, %llu restores, %llu takeovers,"
+                            " %llu step-downs, heartbeats %llu sent / %llu suppressed\n",
+                            static_cast<unsigned long long>(f.suspicions),
+                            static_cast<unsigned long long>(f.restores),
+                            static_cast<unsigned long long>(f.takeovers),
+                            static_cast<unsigned long long>(f.step_downs),
+                            static_cast<unsigned long long>(f.heartbeats_sent),
+                            static_cast<unsigned long long>(f.heartbeats_suppressed));
             }
             break;
         }

@@ -1,0 +1,50 @@
+#include "check/failover_invariants.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "paxos/process.hpp"
+
+namespace gossipc::check {
+
+void CoordinatorMonitor::observe(const std::vector<const PaxosProcess*>& processes) {
+    highest_active_round_.resize(processes.size(), 0);
+    std::map<Round, ProcessId> active_round_owner;
+    for (std::size_t i = 0; i < processes.size(); ++i) {
+        const PaxosProcess& p = *processes[i];
+        const Coordinator* c = p.coordinator();
+        if (!c || !c->active()) continue;
+        const Round round = c->round();
+        // Round 0 means activated but Phase 1 not yet begun (the start task
+        // is still queued); there is no round to validate yet.
+        if (round == 0) continue;
+        // P-CRD-1: a coordinator only works rounds it owns — round numbers
+        // encode coordinator identity, which is what keeps concurrent
+        // coordinators from ever sharing a round.
+        GC_INVARIANT(p.config().round_owner(round) == p.config().id,
+                     "process %d actively coordinating round %d owned by %d",
+                     p.config().id, round, p.config().round_owner(round));
+        // P-CRD-2: at most one active coordinator per round.
+        const auto [it, inserted] = active_round_owner.emplace(round, p.config().id);
+        GC_INVARIANT(inserted, "round %d actively coordinated by both %d and %d", round,
+                     it->second, p.config().id);
+        // P-CRD-3: a process never re-activates at a lower round than it
+        // already coordinated (activate() starts strictly above every round
+        // it has observed).
+        GC_INVARIANT(round >= highest_active_round_[i],
+                     "process %d active coordination round moved backwards: %d -> %d",
+                     p.config().id, highest_active_round_[i], round);
+        highest_active_round_[i] = round;
+    }
+}
+
+void register_failover_checks(InvariantChecker& checker,
+                              std::vector<const PaxosProcess*> processes) {
+    auto monitor = std::make_shared<CoordinatorMonitor>();
+    checker.add_check("coordinator-succession",
+                      [monitor, processes = std::move(processes)] {
+                          monitor->observe(processes);
+                      });
+}
+
+}  // namespace gossipc::check

@@ -1,0 +1,42 @@
+// Coordinator-succession safety invariants (failover, DESIGN.md §8).
+//
+// A shadow monitor over the deployment's processes fails via GC_INVARIANT on
+// any transition the succession protocol forbids —
+//   * an active coordinator working a round it does not own
+//     (round_owner(r) != id: rounds encode coordinator identity),
+//   * two processes actively coordinating the same round at the same
+//     observation (takeover without the predecessor's round being dead),
+//   * a process's active coordination round moving backwards.
+// Concurrent active coordinators at *different* rounds are legitimate — that
+// is exactly the takeover window — and Paxos agreement (paxos_invariants)
+// guards safety through it.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "common/types.hpp"
+
+namespace gossipc {
+class PaxosProcess;
+}  // namespace gossipc
+
+namespace gossipc::check {
+
+/// Shadow of which processes are actively coordinating and at which rounds.
+/// The same process set (same order) must be passed to every observe().
+class CoordinatorMonitor {
+public:
+    void observe(const std::vector<const PaxosProcess*>& processes);
+
+private:
+    std::vector<Round> highest_active_round_;  // per process, 0 = never active
+};
+
+/// Registers the coordinator-succession checks over a deployment's
+/// processes. The pointed-to processes must outlive `checker`.
+void register_failover_checks(InvariantChecker& checker,
+                              std::vector<const PaxosProcess*> processes);
+
+}  // namespace gossipc::check

@@ -1,7 +1,11 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
+#include "check/failover_invariants.hpp"
 #include "check/paxos_invariants.hpp"
 #include "overlay/random_overlay.hpp"
 
@@ -35,6 +39,12 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             throw std::invalid_argument("Deployment: overlay size != n");
         }
         for (const auto& [a, b] : overlay_->edges()) network_->allow_link(a, b);
+    } else if (config.failover) {
+        // Baseline + failover: the star around process 0 cannot survive the
+        // hub's death (a successor could not reach anyone), so failover runs
+        // use the full mesh the paper's Baseline implicitly assumes the
+        // datacenter fabric to provide.
+        network_->allow_all_links();
     } else {
         // Baseline: the coordinator communicates directly with every process
         // (fully connected star; Section 4.1).
@@ -49,6 +59,17 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
         pc.id = id;
         pc.coordinator = 0;
         pc.timeouts_enabled = config.timeouts_enabled;
+        pc.seed = config.seed;
+        pc.retransmit_jitter_max = config.retransmit_jitter_max;
+        pc.failover_enabled = config.failover;
+        pc.heartbeat_interval = config.heartbeat_interval;
+        // Semantic filtering drops redundant Phase 2b en route, so origin
+        // traffic is not evidence of remote audibility: a busy acceptor
+        // would suppress its heartbeats yet look dead three hops away.
+        pc.heartbeat_piggyback = config.setup != Setup::SemanticGossip;
+        pc.suspect_after = config.suspect_after;
+        pc.detector_sweep_interval = config.detector_sweep_interval;
+        pc.suspicion_jitter_max = config.suspicion_jitter_max;
 
         if (gossip_setup) {
             if (config.setup == Setup::SemanticGossip) {
@@ -67,6 +88,27 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             transports_.push_back(std::make_unique<DirectTransport>(*network_, id));
         }
         processes_.push_back(std::make_unique<PaxosProcess>(pc, *transports_.back()));
+        processes_.back()->set_failover_listener(
+            [this, id](FailoverEvent event, ProcessId subject, Round round, CpuContext& ctx) {
+                std::ostringstream line;
+                line << ctx.now().as_nanos() << ' ';
+                switch (event) {
+                    case FailoverEvent::Suspect:
+                        line << "suspect p" << subject << " by p" << id;
+                        break;
+                    case FailoverEvent::Restore:
+                        line << "restore p" << subject << " by p" << id;
+                        break;
+                    case FailoverEvent::Takeover:
+                        line << "takeover p" << id << " round " << round;
+                        break;
+                    case FailoverEvent::StepDown:
+                        line << "step-down p" << id << " round " << round << " to p"
+                             << subject;
+                        break;
+                }
+                failover_log_.push_back(line.str());
+            });
     }
 
 #if GC_ENABLE_INVARIANTS
@@ -83,6 +125,9 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
         auto handles = check::register_paxos_checks(*invariants_, std::move(learners),
                                                     std::move(acceptors));
         forget_monitor_ = std::move(handles.forget_process);
+        std::vector<const PaxosProcess*> procs;
+        for (const auto& p : processes_) procs.push_back(p.get());
+        check::register_failover_checks(*invariants_, std::move(procs));
         sim_->set_probe(config.invariant_probe_events, [this] { invariants_->run_all(); });
     }
 #endif
@@ -186,9 +231,30 @@ ExperimentResult Deployment::collect() {
         }
     }
     result.decisions_at_coordinator = processes_.front()->learner().delivered_count();
+    for (const auto& p : processes_) {
+        result.failover.takeovers += p->counters().takeovers;
+        result.failover.step_downs += p->counters().step_downs;
+        if (const FailureDetector* d = p->failure_detector()) {
+            result.failover.heartbeats_sent += d->counters().heartbeats_sent;
+            result.failover.heartbeats_suppressed += d->counters().heartbeats_suppressed;
+            result.failover.suspicions += d->counters().suspicions;
+            result.failover.restores += d->counters().restores;
+        }
+    }
     if (injector_) {
         result.fault_log = injector_->log();
         result.faults_injected = injector_->counters().applied;
+    }
+    if (!failover_log_.empty()) {
+        // Interleave failover events with injected faults by timestamp; the
+        // sort is stable so same-instant events keep their emission order.
+        result.fault_log.insert(result.fault_log.end(), failover_log_.begin(),
+                                failover_log_.end());
+        std::stable_sort(result.fault_log.begin(), result.fault_log.end(),
+                         [](const std::string& a, const std::string& b) {
+                             return std::strtoll(a.c_str(), nullptr, 10) <
+                                    std::strtoll(b.c_str(), nullptr, 10);
+                         });
     }
     return result;
 }

@@ -50,6 +50,20 @@ struct ExperimentConfig {
     // deployment's FaultInjector.
     double loss_rate = 0.0;
     bool timeouts_enabled = true;
+
+    // Failure detection + coordinator failover (DESIGN.md §8). Off by
+    // default: the detector, heartbeats, and succession logic are only wired
+    // when `failover` is set, and a fault-free failover run replays the same
+    // fault log as a non-failover run (empty) when the detector never fires.
+    bool failover = false;
+    SimTime heartbeat_interval = SimTime::millis(100);
+    SimTime suspect_after = SimTime::millis(450);
+    SimTime detector_sweep_interval = SimTime::millis(50);
+    SimTime suspicion_jitter_max = SimTime::millis(60);
+    /// Seed-derived jitter cap on coordinator Phase 2a retransmission and
+    /// submission-repair backoff (applies regardless of `failover`).
+    SimTime retransmit_jitter_max = SimTime::millis(150);
+
     FaultSchedule faults;
     std::optional<ChaosProfile> chaos;
     /// Seed for chaos generation; 0 means "reuse `seed`". Splitting the two
@@ -93,9 +107,22 @@ struct ExperimentResult {
     SimTime median_rtt = SimTime::zero();  ///< overlay RTT median (gossip setups)
     std::uint64_t decisions_at_coordinator = 0;
 
+    /// Failure-detection / failover activity aggregated over all processes
+    /// (zeros when failover is disabled or the detector never fired).
+    struct FailoverStats {
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t heartbeats_suppressed = 0;
+        std::uint64_t suspicions = 0;
+        std::uint64_t restores = 0;
+        std::uint64_t takeovers = 0;
+        std::uint64_t step_downs = 0;
+    };
+    FailoverStats failover;
+
     /// Injected-fault log: one line per fault event in execution order,
     /// byte-identical across replays of the same config (empty when the run
-    /// had no fault schedule).
+    /// had no fault schedule). Failover runs interleave suspicion/takeover/
+    /// step-down events at their timestamps.
     std::vector<std::string> fault_log;
     std::uint64_t faults_injected = 0;  ///< applied events (skips excluded)
 };
@@ -151,6 +178,9 @@ private:
     std::unique_ptr<Workload> workload_;
     std::unique_ptr<check::InvariantChecker> invariants_;
     std::unique_ptr<FaultInjector> injector_;
+    /// Failover events (suspect/restore/takeover/step-down) in emission
+    /// order; merged into the fault log at collect().
+    std::vector<std::string> failover_log_;
     /// Re-baselines one process's shadow monitors after a state wipe; bound
     /// only when invariants are compiled in and enabled.
     std::function<void(std::size_t)> forget_monitor_;

@@ -81,6 +81,14 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
       << "\"average_degree\": " << result.overlay.average_degree
       << ", \"diameter_hops\": " << result.overlay.diameter_hops
       << ", \"median_rtt_ms\": " << result.median_rtt.as_millis() << "},\n";
+    o << "  \"failover\": {"
+      << "\"enabled\": " << (config.failover ? "true" : "false")
+      << ", \"suspicions\": " << result.failover.suspicions
+      << ", \"restores\": " << result.failover.restores
+      << ", \"takeovers\": " << result.failover.takeovers
+      << ", \"step_downs\": " << result.failover.step_downs
+      << ", \"heartbeats_sent\": " << result.failover.heartbeats_sent
+      << ", \"heartbeats_suppressed\": " << result.failover.heartbeats_suppressed << "},\n";
     o << "  \"faults\": {"
       << "\"profile\": \"" << (config.chaos ? json_escape(config.chaos->name) : "") << "\""
       << ", \"chaos_seed\": " << (config.chaos_seed != 0 ? config.chaos_seed : config.seed)
@@ -99,7 +107,8 @@ std::string csv_header() {
            "throughput,latency_mean_ms,latency_p50_ms,latency_p95_ms,latency_p99_ms,"
            "latency_stddev_ms,submitted,completed,not_ordered,net_arrivals,net_sent,"
            "loss_drops,queue_drops,gossip_received,duplicates,delivered,filtered_2b,"
-           "merged_2b,median_rtt_ms,chaos_profile,faults_injected";
+           "merged_2b,median_rtt_ms,chaos_profile,faults_injected,failover,suspicions,"
+           "takeovers,step_downs";
 }
 
 std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& result) {
@@ -118,7 +127,9 @@ std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& r
       << ',' << m.gossip_duplicates << ',' << m.gossip_delivered << ','
       << result.semantic.filtered_phase2b << ',' << result.semantic.messages_merged << ','
       << result.median_rtt.as_millis() << ','
-      << (config.chaos ? config.chaos->name : "") << ',' << result.faults_injected;
+      << (config.chaos ? config.chaos->name : "") << ',' << result.faults_injected << ','
+      << (config.failover ? 1 : 0) << ',' << result.failover.suspicions << ','
+      << result.failover.takeovers << ',' << result.failover.step_downs;
     return o.str();
 }
 

@@ -1,0 +1,113 @@
+#include "detect/failure_detector.hpp"
+
+#include <stdexcept>
+
+namespace gossipc {
+
+FailureDetector::FailureDetector(const PaxosConfig& config, Transport& transport)
+    : config_(config), transport_(transport) {
+    if (config_.n <= 0 || config_.id < 0 || config_.id >= config_.n) {
+        throw std::invalid_argument("FailureDetector: bad config");
+    }
+    peers_.resize(static_cast<std::size_t>(config_.n));
+    const std::int64_t range = config_.suspicion_jitter_max.as_nanos() + 1;
+    for (ProcessId p = 0; p < config_.n; ++p) {
+        const std::uint64_t h =
+            mix64(config_.seed ^ hash_combine(static_cast<std::uint64_t>(config_.id),
+                                              static_cast<std::uint64_t>(p)));
+        peers_[static_cast<std::size_t>(p)].jitter =
+            SimTime::nanos(static_cast<std::int64_t>(h % static_cast<std::uint64_t>(range)));
+    }
+}
+
+void FailureDetector::start() {
+    if (started_) return;
+    started_ = true;
+    transport_.post([this](CpuContext& ctx) {
+        // Startup grace: allow one extra suspect_after before the first
+        // heartbeat must have arrived — cold gossip pipelines can take
+        // several hops' latency to deliver the first one.
+        for (PeerState& ps : peers_) ps.last_heard = ctx.now() + config_.suspect_after;
+        last_sweep_ = ctx.now();
+    });
+    transport_.schedule_every(config_.heartbeat_interval,
+                              [this](CpuContext& ctx) { heartbeat_tick(ctx); });
+    transport_.schedule_every(config_.detector_sweep_interval,
+                              [this](CpuContext& ctx) { sweep(ctx); });
+}
+
+void FailureDetector::observe_alive(ProcessId peer, CpuContext& ctx) {
+    if (peer < 0 || peer >= config_.n || peer == config_.id) return;
+    PeerState& ps = peers_[static_cast<std::size_t>(peer)];
+    ps.last_heard = ctx.now();
+    if (ps.suspected) {
+        ps.suspected = false;
+        ++counters_.restores;
+        if (on_restore_) on_restore_(peer, ctx);
+    }
+}
+
+bool FailureDetector::suspects(ProcessId peer) const {
+    if (peer < 0 || peer >= config_.n || peer == config_.id) return false;
+    return peers_[static_cast<std::size_t>(peer)].suspected;
+}
+
+std::size_t FailureDetector::suspected_count() const {
+    std::size_t count = 0;
+    for (const PeerState& ps : peers_) count += ps.suspected ? 1 : 0;
+    return count;
+}
+
+ProcessId FailureDetector::next_live_after(ProcessId failed) const {
+    for (int k = 1; k <= config_.n; ++k) {
+        const auto candidate = static_cast<ProcessId>((failed + k) % config_.n);
+        if (candidate == config_.id || !suspects(candidate)) return candidate;
+    }
+    return failed;  // unreachable: this process itself is always a candidate
+}
+
+SimTime FailureDetector::jitter_for(ProcessId peer) const {
+    if (peer < 0 || peer >= config_.n) return SimTime::zero();
+    return peers_[static_cast<std::size_t>(peer)].jitter;
+}
+
+void FailureDetector::heartbeat_tick(CpuContext& ctx) {
+    // Piggybacking: protocol traffic this process originated recently is
+    // already refreshing peers' deadlines. The half-interval threshold
+    // tolerates the small CPU-time skew between the timer chain and the
+    // origination stamps of previous heartbeats.
+    const SimTime quiet = SimTime::nanos(config_.heartbeat_interval.as_nanos() / 2);
+    if (config_.heartbeat_piggyback && ctx.now() - transport_.last_origination() < quiet) {
+        ++counters_.heartbeats_suppressed;
+        return;
+    }
+    ++counters_.heartbeats_sent;
+    const InstanceId frontier = frontier_provider_ ? frontier_provider_() : 1;
+    transport_.broadcast(std::make_shared<HeartbeatMsg>(config_.id, heartbeat_seq_++, frontier),
+                         ctx);
+}
+
+void FailureDetector::sweep(CpuContext& ctx) {
+    const SimTime now = ctx.now();
+    // A gap in the sweep chain means this process was crashed (ticks are
+    // dropped while down). Re-baseline every deadline instead of mass-
+    // suspecting all peers from stale timestamps — a freshly restarted
+    // process must not conclude it is the only survivor and take over.
+    if (last_sweep_ != SimTime::zero() &&
+        now - last_sweep_ > config_.detector_sweep_interval * 4) {
+        for (PeerState& ps : peers_) ps.last_heard = now;
+    }
+    last_sweep_ = now;
+    for (ProcessId p = 0; p < config_.n; ++p) {
+        if (p == config_.id) continue;
+        PeerState& ps = peers_[static_cast<std::size_t>(p)];
+        if (ps.suspected) continue;
+        if (now - ps.last_heard >= config_.suspect_after + ps.jitter) {
+            ps.suspected = true;
+            ++counters_.suspicions;
+            if (on_suspect_) on_suspect_(p, ctx);
+        }
+    }
+}
+
+}  // namespace gossipc

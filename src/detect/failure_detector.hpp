@@ -1,0 +1,98 @@
+// Timeout-based failure detection for coordinator failover (DESIGN.md §8).
+//
+// Every process broadcasts a small heartbeat when it has not originated
+// protocol traffic for a while (piggybacking: any message a process puts on
+// the wire is evidence of liveness, so explicit heartbeats only cover idle
+// spells). Receivers track a per-peer last-heard time; a peer silent for
+// suspect_after plus a deterministic per-(observer, peer) jitter becomes
+// *suspected*. Suspicion is revocable — hearing from a suspected peer fires
+// a restore callback (false-positive recovery, e.g. after a healed
+// partition). next_live_after() implements the rank-based succession rule:
+// the first unsuspected process after the failed one, in id order mod n,
+// takes over coordination at a higher round.
+//
+// Everything is deterministic: the jitter is a pure hash of
+// (seed, observer, peer) — no RNG stream is consumed — so replays of a
+// seeded run produce byte-identical suspicion/takeover sequences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "paxos/config.hpp"
+#include "transport/transport.hpp"
+
+namespace gossipc {
+
+/// Failover events surfaced to the experiment layer (fault log + counters).
+enum class FailoverEvent { Suspect, Restore, Takeover, StepDown };
+
+class FailureDetector {
+public:
+    struct Counters {
+        std::uint64_t heartbeats_sent = 0;
+        std::uint64_t heartbeats_suppressed = 0;  ///< protocol traffic piggybacked
+        std::uint64_t suspicions = 0;
+        std::uint64_t restores = 0;  ///< suspected peers heard from again
+    };
+
+    using PeerEventFn = std::function<void(ProcessId, CpuContext&)>;
+
+    /// Reads n/id, the detector timing knobs, and the jitter seed from
+    /// `config`. The transport must outlive the detector.
+    FailureDetector(const PaxosConfig& config, Transport& transport);
+
+    void set_on_suspect(PeerEventFn fn) { on_suspect_ = std::move(fn); }
+    void set_on_restore(PeerEventFn fn) { on_restore_ = std::move(fn); }
+    /// Supplies the learner frontier advertised in outgoing heartbeats.
+    void set_frontier_provider(std::function<InstanceId()> fn) {
+        frontier_provider_ = std::move(fn);
+    }
+
+    /// Arms the heartbeat and suspicion-sweep timer chains (idempotent).
+    /// Peers get one full suspect_after of extra grace at startup so slow
+    /// first deliveries (multi-hop gossip) are not misread as failures.
+    void start();
+
+    /// Evidence that `peer` is alive at `now` — called for every delivered
+    /// message (by its original sender, not the gossip forwarder).
+    void observe_alive(ProcessId peer, CpuContext& ctx);
+
+    bool suspects(ProcessId peer) const;
+    std::size_t suspected_count() const;
+
+    /// Rank-based succession: the first process after `failed` in id order
+    /// (failed+1, failed+2, ... mod n) that is not suspected. This process
+    /// itself always counts as live.
+    ProcessId next_live_after(ProcessId failed) const;
+
+    /// The deterministic suspicion-deadline jitter applied to `peer`.
+    SimTime jitter_for(ProcessId peer) const;
+
+    const Counters& counters() const { return counters_; }
+
+private:
+    void heartbeat_tick(CpuContext& ctx);
+    void sweep(CpuContext& ctx);
+
+    PaxosConfig config_;
+    Transport& transport_;
+
+    struct PeerState {
+        SimTime last_heard = SimTime::zero();
+        SimTime jitter = SimTime::zero();
+        bool suspected = false;
+    };
+    std::vector<PeerState> peers_;  ///< indexed by ProcessId; self unused
+
+    bool started_ = false;
+    std::uint64_t heartbeat_seq_ = 0;
+    SimTime last_sweep_ = SimTime::zero();
+    Counters counters_;
+    PeerEventFn on_suspect_;
+    PeerEventFn on_restore_;
+    std::function<InstanceId()> frontier_provider_;
+};
+
+}  // namespace gossipc

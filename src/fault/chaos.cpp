@@ -30,7 +30,6 @@ ChaosProfile ChaosProfile::heavy() {
     p.name = "heavy";
     p.crashes = 4;
     p.wipe_prob = 0.5;
-    p.crash_coordinator = true;
     p.partitions = 2;
     p.link_faults = 6;
     p.link_loss_max = 0.6;
@@ -38,6 +37,13 @@ ChaosProfile ChaosProfile::heavy() {
     p.link_duplicate_max = 0.5;
     p.link_reorder_max = SimTime::millis(8);
     p.churn_ops = 8;
+    return p;
+}
+
+ChaosProfile ChaosProfile::heavy_failover() {
+    ChaosProfile p = heavy();
+    p.name = "heavy-failover";
+    p.permanent_coordinator_crash = true;
     return p;
 }
 
@@ -93,12 +99,26 @@ FaultSchedule generate_chaos(int n, ProcessId coordinator, const ChaosProfile& p
         const auto [down, up] =
             place_window(rng, slot_begin, slot_end, profile.crash_min, profile.crash_max);
         auto victim = static_cast<ProcessId>(rng.uniform_int(0, n - 1));
-        if (victim == coordinator && !profile.crash_coordinator) {
+        if (victim == coordinator && profile.permanent_coordinator_crash) {
+            // The coordinator is already permanently down in this profile;
+            // redirect the slot to a process that can still be taken down.
             victim = (victim + 1) % n;
         }
         const bool wipe = victim != coordinator && rng.chance(profile.wipe_prob);
         schedule.crash(down, victim, wipe);
         schedule.restart(up, victim);
+    }
+
+    // Permanent coordinator crash (failover stress): no matching restart.
+    // Scheduled after the slot loop but with a fixed in-window timestamp;
+    // it draws nothing from the RNG, so the rest of the schedule is
+    // unchanged relative to the same profile without it.
+    if (profile.permanent_coordinator_crash) {
+        const SimTime at =
+            profile.start + SimTime::nanos(static_cast<std::int64_t>(
+                                static_cast<double>(profile.horizon.as_nanos()) *
+                                profile.coordinator_crash_frac));
+        schedule.crash(at, coordinator, /*wipe=*/false);
     }
 
     // Partitions: a minority side excluding the coordinator, healed in-slot.

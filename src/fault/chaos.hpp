@@ -10,7 +10,10 @@
 // Generated schedules are self-resolving: every crash has a restart, every
 // partition a heal, every link-fault window an end, and every dropped
 // overlay edge a re-add, all within [start, start + horizon]. Safety must
-// hold throughout; liveness assertions belong after the horizon.
+// hold throughout; liveness assertions belong after the horizon. The one
+// exception is permanent_coordinator_crash: the coordinator goes down and
+// never restarts, so liveness additionally requires failover (DESIGN.md §8)
+// — profiles with it set are only meaningful on failover-enabled runs.
 #pragma once
 
 #include <cstdint>
@@ -33,12 +36,19 @@ struct ChaosProfile {
     // most one process is down at any instant and a quorum stays live.
     int crashes = 2;
     /// Probability that a crash loses durable storage (never applied to the
-    /// coordinator — a wiped proposal ledger is not a recoverable state).
+    /// configured coordinator — without failover a wiped proposal ledger is
+    /// not a recoverable state, and keeping the exclusion makes every
+    /// profile valid on both failover and non-failover runs).
     double wipe_prob = 0.25;
-    /// Allow the coordinator itself to crash (state always preserved).
-    bool crash_coordinator = false;
     SimTime crash_min = SimTime::millis(100);
     SimTime crash_max = SimTime::millis(500);
+
+    /// Crash the coordinator permanently (no restart) partway through the
+    /// window, at start + horizon * coordinator_crash_frac. The regular
+    /// crash slots then avoid the coordinator (it is already down for good).
+    /// Requires failover for liveness.
+    bool permanent_coordinator_crash = false;
+    double coordinator_crash_frac = 0.25;
 
     // Partition/heal cycles, also in disjoint slots. The side is a minority
     // never containing the coordinator, so the majority keeps deciding and
@@ -65,6 +75,9 @@ struct ChaosProfile {
     static ChaosProfile light();
     static ChaosProfile moderate();
     static ChaosProfile heavy();
+    /// heavy() plus a permanent coordinator crash: the failover stress
+    /// profile (only survivable with failover enabled).
+    static ChaosProfile heavy_failover();
 };
 
 /// Samples a fault schedule for an n-process deployment. `overlay` (when

@@ -19,7 +19,50 @@ struct PaxosConfig {
     SimTime repair_after = SimTime::millis(800);
     SimTime repair_interval = SimTime::millis(300);
 
+    /// Upper bound of the deterministic seed-derived jitter added to every
+    /// retransmission deadline (coordinator Phase 2a sweep and client-value
+    /// repair). Identical deadlines across processes otherwise produce
+    /// synchronized retransmit storms, e.g. right after a partition heals.
+    SimTime retransmit_jitter_max = SimTime::millis(150);
+
+    // Failure detection & coordinator failover (DESIGN.md §8). Disabled by
+    // default: the paper's fixed-coordinator configuration is unchanged
+    // unless a deployment opts in.
+    bool failover_enabled = false;
+    /// Idle processes broadcast a heartbeat this often; any originated
+    /// protocol message doubles as an implicit heartbeat (piggybacking), so
+    /// the explicit message is suppressed while traffic flows.
+    SimTime heartbeat_interval = SimTime::millis(100);
+    /// Piggybacking only works when originated traffic reaches every peer
+    /// with the sender identity intact; semantic filtering breaks that (a
+    /// redundant Phase 2b is dropped en route), so the semantic setup turns
+    /// suppression off and always sends explicit heartbeats.
+    bool heartbeat_piggyback = true;
+    /// A peer unheard-from for this long (plus the per-peer jitter below)
+    /// becomes suspected.
+    SimTime suspect_after = SimTime::millis(450);
+    /// How often the suspicion tracker re-evaluates per-peer deadlines.
+    SimTime detector_sweep_interval = SimTime::millis(50);
+    /// Upper bound of the deterministic per-(observer, peer) suspicion
+    /// deadline jitter, de-synchronizing takeover attempts across observers.
+    SimTime suspicion_jitter_max = SimTime::millis(60);
+
+    /// Seed for deterministic jitter derivation. No RNG stream is consumed:
+    /// jitter is a pure hash of (seed, id, key), keeping replays byte-stable.
+    std::uint64_t seed = 1;
+
     int quorum() const { return n / 2 + 1; }
+
+    /// Deterministic jitter in [0, retransmit_jitter_max] for one
+    /// retransmission deadline, derived from (seed, id, key, attempt).
+    SimTime backoff_jitter(std::uint64_t key, std::int32_t attempt) const {
+        if (retransmit_jitter_max <= SimTime::zero()) return SimTime::zero();
+        const std::uint64_t h = mix64(
+            seed ^ hash_combine(hash_combine(static_cast<std::uint64_t>(id), key),
+                                static_cast<std::uint64_t>(attempt)));
+        return SimTime::nanos(static_cast<std::int64_t>(
+            h % static_cast<std::uint64_t>(retransmit_jitter_max.as_nanos() + 1)));
+    }
 
     /// Rounds are partitioned among processes: round r is owned by process
     /// (r - 1) mod n, so concurrent coordinators never share a round.

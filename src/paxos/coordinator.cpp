@@ -26,18 +26,45 @@ void Coordinator::begin_phase1(CpuContext& ctx) {
     promises_.clear();
     reported_.clear();
     GCLOG_DEBUG("coordinator " << config_.id << " starting phase 1, round " << round_);
+    phase1_started_at_ = ctx.now();
     transport_.broadcast(
         std::make_shared<Phase1aMsg>(config_.id, round_, phase1_from_), ctx);
-    if (config_.timeouts_enabled) {
-        // Retry Phase 1 with a higher round if no quorum of promises arrives.
-        transport_.schedule(config_.retransmit_after * 2, [this](CpuContext& c) {
-            if (!phase1_complete_) begin_phase1(c);
-        });
+    // Phase 1 retries ride on the retransmit sweep (a schedule_every chain
+    // that survives crash/restart); a one-shot timer here would die with the
+    // process and leave an active coordinator stuck mid-Phase-1 forever.
+}
+
+void Coordinator::activate(Round min_round, CpuContext& ctx) {
+    active_ = true;
+    while (config_.round_for(config_.id, phase1_attempt_) <= min_round) ++phase1_attempt_;
+    // A successor must not re-order values the previous coordinator already
+    // got decided: seed the dedup set with every decision known locally, so
+    // origin retransmissions of those values are dropped as duplicates.
+    for (InstanceId i = 1; i <= learner_.highest_seen(); ++i) {
+        if (const auto v = learner_.decided_value(i)) seen_values_.insert(v->id);
     }
+    start(ctx);
+}
+
+std::vector<Value> Coordinator::step_down() {
+    active_ = false;
+    phase1_complete_ = false;
+    promises_.clear();
+    reported_.clear();
+    std::vector<Value> orphaned;
+    orphaned.reserve(proposals_.size() + pending_.size());
+    for (const auto& [instance, proposal] : proposals_) orphaned.push_back(proposal.value);
+    proposals_.clear();
+    for (Value& v : pending_) orphaned.push_back(std::move(v));
+    pending_.clear();
+    // This coordinator no longer answers for these values; forget them so a
+    // later re-activation can accept them again instead of deduplicating.
+    for (const Value& v : orphaned) seen_values_.erase(v.id);
+    return orphaned;
 }
 
 void Coordinator::on_phase1b(const Phase1bMsg& msg, CpuContext& ctx) {
-    if (msg.round() != round_ || phase1_complete_) return;
+    if (!active_ || msg.round() != round_ || phase1_complete_) return;
     promises_.insert(msg.sender());
     for (const auto& entry : msg.accepted()) {
         auto [it, inserted] = reported_.emplace(entry.instance, entry);
@@ -56,6 +83,16 @@ void Coordinator::complete_phase1(CpuContext& ctx) {
         // Reported-but-already-decided instances must still advance the
         // proposal cursor, or fresh values would be proposed into them.
         next_instance_ = std::max(next_instance_, instance + 1);
+        // The reported value is (possibly) already chosen under its original
+        // instance; treat it as seen so an origin retransmission cannot get
+        // it proposed into a second instance.
+        seen_values_.insert(entry.value.id);
+        drop_pending(entry.value.id);
+        // The decision may be known only by digest (a Decision arrived but
+        // the Phase 2a carrying the value bytes was lost, e.g. during a
+        // partition); the reported value is the missing payload — cache it
+        // so the learner can resolve the digest and deliver.
+        learner_.on_phase2a(Phase2aMsg(config_.id, instance, entry.vround, entry.value), ctx);
         if (learner_.knows_decision(instance)) continue;
         ++counters_.reproposals;
         propose(instance, entry.value, ctx);
@@ -67,6 +104,7 @@ void Coordinator::complete_phase1(CpuContext& ctx) {
 }
 
 void Coordinator::on_client_value(const Value& value, CpuContext& ctx) {
+    if (!active_) return;  // origin processes retransmit to the new coordinator
     if (!seen_values_.insert(value.id).second) {
         ++counters_.duplicate_values;
         return;
@@ -104,9 +142,10 @@ void Coordinator::on_decided(InstanceId instance, const Value& value, bool via_q
         proposals_.erase(it);
     }
     seen_values_.insert(value.id);  // a recovered coordinator learns past values
+    drop_pending(value.id);         // a queued copy of a decided value is a duplicate
     next_instance_ = std::max(next_instance_, instance + 1);
-    if (!pending_.empty() && phase1_complete_) flush_pending(ctx);
-    if (via_quorum) {
+    if (!pending_.empty() && phase1_complete_ && active_) flush_pending(ctx);
+    if (via_quorum && active_) {
         ++counters_.decisions_sent;
         transport_.broadcast(std::make_shared<DecisionMsg>(config_.id, instance, value.id,
                                                            value.digest()),
@@ -114,13 +153,33 @@ void Coordinator::on_decided(InstanceId instance, const Value& value, bool via_q
     }
 }
 
+void Coordinator::drop_pending(const ValueId& id) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->id == id) it = pending_.erase(it);
+        else ++it;
+    }
+}
+
 void Coordinator::retransmit_sweep(CpuContext& ctx) {
+    if (!active_) return;
+    // Retry Phase 1 with a higher round if no quorum of promises arrived.
+    if (!phase1_complete_ &&
+        ctx.now() - phase1_started_at_ >= config_.retransmit_after * 2) {
+        begin_phase1(ctx);
+        return;
+    }
     if (proposals_.empty()) return;
     for (auto& [instance, proposal] : proposals_) {
         // Exponential backoff: under overload (decisions slower than the
-        // timeout) blind retransmission would amplify congestion.
+        // timeout) blind retransmission would amplify congestion. The
+        // seed-derived jitter spreads deadlines across instances and
+        // processes — without it, every stalled proposal in the deployment
+        // fires in the same sweep after a partition heals.
         const auto shift = std::min(proposal.attempt, 3);
-        if (ctx.now() - proposal.proposed_at >= config_.retransmit_after * (1 << shift)) {
+        const SimTime deadline =
+            config_.retransmit_after * (1 << shift) +
+            config_.backoff_jitter(static_cast<std::uint64_t>(instance), proposal.attempt);
+        if (ctx.now() - proposal.proposed_at >= deadline) {
             ++proposal.attempt;
             proposal.proposed_at = ctx.now();
             ++counters_.retransmissions;

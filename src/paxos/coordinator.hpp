@@ -45,6 +45,21 @@ public:
     /// it was learned via a quorum of 2b at this process.
     void on_decided(InstanceId instance, const Value& value, bool via_quorum, CpuContext& ctx);
 
+    /// (Re)activates this coordinator with a round strictly above
+    /// `min_round` and runs ranged Phase 1 (rank-based takeover after the
+    /// previous coordinator is suspected, DESIGN.md §8).
+    void activate(Round min_round, CpuContext& ctx);
+
+    /// Demotion on observing a competing coordinator at a higher round:
+    /// stops proposing and retransmitting, and returns every value this
+    /// coordinator was responsible for but does not know decided — the
+    /// caller re-routes them to the new coordinator.
+    std::vector<Value> step_down();
+
+    /// False while stepped down; a coordinator object is kept alive after
+    /// demotion (its timer chains capture `this`) but stays inert.
+    bool active() const { return active_; }
+
     bool phase1_complete() const { return phase1_complete_; }
     Round round() const { return round_; }
     const Counters& counters() const { return counters_; }
@@ -61,6 +76,7 @@ public:
 private:
     void begin_phase1(CpuContext& ctx);
     void complete_phase1(CpuContext& ctx);
+    void drop_pending(const ValueId& id);
     void propose(InstanceId instance, const Value& value, CpuContext& ctx);
     void flush_pending(CpuContext& ctx);
     void retransmit_sweep(CpuContext& ctx);
@@ -73,6 +89,7 @@ private:
     Round round_ = 0;
     InstanceId phase1_from_ = 1;
     bool phase1_complete_ = false;
+    SimTime phase1_started_at_ = SimTime::zero();
     std::set<ProcessId> promises_;
     /// Highest-vround accepted value per instance, merged from 1b messages.
     std::map<InstanceId, AcceptedEntry> reported_;
@@ -89,6 +106,7 @@ private:
     std::map<InstanceId, Proposal> proposals_;  ///< undecided instances
 
     bool retransmit_armed_ = false;
+    bool active_ = true;
     Counters counters_;
 };
 

@@ -14,6 +14,7 @@ const char* paxos_msg_type_name(PaxosMsgType t) {
         case PaxosMsgType::Phase2bAggregate: return "Phase2bAggregate";
         case PaxosMsgType::Decision: return "Decision";
         case PaxosMsgType::LearnRequest: return "LearnRequest";
+        case PaxosMsgType::Heartbeat: return "Heartbeat";
     }
     return "?";
 }
@@ -94,6 +95,10 @@ std::uint64_t DecisionMsg::unique_key() const {
 std::uint64_t LearnRequestMsg::unique_key() const {
     std::uint64_t k = hash_combine(key_base(), static_cast<std::uint64_t>(instance_));
     return hash_combine(k, static_cast<std::uint64_t>(attempt_));
+}
+
+std::uint64_t HeartbeatMsg::unique_key() const {
+    return hash_combine(key_base(), seq_);
 }
 
 }  // namespace gossipc

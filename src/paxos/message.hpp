@@ -28,6 +28,7 @@ enum class PaxosMsgType {
     Phase2bAggregate,
     Decision,
     LearnRequest,
+    Heartbeat,
 };
 
 const char* paxos_msg_type_name(PaxosMsgType t);
@@ -60,12 +61,18 @@ using PaxosMessagePtr = std::shared_ptr<const PaxosMessage>;
 /// client.
 class ClientValueMsg final : public PaxosMessage {
 public:
-    ClientValueMsg(ProcessId sender, Value value, std::int32_t attempt = 0)
-        : PaxosMessage(sender), value_(value), attempt_(attempt) {}
+    ClientValueMsg(ProcessId sender, Value value, std::int32_t attempt = 0,
+                   ProcessId target = -1, bool forwarded = false)
+        : PaxosMessage(sender), value_(value), attempt_(attempt), target_(target),
+          forwarded_(forwarded) {}
 
     PaxosMsgType type() const override { return PaxosMsgType::ClientValue; }
     const Value& value() const { return value_; }
     std::int32_t attempt() const { return attempt_; }
+    /// The process the sender believes is coordinating (-1: any coordinator).
+    ProcessId target() const { return target_; }
+    /// Set on one-hop relays from a demoted target (prevents relay loops).
+    bool forwarded() const { return forwarded_; }
 
     std::uint32_t wire_size() const override { return 24 + value_.size_bytes; }
     std::uint64_t unique_key() const override;
@@ -73,6 +80,8 @@ public:
 private:
     Value value_;
     std::int32_t attempt_;
+    ProcessId target_;
+    bool forwarded_;
 };
 
 /// Ranged Phase 1a: the coordinator of `round` asks about every instance
@@ -253,15 +262,45 @@ private:
     std::int32_t attempt_;
 };
 
+/// Failure-detector heartbeat (DESIGN.md §8): broadcast by an idle process
+/// so peers' suspicion deadlines keep being refreshed. Any protocol message
+/// a process originates doubles as an implicit heartbeat, so these only
+/// flow during idle spells. The sender's learner frontier rides along: it is
+/// the only gap advertisement that still flows when no instances are being
+/// decided, letting a process that slept through the tail of a run discover
+/// (and repair) decisions it has no other evidence of.
+class HeartbeatMsg final : public PaxosMessage {
+public:
+    HeartbeatMsg(ProcessId sender, std::uint64_t seq, InstanceId frontier = 1)
+        : PaxosMessage(sender), seq_(seq), frontier_(frontier) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::Heartbeat; }
+    std::uint64_t seq() const { return seq_; }
+    /// First instance the sender does not know decided.
+    InstanceId frontier() const { return frontier_; }
+
+    std::uint32_t wire_size() const override { return 24; }
+    std::uint64_t unique_key() const override;
+
+private:
+    std::uint64_t seq_;
+    InstanceId frontier_;
+};
+
 /// Learner gap repair: asks for the decision (with value) of an instance.
 class LearnRequestMsg final : public PaxosMessage {
 public:
-    LearnRequestMsg(ProcessId sender, InstanceId instance, std::int32_t attempt)
-        : PaxosMessage(sender), instance_(instance), attempt_(attempt) {}
+    LearnRequestMsg(ProcessId sender, InstanceId instance, std::int32_t attempt,
+                    ProcessId target = -1)
+        : PaxosMessage(sender), instance_(instance), attempt_(attempt), target_(target) {}
 
     PaxosMsgType type() const override { return PaxosMsgType::LearnRequest; }
     InstanceId instance() const { return instance_; }
     std::int32_t attempt() const { return attempt_; }
+    /// The process the sender believes is coordinating (-1: any coordinator).
+    /// The addressed process answers even while demoted, so repair survives
+    /// a stale believed-coordinator pointer after failover (DESIGN.md §8).
+    ProcessId target() const { return target_; }
 
     std::uint32_t wire_size() const override { return 32; }
     std::uint64_t unique_key() const override;
@@ -269,6 +308,7 @@ public:
 private:
     InstanceId instance_;
     std::int32_t attempt_;
+    ProcessId target_;
 };
 
 }  // namespace gossipc

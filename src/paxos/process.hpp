@@ -2,6 +2,12 @@
 // the paper. Dispatches messages delivered by the transport, serves local
 // clients (forwarding values to the coordinator), and runs the learner
 // gap-repair timer (disableable, Section 4.5).
+//
+// With failover enabled (DESIGN.md §8) the process also runs a failure
+// detector: when the currently-believed coordinator is suspected, the
+// next-ranked live process takes over via a ranged Phase 1 at a higher
+// round, and everyone re-routes pending submissions and learn requests to
+// whichever coordinator they currently believe in.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "detect/failure_detector.hpp"
 #include "paxos/acceptor.hpp"
 #include "paxos/config.hpp"
 #include "paxos/coordinator.hpp"
@@ -23,33 +30,51 @@ public:
     /// Fired for each value delivered in instance order at this process.
     using DeliveryListener = std::function<void(InstanceId, const Value&, CpuContext&)>;
 
+    /// Fired on failover transitions at this process. `subject` is the peer
+    /// the event is about (suspected/restored peer, or the new round owner
+    /// for StepDown; the process itself for Takeover).
+    using FailoverListener =
+        std::function<void(FailoverEvent, ProcessId subject, Round round, CpuContext&)>;
+
     struct Counters {
         std::uint64_t values_submitted = 0;
         std::uint64_t messages_handled = 0;
         std::uint64_t learn_requests_sent = 0;
         std::uint64_t learn_requests_answered = 0;
         std::uint64_t value_retransmissions = 0;
+        std::uint64_t takeovers = 0;   ///< this process assumed coordination
+        std::uint64_t step_downs = 0;  ///< demoted on observing a higher round
     };
 
     PaxosProcess(const PaxosConfig& config, Transport& transport);
 
-    /// Kicks off the protocol (coordinator Phase 1, repair timer).
+    /// Kicks off the protocol (coordinator Phase 1, repair timer, detector).
     void post_start();
 
     /// Submits a client value served by this process: proposes it directly
-    /// when this process is the coordinator, forwards it otherwise.
+    /// when this process is the active coordinator, forwards it to the
+    /// currently-believed coordinator otherwise.
     void submit(const Value& value, CpuContext& ctx);
     void post_submit(const Value& value);
 
     void set_delivery_listener(DeliveryListener fn) { delivery_listener_ = std::move(fn); }
+    void set_failover_listener(FailoverListener fn) { failover_listener_ = std::move(fn); }
 
     const PaxosConfig& config() const { return config_; }
-    bool is_coordinator() const { return config_.id == config_.coordinator; }
+    /// True while this process is actively coordinating (round owner).
+    bool is_coordinator() const { return coordinator_ && coordinator_->active(); }
+    /// Where this process currently routes submissions and learn requests.
+    ProcessId believed_coordinator() const { return believed_coordinator_; }
 
     Learner& learner() { return learner_; }
     const Learner& learner() const { return learner_; }
     Acceptor& acceptor() { return acceptor_; }
     Coordinator* coordinator() { return coordinator_ ? coordinator_.get() : nullptr; }
+    const Coordinator* coordinator() const { return coordinator_ ? coordinator_.get() : nullptr; }
+    FailureDetector* failure_detector() { return detector_ ? detector_.get() : nullptr; }
+    const FailureDetector* failure_detector() const {
+        return detector_ ? detector_.get() : nullptr;
+    }
     const Counters& counters() const { return counters_; }
 
     /// Makes this process start acting as coordinator (e.g. after the
@@ -59,8 +84,9 @@ public:
     /// Fault engine: wipes the durable acceptor/learner state and the
     /// volatile submission/repair bookkeeping, modelling a restart after
     /// storage loss. The process rejoins as a blank replica and relearns via
-    /// gap repair. Wiping an acting coordinator is not supported — its
-    /// proposal ledger references the wiped learner.
+    /// gap repair. Without failover, wiping an acting coordinator is not
+    /// supported — its proposal ledger references the wiped learner; with
+    /// failover the coordinator steps down and a successor takes over.
     void wipe_state();
 
 private:
@@ -70,19 +96,38 @@ private:
     void handle_learn_request(const LearnRequestMsg& msg, CpuContext& ctx);
     void repair_sweep(CpuContext& ctx);
 
+    // Failover plumbing.
+    void on_peer_suspected(ProcessId peer, CpuContext& ctx);
+    void take_over(CpuContext& ctx);
+    void note_round_observed(Round round, CpuContext& ctx);
+    void set_believed_coordinator(ProcessId peer, CpuContext& ctx);
+    void emit_failover(FailoverEvent event, ProcessId subject, Round round, CpuContext& ctx);
+
     PaxosConfig config_;
     Transport& transport_;
     Acceptor acceptor_;
     Learner learner_;
-    std::unique_ptr<Coordinator> coordinator_;  // present on the coordinator
+    std::unique_ptr<Coordinator> coordinator_;  ///< present once this process ever coordinated
+    std::unique_ptr<FailureDetector> detector_;  ///< present iff failover_enabled
     DeliveryListener delivery_listener_;
+    FailoverListener failover_listener_;
 
     bool started_ = false;  ///< guards double-arming the repair chain
+
+    /// Routing target for submissions/learn requests. Starts at the static
+    /// config_.coordinator; moves on suspicion (rank succession) and on
+    /// observing Phase 1a/2a traffic from a higher-round owner.
+    ProcessId believed_coordinator_;
+    /// Highest round seen in any Phase 1a/2a; takeovers start above it.
+    Round highest_round_seen_ = 0;
 
     // Gap-repair state.
     InstanceId last_frontier_ = 1;
     SimTime frontier_changed_at_ = SimTime::zero();
     std::int32_t repair_attempt_ = 0;
+    /// Highest learner frontier advertised by any peer heartbeat: the only
+    /// gap evidence left when no instances are being decided (drain).
+    InstanceId advertised_frontier_ = 1;
 
     // Client values submitted through this process and not yet delivered:
     // retransmitted to the coordinator on timeout (loss of a ClientValue is

@@ -15,6 +15,7 @@ void DirectTransport::on_net_receive(const NetMessage& msg, CpuContext& ctx) {
 }
 
 void DirectTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    note_origination(ctx.now());
     deliver_up(msg, ctx);  // local delivery, as with gossip broadcast
     for (ProcessId p = 0; p < network_.size(); ++p) {
         if (p == self_) continue;
@@ -27,6 +28,7 @@ void DirectTransport::send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) {
         deliver_up(msg, ctx);
         return;
     }
+    note_origination(ctx.now());
     node_.transmit_in_task(NetMessage{self_, to, std::move(msg)}, ctx);
 }
 

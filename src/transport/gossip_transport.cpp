@@ -11,6 +11,7 @@ GossipTransport::GossipTransport(GossipNode& gossip) : gossip_(gossip) {
 }
 
 void GossipTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    note_origination(ctx.now());
     GossipAppMessage app;
     app.id = msg->unique_key();
     app.origin = self();

@@ -48,13 +48,24 @@ public:
 
     void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+    /// Time this process last put a message on the wire (broadcast or remote
+    /// send). The failure detector treats originated protocol traffic as an
+    /// implicit heartbeat and emits explicit ones only during idle spells.
+    SimTime last_origination() const { return last_origination_; }
+
 protected:
     void deliver_up(const PaxosMessagePtr& msg, CpuContext& ctx) {
         if (deliver_) deliver_(msg, ctx);
     }
 
+    /// Implementations call this from broadcast()/send() whenever traffic
+    /// actually leaves the process (purely local delivery does not count —
+    /// it refreshes no remote suspicion deadline).
+    void note_origination(SimTime at) { last_origination_ = at; }
+
 private:
     DeliverFn deliver_;
+    SimTime last_origination_ = SimTime::zero();
 };
 
 }  // namespace gossipc

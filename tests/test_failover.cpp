@@ -1,0 +1,242 @@
+// Coordinator-failover liveness suite (DESIGN.md §8): the system must keep
+// ordering values from live clients through permanent coordinator crashes in
+// every setup, recover cleanly from detector false positives (partitioned
+// coordinator), and stay byte-replayable. Registered under the
+// chaos.failover. prefix; CI runs it sanitized and under TSan.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/semantic_gossip.hpp"
+
+namespace gossipc {
+namespace {
+
+ExperimentConfig failover_config(Setup setup) {
+    ExperimentConfig cfg;
+    cfg.setup = setup;
+    cfg.n = 13;
+    cfg.total_rate = 52.0;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(2);
+    cfg.drain = SimTime::seconds(5);
+    cfg.failover = true;
+    return cfg;
+}
+
+/// P-AGR-1 across every learner: any two processes that decided an instance
+/// decided the same value, and no value occupies two instances.
+void assert_agreement(Deployment& d, int n, const std::string& label) {
+    std::map<InstanceId, ValueId> reference;
+    for (ProcessId id = 0; id < n; ++id) {
+        auto& learner = d.process(id).learner();
+        for (InstanceId i = 1; i < learner.frontier(); ++i) {
+            const auto v = learner.decided_value(i);
+            ASSERT_TRUE(v.has_value()) << label << ": gap at p" << id << " instance " << i;
+            const auto [it, inserted] = reference.emplace(i, v->id);
+            ASSERT_EQ(it->second, v->id)
+                << label << ": divergent decision at instance " << i << " process " << id;
+        }
+    }
+    std::set<ValueId> values;
+    for (const auto& [inst, vid] : reference) {
+        ASSERT_TRUE(values.insert(vid).second)
+            << label << ": value decided in two instances";
+    }
+}
+
+class FailoverSweep : public ::testing::TestWithParam<Setup> {};
+
+// The acceptance scenario: the coordinator dies permanently at t=0.5s and
+// never restarts. With failover, every value submitted by a client that is
+// not attached to the dead process must still be ordered.
+TEST_P(FailoverSweep, PermanentCoordinatorCrashLeavesNoLiveClientUnordered) {
+    ExperimentConfig cfg = failover_config(GetParam());
+    cfg.faults.crash(SimTime::seconds(0.5), 0);  // no matching restart
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_GE(result.failover.suspicions, 1u);
+    EXPECT_GE(result.failover.takeovers, 1u);
+    // Zero permanently-unordered values from live clients. The client
+    // attached to the dead coordinator goes down with its host (expected).
+    for (const auto& client : d.workload().clients()) {
+        if (client->attached_process() == 0) continue;
+        EXPECT_EQ(client->not_ordered_in_window(), 0u)
+            << setup_name(cfg.setup) << ": client " << client->id() << " on p"
+            << client->attached_process();
+    }
+    // The takeover shows up in the merged fault log alongside the crash.
+    bool saw_takeover = false;
+    for (const std::string& line : result.fault_log) {
+        if (line.find("takeover") != std::string::npos) saw_takeover = true;
+    }
+    EXPECT_TRUE(saw_takeover);
+    assert_agreement(d, cfg.n, setup_name(cfg.setup));
+}
+
+INSTANTIATE_TEST_SUITE_P(Setups, FailoverSweep,
+                         ::testing::Values(Setup::Baseline, Setup::Gossip,
+                                           Setup::SemanticGossip),
+                         [](const ::testing::TestParamInfo<Setup>& info) {
+                             return std::string(setup_name(info.param));
+                         });
+
+struct HeavyEnv {
+    Setup setup;
+    std::uint64_t seed;
+};
+
+class HeavyFailoverSweep : public ::testing::TestWithParam<HeavyEnv> {};
+
+// heavy-failover chaos: the permanent coordinator crash lands inside a full
+// heavy schedule (crash/restart cycles, partitions, lossy links, churn).
+// Safety must hold throughout and everyone but the dead coordinator catches
+// up once the chaos window closes.
+TEST_P(HeavyFailoverSweep, SafetyAndLivenessUnderHeavyFailoverChaos) {
+    const HeavyEnv env = GetParam();
+    ExperimentConfig cfg = failover_config(env.setup);
+    cfg.chaos = ChaosProfile::heavy_failover();
+    cfg.chaos_seed = env.seed;
+    cfg.seed = env.seed;
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_GT(result.faults_injected, 0u)
+        << "setup=" << setup_name(env.setup) << " chaos_seed=" << env.seed;
+    EXPECT_GE(result.failover.suspicions, 1u);
+    EXPECT_GE(result.failover.takeovers, 1u);
+    assert_agreement(d, cfg.n, std::string(setup_name(env.setup)) + " s" +
+                                   std::to_string(env.seed));
+
+    // Liveness: decisions kept flowing after the permanent crash, and every
+    // live process converges to the leading frontier (modulo a repair tail).
+    InstanceId max_frontier = 1;
+    for (ProcessId id = 1; id < cfg.n; ++id) {
+        max_frontier = std::max(max_frontier, d.process(id).learner().frontier());
+    }
+    ASSERT_GT(max_frontier, 30) << "setup=" << setup_name(env.setup)
+                                << " chaos_seed=" << env.seed;
+    for (ProcessId id = 1; id < cfg.n; ++id) {
+        const InstanceId lag = max_frontier - d.process(id).learner().frontier();
+        EXPECT_LE(lag, 32) << "process " << id << " did not catch up (setup="
+                           << setup_name(env.setup) << " chaos_seed=" << env.seed << ")";
+    }
+}
+
+std::vector<HeavyEnv> heavy_envs() {
+    std::vector<HeavyEnv> envs;
+    for (const Setup setup : {Setup::Baseline, Setup::Gossip, Setup::SemanticGossip}) {
+        for (const std::uint64_t seed : {11ull, 23ull}) {
+            envs.push_back(HeavyEnv{setup, seed});
+        }
+    }
+    return envs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, HeavyFailoverSweep, ::testing::ValuesIn(heavy_envs()),
+                         [](const ::testing::TestParamInfo<HeavyEnv>& info) {
+                             return std::string(setup_name(info.param.setup)) + "_s" +
+                                    std::to_string(info.param.seed);
+                         });
+
+// Detector false positive: the coordinator is partitioned away long enough
+// to be suspected, a successor takes over, then the partition heals. The old
+// coordinator must step down on observing the higher round, its orphaned
+// values must be re-routed, and nothing submitted by any client may be lost.
+TEST(FailoverFalsePositive, PartitionedCoordinatorStepsDownAfterHeal) {
+    ExperimentConfig cfg = failover_config(Setup::Gossip);
+    cfg.drain = SimTime::seconds(6);
+    cfg.faults.partition(SimTime::seconds(0.5), {0});
+    cfg.faults.heal(SimTime::seconds(1.4));
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_GE(result.failover.suspicions, 1u);
+    EXPECT_GE(result.failover.takeovers, 1u);
+    EXPECT_GE(result.failover.step_downs, 1u);
+    EXPECT_GE(result.failover.restores, 1u);
+    // Nobody died: every single client's window submissions were ordered,
+    // including the old coordinator's own orphaned proposals.
+    for (const auto& client : d.workload().clients()) {
+        EXPECT_EQ(client->not_ordered_in_window(), 0u)
+            << "client " << client->id() << " on p" << client->attached_process();
+    }
+    // The dust settled on exactly one active coordinator.
+    int active = 0;
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        if (d.process(id).is_coordinator()) ++active;
+    }
+    EXPECT_EQ(active, 1);
+    assert_agreement(d, cfg.n, "false-positive");
+}
+
+// A fault-free failover run must be indistinguishable from a non-failover
+// run in the event log: the detector never fires, so no suspicion, takeover,
+// or step-down events exist and the (empty) fault logs match byte-for-byte.
+TEST(FailoverDeterminism, QuietDetectorLeavesEventLogIdenticalToNonFailover) {
+    ExperimentConfig cfg = failover_config(Setup::SemanticGossip);
+    cfg.drain = SimTime::seconds(2);
+    Deployment with_failover(cfg);
+    const auto a = with_failover.run();
+    cfg.failover = false;
+    Deployment without_failover(cfg);
+    const auto b = without_failover.run();
+
+    EXPECT_EQ(a.fault_log, b.fault_log);
+    EXPECT_TRUE(a.fault_log.empty());
+    EXPECT_EQ(a.failover.suspicions, 0u);
+    EXPECT_EQ(a.failover.takeovers, 0u);
+    EXPECT_EQ(a.failover.step_downs, 0u);
+    // The detector ran (heartbeats flowed during idle spells) but stayed
+    // quiet; the non-failover run never even constructed it.
+    EXPECT_GT(a.failover.heartbeats_sent + a.failover.heartbeats_suppressed, 0u);
+    EXPECT_EQ(b.failover.heartbeats_sent, 0u);
+}
+
+// Faults that resolve below the suspicion timeout also keep the logs
+// identical: a short partition of a non-coordinator is injected, but the
+// detector never fires on it, so both configurations log exactly the
+// injected events.
+TEST(FailoverDeterminism, SubTimeoutFaultsLogIdenticallyWithAndWithoutFailover) {
+    ExperimentConfig cfg = failover_config(Setup::Gossip);
+    cfg.drain = SimTime::seconds(2);
+    cfg.faults.partition(SimTime::seconds(0.6), {5});
+    cfg.faults.heal(SimTime::seconds(0.9));  // healed well below suspect_after
+    Deployment with_failover(cfg);
+    const auto a = with_failover.run();
+    cfg.failover = false;
+    Deployment without_failover(cfg);
+    const auto b = without_failover.run();
+
+    ASSERT_FALSE(a.fault_log.empty());
+    EXPECT_EQ(a.fault_log, b.fault_log);
+    EXPECT_EQ(a.failover.suspicions, 0u);
+    EXPECT_EQ(a.failover.takeovers, 0u);
+}
+
+// Replay determinism with failover active: two deployments built from the
+// same config produce byte-identical merged fault logs (injected faults and
+// failover events interleaved) and identical failover counters.
+TEST(FailoverDeterminism, FailoverRunReplaysByteIdentically) {
+    ExperimentConfig cfg = failover_config(Setup::Gossip);
+    cfg.faults.crash(SimTime::seconds(0.5), 0);
+    Deployment first(cfg);
+    const auto a = first.run();
+    Deployment second(cfg);
+    const auto b = second.run();
+
+    ASSERT_FALSE(a.fault_log.empty());
+    EXPECT_EQ(a.fault_log, b.fault_log);
+    EXPECT_EQ(a.failover.suspicions, b.failover.suspicions);
+    EXPECT_EQ(a.failover.restores, b.failover.restores);
+    EXPECT_EQ(a.failover.takeovers, b.failover.takeovers);
+    EXPECT_EQ(a.failover.step_downs, b.failover.step_downs);
+    EXPECT_EQ(a.failover.heartbeats_sent, b.failover.heartbeats_sent);
+}
+
+}  // namespace
+}  // namespace gossipc

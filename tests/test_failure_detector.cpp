@@ -1,0 +1,184 @@
+// Failure-detector unit tests (DESIGN.md §8): suspicion timing with startup
+// grace, false-positive recovery via restore callbacks, heartbeat
+// piggybacking/suppression, deterministic jitter, and the rank-based
+// succession rule.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "test_util.hpp"
+
+namespace gossipc {
+namespace {
+
+using testutil::FakeTransport;
+
+PaxosConfig detector_config(int n = 5, ProcessId id = 0, std::uint64_t seed = 1) {
+    PaxosConfig pc;
+    pc.n = n;
+    pc.id = id;
+    pc.seed = seed;
+    pc.failover_enabled = true;
+    // Defaults: heartbeat 100ms, suspect_after 450ms, sweep 50ms, jitter
+    // up to 60ms.
+    return pc;
+}
+
+class FailureDetectorTest : public ::testing::Test {
+protected:
+    CpuContext ctx() { return CpuContext{sim.now()}; }
+
+    Simulator sim;
+};
+
+TEST_F(FailureDetectorTest, SilentPeersBecomeSuspectedAfterGracePlusTimeout) {
+    FakeTransport ft(sim, 0);
+    ft.loopback = false;
+    const PaxosConfig pc = detector_config();
+    FailureDetector fd(pc, ft);
+    std::vector<ProcessId> suspected;
+    fd.set_on_suspect([&](ProcessId p, CpuContext&) { suspected.push_back(p); });
+    fd.start();
+
+    // Startup grace: deadlines start one suspect_after in the future, so
+    // nothing is suspected before grace + suspect_after = 900ms.
+    sim.run_until(SimTime::millis(890));
+    EXPECT_EQ(fd.suspected_count(), 0u);
+    EXPECT_TRUE(suspected.empty());
+
+    // By 900ms + max jitter (60ms) + one sweep period (50ms), every silent
+    // peer is suspected exactly once.
+    sim.run_until(SimTime::millis(1020));
+    EXPECT_EQ(fd.suspected_count(), 4u);
+    EXPECT_EQ(suspected.size(), 4u);
+    for (ProcessId p = 1; p < pc.n; ++p) EXPECT_TRUE(fd.suspects(p));
+    EXPECT_FALSE(fd.suspects(0));  // never self
+    EXPECT_EQ(fd.counters().suspicions, 4u);
+}
+
+TEST_F(FailureDetectorTest, ObservedTrafficDefersSuspicion) {
+    FakeTransport ft(sim, 0);
+    ft.loopback = false;
+    FailureDetector fd(detector_config(), ft);
+    fd.start();
+
+    // Keep hearing from peer 1 every 200ms; stay silent about the rest.
+    for (int ms = 200; ms <= 1600; ms += 200) {
+        sim.schedule_at(SimTime::millis(ms), [&] {
+            CpuContext c{sim.now()};
+            fd.observe_alive(1, c);
+        });
+    }
+    sim.run_until(SimTime::millis(1600));
+    EXPECT_FALSE(fd.suspects(1));
+    EXPECT_TRUE(fd.suspects(2));
+
+    // Peer 1 then goes silent: suspected ~450ms (+jitter) later.
+    sim.run_until(SimTime::millis(2200));
+    EXPECT_TRUE(fd.suspects(1));
+}
+
+TEST_F(FailureDetectorTest, HearingFromSuspectedPeerFiresRestore) {
+    FakeTransport ft(sim, 0);
+    ft.loopback = false;
+    FailureDetector fd(detector_config(), ft);
+    std::vector<ProcessId> restored;
+    fd.set_on_restore([&](ProcessId p, CpuContext&) { restored.push_back(p); });
+    fd.start();
+
+    sim.run_until(SimTime::millis(1100));
+    ASSERT_TRUE(fd.suspects(3));
+
+    // False-positive recovery: the peer was only slow, not dead.
+    auto c = ctx();
+    fd.observe_alive(3, c);
+    EXPECT_FALSE(fd.suspects(3));
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0], 3);
+    EXPECT_EQ(fd.counters().restores, 1u);
+
+    // The deadline restarts from the restore: suspected again ~450ms later.
+    sim.run_until(sim.now() + SimTime::millis(600));
+    EXPECT_TRUE(fd.suspects(3));
+}
+
+TEST_F(FailureDetectorTest, IdleProcessBroadcastsHeartbeats) {
+    FakeTransport ft(sim, 0);
+    ft.loopback = false;
+    FailureDetector fd(detector_config(), ft);
+    fd.start();
+    sim.run_until(SimTime::seconds(1));
+
+    const auto heartbeats = ft.sent_of(PaxosMsgType::Heartbeat);
+    EXPECT_EQ(heartbeats.size(), fd.counters().heartbeats_sent);
+    // One per heartbeat_interval (100ms) over one idle second.
+    EXPECT_GE(heartbeats.size(), 8u);
+    // Sequence numbers make every heartbeat's gossip key unique.
+    for (std::size_t i = 1; i < heartbeats.size(); ++i) {
+        EXPECT_NE(heartbeats[i]->unique_key(), heartbeats[i - 1]->unique_key());
+    }
+}
+
+TEST_F(FailureDetectorTest, ProtocolTrafficSuppressesHeartbeats) {
+    FakeTransport ft(sim, 0);
+    ft.loopback = false;
+    FailureDetector fd(detector_config(), ft);
+    fd.start();
+
+    // Originate protocol traffic every 40ms: the process is audibly alive,
+    // so explicit heartbeats are redundant (piggybacking).
+    std::function<void()> chatter = [&] {
+        CpuContext c{sim.now()};
+        ft.broadcast(std::make_shared<Phase1aMsg>(0, 1, 1), c);
+        sim.schedule_after(SimTime::millis(40), chatter);
+    };
+    sim.schedule_after(SimTime::millis(40), chatter);
+
+    sim.run_until(SimTime::seconds(1));
+    EXPECT_EQ(fd.counters().heartbeats_sent, 0u);
+    EXPECT_GE(fd.counters().heartbeats_suppressed, 8u);
+}
+
+TEST_F(FailureDetectorTest, JitterIsDeterministicBoundedAndSeedDependent) {
+    FakeTransport ft(sim, 0);
+    const PaxosConfig pc = detector_config(7, 2, 9);
+    FailureDetector a(pc, ft);
+    FailureDetector b(pc, ft);
+    bool seed_changes_some_jitter = false;
+    PaxosConfig other = pc;
+    other.seed = 10;
+    FailureDetector c(other, ft);
+    for (ProcessId p = 0; p < pc.n; ++p) {
+        // Pure hash of (seed, observer, peer): identical across instances.
+        EXPECT_EQ(a.jitter_for(p), b.jitter_for(p));
+        EXPECT_GE(a.jitter_for(p), SimTime::zero());
+        EXPECT_LE(a.jitter_for(p), pc.suspicion_jitter_max);
+        if (!(a.jitter_for(p) == c.jitter_for(p))) seed_changes_some_jitter = true;
+    }
+    EXPECT_TRUE(seed_changes_some_jitter);
+}
+
+TEST_F(FailureDetectorTest, NextLiveAfterSkipsSuspectedPeers) {
+    FakeTransport ft(sim, 2);
+    FailureDetector fd(detector_config(5, /*id=*/2), ft);
+    fd.start();
+
+    // Nothing suspected: plain rank order.
+    EXPECT_EQ(fd.next_live_after(0), 1);
+    EXPECT_EQ(fd.next_live_after(4), 0);
+
+    // Let every peer become suspected, then revive peer 4 only.
+    sim.run_until(SimTime::millis(1100));
+    ASSERT_EQ(fd.suspected_count(), 4u);
+    // With everyone else suspected, succession falls back to this process.
+    EXPECT_EQ(fd.next_live_after(0), 2);
+    auto c = ctx();
+    fd.observe_alive(4, c);
+    // 3 is suspected, 4 is live again: 4 succeeds a failed 2's successor 3.
+    EXPECT_EQ(fd.next_live_after(2), 4);
+    EXPECT_EQ(fd.next_live_after(3), 4);
+}
+
+}  // namespace
+}  // namespace gossipc

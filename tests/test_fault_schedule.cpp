@@ -87,11 +87,8 @@ TEST(ChaosGeneratorTest, SchedulesAreSelfResolvingWithinWindow) {
             for (const FaultEvent& e : s.events()) {
                 EXPECT_GE(e.at, profile.start) << profile.name << " seed " << seed;
                 EXPECT_LE(e.at, window_end) << profile.name << " seed " << seed;
-                if (const auto* c = std::get_if<CrashFault>(&e.action)) {
+                if (std::holds_alternative<CrashFault>(e.action)) {
                     ++crashes;
-                    if (!profile.crash_coordinator) {
-                        EXPECT_NE(c->process, 0);
-                    }
                 } else if (std::holds_alternative<RestartFault>(e.action)) {
                     ++restarts;
                 } else if (const auto* p = std::get_if<PartitionFault>(&e.action)) {
@@ -122,6 +119,35 @@ TEST(ChaosGeneratorTest, SchedulesAreSelfResolvingWithinWindow) {
             EXPECT_EQ(churn_drops + churn_adds, 2 * profile.churn_ops);
         }
     }
+}
+
+TEST(ChaosGeneratorTest, HeavyFailoverAddsPermanentCoordinatorCrash) {
+    const int n = 13;
+    const Graph overlay = make_connected_overlay(n, 42);
+    const ChaosProfile profile = ChaosProfile::heavy_failover();
+    const auto s = generate_chaos(n, 0, profile, 3, &overlay);
+    int crashes = 0, restarts = 0, coordinator_crashes = 0;
+    for (const FaultEvent& e : s.events()) {
+        if (const auto* c = std::get_if<CrashFault>(&e.action)) {
+            ++crashes;
+            if (c->process == 0) {
+                ++coordinator_crashes;
+                // The permanent crash preserves state and lands at the
+                // configured fraction of the window.
+                EXPECT_FALSE(c->wipe_state);
+                EXPECT_EQ(e.at,
+                          profile.start + SimTime::nanos(static_cast<std::int64_t>(
+                                              profile.horizon.as_nanos() *
+                                              profile.coordinator_crash_frac)));
+            }
+        } else if (const auto* r = std::get_if<RestartFault>(&e.action)) {
+            ++restarts;
+            EXPECT_NE(r->process, 0);  // the coordinator never comes back
+        }
+    }
+    EXPECT_EQ(coordinator_crashes, 1);
+    EXPECT_EQ(crashes, profile.crashes + 1);
+    EXPECT_EQ(restarts, profile.crashes);
 }
 
 TEST(ChaosGeneratorTest, BaselineWithoutOverlayOmitsChurn) {

@@ -233,7 +233,8 @@ TEST(InvariantCheckerTest, DeploymentRunsChecksDuringExperiment) {
     config.invariant_probe_events = 1000;
     Deployment deployment(config);
     ASSERT_NE(deployment.invariants(), nullptr);
-    EXPECT_EQ(deployment.invariants()->check_count(), 2u);
+    // paxos-agreement, paxos-acceptors, coordinator-succession.
+    EXPECT_EQ(deployment.invariants()->check_count(), 3u);
     const ExperimentResult result = deployment.run();
     EXPECT_GT(result.decisions_at_coordinator, 0u);
     // The probe fired during the run and collect() ran the final sweep.

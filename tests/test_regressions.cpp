@@ -192,6 +192,45 @@ TEST(Regression, ChaosCorpusModerateProfileSeed2NoOverlay) {
               "2094832810 restart p3\n");
 }
 
+// The heavy-failover profile pins the permanent coordinator crash at the
+// configured fraction of the horizon (here 750ms, no restart) and must
+// never RNG-redirect a randomly drawn crash onto the coordinator.
+TEST(Regression, ChaosCorpusHeavyFailoverProfileSeed7) {
+    const auto s = generate_chaos(7, 0, ChaosProfile::heavy_failover(), 7, nullptr);
+    EXPECT_EQ(s.describe(),
+              "321213166 partition {3}\n"
+              "357821707 link-fault 0->4 loss=0.039594 delay_ns=8279863 dup=0.289288"
+              " reorder_ns=4087949\n"
+              "469722493 crash p5 wipe\n"
+              "650749399 restart p5\n"
+              "744357172 link-fault 0->3 loss=0.303353 delay_ns=17834699 dup=0.275408"
+              " reorder_ns=4400415\n"
+              "750000000 crash p0 preserve\n"
+              "802103713 crash p1 wipe\n"
+              "1017806467 link-fault 0->4 loss=0.543506 delay_ns=12876424 dup=0.206731"
+              " reorder_ns=6522274\n"
+              "1068666338 heal\n"
+              "1120332734 restart p1\n"
+              "1122954782 link-fault-end 0->4\n"
+              "1136295287 link-fault 0->6 loss=0.192585 delay_ns=28311525 dup=0.402059"
+              " reorder_ns=2245854\n"
+              "1439082456 crash p6 preserve\n"
+              "1439225057 link-fault 4->0 loss=0.363423 delay_ns=9786251 dup=0.125252"
+              " reorder_ns=5059612\n"
+              "1569077820 partition {5}\n"
+              "1576805216 link-fault-end 0->3\n"
+              "1646118895 link-fault 0->2 loss=0.248162 delay_ns=8708626 dup=0.309825"
+              " reorder_ns=2555223\n"
+              "1669103021 link-fault-end 0->6\n"
+              "1744891925 restart p6\n"
+              "1790161396 crash p1 preserve\n"
+              "1902252436 link-fault-end 0->4\n"
+              "1975144894 link-fault-end 0->2\n"
+              "2161064015 restart p1\n"
+              "2183727618 heal\n"
+              "2207374266 link-fault-end 4->0\n");
+}
+
 TEST(Regression, ChaosCorpusInjectedFaultLogIsPinned) {
     ExperimentConfig cfg;
     cfg.setup = Setup::Baseline;

@@ -30,11 +30,13 @@ public:
     ProcessId self() const override { return self_; }
 
     void broadcast(PaxosMessagePtr msg, CpuContext& ctx) override {
+        note_origination(ctx.now());
         sent.push_back(Sent{true, -1, msg});
         if (loopback) deliver_up(msg, ctx);
     }
 
     void send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) override {
+        if (to != self_) note_origination(ctx.now());
         sent.push_back(Sent{false, to, msg});
         if (loopback && to == self_) deliver_up(msg, ctx);
     }
