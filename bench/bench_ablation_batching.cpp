@@ -28,12 +28,17 @@ int main() {
         {"semantic aggregation", Setup::SemanticGossip, 1, SimTime::zero()},
     };
 
+    // Variant keys for the JSON report (no spaces), same order as `variants`.
+    const std::vector<std::string> keys{"classic", "batch8_5ms", "batch8_20ms",
+                                        "semantic_agg"};
+    BenchReport report("ablation_batching");
     for (const double rate : {13.0, 52.0, 416.0}) {
         std::printf("\n--- %.0f submissions/s (%s load) ---\n", rate,
                     rate <= 13 ? "low" : rate <= 52 ? "moderate" : "high");
         std::printf("%-22s %10s %12s %12s %14s\n", "variant", "tput/s", "lat(ms)",
                     "p99(ms)", "net arrivals");
-        for (const auto& v : variants) {
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            const auto& v = variants[vi];
             ExperimentConfig cfg = base_config(v.setup, n, rate);
             if (v.setup == Setup::SemanticGossip) {
                 cfg.semantic = {.filtering = false, .aggregation = true};  // isolate A1
@@ -44,8 +49,14 @@ int main() {
             std::printf("%-22s %10.1f %12.1f %12.1f %14llu\n", v.name, r.workload.throughput,
                         r.workload.latencies.mean(), r.workload.latencies.percentile(99),
                         static_cast<unsigned long long>(r.messages.net_arrivals));
+            const std::string key =
+                keys[vi] + ".rate" + std::to_string(static_cast<int>(rate));
+            report.add(key + ".latency_ms", r.workload.latencies.mean(), "ms", false);
+            report.add(key + ".net_arrivals",
+                       static_cast<double>(r.messages.net_arrivals), "count", false);
         }
     }
+    report.write();
 
     std::printf("\nExpected: at low load batching inflates latency by its hold delay\n"
                 "while aggregation does not delay any message; at high load both cut\n"

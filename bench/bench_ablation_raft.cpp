@@ -107,6 +107,7 @@ int main() {
                  "(leader Append / follower Ack / leader Commit over gossip)");
     std::printf("n=%d, commit latency measured at the submitting replica\n", n);
 
+    BenchReport report("ablation_raft");
     std::printf("\n%8s %-10s %10s %12s %14s %12s %10s\n", "rate", "gossip", "tput/s",
                 "lat(ms)", "net arrivals", "filtered", "merged");
     for (const double rate : {26.0, 104.0, 260.0}) {
@@ -125,7 +126,17 @@ int main() {
                     100.0 * (static_cast<double>(semantic.arrivals) -
                              static_cast<double>(classic.arrivals)) /
                         static_cast<double>(classic.arrivals));
+        std::string key = "rate";  // (not "rate" + to_string: GCC 12 -Wrestrict FP)
+        key += std::to_string(static_cast<int>(rate));
+        report.add(key + ".classic_latency_ms", classic.latency_ms, "ms", false);
+        report.add(key + ".semantic_latency_ms", semantic.latency_ms, "ms", false);
+        report.add(key + ".arrivals_delta_pct",
+                   100.0 * (static_cast<double>(semantic.arrivals) -
+                            static_cast<double>(classic.arrivals)) /
+                       static_cast<double>(classic.arrivals),
+                   "pct", false);
     }
+    report.write();
 
     std::printf("\nExpected: the Paxos-style message reduction carries over — acks are\n"
                 "filtered once a peer knows the commit and merged when pending together,\n"

@@ -30,10 +30,15 @@ int main() {
         {"both (Semantic)", Setup::SemanticGossip, {.filtering = true, .aggregation = true}},
     };
 
+    // Variant keys for the JSON report (no spaces), same order as `variants`.
+    const std::vector<std::string> keys{"classic", "filtering_only", "aggregation_only",
+                                        "combined"};
+    BenchReport report("ablation_semantic");
     std::printf("\n%-18s %12s %12s %14s %12s %12s\n", "variant", "tput/s", "lat(ms)",
                 "net arrivals", "filtered", "merged");
     double base_arrivals = 0;
-    for (const auto& v : variants) {
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto& v = variants[i];
         ExperimentConfig cfg = base_config(v.setup, n, rate);
         cfg.semantic = v.options;
         const auto r = run_experiment(cfg);
@@ -44,7 +49,11 @@ int main() {
                     100.0 * arrivals / base_arrivals,
                     static_cast<unsigned long long>(r.semantic.filtered_phase2b),
                     static_cast<unsigned long long>(r.semantic.messages_merged));
+        report.add_run(keys[i], r);
+        report.add(keys[i] + ".arrivals_vs_classic",
+                   arrivals / base_arrivals, "ratio", false);
     }
+    report.write();
 
     std::printf("\nExpected: each technique alone reduces traffic; combined they\n"
                 "reduce it the most (paper: up to 58%% fewer messages received).\n");

@@ -22,6 +22,7 @@ int main() {
         {"push-pull", GossipStrategy::PushPull},
     };
 
+    BenchReport report("ablation_strategies");
     for (const double loss : {0.0, 0.2}) {
         std::printf("\n--- injected loss %.0f%% ---\n", 100 * loss);
         std::printf("%-12s %10s %12s %12s %14s %12s\n", "strategy", "tput/s", "lat(ms)",
@@ -37,8 +38,14 @@ int main() {
                         r.workload.latencies.percentile(99),
                         static_cast<unsigned long long>(r.messages.net_arrivals),
                         static_cast<unsigned long long>(r.workload.not_ordered));
+            const std::string key =
+                std::string(name) + ".loss" + std::to_string(static_cast<int>(100 * loss));
+            report.add_run(key, r);
+            report.add(key + ".not_ordered",
+                       static_cast<double>(r.workload.not_ordered), "count", false);
         }
     }
+    report.write();
 
     std::printf("\nExpected: push is fastest (latency bounded by hop count); pull pays\n"
                 "anti-entropy round delays; push-pull matches push latency and adds\n"

@@ -10,6 +10,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -96,5 +98,76 @@ inline void print_header(const char* title) {
 inline void print_rule() {
     std::printf("--------------------------------------------------------------\n");
 }
+
+/// Machine-readable bench output (DESIGN.md §9): named scalar metrics written
+/// as BENCH_<name>.json so scripts/bench_compare.py can diff two runs. All
+/// simulated metrics are deterministic for a fixed config/seed, which is what
+/// makes a committed baseline meaningful.
+class BenchReport {
+public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    /// Adds one scalar. `unit` is informational ("ops/s", "ms", "frac");
+    /// `higher_is_better` gives bench_compare.py the regression direction.
+    void add(const std::string& metric, double value, const std::string& unit,
+             bool higher_is_better) {
+        metrics_.push_back(Metric{metric, value, unit, higher_is_better});
+    }
+
+    /// The standard summary of one experiment: throughput, latency p50/p99,
+    /// and gossip redundancy (duplicate fraction), under `<prefix>.`.
+    void add_run(const std::string& prefix, const ExperimentResult& result) {
+        const auto& w = result.workload;
+        add(prefix + ".throughput", w.throughput, "ops/s", true);
+        if (!w.latencies.empty()) {
+            add(prefix + ".latency_p50_ms", w.latencies.percentile(50), "ms", false);
+            add(prefix + ".latency_p99_ms", w.latencies.percentile(99), "ms", false);
+        }
+        add(prefix + ".redundancy", result.messages.duplicate_fraction(), "frac", false);
+    }
+
+    /// Writes BENCH_<name>.json into $GC_BENCH_DIR (default: the working
+    /// directory) and announces the path on stdout. Returns the path.
+    std::string write() const {
+        const char* dir = std::getenv("GC_BENCH_DIR");
+        const std::string path =
+            (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : std::string())
+            + "BENCH_" + name_ + ".json";
+        std::ofstream os(path);
+        os << to_json();
+        os.close();
+        std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+        return path;
+    }
+
+    std::string to_json() const {
+        std::ostringstream o;
+        o.precision(17);
+        o << "{\n  \"schema\": \"gossipc-bench-v1\",\n";
+        o << "  \"bench\": \"" << name_ << "\",\n";
+        o << "  \"mode\": \"" << (full_mode() ? "full" : "quick") << "\",\n";
+        o << "  \"metrics\": [\n";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            const Metric& m = metrics_[i];
+            o << "    {\"name\": \"" << m.name << "\", \"value\": " << m.value
+              << ", \"unit\": \"" << m.unit << "\", \"higher_is_better\": "
+              << (m.higher_is_better ? "true" : "false") << "}"
+              << (i + 1 < metrics_.size() ? "," : "") << "\n";
+        }
+        o << "  ]\n}\n";
+        return o.str();
+    }
+
+private:
+    struct Metric {
+        std::string name;
+        double value = 0.0;
+        std::string unit;
+        bool higher_is_better = true;
+    };
+
+    std::string name_;
+    std::vector<Metric> metrics_;
+};
 
 }  // namespace gossipc::bench

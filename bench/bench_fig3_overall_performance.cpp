@@ -61,6 +61,7 @@ int main() {
         "Figure 3: Paxos performance under Baseline / Gossip / Semantic Gossip\n"
         "(1KB values, 13 open-loop clients; * marks the saturation point)");
 
+    BenchReport report("fig3");
     std::ofstream csv("fig3_results.csv");
     csv << "setup,n,rate,throughput,latency_ms,arrivals,arrivals_per_proc,"
            "coordinator_arrivals,dup_frac,delivered,filtered,merged\n";
@@ -90,6 +91,12 @@ int main() {
                     << r.result.semantic.messages_merged << "\n";
             }
             const std::size_t knee = saturation_index(sweep);
+            const std::string key =
+                std::string(setup_name(setup)) + ".n" + std::to_string(n);
+            report.add(key + ".saturation_throughput", rows[knee].throughput, "ops/s", true);
+            report.add(key + ".knee_latency_ms", rows[knee].latency, "ms", false);
+            report.add(key + ".knee_dup_frac",
+                       rows[knee].result.messages.duplicate_fraction(), "frac", false);
             for (std::size_t i = 0; i < rows.size(); ++i) {
                 std::printf("%12.0f %14.1f %14.1f %10llu%s\n", rows[i].rate,
                             rows[i].throughput, rows[i].latency,
@@ -156,5 +163,6 @@ int main() {
                 "2x/5x/8x with 49/80/87%% duplicates; Semantic Gossip: -58%% received,\n"
                 "-16%% delivered, duplicates 82%%, saturation up to 2.4x Gossip's.\n");
     std::printf("Wrote fig3_results.csv (consumed by bench_fig4).\n");
+    report.write();
     return 0;
 }

@@ -90,6 +90,7 @@ int main() {
     }
 
     // Normalize within each system size by the Baseline saturation.
+    BenchReport report("fig4");
     std::printf("\n%8s %14s %18s %22s\n", "n", "Baseline", "Gossip", "SemanticGossip");
     for (const int n : system_sizes()) {
         const double base = sat[{"Baseline", n}];
@@ -98,7 +99,13 @@ int main() {
         if (base <= 0) continue;
         std::printf("%8d %8.0f (1.00) %10.0f (%.2f) %14.0f (%.2f)\n", n, base, gossip,
                     gossip / base, semantic, semantic / base);
+        std::string key = "n";  // (not "n" + to_string: GCC 12 -Wrestrict FP)
+        key += std::to_string(n);
+        report.add(key + ".baseline_sat_throughput", base, "ops/s", true);
+        report.add(key + ".gossip_normalized", gossip / base, "ratio", true);
+        report.add(key + ".semantic_normalized", semantic / base, "ratio", true);
     }
+    report.write();
     std::printf("\nPaper reference (normalized to Baseline): Gossip 0.53/0.26/0.41,\n"
                 "Semantic Gossip above Gossip by 1.14x/1.79x/2.4x for n=13/53/105.\n");
     return 0;

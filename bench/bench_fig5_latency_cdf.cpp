@@ -29,6 +29,7 @@ int main() {
         runs.push_back({setup, run_experiment(cfg)});
     }
 
+    BenchReport report("fig5");
     std::printf("\n%-16s %10s %10s %8s %8s %8s %8s %9s\n", "setup", "avg(ms)", "stddev",
                 "p25", "p50", "p75", "p95", "p99.9");
     for (const auto& run : runs) {
@@ -36,6 +37,11 @@ int main() {
         std::printf("%-16s %10.1f %10.1f %8.1f %8.1f %8.1f %8.1f %9.1f\n",
                     setup_name(run.setup), h.mean(), h.stddev(), h.percentile(25),
                     h.percentile(50), h.percentile(75), h.percentile(95), h.percentile(99.9));
+        const std::string key = setup_name(run.setup);
+        report.add(key + ".latency_mean_ms", h.mean(), "ms", false);
+        report.add(key + ".latency_p50_ms", h.percentile(50), "ms", false);
+        report.add(key + ".latency_p999_ms", h.percentile(99.9), "ms", false);
+        report.add(key + ".latency_stddev_ms", h.stddev(), "ms", false);
     }
 
     print_rule();
@@ -65,5 +71,8 @@ int main() {
     std::printf("Std-dev ordering (paper: Baseline > Gossip > Semantic): %.1f / %.1f / %.1f\n",
                 runs[0].result.workload.latencies.stddev(), gossip.stddev(),
                 semantic.stddev());
+    report.add("gossip_semantic_mean_gap_pct",
+               100.0 * (semantic.mean() - gossip.mean()) / gossip.mean(), "pct", false);
+    report.write();
     return 0;
 }

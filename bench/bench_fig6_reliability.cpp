@@ -28,7 +28,9 @@ int main() {
                  "message loss (timeout-triggered procedures disabled)");
     std::printf("n=%d, %d run(s) per cell; rows = workload, columns = loss rate\n", n, runs);
 
+    BenchReport report("fig6");
     for (const Setup setup : {Setup::Gossip, Setup::SemanticGossip}) {
+        std::uint64_t total_submitted = 0, total_not_ordered = 0;
         std::printf("\n--- %s ---\n%12s", setup_name(setup), "workload");
         for (const double loss : loss_rates) std::printf(" %9.0f%%", 100 * loss);
         std::printf("\n");
@@ -46,6 +48,8 @@ int main() {
                     submitted += r.workload.submitted_in_window;
                     not_ordered += r.workload.not_ordered;
                 }
+                total_submitted += submitted;
+                total_not_ordered += not_ordered;
                 const double frac =
                     submitted == 0 ? 0.0
                                    : 100.0 * static_cast<double>(not_ordered) /
@@ -58,7 +62,14 @@ int main() {
             }
             std::printf("\n");
         }
+        report.add(std::string(setup_name(setup)) + ".not_ordered_frac",
+                   total_submitted == 0
+                       ? 0.0
+                       : static_cast<double>(total_not_ordered) /
+                             static_cast<double>(total_submitted),
+                   "frac", false);
     }
+    report.write();
 
     std::printf("\n('.' = all submitted values ordered despite the loss)\n");
     std::printf("Paper reference (n=105): <10%% loss -> everything ordered; 10%% -> up\n"

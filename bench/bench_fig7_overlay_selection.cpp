@@ -59,6 +59,14 @@ int main() {
     std::printf("\nLatency range across overlays: %.1f - %.1f ms (%.0f%% spread)\n",
                 min_it->latency_ms, max_it->latency_ms,
                 100.0 * (max_it->latency_ms - min_it->latency_ms) / min_it->latency_ms);
+    BenchReport report("fig7");
+    report.add("selected_overlay_seed", static_cast<double>(selected.seed), "seed", false);
+    report.add("selected_median_rtt_ms", selected.median_rtt_ms, "ms", false);
+    report.add("selected_latency_ms", selected.latency_ms, "ms", false);
+    report.add("latency_spread_pct",
+               100.0 * (max_it->latency_ms - min_it->latency_ms) / min_it->latency_ms,
+               "pct", false);
+    report.write();
     std::printf("Selected overlay seed %llu: median RTT %.1f ms, latency %.1f ms.\n",
                 static_cast<unsigned long long>(selected.seed), selected.median_rtt_ms,
                 selected.latency_ms);

@@ -1,10 +1,16 @@
 // Microbenchmarks (google-benchmark) for the hot data structures: the
 // recently-seen cache, the sliding Bloom filter, the event queue, the
 // semantic aggregation rule, overlay generation, and shortest-path analysis.
+//
+// Unlike the figure benches (simulated time, deterministic), these measure
+// wall-clock — BENCH_micro.json is informational and not regression-gated.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
+
+#include "bench_common.hpp"
 
 #include "common/rng.hpp"
 #include "gossip/seen_cache.hpp"
@@ -126,7 +132,38 @@ void BM_ShortestDelays(benchmark::State& state) {
 }
 BENCHMARK(BM_ShortestDelays)->Arg(13)->Arg(105);
 
+/// Console output as usual, plus every run collected into the shared
+/// BENCH_<name>.json schema (ns/iter always; items/s when the bench sets it).
+class CollectingReporter final : public benchmark::ConsoleReporter {
+public:
+    explicit CollectingReporter(bench::BenchReport& report) : report_(report) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run& run : runs) {
+            const std::string name = run.benchmark_name();
+            report_.add(name + ".ns_per_iter", run.GetAdjustedRealTime(), "ns", false);
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end()) {
+                report_.add(name + ".items_per_s", static_cast<double>(it->second),
+                            "items/s", true);
+            }
+        }
+    }
+
+private:
+    bench::BenchReport& report_;
+};
+
 }  // namespace
 }  // namespace gossipc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    gossipc::bench::BenchReport report("micro");
+    gossipc::CollectingReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    report.write();
+    return 0;
+}

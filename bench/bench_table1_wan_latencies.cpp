@@ -2,6 +2,8 @@
 // and the other twelve regions: configured one-way model values, and the
 // same quantity measured end-to-end through the simulator (ping probes),
 // which validates the substrate against the paper's table.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -37,13 +39,19 @@ int main() {
     }
     sim.run_until_idle();
 
+    double max_abs_error_ms = 0;
     for (ProcessId p = 2; p <= 13; ++p) {
         const Region r = region_of_process(p, 14);
         const double model = LatencyModel::aws().one_way(Region::NorthVirginia, r).as_millis();
         const double recv_cost_ms = net.node(p).params().recv_cost.as_millis();
+        const double delivered = measured[p] - recv_cost_ms;
+        max_abs_error_ms = std::max(max_abs_error_ms, std::abs(delivered - model));
         std::printf("%-14s %14.0f %16.2f\n", std::string(region_name(r)).c_str(), model,
-                    measured[p] - recv_cost_ms);
+                    delivered);
     }
+    BenchReport report("table1");
+    report.add("max_abs_error_ms", max_abs_error_ms, "ms", false);
+    report.write();
 
     std::printf("\nPaper Table 1 (ms): Canada 7, N.California 30, Oregon 39, London 38,\n"
                 "Ireland 33, Frankfurt 44, S.Paulo 58, Tokyo 73, Mumbai 93, Sydney 98,\n"

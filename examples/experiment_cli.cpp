@@ -40,6 +40,9 @@ namespace {
         "  --heartbeat <s>                    heartbeat interval (default 0.1)\n"
         "  --suspect-after <s>                suspicion timeout (default 0.45)\n"
         "  --fault-log                        print the injected-fault log\n"
+        "  --trace <path>                     message-lifecycle tracing, JSONL\n"
+        "                                     exported to <path> (DESIGN.md Sec. 9)\n"
+        "  --trace-capacity <n>               trace ring size (default 65536)\n"
         "  --warmup <s> --measure <s> --drain <s>\n"
         "  --json | --csv                     machine-readable output\n",
         argv0);
@@ -114,6 +117,11 @@ int main(int argc, char** argv) {
             cfg.suspect_after = SimTime::seconds(num(next()));
         } else if (arg == "--fault-log") {
             fault_log = true;
+        } else if (arg == "--trace") {
+            cfg.trace = true;
+            cfg.trace_jsonl_path = next();
+        } else if (arg == "--trace-capacity") {
+            cfg.trace_capacity = static_cast<std::size_t>(std::atoll(next()));
         } else if (arg == "--warmup") {
             cfg.warmup = SimTime::seconds(num(next()));
         } else if (arg == "--measure") {

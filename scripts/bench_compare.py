@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two gossipc bench reports (schema gossipc-bench-v1).
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold FRAC]
+
+BASELINE and CURRENT are either BENCH_<name>.json files or directories; with
+directories, every BENCH_*.json present in BOTH is compared (files present on
+only one side are listed but never fail the run, so adding a bench or metric
+does not break CI until the baseline is refreshed).
+
+A metric regresses when it moves against its `higher_is_better` direction by
+more than --threshold (relative, default 0.10 = 10%). Figure-bench metrics
+come from the deterministic simulator, so any drift there is a real
+behavioural change; BENCH_micro.json measures wall-clock and should not be
+gated (don't pass it to this script on shared runners).
+
+Exit status: 0 = no regression, 1 = regression(s), 2 = usage/schema error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "gossipc-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_compare: {path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    for m in doc.get("metrics", []):
+        for field in ("name", "value", "unit", "higher_is_better"):
+            if field not in m:
+                sys.exit(f"bench_compare: {path}: metric missing {field!r}: {m}")
+    return doc
+
+
+def pair_files(baseline, current):
+    """Yields (label, baseline_path, current_path)."""
+    if os.path.isdir(baseline) != os.path.isdir(current):
+        sys.exit("bench_compare: BASELINE and CURRENT must both be files or both dirs")
+    if not os.path.isdir(baseline):
+        yield os.path.basename(current), baseline, current
+        return
+    base_files = {os.path.basename(p): p
+                  for p in glob.glob(os.path.join(baseline, "BENCH_*.json"))}
+    cur_files = {os.path.basename(p): p
+                 for p in glob.glob(os.path.join(current, "BENCH_*.json"))}
+    for name in sorted(base_files.keys() | cur_files.keys()):
+        if name not in base_files:
+            print(f"  [new bench, not compared] {name}")
+        elif name not in cur_files:
+            print(f"  [bench missing from current run, not compared] {name}")
+        else:
+            yield name, base_files[name], cur_files[name]
+    if not (base_files and cur_files):
+        sys.exit("bench_compare: no BENCH_*.json files to compare")
+
+
+def compare(label, base_doc, cur_doc, threshold):
+    """Prints a per-metric report; returns the list of regressed metric names."""
+    base = {m["name"]: m for m in base_doc["metrics"]}
+    cur = {m["name"]: m for m in cur_doc["metrics"]}
+    if base_doc.get("mode") != cur_doc.get("mode"):
+        print(f"  WARNING: mode mismatch ({base_doc.get('mode')} vs "
+              f"{cur_doc.get('mode')}); values are not comparable")
+    regressed = []
+    for name in sorted(base.keys() | cur.keys()):
+        if name not in cur:
+            print(f"  [removed ] {name}")
+            continue
+        if name not in base:
+            print(f"  [added   ] {name} = {cur[name]['value']:g}")
+            continue
+        b, c = base[name]["value"], cur[name]["value"]
+        higher_better = base[name]["higher_is_better"]
+        unit = base[name]["unit"]
+        if b == 0:
+            status = "ok" if c == 0 else "changed (baseline 0, not gated)"
+            print(f"  [{status:9.9}] {name}: {b:g} -> {c:g} {unit}")
+            continue
+        rel = (c - b) / abs(b)
+        bad = rel < -threshold if higher_better else rel > threshold
+        status = "REGRESSED" if bad else "ok"
+        print(f"  [{status:9.9}] {name}: {b:g} -> {c:g} {unit} ({rel:+.1%})")
+        if bad:
+            regressed.append(f"{label}:{name}")
+    return regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    ap.add_argument("current", help="current BENCH_*.json file or directory")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max tolerated relative move against the metric's "
+                         "direction (default 0.10)")
+    args = ap.parse_args()
+    if args.threshold < 0:
+        ap.error("--threshold must be >= 0")
+
+    regressed = []
+    for label, base_path, cur_path in pair_files(args.baseline, args.current):
+        print(f"== {label} (threshold {args.threshold:.0%})")
+        regressed += compare(label, load(base_path), load(cur_path), args.threshold)
+
+    if regressed:
+        print(f"\nFAIL: {len(regressed)} metric(s) regressed:")
+        for name in regressed:
+            print(f"  {name}")
+        return 1
+    print("\nOK: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <fstream>
+
 #include "check/failover_invariants.hpp"
 #include "check/paxos_invariants.hpp"
 #include "overlay/random_overlay.hpp"
+#include "paxos/message.hpp"
 
 namespace gossipc {
 
@@ -109,6 +112,41 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
                 }
                 failover_log_.push_back(line.str());
             });
+    }
+
+    if (config.trace || !config.trace_jsonl_path.empty()) {
+        tracer_ = std::make_unique<trace::Tracer>(config.trace_capacity);
+        // The probe classifies Paxos bodies so trace events carry the message
+        // type and consensus instance without the trace layer knowing Paxos.
+        tracer_->set_payload_probe([](const MessageBody& body) {
+            trace::PayloadInfo info;
+            if (body.kind() != BodyKind::Paxos) return info;
+            const auto& pm = static_cast<const PaxosMessage&>(body);
+            info.type = static_cast<std::int16_t>(pm.type());
+            info.type_name = paxos_msg_type_name(pm.type());
+            switch (pm.type()) {
+                case PaxosMsgType::Phase2a:
+                    info.instance = static_cast<const Phase2aMsg&>(pm).instance();
+                    break;
+                case PaxosMsgType::Phase2b:
+                    info.instance = static_cast<const Phase2bMsg&>(pm).instance();
+                    break;
+                case PaxosMsgType::Phase2bAggregate:
+                    info.instance = static_cast<const Phase2bAggregateMsg&>(pm).instance();
+                    break;
+                case PaxosMsgType::Decision:
+                    info.instance = static_cast<const DecisionMsg&>(pm).instance();
+                    break;
+                case PaxosMsgType::LearnRequest:
+                    info.instance = static_cast<const LearnRequestMsg&>(pm).instance();
+                    break;
+                default:
+                    break;
+            }
+            return info;
+        });
+        for (auto& g : gossip_nodes_) g->set_tracer(tracer_.get());
+        for (auto& p : processes_) p->set_tracer(tracer_.get());
     }
 
 #if GC_ENABLE_INVARIANTS
@@ -256,7 +294,122 @@ ExperimentResult Deployment::collect() {
                                     std::strtoll(b.c_str(), nullptr, 10);
                          });
     }
+    fill_metrics(result);
+    result.metrics = registry_.snapshot();
+    if (tracer_ && !config_.trace_jsonl_path.empty()) {
+        std::ofstream os(config_.trace_jsonl_path);
+        tracer_->export_jsonl(os);
+    }
     return result;
+}
+
+void Deployment::fill_metrics(const ExperimentResult& result) {
+    // set() (not add()) throughout so a repeated collect() stays idempotent.
+    const auto set = [this](const char* name, std::uint64_t v) {
+        registry_.counter(name).set(v);
+    };
+
+    const Workload::Result& w = result.workload;
+    set("workload.submitted", w.submitted);
+    set("workload.submitted_in_window", w.submitted_in_window);
+    set("workload.completed", w.completed);
+    set("workload.not_ordered", w.not_ordered);
+    registry_.gauge("workload.throughput").set(w.throughput);
+    registry_.gauge("workload.offered_load").set(w.offered_load);
+    Histogram& latencies = registry_.histogram("workload.latency_ms");
+    latencies.clear();
+    latencies.merge(w.latencies);
+
+    const MessageStats& ms = result.messages;
+    set("net.arrivals", ms.net_arrivals);
+    set("net.sent", ms.net_sent);
+    set("net.loss_drops", ms.net_loss_drops);
+    set("net.queue_drops", ms.net_queue_drops);
+    set("net.bytes_sent", ms.bytes_sent);
+    set("net.coordinator_arrivals", ms.coordinator_arrivals);
+
+    GossipNode::Counters gc;
+    for (const auto& g : gossip_nodes_) {
+        const auto& c = g->counters();
+        gc.broadcasts += c.broadcasts;
+        gc.envelopes_received += c.envelopes_received;
+        gc.messages_received += c.messages_received;
+        gc.duplicates += c.duplicates;
+        gc.delivered += c.delivered;
+        gc.filtered += c.filtered;
+        gc.aggregated_away += c.aggregated_away;
+        gc.envelopes_sent += c.envelopes_sent;
+        gc.send_queue_drops += c.send_queue_drops;
+        gc.pull_rounds += c.pull_rounds;
+        gc.pull_served += c.pull_served;
+        gc.peers_added += c.peers_added;
+        gc.peers_removed += c.peers_removed;
+    }
+    set("gossip.broadcasts", gc.broadcasts);
+    set("gossip.envelopes_received", gc.envelopes_received);
+    set("gossip.envelopes_sent", gc.envelopes_sent);
+    set("gossip.messages_received", gc.messages_received);
+    set("gossip.duplicates", gc.duplicates);
+    set("gossip.delivered", gc.delivered);
+    set("gossip.filtered", gc.filtered);
+    set("gossip.aggregated_away", gc.aggregated_away);
+    set("gossip.send_queue_drops", gc.send_queue_drops);
+    set("gossip.pull_rounds", gc.pull_rounds);
+    set("gossip.pull_served", gc.pull_served);
+
+    PaxosProcess::Counters pc;
+    for (const auto& p : processes_) {
+        const auto& c = p->counters();
+        pc.values_submitted += c.values_submitted;
+        pc.messages_handled += c.messages_handled;
+        pc.learn_requests_sent += c.learn_requests_sent;
+        pc.learn_requests_answered += c.learn_requests_answered;
+        pc.value_retransmissions += c.value_retransmissions;
+        for (std::size_t t = 0; t < PaxosProcess::Counters::kNumMsgTypes; ++t) {
+            pc.handled_by_type[t] += c.handled_by_type[t];
+        }
+    }
+    set("paxos.values_submitted", pc.values_submitted);
+    set("paxos.messages_handled", pc.messages_handled);
+    set("paxos.learn_requests_sent", pc.learn_requests_sent);
+    set("paxos.learn_requests_answered", pc.learn_requests_answered);
+    set("paxos.value_retransmissions", pc.value_retransmissions);
+    set("paxos.decisions_at_coordinator", result.decisions_at_coordinator);
+    static constexpr const char* kHandledNames[PaxosProcess::Counters::kNumMsgTypes] = {
+        "paxos.handled.client_value",      "paxos.handled.phase1a",
+        "paxos.handled.phase1b",           "paxos.handled.phase2a",
+        "paxos.handled.phase2b",           "paxos.handled.phase2b_aggregate",
+        "paxos.handled.decision",          "paxos.handled.learn_request",
+        "paxos.handled.heartbeat"};
+    for (std::size_t t = 0; t < PaxosProcess::Counters::kNumMsgTypes; ++t) {
+        set(kHandledNames[t], pc.handled_by_type[t]);
+    }
+
+    set("semantic.filtered_phase2b", result.semantic.filtered_phase2b);
+    set("semantic.aggregates_built", result.semantic.aggregates_built);
+    set("semantic.messages_merged", result.semantic.messages_merged);
+    set("semantic.disaggregations", result.semantic.disaggregations);
+
+    set("failover.heartbeats_sent", result.failover.heartbeats_sent);
+    set("failover.heartbeats_suppressed", result.failover.heartbeats_suppressed);
+    set("failover.suspicions", result.failover.suspicions);
+    set("failover.restores", result.failover.restores);
+    set("failover.takeovers", result.failover.takeovers);
+    set("failover.step_downs", result.failover.step_downs);
+    set("fault.injected", result.faults_injected);
+
+    set("sim.events", sim_->events_executed());
+    set("sim.deliveries", sim_->deliveries_executed());
+    set("sim.callbacks", sim_->callbacks_executed());
+    set("sim.faults", sim_->faults_executed());
+    registry_.gauge("sim.queue_depth").set(static_cast<double>(sim_->pending_events()));
+    registry_.gauge("sim.queue_depth_max")
+        .set(static_cast<double>(sim_->max_pending_events()));
+
+    if (tracer_) {
+        set("trace.recorded", tracer_->recorded());
+        set("trace.evicted", tracer_->evicted());
+    }
 }
 
 ExperimentResult Deployment::run() {

@@ -21,6 +21,8 @@
 #include "semantic/paxos_semantics.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counters.hpp"
+#include "stats/registry.hpp"
+#include "trace/tracer.hpp"
 #include "transport/direct_transport.hpp"
 #include "transport/gossip_transport.hpp"
 #include "workload/workload.hpp"
@@ -96,6 +98,14 @@ struct ExperimentConfig {
     /// builds with GC_INVARIANTS off — the checks compile out.
     std::uint64_t invariant_probe_events = 25'000;
 
+    // Observability (DESIGN.md §9). Message-lifecycle tracing is opt-in;
+    // when off, no tracer exists and every recording site is a skipped null
+    // check (zero-cost). `trace_jsonl_path` (implies `trace`) additionally
+    // exports the ring as JSONL at collect time.
+    bool trace = false;
+    std::size_t trace_capacity = 1 << 16;
+    std::string trace_jsonl_path;
+
     std::uint64_t seed = 1;
 };
 
@@ -125,6 +135,11 @@ struct ExperimentResult {
     /// step-down events at their timestamps.
     std::vector<std::string> fault_log;
     std::uint64_t faults_injected = 0;  ///< applied events (skips excluded)
+
+    /// Unified metrics snapshot (DESIGN.md §9): every component counter under
+    /// its registry name, sorted by name. Rendered as the "metrics" object of
+    /// the JSON report.
+    std::vector<MetricsRegistry::Sample> metrics;
 };
 
 /// A fully wired deployment; exposed so examples and tests can drive the
@@ -156,6 +171,11 @@ public:
     /// The deployment's fault injector; null when the config has no fault
     /// schedule and no chaos profile.
     FaultInjector* fault_injector() { return injector_.get(); }
+    /// The message-lifecycle tracer; null unless the config enables tracing.
+    trace::Tracer* tracer() { return tracer_.get(); }
+    /// The unified metrics registry. Populated from component counters at
+    /// collect(); callers may register custom metrics before that.
+    MetricsRegistry& metrics() { return registry_; }
 
     /// Wipes one process's durable state (acceptor + learner), re-baselining
     /// its shadow monitors so the loss is not itself reported as a safety
@@ -167,6 +187,9 @@ public:
     ExperimentResult collect();
 
 private:
+    /// Pulls every component counter into the metrics registry (collect()).
+    void fill_metrics(const ExperimentResult& result);
+
     ExperimentConfig config_;
     std::unique_ptr<Simulator> sim_;
     std::unique_ptr<Network> network_;
@@ -178,6 +201,8 @@ private:
     std::unique_ptr<Workload> workload_;
     std::unique_ptr<check::InvariantChecker> invariants_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    MetricsRegistry registry_;
     /// Failover events (suspect/restore/takeover/step-down) in emission
     /// order; merged into the fault log at collect().
     std::vector<std::string> failover_log_;

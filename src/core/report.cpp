@@ -26,6 +26,15 @@ std::string json_escape(const std::string& s) {
     return out;
 }
 
+/// Looks one metric up in the result's registry snapshot (0 when absent, so
+/// rows built from results without metrics stay well-formed).
+std::uint64_t metric_count(const ExperimentResult& result, const std::string& name) {
+    for (const auto& s : result.metrics) {
+        if (s.name == name) return static_cast<std::uint64_t>(s.value);
+    }
+    return 0;
+}
+
 }  // namespace
 
 std::string to_json(const ExperimentConfig& config, const ExperimentResult& result) {
@@ -97,7 +106,23 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
         if (i != 0) o << ", ";
         o << '"' << json_escape(result.fault_log[i]) << '"';
     }
-    o << "]}\n";
+    o << "]},\n";
+    // Unified registry snapshot (DESIGN.md §9): one entry per metric, sorted
+    // by name. Counters/gauges are scalars; histograms expand to a summary.
+    o << "  \"metrics\": {";
+    for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+        const MetricsRegistry::Sample& s = result.metrics[i];
+        if (i != 0) o << ", ";
+        o << '"' << json_escape(s.name) << "\": ";
+        if (s.kind == MetricsRegistry::Kind::Histogram) {
+            o << "{\"count\": " << s.value << ", \"mean\": " << s.mean
+              << ", \"p50\": " << s.p50 << ", \"p99\": " << s.p99
+              << ", \"max\": " << s.max << "}";
+        } else {
+            o << s.value;
+        }
+    }
+    o << "}\n";
     o << "}";
     return o.str();
 }
@@ -108,7 +133,8 @@ std::string csv_header() {
            "latency_stddev_ms,submitted,completed,not_ordered,net_arrivals,net_sent,"
            "loss_drops,queue_drops,gossip_received,duplicates,delivered,filtered_2b,"
            "merged_2b,median_rtt_ms,chaos_profile,faults_injected,failover,suspicions,"
-           "takeovers,step_downs";
+           "takeovers,step_downs,sim_events,sim_deliveries,sim_queue_depth_max,"
+           "paxos_handled_phase2b,bytes_sent";
 }
 
 std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& result) {
@@ -129,7 +155,11 @@ std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& r
       << result.median_rtt.as_millis() << ','
       << (config.chaos ? config.chaos->name : "") << ',' << result.faults_injected << ','
       << (config.failover ? 1 : 0) << ',' << result.failover.suspicions << ','
-      << result.failover.takeovers << ',' << result.failover.step_downs;
+      << result.failover.takeovers << ',' << result.failover.step_downs << ','
+      << metric_count(result, "sim.events") << ','
+      << metric_count(result, "sim.deliveries") << ','
+      << metric_count(result, "sim.queue_depth_max") << ','
+      << metric_count(result, "paxos.handled.phase2b") << ',' << m.bytes_sent;
     return o.str();
 }
 

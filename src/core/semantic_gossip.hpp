@@ -30,8 +30,10 @@
 #include "paxos/process.hpp"
 #include "semantic/paxos_semantics.hpp"
 #include "sim/simulator.hpp"
+#include "stats/registry.hpp"
 #include "stats/saturation.hpp"
 #include "stats/timeseries.hpp"
+#include "trace/tracer.hpp"
 #include "transport/direct_transport.hpp"
 #include "transport/gossip_transport.hpp"
 #include "workload/workload.hpp"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "check/invariant.hpp"
+#include "trace/tracer.hpp"
 
 namespace gossipc {
 
@@ -48,6 +49,10 @@ void GossipNode::broadcast(GossipAppMessage msg, CpuContext& ctx) {
                  static_cast<unsigned long long>(msg.id), node_.id());
     ++counters_.broadcasts;
     if (!seen_.insert_if_new(msg.id)) return;  // re-broadcast of a known id
+    if (tracer_) {
+        tracer_->record(ctx.now(), trace::Stage::Originate, node_.id(), -1, msg);
+        tracer_->record(ctx.now(), trace::Stage::Deliver, node_.id(), -1, msg);
+    }
     remember(msg);
     ++counters_.delivered;
     hooks_.on_deliver(msg);
@@ -74,8 +79,14 @@ void GossipNode::on_net_receive(const NetMessage& net_msg, CpuContext& ctx) {
     if (wire_msg.aggregated) {
         // Reversible aggregation: reconstruct the original messages and
         // process each as a regular message.
-        for (const auto& m : hooks_.disaggregate(wire_msg)) {
+        std::vector<GossipAppMessage> originals = hooks_.disaggregate(wire_msg);
+        for (auto& m : originals) {
+            m.hops = wire_msg.hops;  // the originals travelled as the aggregate
             ++counters_.messages_received;
+            if (tracer_) {
+                tracer_->record(ctx.now(), trace::Stage::Disaggregate, node_.id(),
+                                net_msg.from, m);
+            }
             accept(m, net_msg.from, ctx);
         }
     } else {
@@ -90,10 +101,16 @@ void GossipNode::accept(const GossipAppMessage& msg, ProcessId received_from, Cp
     GC_INVARIANT(!msg.aggregated,
                  "aggregated gossip message %016llx reached the delivery path at node %d",
                  static_cast<unsigned long long>(msg.id), node_.id());
+    if (tracer_) tracer_->record(ctx.now(), trace::Stage::Receive, node_.id(), received_from, msg);
     if (!seen_.insert_if_new(msg.id)) {
         ++counters_.duplicates;
+        if (tracer_) {
+            tracer_->record(ctx.now(), trace::Stage::DuplicateDrop, node_.id(),
+                            received_from, msg);
+        }
         return;
     }
+    if (tracer_) tracer_->record(ctx.now(), trace::Stage::Deliver, node_.id(), -1, msg);
     remember(msg);
     ++counters_.delivered;
     hooks_.on_deliver(msg);
@@ -149,6 +166,10 @@ void GossipNode::forward(const GossipAppMessage& msg, ProcessId exclude) {
         PeerQueue& q = queues_[i];
         if (q.pending.size() >= params_.peer_queue_cap) {
             ++counters_.send_queue_drops;
+            if (tracer_) {
+                tracer_->record(node_.simulator().now(), trace::Stage::QueueDrop,
+                                node_.id(), peers_[i], msg);
+            }
             continue;
         }
         if (q.pending.empty()) q.oldest_enqueued = node_.simulator().now();
@@ -188,12 +209,38 @@ void GossipNode::drain_peer(std::size_t peer_idx, CpuContext& ctx) {
     pending.swap(q.pending);
     const std::size_t before = pending.size();
     ctx.consume(params_.aggregate_cost_per_msg * static_cast<std::int64_t>(before));
+    std::vector<GossipAppMessage> inputs;
+    if (tracer_) inputs = pending;  // copy for the aggregation diff (traced runs only)
     std::vector<GossipAppMessage> batch = hooks_.aggregate(std::move(pending), peer);
     if (batch.size() < before) {
         counters_.aggregated_away += before - batch.size();
     }
+    if (tracer_) trace_aggregation(inputs, batch, peer);
     for (const auto& m : batch) {
         send_to_peer(m, peer, ctx);
+    }
+}
+
+void GossipNode::trace_aggregation(const std::vector<GossipAppMessage>& inputs,
+                                   std::vector<GossipAppMessage>& outputs, ProcessId peer) {
+    // Inputs whose id vanished from the output were merged into an aggregate;
+    // outputs with a fresh id are the aggregates built. Pass-through batches
+    // (the common case) produce no events.
+    std::unordered_set<GossipMsgId> out_ids;
+    for (const auto& o : outputs) out_ids.insert(o.id);
+    std::unordered_set<GossipMsgId> in_ids;
+    std::uint16_t merged_hops = 0;
+    const SimTime now = node_.simulator().now();
+    for (const auto& in : inputs) {
+        in_ids.insert(in.id);
+        if (out_ids.contains(in.id)) continue;
+        merged_hops = std::max(merged_hops, in.hops);
+        tracer_->record(now, trace::Stage::Aggregate, node_.id(), peer, in);
+    }
+    for (auto& out : outputs) {
+        if (in_ids.contains(out.id)) continue;
+        out.hops = merged_hops;  // an aggregate inherits its farthest-travelled input
+        tracer_->record(now, trace::Stage::AggregateBuilt, node_.id(), peer, out);
     }
 }
 
@@ -201,11 +248,15 @@ void GossipNode::send_to_peer(const GossipAppMessage& msg, ProcessId peer, CpuCo
     ctx.consume(params_.validate_cost);
     if (!hooks_.validate(msg, peer)) {
         ++counters_.filtered;
+        if (tracer_) tracer_->record(ctx.now(), trace::Stage::FilterDrop, node_.id(), peer, msg);
         return;
     }
     ++counters_.envelopes_sent;
+    if (tracer_) tracer_->record(ctx.now(), trace::Stage::Forward, node_.id(), peer, msg);
+    GossipAppMessage out = msg;
+    ++out.hops;
     node_.transmit_in_task(
-        NetMessage{node_.id(), peer, std::make_shared<GossipEnvelope>(msg)}, ctx);
+        NetMessage{node_.id(), peer, std::make_shared<GossipEnvelope>(std::move(out))}, ctx);
 }
 
 void GossipNode::remember(const GossipAppMessage& msg) {
@@ -253,12 +304,19 @@ void GossipNode::serve_digest(const PullDigest& digest, ProcessId requester, Cpu
         ctx.consume(params_.validate_cost);
         if (!hooks_.validate(m, requester)) {
             ++counters_.filtered;
+            if (tracer_) {
+                tracer_->record(ctx.now(), trace::Stage::FilterDrop, node_.id(), requester, m);
+            }
             continue;
         }
         ++counters_.pull_served;
         ++counters_.envelopes_sent;
+        if (tracer_) tracer_->record(ctx.now(), trace::Stage::Forward, node_.id(), requester, m);
+        GossipAppMessage out = m;
+        ++out.hops;
         node_.transmit_in_task(
-            NetMessage{node_.id(), requester, std::make_shared<GossipEnvelope>(m)}, ctx);
+            NetMessage{node_.id(), requester, std::make_shared<GossipEnvelope>(std::move(out))},
+            ctx);
     }
 }
 

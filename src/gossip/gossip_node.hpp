@@ -26,6 +26,10 @@
 
 namespace gossipc {
 
+namespace trace {
+class Tracer;
+}
+
 /// Wire form of a gossiped application message.
 class GossipEnvelope final : public MessageBody {
 public:
@@ -120,6 +124,10 @@ public:
     /// "delivery queue" consumer).
     void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
 
+    /// Attaches the message-lifecycle tracer (null detaches). Every recording
+    /// site is guarded by the null check, so an untraced node pays nothing.
+    void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
     /// Broadcasts from within a running CPU task (e.g. a protocol handler).
     void broadcast(GossipAppMessage msg, CpuContext& ctx);
 
@@ -149,6 +157,8 @@ private:
     void forward(const GossipAppMessage& msg, ProcessId exclude);
     void drain_peer(std::size_t peer_idx, CpuContext& ctx);
     void send_to_peer(const GossipAppMessage& msg, ProcessId peer, CpuContext& ctx);
+    void trace_aggregation(const std::vector<GossipAppMessage>& inputs,
+                           std::vector<GossipAppMessage>& outputs, ProcessId peer);
     void remember(const GossipAppMessage& msg);
     void schedule_pull_round();
     void run_pull_round(CpuContext& ctx);
@@ -159,6 +169,7 @@ private:
     Params params_;
     GossipHooks& hooks_;
     DeliverFn deliver_;
+    trace::Tracer* tracer_ = nullptr;
     SeenCache seen_;
     Rng rng_;
 

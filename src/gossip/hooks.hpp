@@ -26,6 +26,9 @@ struct GossipAppMessage {
     ProcessId origin = -1;     ///< process that broadcast (or aggregated) it
     BodyPtr payload;           ///< immutable application body
     bool aggregated = false;   ///< built by an aggregation rule
+    /// Network hops travelled so far: 0 at broadcast, incremented per
+    /// transmission; disaggregated messages inherit their aggregate's count.
+    std::uint16_t hops = 0;
 };
 
 class GossipHooks {

@@ -4,7 +4,7 @@
 
 namespace gossipc {
 
-SeenCache::SeenCache(std::size_t capacity) {
+SeenCache::SeenCache(std::size_t capacity) : requested_(capacity) {
     if (capacity == 0) throw std::invalid_argument("SeenCache: capacity must be > 0");
     std::size_t sets = 1;
     while (sets * kWays < capacity) sets <<= 1;

@@ -21,7 +21,8 @@ namespace gossipc {
 
 class SeenCache {
 public:
-    /// `capacity` is rounded up to a power-of-two number of 4-entry sets.
+    /// `capacity` is rounded up to a power-of-two number of 4-entry sets;
+    /// `slot_count()` reports the actual rounded-up size.
     explicit SeenCache(std::size_t capacity);
 
     /// Registers `id`; returns true if it was not present (i.e. the message
@@ -30,7 +31,10 @@ public:
 
     bool contains(GossipMsgId id) const;
 
-    std::size_t capacity() const { return slots_.size(); }
+    /// The capacity requested at construction (occupancy metrics should use
+    /// `slot_count()` — the real number of tag slots after rounding up).
+    std::size_t capacity() const { return requested_; }
+    std::size_t slot_count() const { return slots_.size(); }
     std::uint64_t evictions() const { return evictions_; }
 
 private:
@@ -42,6 +46,7 @@ private:
         return t == 0 ? 1 : t;
     }
 
+    std::size_t requested_;
     std::size_t mask_;  ///< number of sets - 1
     std::vector<std::uint32_t> slots_;
     std::vector<std::uint8_t> cursor_;  ///< per-set FIFO replacement cursor

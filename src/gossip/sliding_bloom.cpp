@@ -45,7 +45,11 @@ bool SlidingBloom::probably_contains(GossipMsgId id) const {
 }
 
 bool SlidingBloom::insert_if_new(GossipMsgId id) {
-    if (probably_contains(id)) return false;
+    if (in(current_, id)) return false;
+    // An id present only in `previous_` is still a duplicate, but it must be
+    // refreshed into `current_` — otherwise a still-hot message survives only
+    // one rotation instead of the advertised two generations.
+    const bool fresh = !in(previous_, id);
     set(current_, id);
     if (++current_count_ >= capacity_) {
         previous_.swap(current_);
@@ -53,7 +57,7 @@ bool SlidingBloom::insert_if_new(GossipMsgId id) {
         current_count_ = 0;
         ++rotations_;
     }
-    return true;
+    return fresh;
 }
 
 }  // namespace gossipc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/tracer.hpp"
 
 namespace gossipc {
 
@@ -24,6 +25,7 @@ PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport)
         // via Acceptor::forget_below / Learner::truncate_log_below once a
         // prefix is globally stable.
         pending_submissions_.erase(value.id);
+        if (tracer_) tracer_->record_decide(ctx.now(), config_.id, instance);
         if (delivery_listener_) delivery_listener_(instance, value, ctx);
     });
     learner_.set_decided_listener(
@@ -106,6 +108,7 @@ void PaxosProcess::post_submit(const Value& value) {
 
 void PaxosProcess::on_message(const PaxosMessagePtr& msg, CpuContext& ctx) {
     ++counters_.messages_handled;
+    ++counters_.handled_by_type[static_cast<std::size_t>(msg->type())];
     if (detector_) detector_->observe_alive(msg->sender(), ctx);
     switch (msg->type()) {
         case PaxosMsgType::ClientValue: {

@@ -10,6 +10,7 @@
 // whichever coordinator they currently believe in.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,6 +25,10 @@
 #include "transport/transport.hpp"
 
 namespace gossipc {
+
+namespace trace {
+class Tracer;
+}
 
 class PaxosProcess {
 public:
@@ -44,6 +49,9 @@ public:
         std::uint64_t value_retransmissions = 0;
         std::uint64_t takeovers = 0;   ///< this process assumed coordination
         std::uint64_t step_downs = 0;  ///< demoted on observing a higher round
+        /// Messages handled by protocol phase, indexed by PaxosMsgType.
+        static constexpr std::size_t kNumMsgTypes = 9;
+        std::uint64_t handled_by_type[kNumMsgTypes] = {};
     };
 
     PaxosProcess(const PaxosConfig& config, Transport& transport);
@@ -59,6 +67,10 @@ public:
 
     void set_delivery_listener(DeliveryListener fn) { delivery_listener_ = std::move(fn); }
     void set_failover_listener(FailoverListener fn) { failover_listener_ = std::move(fn); }
+    /// Attaches the lifecycle tracer (records a Decide event per in-order
+    /// delivery). Separate from the delivery listener, which the workload
+    /// replaces wholesale.
+    void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
     const PaxosConfig& config() const { return config_; }
     /// True while this process is actively coordinating (round owner).
@@ -111,6 +123,7 @@ private:
     std::unique_ptr<FailureDetector> detector_;  ///< present iff failover_enabled
     DeliveryListener delivery_listener_;
     FailoverListener failover_listener_;
+    trace::Tracer* tracer_ = nullptr;
 
     bool started_ = false;  ///< guards double-arming the repair chain
 

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +12,7 @@ void EventQueue::push(SimTime at, Callback fn) {
     e.seq = next_seq_++;
     e.fn = std::move(fn);
     heap_.push(std::move(e));
+    max_size_ = std::max(max_size_, heap_.size());
 }
 
 void EventQueue::push_delivery(SimTime at, DeliveryTarget& target, NetMessage msg) {
@@ -20,6 +22,7 @@ void EventQueue::push_delivery(SimTime at, DeliveryTarget& target, NetMessage ms
     e.target = &target;
     e.msg = std::move(msg);
     heap_.push(std::move(e));
+    max_size_ = std::max(max_size_, heap_.size());
 }
 
 void EventQueue::push_fault(SimTime at, Callback fn) {
@@ -29,6 +32,7 @@ void EventQueue::push_fault(SimTime at, Callback fn) {
     e.fault = true;
     e.fn = std::move(fn);
     heap_.push(std::move(e));
+    max_size_ = std::max(max_size_, heap_.size());
 }
 
 SimTime EventQueue::next_time() const {

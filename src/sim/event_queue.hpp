@@ -56,6 +56,8 @@ public:
 
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
+    /// High-water mark of `size()` over the queue's lifetime.
+    std::size_t max_size() const { return max_size_; }
 
     /// Time of the earliest pending event. Requires !empty().
     SimTime next_time() const;
@@ -76,6 +78,7 @@ private:
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     std::uint64_t next_seq_ = 0;
+    std::size_t max_size_ = 0;
 };
 
 }  // namespace gossipc

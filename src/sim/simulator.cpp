@@ -38,7 +38,13 @@ bool Simulator::step() {
     now_ = queue_.next_time();
     auto entry = queue_.pop();
     ++events_executed_;
-    if (entry.fault) ++faults_executed_;
+    if (entry.fault) {
+        ++faults_executed_;
+    } else if (entry.target != nullptr) {
+        ++deliveries_executed_;
+    } else {
+        ++callbacks_executed_;
+    }
     entry.execute();
     if (probe_every_ != 0 && events_executed_ % probe_every_ == 0) probe_();
     return true;
@@ -65,6 +71,8 @@ void Simulator::reset() {
     now_ = SimTime::zero();
     events_executed_ = 0;
     faults_executed_ = 0;
+    deliveries_executed_ = 0;
+    callbacks_executed_ = 0;
     stopped_ = false;
 }
 

@@ -41,6 +41,12 @@ public:
     SimTime now() const { return now_; }
     std::uint64_t events_executed() const { return events_executed_; }
     std::uint64_t faults_executed() const { return faults_executed_; }
+    /// Executed events by kind: message deliveries vs. generic callbacks
+    /// (timers, control flow). Faults are counted separately above.
+    std::uint64_t deliveries_executed() const { return deliveries_executed_; }
+    std::uint64_t callbacks_executed() const { return callbacks_executed_; }
+    /// High-water mark of the pending-event queue.
+    std::size_t max_pending_events() const { return queue_.max_size(); }
 
     /// Schedules `fn` at absolute time `at` (clamped to now if in the past).
     void schedule_at(SimTime at, EventQueue::Callback fn);
@@ -99,6 +105,8 @@ private:
     SimTime now_ = SimTime::zero();
     std::uint64_t events_executed_ = 0;
     std::uint64_t faults_executed_ = 0;
+    std::uint64_t deliveries_executed_ = 0;
+    std::uint64_t callbacks_executed_ = 0;
     bool stopped_ = false;
     std::uint64_t probe_every_ = 0;
     std::function<void()> probe_;

@@ -1,0 +1,71 @@
+#include "stats/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gossipc {
+
+void MetricsRegistry::check_unique(const std::string& name, Kind kind) const {
+    if (kind != Kind::Counter && counters_.contains(name)) {
+        throw std::logic_error("MetricsRegistry: '" + name + "' already registered as counter");
+    }
+    if (kind != Kind::Gauge && gauges_.contains(name)) {
+        throw std::logic_error("MetricsRegistry: '" + name + "' already registered as gauge");
+    }
+    if (kind != Kind::Histogram && histograms_.contains(name)) {
+        throw std::logic_error("MetricsRegistry: '" + name +
+                               "' already registered as histogram");
+    }
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+    check_unique(name, Kind::Counter);
+    return counters_[name];
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name) {
+    check_unique(name, Kind::Gauge);
+    return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    check_unique(name, Kind::Histogram);
+    return histograms_[name];
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+    std::vector<Sample> out;
+    out.reserve(size());
+    for (const auto& [name, c] : counters_) {
+        Sample s;
+        s.name = name;
+        s.kind = Kind::Counter;
+        s.value = static_cast<double>(c.value);
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, g] : gauges_) {
+        Sample s;
+        s.name = name;
+        s.kind = Kind::Gauge;
+        s.value = g.value;
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, h] : histograms_) {
+        Sample s;
+        s.name = name;
+        s.kind = Kind::Histogram;
+        s.value = static_cast<double>(h.count());
+        if (!h.empty()) {
+            s.mean = h.mean();
+            s.p50 = h.percentile(50.0);
+            s.p99 = h.percentile(99.0);
+            s.max = h.max();
+        }
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return out;
+}
+
+}  // namespace gossipc

@@ -1,0 +1,68 @@
+// Unified metrics registry (DESIGN.md §9): named counter/gauge/histogram
+// handles behind which the scattered per-component counters (gossip node,
+// Paxos process, failure detector, fault injector, simulator) are collected
+// into one snapshot for the JSON/CSV report.
+//
+// Naming convention: dot-separated `<subsystem>.<metric>` in snake_case —
+// `gossip.duplicates`, `paxos.handled.phase2b`, `sim.queue_depth_max`.
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (node-based storage), so hot paths can cache them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace gossipc {
+
+class MetricsRegistry {
+public:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Counter {
+        std::uint64_t value = 0;
+        void add(std::uint64_t delta = 1) { value += delta; }
+        void set(std::uint64_t v) { value = v; }
+    };
+
+    struct Gauge {
+        double value = 0.0;
+        void set(double v) { value = v; }
+    };
+
+    /// One metric in a snapshot. Counters/gauges use `value`; histograms
+    /// additionally fill count/mean/percentiles (`value` is the count).
+    struct Sample {
+        std::string name;
+        Kind kind = Kind::Counter;
+        double value = 0.0;
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p99 = 0.0;
+        double max = 0.0;
+    };
+
+    /// Finds or creates the named metric. Re-registering an existing name
+    /// with a different kind throws std::logic_error.
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+    std::size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+    /// All metrics, sorted by name (deterministic report order).
+    std::vector<Sample> snapshot() const;
+
+private:
+    void check_unique(const std::string& name, Kind kind) const;
+
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace gossipc

@@ -25,6 +25,11 @@ std::vector<TimeSeries::Point> TimeSeries::rates() const {
     std::vector<Point> out;
     double prev = 0.0;
     for (const auto& p : points_) {
+        if (p.value < prev) {
+            throw std::logic_error(
+                "TimeSeries::rates: sample decreased; probe is not a cumulative "
+                "counter (gauge probes have no meaningful rate)");
+        }
         out.push_back(Point{p.at, (p.value - prev) / interval_.as_seconds()});
         prev = p.value;
     }

@@ -19,15 +19,20 @@ public:
     };
 
     /// Samples `probe` every `interval` until `until` (inclusive start at
-    /// `interval`). The probe sees cumulative state; use `deltas()` for
-    /// rates.
+    /// `interval`; a point exactly at `until` is taken). The probe sees
+    /// cumulative state; use `rates()` for rates.
     TimeSeries(Simulator& sim, SimTime interval, SimTime until,
                std::function<double()> probe);
 
     const std::vector<Point>& points() const { return points_; }
 
-    /// Successive differences divided by the interval (per-second rate for
-    /// cumulative counters).
+    /// Successive differences divided by the interval (per-second rate).
+    ///
+    /// Precondition: the probe must be a cumulative, monotonically
+    /// non-decreasing counter — the first delta is baselined against 0, which
+    /// is meaningless for a gauge (queue depth, backlog). Throws
+    /// std::logic_error if a sample decreases, the signature of a gauge probe
+    /// being misused here.
     std::vector<Point> rates() const;
 
     double max_value() const;

@@ -1,0 +1,85 @@
+#include "trace/tracer.hpp"
+
+#include <stdexcept>
+
+namespace gossipc::trace {
+
+const char* stage_name(Stage s) {
+    switch (s) {
+        case Stage::Originate: return "originate";
+        case Stage::Receive: return "receive";
+        case Stage::DuplicateDrop: return "duplicate_drop";
+        case Stage::FilterDrop: return "filter_drop";
+        case Stage::Aggregate: return "aggregate";
+        case Stage::AggregateBuilt: return "aggregate_built";
+        case Stage::Disaggregate: return "disaggregate";
+        case Stage::Forward: return "forward";
+        case Stage::QueueDrop: return "queue_drop";
+        case Stage::Deliver: return "deliver";
+        case Stage::Decide: return "decide";
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) {
+    if (capacity == 0) throw std::invalid_argument("Tracer: capacity must be > 0");
+    ring_.resize(capacity);
+}
+
+void Tracer::push(const Event& e) {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size()) ++count_;
+    ++recorded_;
+}
+
+void Tracer::record(SimTime at, Stage stage, ProcessId node, ProcessId peer,
+                    const GossipAppMessage& msg) {
+    Event e;
+    e.at = at;
+    e.stage = stage;
+    e.node = node;
+    e.peer = peer;
+    e.msg = msg.id;
+    e.hops = msg.hops;
+    if (probe_ && msg.payload) {
+        const PayloadInfo info = probe_(*msg.payload);
+        e.type = info.type;
+        e.type_name = info.type_name;
+        e.instance = info.instance;
+    }
+    push(e);
+}
+
+void Tracer::record_decide(SimTime at, ProcessId node, InstanceId instance) {
+    Event e;
+    e.at = at;
+    e.stage = Stage::Decide;
+    e.node = node;
+    e.instance = instance;
+    push(e);
+}
+
+std::vector<Event> Tracer::events() const {
+    std::vector<Event> out;
+    out.reserve(count_);
+    const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+void Tracer::export_jsonl(std::ostream& os) const {
+    for (const Event& e : events()) {
+        os << "{\"t_ns\":" << e.at.as_nanos() << ",\"stage\":\"" << stage_name(e.stage)
+           << "\",\"node\":" << e.node;
+        if (e.peer >= 0) os << ",\"peer\":" << e.peer;
+        if (e.msg != 0) os << ",\"msg\":\"" << e.msg << "\",\"hops\":" << e.hops;
+        if (e.type_name != nullptr) os << ",\"type\":\"" << e.type_name << "\"";
+        if (e.instance >= 0) os << ",\"instance\":" << e.instance;
+        os << "}\n";
+    }
+}
+
+}  // namespace gossipc::trace

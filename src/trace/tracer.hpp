@@ -1,0 +1,107 @@
+// Message-lifecycle tracer (DESIGN.md §9): records the path of every gossiped
+// message — origination, per-hop relays, duplicate/filter/queue drops,
+// aggregation and disaggregation, delivery, and the final Paxos decide — into
+// a bounded ring of timestamped events, exportable as JSONL.
+//
+// The trace id is the gossip message id (the application's unique_key, minted
+// when the message is broadcast), so all events of one message across all
+// nodes share a key. The tracer is paxos-agnostic: a settable payload probe
+// classifies application bodies (message type, consensus instance) without
+// this layer depending on the protocol.
+//
+// Zero-cost when disabled: components hold a `Tracer*` that is null unless a
+// run opts in, and every recording site is guarded by that null check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/hooks.hpp"
+
+namespace gossipc::trace {
+
+/// One step in a message's lifecycle. Drop stages record why a copy of the
+/// message went no further at the recording node.
+enum class Stage : std::uint8_t {
+    Originate,       ///< minted by a local broadcast
+    Receive,         ///< arrived from `peer`, before the duplicate check
+    DuplicateDrop,   ///< dropped by the recently-seen cache
+    FilterDrop,      ///< dropped by the semantic validate() hook, for `peer`
+    Aggregate,       ///< merged into an aggregate bound for `peer`
+    AggregateBuilt,  ///< an aggregate message was built, bound for `peer`
+    Disaggregate,    ///< reconstructed from an aggregate received from `peer`
+    Forward,         ///< transmitted to `peer`
+    QueueDrop,       ///< forward dropped: `peer`'s send queue was full
+    Deliver,         ///< handed to the application at the recording node
+    Decide,          ///< consensus delivered the instance at the recording node
+};
+
+const char* stage_name(Stage s);
+
+/// What the payload probe reports about an application body. `type` is an
+/// application-defined small integer (PaxosMsgType here), `type_name` a
+/// static string for export, `instance` the consensus instance (or -1).
+struct PayloadInfo {
+    std::int16_t type = -1;
+    const char* type_name = nullptr;
+    InstanceId instance = -1;
+};
+
+struct Event {
+    SimTime at = SimTime::zero();
+    Stage stage = Stage::Originate;
+    ProcessId node = -1;  ///< process recording the event
+    ProcessId peer = -1;  ///< sender (Receive/Disaggregate) or destination
+    GossipMsgId msg = 0;  ///< the trace id
+    std::uint16_t hops = 0;
+    std::int16_t type = -1;
+    const char* type_name = nullptr;
+    InstanceId instance = -1;
+};
+
+class Tracer {
+public:
+    using PayloadProbe = std::function<PayloadInfo(const MessageBody&)>;
+
+    /// Keeps the most recent `capacity` events; older ones are overwritten
+    /// (the overwrite count is reported as `evicted()`).
+    explicit Tracer(std::size_t capacity = 1 << 16);
+
+    void set_payload_probe(PayloadProbe probe) { probe_ = std::move(probe); }
+
+    /// Records one lifecycle event for a gossiped message. `peer` is -1 where
+    /// no counterparty applies (Originate, Deliver).
+    void record(SimTime at, Stage stage, ProcessId node, ProcessId peer,
+                const GossipAppMessage& msg);
+
+    /// Records a consensus-level event that has no gossip message attached
+    /// anymore (Decide: the learner delivered `instance`).
+    void record_decide(SimTime at, ProcessId node, InstanceId instance);
+
+    /// Events currently in the ring, oldest first.
+    std::vector<Event> events() const;
+
+    std::size_t capacity() const { return ring_.size(); }
+    std::uint64_t recorded() const { return recorded_; }
+    /// Events overwritten because the ring was full.
+    std::uint64_t evicted() const { return recorded_ > count_ ? recorded_ - count_ : 0; }
+
+    /// One JSON object per line, oldest first. Message ids are emitted as
+    /// decimal strings (they do not fit a JSON double).
+    void export_jsonl(std::ostream& os) const;
+
+private:
+    void push(const Event& e);
+
+    std::vector<Event> ring_;
+    std::size_t head_ = 0;   ///< next write position
+    std::size_t count_ = 0;  ///< valid entries, <= ring_.size()
+    std::uint64_t recorded_ = 0;
+    PayloadProbe probe_;
+};
+
+}  // namespace gossipc::trace

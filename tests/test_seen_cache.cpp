@@ -90,6 +90,38 @@ TEST(SlidingBloomTest, SlidesGenerations) {
     EXPECT_FALSE(bloom.probably_contains(1));
 }
 
+TEST(SeenCacheTest, CapacityReportsRequestedAndSlotCountRoundedUp) {
+    // 1000 rounds up to 256 sets x 4 ways = 1024 slots; capacity() must keep
+    // reporting what the caller asked for.
+    SeenCache cache(1000);
+    EXPECT_EQ(cache.capacity(), 1000u);
+    EXPECT_EQ(cache.slot_count(), 1024u);
+    // Exact power-of-two requests round to themselves.
+    SeenCache exact(1 << 10);
+    EXPECT_EQ(exact.capacity(), 1u << 10);
+    EXPECT_EQ(exact.slot_count(), 1u << 10);
+}
+
+TEST(SlidingBloomTest, RefreshedIdSurvivesTwoGenerationsPastLastTouch) {
+    // Regression: an id found only in previous_ must be re-set into current_,
+    // so a still-hot id survives rotations as long as it keeps being touched.
+    SlidingBloom bloom(100);
+    ASSERT_TRUE(bloom.insert_if_new(0xfeedULL));
+    // Fill until one rotation: 0xfeed now lives only in previous_.
+    const auto first = bloom.generation_rotations();
+    for (std::uint64_t id = 1; bloom.generation_rotations() == first; ++id) {
+        bloom.insert_if_new(0x100000 + id);
+    }
+    // Still a duplicate, but the touch must refresh it into current_.
+    EXPECT_FALSE(bloom.insert_if_new(0xfeedULL));
+    // Force a second rotation; before the fix 0xfeed was forgotten here.
+    const auto second = bloom.generation_rotations();
+    for (std::uint64_t id = 1; bloom.generation_rotations() == second; ++id) {
+        bloom.insert_if_new(0x200000 + id);
+    }
+    EXPECT_TRUE(bloom.probably_contains(0xfeedULL));
+}
+
 TEST(SlidingBloomTest, RecentWindowRetained) {
     SlidingBloom bloom(1000);
     for (std::uint64_t id = 1; id <= 1500; ++id) bloom.insert_if_new(id);

@@ -1,7 +1,9 @@
-// Unit tests: histogram/CDF/percentiles and saturation-knee detection.
+// Unit tests: histogram/CDF/percentiles, the metrics registry, and
+// saturation-knee detection.
 #include <gtest/gtest.h>
 
 #include "stats/histogram.hpp"
+#include "stats/registry.hpp"
 #include "stats/saturation.hpp"
 
 namespace gossipc {
@@ -59,6 +61,34 @@ TEST(HistogramTest, CdfMonotone) {
     EXPECT_DOUBLE_EQ(cdf.back().first, 5.0);
 }
 
+TEST(HistogramTest, PercentileHundredIsExactMaximum) {
+    Histogram h;
+    for (const double s : {7.0, 3.0, 11.0}) h.add(s);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 11.0);
+}
+
+TEST(HistogramTest, CdfMorePointsThanSamplesRepeatsValues) {
+    // With fewer samples than requested points the same sample serves several
+    // fractions: values are non-decreasing (duplicates allowed), fractions
+    // strictly increase, and the curve still ends at (max, 1.0).
+    Histogram h;
+    for (const double s : {1.0, 2.0, 3.0}) h.add(s);
+    const auto cdf = h.cdf(9);
+    ASSERT_EQ(cdf.size(), 9u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    // Each of the 3 samples covers 3 of the 9 points.
+    EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[2].first, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[3].first, 2.0);
+    EXPECT_DOUBLE_EQ(cdf[5].first, 2.0);
+    EXPECT_DOUBLE_EQ(cdf[6].first, 3.0);
+    EXPECT_DOUBLE_EQ(cdf.back().first, 3.0);
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
 TEST(HistogramTest, MergeCombinesSamples) {
     Histogram a, b;
     a.add(1.0);
@@ -66,6 +96,49 @@ TEST(HistogramTest, MergeCombinesSamples) {
     a.merge(b);
     EXPECT_EQ(a.count(), 2u);
     EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateAndSnapshotSortedByName) {
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    reg.counter("z.count").add(3);
+    reg.gauge("a.level").set(2.5);
+    reg.histogram("m.lat").add(10.0);
+    reg.histogram("m.lat").add(20.0);
+    EXPECT_EQ(reg.size(), 3u);
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a.level");
+    EXPECT_EQ(snap[0].kind, MetricsRegistry::Kind::Gauge);
+    EXPECT_DOUBLE_EQ(snap[0].value, 2.5);
+    EXPECT_EQ(snap[1].name, "m.lat");
+    EXPECT_EQ(snap[1].kind, MetricsRegistry::Kind::Histogram);
+    EXPECT_DOUBLE_EQ(snap[1].value, 2.0);  // histogram value = sample count
+    EXPECT_DOUBLE_EQ(snap[1].mean, 15.0);
+    EXPECT_DOUBLE_EQ(snap[1].max, 20.0);
+    EXPECT_EQ(snap[2].name, "z.count");
+    EXPECT_DOUBLE_EQ(snap[2].value, 3.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossInsertions) {
+    MetricsRegistry reg;
+    auto& c = reg.counter("first");
+    for (int i = 0; i < 100; ++i) {
+        std::string name = "c";  // (not "c" + to_string: GCC 12 -Wrestrict FP)
+        name += std::to_string(i);
+        reg.counter(name);
+    }
+    c.add(7);
+    EXPECT_EQ(reg.counter("first").value, 7u);  // same object, not a copy
+}
+
+TEST(MetricsRegistryTest, NameReuseAcrossKindsThrows) {
+    MetricsRegistry reg;
+    reg.counter("dup");
+    EXPECT_THROW(reg.gauge("dup"), std::logic_error);
+    EXPECT_THROW(reg.histogram("dup"), std::logic_error);
+    EXPECT_NO_THROW(reg.counter("dup"));  // same kind: find, not create
 }
 
 TEST(SaturationTest, KneeAtPowerMaximum) {

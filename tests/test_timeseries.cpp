@@ -42,6 +42,28 @@ TEST(TimeSeriesTest, RatesAreDeltas) {
     }
 }
 
+TEST(TimeSeriesTest, RatesRejectGaugeProbe) {
+    // A sawtooth gauge (value goes down) has no meaningful cumulative rate;
+    // rates() must flag the misuse instead of returning garbage.
+    Simulator sim;
+    double gauge = 0.0;
+    sim.schedule_after(SimTime::millis(150), [&] { gauge = 7.0; });
+    sim.schedule_after(SimTime::millis(250), [&] { gauge = 2.0; });
+    TimeSeries ts(sim, SimTime::millis(100), SimTime::seconds(1), [&] { return gauge; });
+    sim.run_until(SimTime::seconds(1.5));
+    EXPECT_THROW(ts.rates(), std::logic_error);
+}
+
+TEST(TimeSeriesTest, FinalPointAtUntilIsIncluded) {
+    // `until_` is inclusive: interval 250ms, until 1s -> samples at 250, 500,
+    // 750, and exactly 1000 ms.
+    Simulator sim;
+    TimeSeries ts(sim, SimTime::millis(250), SimTime::seconds(1), [] { return 1.0; });
+    sim.run_until(SimTime::seconds(2));
+    ASSERT_EQ(ts.points().size(), 4u);
+    EXPECT_EQ(ts.points().back().at, SimTime::seconds(1));
+}
+
 TEST(TimeSeriesTest, RejectsBadInterval) {
     Simulator sim;
     EXPECT_THROW(TimeSeries(sim, SimTime::zero(), SimTime::seconds(1), [] { return 0.0; }),

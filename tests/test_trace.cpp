@@ -1,0 +1,212 @@
+// Message-lifecycle tracer (DESIGN.md §9): ring semantics, JSONL export, and
+// end-to-end path reconstruction — every decided instance's Phase 2b votes
+// must be traceable from origination through gossip relays to the
+// coordinator's delivery, and tracing must not perturb the simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "trace/tracer.hpp"
+
+namespace gossipc {
+namespace {
+
+using trace::Stage;
+using trace::Tracer;
+
+TEST(TracerTest, ZeroCapacityThrows) {
+    EXPECT_THROW(Tracer(0), std::invalid_argument);
+}
+
+TEST(TracerTest, StageNamesAreStable) {
+    EXPECT_STREQ(trace::stage_name(Stage::Originate), "originate");
+    EXPECT_STREQ(trace::stage_name(Stage::DuplicateDrop), "duplicate_drop");
+    EXPECT_STREQ(trace::stage_name(Stage::AggregateBuilt), "aggregate_built");
+    EXPECT_STREQ(trace::stage_name(Stage::Decide), "decide");
+}
+
+TEST(TracerTest, RingKeepsNewestAndCountsEvictions) {
+    Tracer t(4);
+    for (InstanceId i = 0; i < 6; ++i) {
+        t.record_decide(SimTime::millis(i), /*node=*/0, i);
+    }
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.evicted(), 2u);
+    const auto events = t.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest first; instances 0 and 1 were overwritten.
+    EXPECT_EQ(events.front().instance, 2);
+    EXPECT_EQ(events.back().instance, 5);
+}
+
+TEST(TracerTest, RecordCapturesMessageAndProbeOutput) {
+    Tracer t(8);
+    t.set_payload_probe([](const MessageBody&) {
+        trace::PayloadInfo info;
+        info.type = 4;
+        info.type_name = "Phase2b";
+        info.instance = 9;
+        return info;
+    });
+    GossipAppMessage msg;
+    msg.id = 12345;
+    msg.origin = 2;
+    msg.hops = 3;
+    msg.payload = nullptr;  // probe only runs when a payload exists
+    t.record(SimTime::millis(5), Stage::Forward, 2, 6, msg);
+    const auto events = t.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].stage, Stage::Forward);
+    EXPECT_EQ(events[0].node, 2);
+    EXPECT_EQ(events[0].peer, 6);
+    EXPECT_EQ(events[0].msg, 12345u);
+    EXPECT_EQ(events[0].hops, 3u);
+    EXPECT_EQ(events[0].instance, -1);  // no payload => probe not applied
+}
+
+TEST(TracerTest, ExportsJsonlOldestFirst) {
+    Tracer t(8);
+    t.record_decide(SimTime::millis(1), 3, 7);
+    std::ostringstream os;
+    t.export_jsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"t_ns\":1000000,\"stage\":\"decide\",\"node\":3,\"instance\":7}\n");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced experiment runs.
+
+ExperimentConfig traced_config(Setup setup) {
+    ExperimentConfig cfg;
+    cfg.setup = setup;
+    cfg.n = 7;
+    cfg.total_rate = 26.0;
+    cfg.num_clients = 7;
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(1);
+    cfg.trace = true;
+    cfg.trace_capacity = 1 << 20;  // large enough that nothing is evicted
+    return cfg;
+}
+
+bool is_phase2b(const trace::Event& e) {
+    return e.type_name != nullptr && std::strcmp(e.type_name, "Phase2b") == 0;
+}
+
+TEST(TracedRunTest, EveryDecidedInstanceHasReconstructiblePhase2bPath) {
+    Deployment dep(traced_config(Setup::Gossip));
+    dep.run();
+    ASSERT_NE(dep.tracer(), nullptr);
+    EXPECT_EQ(dep.tracer()->evicted(), 0u);
+    const auto events = dep.tracer()->events();
+
+    // Instances the coordinator decided.
+    std::set<InstanceId> decided;
+    for (const auto& e : events) {
+        if (e.stage == Stage::Decide && e.node == 0) decided.insert(e.instance);
+    }
+    ASSERT_FALSE(decided.empty());
+
+    // Index the Phase 2b events by message id.
+    std::map<GossipMsgId, std::vector<trace::Event>> by_msg;
+    for (const auto& e : events) {
+        if (e.msg != 0 && is_phase2b(e)) by_msg[e.msg].push_back(e);
+    }
+
+    const int quorum = 7 / 2 + 1;
+    for (const InstanceId instance : decided) {
+        // Acceptors whose Phase 2b vote reached the coordinator, each along a
+        // fully recorded path: Originate at the acceptor, then a Forward edge
+        // matching every Receive, ending in a Deliver at node 0.
+        std::set<ProcessId> voters_at_coordinator;
+        for (const auto& [msg_id, evs] : by_msg) {
+            if (evs.front().instance != instance) continue;
+            ASSERT_EQ(evs.front().stage, Stage::Originate) << "msg " << msg_id;
+            EXPECT_EQ(evs.front().hops, 0u);
+            const ProcessId acceptor = evs.front().node;
+            bool at_coordinator = acceptor == 0;
+            for (std::size_t i = 0; i < evs.size(); ++i) {
+                const auto& e = evs[i];
+                if (e.stage == Stage::Receive) {
+                    EXPECT_GE(e.hops, 1u);
+                    // The matching relay: an earlier Forward of this message
+                    // from the sending peer to this node.
+                    const bool relayed =
+                        std::any_of(evs.begin(), evs.begin() + static_cast<long>(i),
+                                    [&](const trace::Event& f) {
+                                        return f.stage == Stage::Forward &&
+                                               f.node == e.peer && f.peer == e.node;
+                                    });
+                    EXPECT_TRUE(relayed)
+                        << "receive without a recorded forward, msg " << msg_id;
+                }
+                if (e.stage == Stage::Deliver && e.node == 0) at_coordinator = true;
+            }
+            if (at_coordinator) voters_at_coordinator.insert(acceptor);
+        }
+        EXPECT_GE(static_cast<int>(voters_at_coordinator.size()), quorum)
+            << "instance " << instance << " decided without a traced quorum";
+    }
+}
+
+TEST(TracedRunTest, SemanticRunRecordsFilterAndAggregationStages) {
+    Deployment dep(traced_config(Setup::SemanticGossip));
+    const ExperimentResult result = dep.run();
+    ASSERT_NE(dep.tracer(), nullptr);
+    ASSERT_EQ(dep.tracer()->evicted(), 0u);
+
+    std::map<Stage, std::uint64_t> counts;
+    for (const auto& e : dep.tracer()->events()) ++counts[e.stage];
+    EXPECT_GT(counts[Stage::FilterDrop], 0u);
+    EXPECT_GT(counts[Stage::Aggregate], 0u);
+    EXPECT_GT(counts[Stage::AggregateBuilt], 0u);
+    EXPECT_GT(counts[Stage::Disaggregate], 0u);
+
+    // The tracer records one Aggregate event per input absorbed into an
+    // aggregate, including the group's first member (whose id the aggregate
+    // replaces); the hook counter only counts the extras beyond the first.
+    EXPECT_EQ(counts[Stage::Aggregate],
+              result.semantic.messages_merged + result.semantic.aggregates_built);
+    EXPECT_EQ(counts[Stage::AggregateBuilt], result.semantic.aggregates_built);
+
+    // Disaggregated copies inherit the aggregate's traversal depth.
+    for (const auto& e : dep.tracer()->events()) {
+        if (e.stage == Stage::Disaggregate) {
+            EXPECT_GE(e.hops, 1u);
+        }
+    }
+}
+
+TEST(TracedRunTest, TracingDoesNotPerturbTheSimulation) {
+    ExperimentConfig cfg = traced_config(Setup::SemanticGossip);
+    cfg.trace = false;
+    const ExperimentResult plain = run_experiment(cfg);
+    cfg.trace = true;
+    const ExperimentResult traced = run_experiment(cfg);
+
+    EXPECT_EQ(plain.workload.submitted, traced.workload.submitted);
+    EXPECT_EQ(plain.workload.completed, traced.workload.completed);
+    EXPECT_EQ(plain.messages.net_arrivals, traced.messages.net_arrivals);
+    EXPECT_EQ(plain.messages.net_sent, traced.messages.net_sent);
+    EXPECT_EQ(plain.messages.gossip_duplicates, traced.messages.gossip_duplicates);
+    EXPECT_EQ(plain.semantic.messages_merged, traced.semantic.messages_merged);
+    EXPECT_DOUBLE_EQ(plain.workload.throughput, traced.workload.throughput);
+}
+
+TEST(TracedRunTest, TracerAbsentByDefault) {
+    ExperimentConfig cfg = traced_config(Setup::Gossip);
+    cfg.trace = false;
+    Deployment dep(cfg);
+    EXPECT_EQ(dep.tracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace gossipc
