@@ -16,8 +16,9 @@
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-    std::printf(
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+    if (error) std::fprintf(stderr, "experiment_cli: %s\n", error);
+    std::fprintf(stderr,
         "usage: %s [options]\n"
         "  --setup baseline|gossip|semantic   (default semantic)\n"
         "  --n <int>                          processes (default 13)\n"
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> const char* {
-            if (i + 1 >= argc) usage(argv[0]);
+            if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
             return argv[++i];
         };
         if (arg == "--setup") {
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
             if (v == "baseline") cfg.setup = Setup::Baseline;
             else if (v == "gossip") cfg.setup = Setup::Gossip;
             else if (v == "semantic") cfg.setup = Setup::SemanticGossip;
-            else usage(argv[0]);
+            else usage(argv[0], "bad --setup (want baseline|gossip|semantic)");
         } else if (arg == "--n") {
             cfg.n = std::atoi(next());
         } else if (arg == "--rate") {
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
             if (v == "push") cfg.strategy = GossipStrategy::Push;
             else if (v == "pull") cfg.strategy = GossipStrategy::Pull;
             else if (v == "push-pull") cfg.strategy = GossipStrategy::PushPull;
-            else usage(argv[0]);
+            else usage(argv[0], "bad --strategy (want push|pull|push-pull)");
         } else if (arg == "--no-filtering") {
             cfg.semantic.filtering = false;
         } else if (arg == "--no-aggregation") {
@@ -106,7 +107,7 @@ int main(int argc, char** argv) {
             else if (v == "moderate") cfg.chaos = ChaosProfile::moderate();
             else if (v == "heavy") cfg.chaos = ChaosProfile::heavy();
             else if (v == "heavy-failover") cfg.chaos = ChaosProfile::heavy_failover();
-            else usage(argv[0]);
+            else usage(argv[0], "bad --chaos (want light|moderate|heavy|heavy-failover)");
         } else if (arg == "--chaos-seed") {
             cfg.chaos_seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--failover") {
@@ -133,9 +134,29 @@ int main(int argc, char** argv) {
         } else if (arg == "--csv") {
             output = Output::Csv;
         } else {
-            usage(argv[0]);
+            usage(argv[0], ("unknown flag " + arg).c_str());
         }
     }
+
+    // Range validation: an out-of-range knob silently produces a degenerate
+    // experiment (zero division, a cluster with no quorum, a negative timer
+    // interpreted as "immediately, forever") — reject it up front instead.
+    if (cfg.n < 3) usage(argv[0], "--n must be at least 3 (quorum needs a majority)");
+    if (cfg.total_rate <= 0) usage(argv[0], "--rate must be positive");
+    if (cfg.value_size == 0) usage(argv[0], "--value-size must be positive");
+    if (cfg.loss_rate < 0 || cfg.loss_rate > 1) usage(argv[0], "--loss must be in [0, 1]");
+    if (cfg.gossip_params.batch_size == 0) usage(argv[0], "--batch must be at least 1");
+    if (cfg.heartbeat_interval <= SimTime::zero()) {
+        usage(argv[0], "--heartbeat must be positive");
+    }
+    if (cfg.suspect_after <= SimTime::zero()) {
+        usage(argv[0], "--suspect-after must be positive");
+    }
+    if (cfg.trace_capacity == 0) usage(argv[0], "--trace-capacity must be positive");
+    if (cfg.warmup < SimTime::zero() || cfg.drain < SimTime::zero()) {
+        usage(argv[0], "--warmup/--drain must be non-negative");
+    }
+    if (cfg.measure <= SimTime::zero()) usage(argv[0], "--measure must be positive");
 
     const ExperimentResult result = run_experiment(cfg);
 

@@ -1,0 +1,451 @@
+// gossipd — one gossip-consensus node as a real OS process (DESIGN.md §10).
+//
+// Runs the unmodified protocol stack (PaxosProcess + FailureDetector) over
+// the real-socket runtime: the wire codec, the poll reactor, and the TCP
+// connection manager behind a RealTransport. An n-node cluster is n of
+// these processes; scripts/cluster_local.sh launches one on localhost.
+//
+// Examples:
+//   gossipd --id 0 --cluster 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//           --setup semantic --failover --submit 100 --expect 300
+//   gossipd --id 1 --config cluster.txt --decision-log node1.log
+//
+// Every node writes the decisions it delivers (in instance order, gap-free
+// by construction) to --decision-log as "instance client seq" lines; nodes
+// of one run must produce identical logs. Exit status is 0 once --expect
+// decisions were delivered (or on a clean signal with no --expect), 1 when
+// the run ends short of the expectation.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "overlay/random_overlay.hpp"
+#include "paxos/message.hpp"
+#include "paxos/process.hpp"
+#include "runtime/real_transport.hpp"
+#include "runtime/tcp.hpp"
+#include "semantic/paxos_semantics.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace gossipc;
+using namespace gossipc::runtime;
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+    if (error) std::fprintf(stderr, "gossipd: %s\n", error);
+    std::fprintf(stderr,
+        "usage: %s --id <int> (--cluster <h:p,h:p,...> | --config <file>) [options]\n"
+        "  --id <int>             this process's index into the cluster list\n"
+        "  --cluster <list>       comma-separated host:port, one per process\n"
+        "  --config <file>        same, one host:port per line (# comments)\n"
+        "  --setup baseline|gossip|semantic   (default semantic)\n"
+        "  --degree <k>           gossip overlay out-connections (0 = paper default)\n"
+        "  --overlay-seed <u64>   overlay construction seed (default 42); must\n"
+        "                         match across the cluster (same seed -> same graph)\n"
+        "  --seed <u64>           protocol jitter seed (default 1)\n"
+        "  --failover             failure detector + coordinator failover\n"
+        "  --heartbeat <s>        heartbeat interval (default 0.1)\n"
+        "  --suspect-after <s>    suspicion timeout (default 0.45)\n"
+        "  --submit <n>           client values submitted by this node (default 0)\n"
+        "  --rate <per-s>         this node's submission rate (default 200)\n"
+        "  --value-size <bytes>   modelled value size (default 1024)\n"
+        "  --expect <n>           exit 0 once this many decisions are delivered\n"
+        "  --run-for <s>          hard runtime limit (default 30)\n"
+        "  --linger <s>           keep forwarding after --expect is met (default 2)\n"
+        "  --decision-log <file>  \"instance client seq\" per delivered decision\n"
+        "  --metrics <file>       counter snapshot on shutdown (- = stderr)\n"
+        "  --trace <file>         message-lifecycle trace, JSONL\n",
+        argv0);
+    std::exit(2);
+}
+
+struct Options {
+    ProcessId id = -1;
+    std::vector<PeerAddress> cluster;
+    RealTransport::Mode mode = RealTransport::Mode::Gossip;
+    bool semantic = true;
+    int degree = 0;
+    std::uint64_t overlay_seed = 42;
+    std::uint64_t seed = 1;
+    bool failover = false;
+    double heartbeat_s = 0.1;
+    double suspect_after_s = 0.45;
+    long submit = 0;
+    double rate = 200.0;
+    std::uint32_t value_size = 1024;
+    long expect = 0;
+    double run_for_s = 30.0;
+    double linger_s = 2.0;
+    std::string decision_log;
+    std::string metrics_path;
+    std::string trace_path;
+};
+
+bool parse_addr(const std::string& spec, PeerAddress& out) {
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+    const long port = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) return false;
+    out.host = spec.substr(0, colon);
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+std::vector<PeerAddress> parse_cluster_list(const std::string& list, const char* argv0) {
+    std::vector<PeerAddress> cluster;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string spec =
+            list.substr(start, comma == std::string::npos ? comma : comma - start);
+        PeerAddress addr;
+        if (!parse_addr(spec, addr)) usage(argv0, "bad --cluster entry (want host:port)");
+        cluster.push_back(std::move(addr));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return cluster;
+}
+
+std::vector<PeerAddress> parse_cluster_file(const std::string& path, const char* argv0) {
+    std::ifstream in(path);
+    if (!in) usage(argv0, "cannot open --config file");
+    std::vector<PeerAddress> cluster;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#') continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        PeerAddress addr;
+        if (!parse_addr(line.substr(first, last - first + 1), addr)) {
+            usage(argv0, "bad --config line (want host:port)");
+        }
+        cluster.push_back(std::move(addr));
+    }
+    return cluster;
+}
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+            return argv[++i];
+        };
+        if (arg == "--id") {
+            opt.id = static_cast<ProcessId>(std::atoi(next()));
+        } else if (arg == "--cluster") {
+            opt.cluster = parse_cluster_list(next(), argv[0]);
+        } else if (arg == "--config") {
+            opt.cluster = parse_cluster_file(next(), argv[0]);
+        } else if (arg == "--setup") {
+            const std::string v = next();
+            if (v == "baseline") {
+                opt.mode = RealTransport::Mode::Direct;
+                opt.semantic = false;
+            } else if (v == "gossip") {
+                opt.mode = RealTransport::Mode::Gossip;
+                opt.semantic = false;
+            } else if (v == "semantic") {
+                opt.mode = RealTransport::Mode::Gossip;
+                opt.semantic = true;
+            } else {
+                usage(argv[0], "bad --setup (want baseline|gossip|semantic)");
+            }
+        } else if (arg == "--degree") {
+            opt.degree = std::atoi(next());
+        } else if (arg == "--overlay-seed") {
+            opt.overlay_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--failover") {
+            opt.failover = true;
+        } else if (arg == "--heartbeat") {
+            opt.heartbeat_s = std::atof(next());
+        } else if (arg == "--suspect-after") {
+            opt.suspect_after_s = std::atof(next());
+        } else if (arg == "--submit") {
+            opt.submit = std::atol(next());
+        } else if (arg == "--rate") {
+            opt.rate = std::atof(next());
+        } else if (arg == "--value-size") {
+            opt.value_size = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (arg == "--expect") {
+            opt.expect = std::atol(next());
+        } else if (arg == "--run-for") {
+            opt.run_for_s = std::atof(next());
+        } else if (arg == "--linger") {
+            opt.linger_s = std::atof(next());
+        } else if (arg == "--decision-log") {
+            opt.decision_log = next();
+        } else if (arg == "--metrics") {
+            opt.metrics_path = next();
+        } else if (arg == "--trace") {
+            opt.trace_path = next();
+        } else {
+            usage(argv[0], ("unknown flag " + arg).c_str());
+        }
+    }
+    const int n = static_cast<int>(opt.cluster.size());
+    if (n < 3) usage(argv[0], "need a cluster of at least 3 (--cluster/--config)");
+    if (opt.id < 0 || opt.id >= n) usage(argv[0], "--id out of range for the cluster");
+    if (opt.heartbeat_s <= 0) usage(argv[0], "--heartbeat must be positive");
+    if (opt.suspect_after_s <= 0) usage(argv[0], "--suspect-after must be positive");
+    if (opt.rate <= 0) usage(argv[0], "--rate must be positive");
+    if (opt.submit < 0 || opt.expect < 0) usage(argv[0], "counts must be non-negative");
+    if (opt.degree < 0 || opt.degree >= n) usage(argv[0], "--degree out of range");
+    if (opt.run_for_s <= 0) usage(argv[0], "--run-for must be positive");
+    if (opt.value_size == 0) usage(argv[0], "--value-size must be positive");
+    return opt;
+}
+
+trace::Tracer::PayloadProbe paxos_payload_probe() {
+    // Same classification the simulator deployment installs (core/experiment).
+    return [](const MessageBody& body) {
+        trace::PayloadInfo info;
+        if (body.kind() != BodyKind::Paxos) return info;
+        const auto& pm = static_cast<const PaxosMessage&>(body);
+        info.type = static_cast<std::int16_t>(pm.type());
+        info.type_name = paxos_msg_type_name(pm.type());
+        switch (pm.type()) {
+            case PaxosMsgType::Phase2a:
+                info.instance = static_cast<const Phase2aMsg&>(pm).instance();
+                break;
+            case PaxosMsgType::Phase2b:
+                info.instance = static_cast<const Phase2bMsg&>(pm).instance();
+                break;
+            case PaxosMsgType::Phase2bAggregate:
+                info.instance = static_cast<const Phase2bAggregateMsg&>(pm).instance();
+                break;
+            case PaxosMsgType::Decision:
+                info.instance = static_cast<const DecisionMsg&>(pm).instance();
+                break;
+            case PaxosMsgType::LearnRequest:
+                info.instance = static_cast<const LearnRequestMsg&>(pm).instance();
+                break;
+            default:
+                break;
+        }
+        return info;
+    };
+}
+
+void dump_metrics(std::FILE* out, const Options& opt, const RealTransport& transport,
+                  const ConnectionManager& conns, const PaxosProcess& proc,
+                  const PaxosSemantics* semantics) {
+    const auto put = [out](const char* key, std::uint64_t v) {
+        std::fprintf(out, "%s %llu\n", key, static_cast<unsigned long long>(v));
+    };
+    std::fprintf(out, "node %d\n", opt.id);
+    put("learner.frontier", static_cast<std::uint64_t>(proc.learner().frontier()));
+    put("learner.delivered", proc.learner().delivered_count());
+    const auto& pc = proc.counters();
+    put("paxos.values_submitted", pc.values_submitted);
+    put("paxos.messages_handled", pc.messages_handled);
+    put("paxos.takeovers", pc.takeovers);
+    put("paxos.step_downs", pc.step_downs);
+    const auto& tc = transport.counters();
+    put("transport.broadcasts", tc.broadcasts);
+    put("transport.envelopes_received", tc.envelopes_received);
+    put("transport.messages_received", tc.messages_received);
+    put("transport.duplicates", tc.duplicates);
+    put("transport.delivered", tc.delivered);
+    put("transport.filtered", tc.filtered);
+    put("transport.aggregated_away", tc.aggregated_away);
+    put("transport.envelopes_sent", tc.envelopes_sent);
+    put("transport.send_queue_drops", tc.send_queue_drops);
+    put("transport.decode_errors", tc.decode_errors);
+    const auto& cc = conns.counters();
+    put("conn.dials", cc.dials);
+    put("conn.accepts", cc.accepts);
+    put("conn.links_up", cc.links_up);
+    put("conn.disconnects", cc.disconnects);
+    put("conn.frames_sent", cc.frames_sent);
+    put("conn.frames_received", cc.frames_received);
+    put("conn.bytes_sent", cc.bytes_sent);
+    put("conn.bytes_received", cc.bytes_received);
+    put("conn.send_drops_down", cc.send_drops_down);
+    put("conn.send_drops_backpressure", cc.send_drops_backpressure);
+    put("conn.protocol_errors", cc.protocol_errors);
+    if (semantics) {
+        const auto& ss = semantics->stats();
+        put("semantic.filtered_phase2b", ss.filtered_phase2b);
+        put("semantic.aggregates_built", ss.aggregates_built);
+        put("semantic.messages_merged", ss.messages_merged);
+        put("semantic.disaggregations", ss.disaggregations);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+    const int n = static_cast<int>(opt.cluster.size());
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    Reactor reactor;
+
+    std::string err;
+    const PeerAddress& self_addr = opt.cluster[static_cast<std::size_t>(opt.id)];
+    const int listen_fd = listen_tcp(self_addr.host, self_addr.port, &err);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "gossipd: listen on %s:%u failed: %s\n",
+                     self_addr.host.c_str(), self_addr.port, err.c_str());
+        return 1;
+    }
+    ConnectionManager conns(reactor, opt.id, opt.cluster, listen_fd,
+                            ConnectionManager::Params{});
+
+    PaxosConfig pc;
+    pc.n = n;
+    pc.id = opt.id;
+    pc.coordinator = 0;
+    pc.seed = opt.seed;
+    pc.failover_enabled = opt.failover;
+    pc.heartbeat_interval = SimTime::seconds(opt.heartbeat_s);
+    pc.suspect_after = SimTime::seconds(opt.suspect_after_s);
+    // As in the simulator deployment: semantic filtering drops redundant
+    // Phase 2b en route, so explicit heartbeats are always sent there.
+    pc.heartbeat_piggyback = !opt.semantic;
+
+    std::unique_ptr<PaxosSemantics> semantics;
+    PassThroughHooks pass_through;
+    GossipHooks* hooks = &pass_through;
+    if (opt.semantic) {
+        semantics = std::make_unique<PaxosSemantics>(opt.id, pc.quorum(),
+                                                     PaxosSemantics::Options{});
+        hooks = semantics.get();
+    }
+
+    RealTransport::Params tp;
+    tp.mode = opt.mode;
+    std::vector<ProcessId> linked_peers;
+    if (opt.mode == RealTransport::Mode::Gossip) {
+        // Deterministic in (n, degree, seed): every node derives the same
+        // overlay and connects to its own neighbors.
+        const Graph overlay = opt.degree > 0
+                                  ? make_random_overlay(n, opt.degree, opt.overlay_seed)
+                                  : make_connected_overlay(n, opt.overlay_seed);
+        tp.neighbors = overlay.neighbors(opt.id);
+        linked_peers = tp.neighbors;
+    } else {
+        for (ProcessId p = 0; p < n; ++p) {
+            if (p != opt.id) linked_peers.push_back(p);
+        }
+    }
+    RealTransport transport(reactor, conns, std::move(tp), *hooks);
+
+    PaxosProcess proc(pc, transport);
+
+    std::unique_ptr<trace::Tracer> tracer;
+    if (!opt.trace_path.empty()) {
+        tracer = std::make_unique<trace::Tracer>();
+        tracer->set_payload_probe(paxos_payload_probe());
+        proc.set_tracer(tracer.get());
+    }
+
+    std::ofstream decision_log;
+    if (!opt.decision_log.empty()) {
+        decision_log.open(opt.decision_log, std::ios::trunc);
+        if (!decision_log) {
+            std::fprintf(stderr, "gossipd: cannot open decision log %s\n",
+                         opt.decision_log.c_str());
+            return 1;
+        }
+    }
+    long delivered = 0;
+    SimTime expect_met_at = SimTime::max();
+    proc.set_delivery_listener(
+        [&](InstanceId instance, const Value& value, CpuContext& ctx) {
+            ++delivered;
+            if (decision_log.is_open()) {
+                decision_log << instance << ' ' << value.id.client << ' '
+                             << value.id.seq << '\n';
+            }
+            if (opt.expect > 0 && delivered == opt.expect) expect_met_at = ctx.now();
+        });
+
+    // Start the protocol once the connection mesh is up (or after a grace
+    // period if some peer never appears): the coordinator's initial Phase 1a
+    // would otherwise leave before any TCP link exists and its retry waits
+    // out a full retransmission timeout. Messages lost to stragglers after
+    // the start are covered by retransmission as usual.
+    long submitted = 0;
+    bool started = false;
+    Reactor::TimerId submit_timer = 0;
+    const SimTime start_grace_deadline = reactor.now() + SimTime::seconds(3.0);
+    const auto start_protocol = [&] {
+        started = true;
+        proc.post_start();
+        // Client submissions, paced at --rate.
+        if (opt.submit > 0) {
+            const auto interval = SimTime::seconds(1.0 / opt.rate);
+            submit_timer = reactor.schedule_every(interval, [&] {
+                if (submitted >= opt.submit) {
+                    reactor.cancel_timer(submit_timer);
+                    return;
+                }
+                Value v;
+                v.id = ValueId{opt.id, submitted++};
+                v.size_bytes = opt.value_size;
+                proc.post_submit(v);
+            });
+        }
+    };
+    Reactor::TimerId mesh_poll = reactor.schedule_every(SimTime::millis(5), [&] {
+        if (started) {
+            reactor.cancel_timer(mesh_poll);
+            return;
+        }
+        bool all_up = true;
+        for (const ProcessId p : linked_peers) all_up = all_up && conns.peer_up(p);
+        if (all_up || reactor.now() >= start_grace_deadline) {
+            reactor.cancel_timer(mesh_poll);
+            start_protocol();
+        }
+    });
+
+    const SimTime deadline = reactor.now() + SimTime::seconds(opt.run_for_s);
+    const SimTime linger = SimTime::seconds(opt.linger_s);
+    reactor.set_interrupt_check([&] {
+        if (g_signal) return true;
+        if (reactor.now() >= deadline) return true;
+        // After the expectation is met, linger so peers still catching up can
+        // pull the tail of the sequence through this node.
+        return expect_met_at < SimTime::max() && reactor.now() >= expect_met_at + linger;
+    });
+    reactor.run();
+
+    if (decision_log.is_open()) decision_log.close();
+    if (tracer) {
+        std::ofstream trace_out(opt.trace_path, std::ios::trunc);
+        if (trace_out) tracer->export_jsonl(trace_out);
+    }
+    if (!opt.metrics_path.empty()) {
+        std::FILE* out = opt.metrics_path == "-"
+                             ? stderr
+                             : std::fopen(opt.metrics_path.c_str(), "w");
+        if (out) {
+            dump_metrics(out, opt, transport, conns, proc, semantics.get());
+            if (out != stderr) std::fclose(out);
+        }
+    }
+
+    const bool ok = opt.expect == 0 || delivered >= opt.expect;
+    std::fprintf(stderr, "gossipd: node %d delivered %ld decision(s)%s\n", opt.id,
+                 delivered, ok ? "" : " (short of --expect)");
+    return ok ? 0 : 1;
+}

@@ -15,7 +15,8 @@ come from the deterministic simulator, so any drift there is a real
 behavioural change; BENCH_micro.json measures wall-clock and should not be
 gated (don't pass it to this script on shared runners).
 
-Exit status: 0 = no regression, 1 = regression(s), 2 = usage/schema error.
+Exit status: 0 = no regression, 1 = regression(s), 2 = usage/schema error,
+3 = baseline missing (not yet pinned — generate it and commit, see below).
 """
 
 import argparse
@@ -25,6 +26,7 @@ import os
 import sys
 
 SCHEMA = "gossipc-bench-v1"
+EXIT_MISSING_BASELINE = 3
 
 
 def load(path):
@@ -105,6 +107,20 @@ def main():
     args = ap.parse_args()
     if args.threshold < 0:
         ap.error("--threshold must be >= 0")
+
+    # A missing baseline is not a regression and not a usage mistake — it
+    # means nobody has pinned one yet. Exit with a code of its own so CI can
+    # distinguish "needs a baseline commit" from "benches got slower".
+    if not os.path.exists(args.baseline):
+        print(f"bench_compare: baseline {args.baseline!r} does not exist.\n"
+              f"  Run the bench binaries, then commit their BENCH_*.json "
+              f"output as the new baseline\n"
+              f"  (CI keeps it under bench/baseline/).", file=sys.stderr)
+        return EXIT_MISSING_BASELINE
+    if not os.path.exists(args.current):
+        print(f"bench_compare: current report {args.current!r} does not exist "
+              f"(did the bench run produce output?)", file=sys.stderr)
+        return 2
 
     regressed = []
     for label, base_path, cur_path in pair_files(args.baseline, args.current):

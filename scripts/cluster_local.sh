@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Launches an n-process gossipd cluster on localhost, drives client values
+# through it, and asserts that every node learned the same gap-free decision
+# sequence (DESIGN.md §10).
+#
+# Usage:
+#   scripts/cluster_local.sh [options]
+#     -n NODES     cluster size (default 3, minimum 3)
+#     -v VALUES    total client values to order (default 300)
+#     -s SETUP     baseline | gossip | semantic (default semantic)
+#     -f           enable failure detector + coordinator failover
+#     -k           SIGKILL the coordinator (node 0) mid-run; implies -f.
+#                  Node 0 then submits no values of its own: values a process
+#                  accepted but had not yet proposed die with it by design,
+#                  which would make the expected total nondeterministic.
+#     -t SECONDS   per-node hard runtime limit (default 60)
+#     -b BINARY    gossipd binary (default build/examples/gossipd)
+#     -d DIR       scratch directory for logs (default: a fresh mktemp dir)
+#
+# Exit status: 0 iff every (surviving) node exited 0 and all decision logs
+# are identical, complete, and gap-free.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+NODES=3
+VALUES=300
+SETUP=semantic
+FAILOVER=0
+KILL_COORD=0
+TIMEOUT=60
+BINARY=build/examples/gossipd
+DIR=""
+
+while getopts "n:v:s:fkt:b:d:h" o; do
+    case "$o" in
+        n) NODES="$OPTARG" ;;
+        v) VALUES="$OPTARG" ;;
+        s) SETUP="$OPTARG" ;;
+        f) FAILOVER=1 ;;
+        k) KILL_COORD=1; FAILOVER=1 ;;
+        t) TIMEOUT="$OPTARG" ;;
+        b) BINARY="$OPTARG" ;;
+        d) DIR="$OPTARG" ;;
+        h|*) sed -n '2,21p' "$0"; exit 2 ;;
+    esac
+done
+
+if [ "$NODES" -lt 3 ]; then
+    echo "cluster_local.sh: need at least 3 nodes" >&2
+    exit 2
+fi
+if [ ! -x "$BINARY" ]; then
+    echo "cluster_local.sh: $BINARY not found or not executable (build it first)" >&2
+    exit 2
+fi
+
+[ -n "$DIR" ] || DIR="$(mktemp -d /tmp/cluster_local.XXXXXX)"
+mkdir -p "$DIR"
+
+# A pseudo-random base port keeps concurrent invocations (and TIME_WAIT
+# remnants of previous ones) from colliding.
+BASE_PORT=$(( 20000 + RANDOM % 20000 ))
+CLUSTER=""
+for ((i = 0; i < NODES; i++)); do
+    CLUSTER+="${CLUSTER:+,}127.0.0.1:$((BASE_PORT + i))"
+done
+
+# Split the total across the submitting nodes (node 0 abstains under -k).
+SUBMITTERS=$NODES
+FIRST_SUBMITTER=0
+if [ "$KILL_COORD" -eq 1 ]; then
+    SUBMITTERS=$((NODES - 1))
+    FIRST_SUBMITTER=1
+fi
+PER_NODE=$((VALUES / SUBMITTERS))
+REMAINDER=$((VALUES % SUBMITTERS))
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2> /dev/null || true
+    done
+    wait 2> /dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster_local.sh: $NODES nodes, $VALUES values, setup=$SETUP" \
+     "failover=$FAILOVER kill-coordinator=$KILL_COORD logs=$DIR"
+
+for ((i = 0; i < NODES; i++)); do
+    SUBMIT=0
+    if [ "$i" -ge "$FIRST_SUBMITTER" ]; then
+        SUBMIT=$PER_NODE
+        # The first submitter also takes the division remainder.
+        [ "$i" -eq "$FIRST_SUBMITTER" ] && SUBMIT=$((PER_NODE + REMAINDER))
+    fi
+    ARGS=(--id "$i" --cluster "$CLUSTER" --setup "$SETUP"
+          --submit "$SUBMIT" --rate 300 --expect "$VALUES" --run-for "$TIMEOUT"
+          --decision-log "$DIR/node$i.log" --metrics "$DIR/node$i.metrics")
+    [ "$FAILOVER" -eq 1 ] && ARGS+=(--failover)
+    "$BINARY" "${ARGS[@]}" > "$DIR/node$i.out" 2>&1 &
+    PIDS+=($!)
+done
+
+if [ "$KILL_COORD" -eq 1 ]; then
+    sleep 2
+    echo "cluster_local.sh: SIGKILL coordinator (node 0, pid ${PIDS[0]})"
+    kill -9 "${PIDS[0]}" 2> /dev/null || true
+fi
+
+FAIL=0
+SURVIVOR=-1
+for ((i = 0; i < NODES; i++)); do
+    if [ "$KILL_COORD" -eq 1 ] && [ "$i" -eq 0 ]; then
+        wait "${PIDS[$i]}" 2> /dev/null || true
+        continue
+    fi
+    if ! wait "${PIDS[$i]}"; then
+        echo "cluster_local.sh: node $i exited non-zero:" >&2
+        tail -3 "$DIR/node$i.out" >&2 || true
+        FAIL=1
+    fi
+    SURVIVOR=$i
+done
+PIDS=()
+
+if [ "$FAIL" -ne 0 ] || [ "$SURVIVOR" -lt 0 ]; then
+    echo "cluster_local.sh: FAIL (nodes exited short of the expectation)" >&2
+    exit 1
+fi
+
+REF="$DIR/node$SURVIVOR.log"
+
+# 1. Completeness: the reference log holds exactly the expected count.
+LINES=$(wc -l < "$REF")
+if [ "$LINES" -ne "$VALUES" ]; then
+    echo "cluster_local.sh: FAIL ($LINES decisions in $REF, expected $VALUES)" >&2
+    exit 1
+fi
+
+# 2. Gap-freedom: the instance column is exactly 1..VALUES in order.
+if ! awk -v want="$VALUES" '
+        $1 != NR { print "instance " $1 " at line " NR; bad = 1; exit }
+        END { if (!bad && NR != want) { print "ended at " NR; exit 1 } else exit bad }
+    ' "$REF"; then
+    echo "cluster_local.sh: FAIL (decision sequence has gaps in $REF)" >&2
+    exit 1
+fi
+
+# 3. Agreement: every surviving node produced the identical log.
+for ((i = FIRST_SUBMITTER; i < NODES; i++)); do
+    if ! cmp -s "$REF" "$DIR/node$i.log"; then
+        echo "cluster_local.sh: FAIL (node $i log differs from node $SURVIVOR)" >&2
+        diff "$REF" "$DIR/node$i.log" | head -5 >&2 || true
+        exit 1
+    fi
+done
+
+echo "cluster_local.sh: OK — $NODES nodes agreed on $VALUES decisions (logs in $DIR)"

@@ -63,6 +63,7 @@ public:
 
     RaftMsgType type() const override { return RaftMsgType::ClientForward; }
     const Value& value() const { return value_; }
+    std::int32_t attempt() const { return attempt_; }
 
     std::uint32_t wire_size() const override { return 24 + value_.size_bytes; }
     std::uint64_t unique_key() const override;

@@ -1,0 +1,207 @@
+#include "runtime/real_transport.hpp"
+
+#include <utility>
+
+#include "gossip/gossip_node.hpp"
+#include "wire/codec.hpp"
+
+namespace gossipc::runtime {
+
+RealTransport::RealTransport(Reactor& reactor, ConnectionManager& conns, Params params,
+                             GossipHooks& hooks)
+    : reactor_(reactor),
+      conns_(conns),
+      params_(std::move(params)),
+      hooks_(hooks),
+      seen_(params_.seen_cache_capacity),
+      queues_(params_.neighbors.size()) {
+    conns_.set_frame_handler(
+        [this](ProcessId from, wire::FrameType type, std::span<const std::uint8_t> payload) {
+            on_frame(from, type, payload);
+        });
+    if (params_.mode == Mode::Direct) {
+        for (ProcessId p = 0; p < conns_.size(); ++p) {
+            if (p != self()) conns_.link(p);
+        }
+    } else {
+        for (const ProcessId p : params_.neighbors) conns_.link(p);
+    }
+}
+
+// -- sending ----------------------------------------------------------------
+
+void RealTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    note_origination(ctx.now());
+    if (params_.mode == Mode::Direct) {
+        deliver_up(msg, ctx);  // local delivery, as with gossip broadcast
+        for (ProcessId p = 0; p < conns_.size(); ++p) {
+            if (p != self()) send_body(p, *msg);
+        }
+        return;
+    }
+    // Gossip mode mirrors GossipNode::broadcast: register in the seen cache,
+    // deliver locally, forward to every neighbor.
+    ++counters_.broadcasts;
+    GossipAppMessage app;
+    app.id = msg->unique_key();
+    app.origin = self();
+    app.payload = std::move(msg);
+    if (!seen_.insert_if_new(app.id)) return;  // re-broadcast of a known id
+    deliver(app, ctx);
+    forward(app, /*exclude=*/-1);
+}
+
+void RealTransport::send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) {
+    if (params_.mode == Mode::Gossip) {
+        // Gossip provides no unicast: one-to-one messages are broadcast and
+        // delivered to all participants (Section 3.1).
+        broadcast(std::move(msg), ctx);
+        return;
+    }
+    if (to == self()) {
+        deliver_up(msg, ctx);
+        return;
+    }
+    note_origination(ctx.now());
+    send_body(to, *msg);
+}
+
+void RealTransport::send_body(ProcessId to, const MessageBody& body) {
+    const std::vector<std::uint8_t> bytes = wire::encode_body(body);
+    conns_.send_frame(to, wire::FrameType::Body, bytes);
+}
+
+void RealTransport::forward(const GossipAppMessage& msg, ProcessId exclude) {
+    for (std::size_t i = 0; i < params_.neighbors.size(); ++i) {
+        if (params_.neighbors[i] == exclude) continue;
+        PeerQueue& q = queues_[i];
+        if (q.pending.size() >= params_.peer_queue_cap) {
+            ++counters_.send_queue_drops;
+            continue;
+        }
+        q.pending.push_back(msg);
+        if (!q.drain_scheduled) {
+            q.drain_scheduled = true;
+            reactor_.post([this, i] {
+                CpuContext ctx(reactor_.now());
+                drain_peer(i, ctx);
+            });
+        }
+    }
+}
+
+void RealTransport::drain_peer(std::size_t idx, CpuContext& ctx) {
+    PeerQueue& q = queues_[idx];
+    q.drain_scheduled = false;
+    if (q.pending.empty()) return;
+    const ProcessId peer = params_.neighbors[idx];
+    std::vector<GossipAppMessage> pending;
+    pending.swap(q.pending);
+    const std::size_t before = pending.size();
+    std::vector<GossipAppMessage> batch = hooks_.aggregate(std::move(pending), peer);
+    if (batch.size() < before) {
+        counters_.aggregated_away += before - batch.size();
+    }
+    for (const auto& m : batch) {
+        if (!hooks_.validate(m, peer)) {
+            ++counters_.filtered;
+            continue;
+        }
+        send_envelope(m, peer);
+    }
+    (void)ctx;
+}
+
+void RealTransport::send_envelope(const GossipAppMessage& msg, ProcessId peer) {
+    GossipAppMessage out = msg;
+    ++out.hops;
+    const std::vector<std::uint8_t> bytes =
+        wire::encode_body(GossipEnvelope{std::move(out)});
+    if (conns_.send_frame(peer, wire::FrameType::Body, bytes)) {
+        ++counters_.envelopes_sent;
+    }
+}
+
+// -- receiving --------------------------------------------------------------
+
+void RealTransport::on_frame(ProcessId from, wire::FrameType type,
+                             std::span<const std::uint8_t> payload) {
+    if (type != wire::FrameType::Body) return;
+    const wire::DecodedBody decoded = wire::decode_body(payload);
+    if (!decoded.ok()) {
+        ++counters_.decode_errors;
+        return;
+    }
+    CpuContext ctx(reactor_.now());
+    const MessageBody& body = *decoded.body;
+    if (body.kind() == BodyKind::Paxos) {
+        // Direct mode ships bare protocol bodies.
+        deliver_up(std::static_pointer_cast<const PaxosMessage>(decoded.body), ctx);
+        return;
+    }
+    if (body.kind() == BodyKind::GossipEnvelope) {
+        on_envelope(static_cast<const GossipEnvelope&>(body).message(), from, ctx);
+    }
+    // Other kinds (pull digests, Raft) have no consumer in this transport.
+}
+
+void RealTransport::on_envelope(const GossipAppMessage& msg, ProcessId from,
+                                CpuContext& ctx) {
+    ++counters_.envelopes_received;
+    if (msg.aggregated) {
+        // Reversible aggregation: reconstruct the original messages and
+        // process each as a regular message.
+        std::vector<GossipAppMessage> originals = hooks_.disaggregate(msg);
+        for (auto& m : originals) {
+            m.hops = msg.hops;  // the originals travelled as the aggregate
+            ++counters_.messages_received;
+            accept(m, from, ctx);
+        }
+    } else {
+        ++counters_.messages_received;
+        accept(msg, from, ctx);
+    }
+}
+
+void RealTransport::accept(const GossipAppMessage& msg, ProcessId received_from,
+                           CpuContext& ctx) {
+    if (!seen_.insert_if_new(msg.id)) {
+        ++counters_.duplicates;
+        return;
+    }
+    deliver(msg, ctx);
+    forward(msg, received_from);
+}
+
+void RealTransport::deliver(const GossipAppMessage& msg, CpuContext& ctx) {
+    ++counters_.delivered;
+    hooks_.on_deliver(msg);
+    if (msg.payload && msg.payload->kind() == BodyKind::Paxos) {
+        deliver_up(std::static_pointer_cast<const PaxosMessage>(msg.payload), ctx);
+    }
+}
+
+// -- timers / tasks ---------------------------------------------------------
+
+void RealTransport::schedule(SimTime delay, std::function<void(CpuContext&)> fn) {
+    reactor_.schedule_after(delay, [this, fn = std::move(fn)] {
+        CpuContext ctx(reactor_.now());
+        fn(ctx);
+    });
+}
+
+void RealTransport::schedule_every(SimTime period, std::function<void(CpuContext&)> fn) {
+    reactor_.schedule_every(period, [this, fn = std::move(fn)] {
+        CpuContext ctx(reactor_.now());
+        fn(ctx);
+    });
+}
+
+void RealTransport::post(std::function<void(CpuContext&)> fn) {
+    reactor_.post([this, fn = std::move(fn)] {
+        CpuContext ctx(reactor_.now());
+        fn(ctx);
+    });
+}
+
+}  // namespace gossipc::runtime

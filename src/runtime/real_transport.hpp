@@ -1,0 +1,107 @@
+// Transport over real TCP sockets (DESIGN.md §10): the socket-backed
+// counterpart of DirectTransport/GossipTransport. PaxosProcess and
+// FailureDetector depend only on the Transport interface, so the protocol
+// stack runs over this transport unmodified.
+//
+// Two modes, matching the simulator's setups:
+//  * Direct — point-to-point unicast to every cluster member (the Baseline
+//    setup); broadcast fans out one encoded frame per peer.
+//  * Gossip — push dissemination over the overlay neighbors, mirroring
+//    GossipNode exactly: a recently-seen cache dedups, delivery happens on
+//    first sight, forwards go to every neighbor but the sender through
+//    per-peer pending queues drained on the event loop, and the semantic
+//    hooks (aggregate/validate/disaggregate) run at the same points —
+//    aggregate over a peer's pending batch at drain, validate per message
+//    before the wire, disaggregate on receipt of an aggregated envelope.
+//    Hop counts increment per transmission and survive the codec.
+//
+// CpuContext is constructed from the reactor's monotonic clock; consume()
+// advances only the context's virtual time (the real CPU cost is the real
+// CPU cost), which the protocol stack tolerates by design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gossip/hooks.hpp"
+#include "gossip/seen_cache.hpp"
+#include "runtime/conn_manager.hpp"
+#include "runtime/reactor.hpp"
+#include "transport/transport.hpp"
+
+namespace gossipc::runtime {
+
+class RealTransport final : public Transport {
+public:
+    enum class Mode { Direct, Gossip };
+
+    struct Params {
+        Mode mode = Mode::Direct;
+        /// Overlay neighbors forwarded to in Gossip mode (ignored in Direct
+        /// mode, which talks to the whole cluster).
+        std::vector<ProcessId> neighbors;
+        std::size_t seen_cache_capacity = 1 << 18;
+        /// Pending messages per peer before new forwards are dropped,
+        /// mirroring GossipNode::Params::peer_queue_cap.
+        std::size_t peer_queue_cap = 8192;
+    };
+
+    /// Mirrors GossipNode::Counters where the semantics coincide, plus the
+    /// codec's decode_errors (a simulator run cannot have those).
+    struct Counters {
+        std::uint64_t broadcasts = 0;
+        std::uint64_t envelopes_received = 0;
+        std::uint64_t messages_received = 0;  ///< after disaggregation
+        std::uint64_t duplicates = 0;
+        std::uint64_t delivered = 0;
+        std::uint64_t filtered = 0;           ///< dropped by validate()
+        std::uint64_t aggregated_away = 0;
+        std::uint64_t envelopes_sent = 0;
+        std::uint64_t send_queue_drops = 0;   ///< peer pending-queue cap hit
+        std::uint64_t decode_errors = 0;      ///< frames that failed to decode
+    };
+
+    /// `hooks` must outlive the transport (pass PassThroughHooks for classic
+    /// gossip, PaxosSemantics for the Semantic setup). Installs itself as
+    /// `conns`'s frame handler and links the relevant peers.
+    RealTransport(Reactor& reactor, ConnectionManager& conns, Params params,
+                  GossipHooks& hooks);
+
+    // Transport interface — the seam the protocol stack plugs into.
+    ProcessId self() const override { return conns_.self(); }
+    void broadcast(PaxosMessagePtr msg, CpuContext& ctx) override;
+    void send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) override;
+    void schedule(SimTime delay, std::function<void(CpuContext&)> fn) override;
+    void schedule_every(SimTime period, std::function<void(CpuContext&)> fn) override;
+    void post(std::function<void(CpuContext&)> fn) override;
+
+    const Counters& counters() const { return counters_; }
+
+private:
+    void on_frame(ProcessId from, wire::FrameType type,
+                  std::span<const std::uint8_t> payload);
+    void on_envelope(const GossipAppMessage& msg, ProcessId from, CpuContext& ctx);
+    void accept(const GossipAppMessage& msg, ProcessId received_from, CpuContext& ctx);
+    void deliver(const GossipAppMessage& msg, CpuContext& ctx);
+    void forward(const GossipAppMessage& msg, ProcessId exclude);
+    void drain_peer(std::size_t idx, CpuContext& ctx);
+    void send_envelope(const GossipAppMessage& msg, ProcessId peer);
+    void send_body(ProcessId to, const MessageBody& body);
+
+    Reactor& reactor_;
+    ConnectionManager& conns_;
+    Params params_;
+    GossipHooks& hooks_;
+    SeenCache seen_;
+
+    struct PeerQueue {
+        std::vector<GossipAppMessage> pending;
+        bool drain_scheduled = false;
+    };
+    std::vector<PeerQueue> queues_;  // parallel to params_.neighbors
+
+    Counters counters_;
+};
+
+}  // namespace gossipc::runtime

@@ -1,0 +1,117 @@
+#include "runtime/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gossipc::runtime {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port, sockaddr_in* addr,
+                std::string* err) {
+    std::memset(addr, 0, sizeof *addr);
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(port);
+    const std::string h = (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, h.c_str(), &addr->sin_addr) != 1) {
+        if (err) *err = "not an IPv4 address: " + host;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+    sockaddr_in addr{};
+    if (!parse_addr(host, port, &addr, err)) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err) *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        if (err) *err = std::string("bind: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 128) != 0 || !set_nonblocking(fd)) {
+        if (err) *err = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::uint16_t local_port(int fd) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+    return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+    sockaddr_in addr{};
+    if (!parse_addr(host, port, &addr, err)) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err) *err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (!set_nonblocking(fd)) {
+        if (err) *err = std::string("fcntl: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    set_nodelay(fd);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 &&
+        errno != EINPROGRESS) {
+        if (err) *err = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int connect_result(int fd) {
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) return errno;
+    return soerr;
+}
+
+int accept_nonblocking(int listen_fd) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return -1;
+    if (!set_nonblocking(fd)) {
+        ::close(fd);
+        return -1;
+    }
+    set_nodelay(fd);
+    return fd;
+}
+
+void close_fd(int fd) {
+    if (fd >= 0) ::close(fd);
+}
+
+}  // namespace gossipc::runtime

@@ -1,0 +1,32 @@
+// Thin non-blocking TCP socket helpers for the runtime (IPv4). All sockets
+// are created non-blocking with TCP_NODELAY (the wire protocol does its own
+// batching via semantic aggregation; Nagle would add latency under it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gossipc::runtime {
+
+/// Binds and listens on host:port (host must be an IPv4 literal or
+/// "localhost"; port 0 picks an ephemeral port — read it back with
+/// local_port). Returns the non-blocking listener fd, or -1 with *err set.
+int listen_tcp(const std::string& host, std::uint16_t port, std::string* err);
+
+/// Port a bound socket actually listens on.
+std::uint16_t local_port(int fd);
+
+/// Starts a non-blocking connect. Returns the fd (connection typically in
+/// progress — poll for writability), or -1 with *err set.
+int connect_tcp(const std::string& host, std::uint16_t port, std::string* err);
+
+/// Completion status of a non-blocking connect on a writable fd: 0 on
+/// success, the socket error otherwise.
+int connect_result(int fd);
+
+/// Accepts one pending connection as a non-blocking fd; -1 when none/error.
+int accept_nonblocking(int listen_fd);
+
+void close_fd(int fd);
+
+}  // namespace gossipc::runtime

@@ -1,0 +1,64 @@
+// Versioned binary codec for every message body the system puts on a real
+// wire (DESIGN.md §10): all nine Paxos message types (including the
+// multi-sender aggregated Phase 2b and failure-detector heartbeats), the
+// five Raft types, gossip envelopes, and pull digests.
+//
+// The encoding is little-endian and self-describing one level deep: a body
+// starts with a kind tag (BodyKind), protocol bodies follow with a message
+// type tag, and variable-length lists carry an explicit element count that
+// is validated against a hard cap before any allocation. Decoding is strict:
+// truncated, oversized, or trailing bytes are errors, never UB — the wire
+// fuzz suite (tests/test_wire_fuzz.cpp) runs the malformed corpus under
+// ASan+UBSan to keep it that way.
+//
+// Simulator-derived payloads model a value by its size, so the codec ships
+// `Value::size_bytes` rather than a payload blob; everything that defines a
+// message's identity (and hence its gossip `unique_key`) round-trips
+// exactly, which keeps duplicate suppression and semantic aggregation
+// byte-compatible between simulated and real deployments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gossip/gossip_node.hpp"
+#include "paxos/message.hpp"
+#include "raft/message.hpp"
+#include "wire/wire.hpp"
+
+namespace gossipc::wire {
+
+// Hard caps enforced before allocating on decode. A frame announcing more
+// is rejected with Oversized/LimitExceeded instead of being trusted.
+inline constexpr std::uint32_t kMaxValueBytes = 1u << 24;      ///< 16 MiB payload model
+inline constexpr std::uint32_t kMaxListEntries = 1u << 16;     ///< senders / accepted entries
+inline constexpr std::uint32_t kMaxDigestIds = 1u << 20;       ///< pull-digest ids
+
+/// Body kind tags as written on the wire (decoupled from the in-memory
+/// BodyKind enum so reordering that enum cannot silently change the format).
+enum class WireBodyKind : std::uint8_t {
+    GossipEnvelope = 1,
+    PullDigest = 2,
+    Paxos = 3,
+    Raft = 4,
+};
+
+struct DecodedBody {
+    BodyPtr body;  ///< null iff error != None
+    WireError error = WireError::None;
+
+    bool ok() const { return error == WireError::None; }
+};
+
+/// Serializes any encodable body into `out`. Returns false (writing
+/// nothing) for body kinds with no wire form (BodyKind::Other test doubles).
+bool encode_body(const MessageBody& body, WireWriter& out);
+
+/// Convenience: encode into a fresh buffer. Empty result means unencodable.
+std::vector<std::uint8_t> encode_body(const MessageBody& body);
+
+/// Decodes one body occupying the whole of `data` (trailing bytes are an
+/// error). On failure the returned body is null and `error` says why.
+DecodedBody decode_body(std::span<const std::uint8_t> data);
+
+}  // namespace gossipc::wire
