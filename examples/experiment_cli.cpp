@@ -6,6 +6,7 @@
 //   experiment_cli --setup semantic --n 105 --rate 104
 //   experiment_cli --setup gossip --n 53 --loss 0.2 --no-timeouts --json
 //   experiment_cli --setup gossip --strategy push-pull --rate 52 --csv
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,13 +45,52 @@ namespace {
         "  --trace <path>                     message-lifecycle tracing, JSONL\n"
         "                                     exported to <path> (DESIGN.md Sec. 9)\n"
         "  --trace-capacity <n>               trace ring size (default 65536)\n"
+        "  --clients <int>                    client count (default 13)\n"
+        "  --detector-sweep <s>               suspicion sweep interval (default 0.05)\n"
+        "  --suspicion-jitter <s>             max suspicion-deadline jitter (default 0.06)\n"
+        "  --retransmit-jitter <s>            max retransmit-backoff jitter (default 0.15)\n"
+        "  --probe-events <n>                 invariant probe period, 0 = off\n"
+        "                                     (default 25000; debug builds only)\n"
+        "  --bandwidth <bytes-per-us>         per-link bandwidth (default 125)\n"
+        "  --jitter-frac <0..1>               latency jitter fraction (default 0.02)\n"
         "  --warmup <s> --measure <s> --drain <s>\n"
         "  --json | --csv                     machine-readable output\n",
         argv0);
     std::exit(2);
 }
 
-double num(const char* s) { return std::atof(s); }
+// Checked numeric parsing: atof/atoi silently map junk ("abc", "12x") to a
+// number, which range validation may then accept — reject anything that is
+// not entirely numeric instead (the cert-err34-c rule).
+double parse_num(const char* argv0, const std::string& flag, const char* s) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+        usage(argv0, (flag + " expects a number, got '" + s + "'").c_str());
+    }
+    return v;
+}
+
+long long parse_int(const char* argv0, const std::string& flag, const char* s) {
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+        usage(argv0, (flag + " expects an integer, got '" + s + "'").c_str());
+    }
+    return v;
+}
+
+unsigned long long parse_u64(const char* argv0, const std::string& flag, const char* s) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || std::strchr(s, '-') != nullptr) {
+        usage(argv0, (flag + " expects an unsigned integer, got '" + s + "'").c_str());
+    }
+    return v;
+}
 
 }  // namespace
 
@@ -69,6 +109,9 @@ int main(int argc, char** argv) {
             if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
             return argv[++i];
         };
+        const auto num = [&](const char* s) { return parse_num(argv[0], arg, s); };
+        const auto intval = [&](const char* s) { return parse_int(argv[0], arg, s); };
+        const auto u64val = [&](const char* s) { return parse_u64(argv[0], arg, s); };
         if (arg == "--setup") {
             const std::string v = next();
             if (v == "baseline") cfg.setup = Setup::Baseline;
@@ -76,11 +119,11 @@ int main(int argc, char** argv) {
             else if (v == "semantic") cfg.setup = Setup::SemanticGossip;
             else usage(argv[0], "bad --setup (want baseline|gossip|semantic)");
         } else if (arg == "--n") {
-            cfg.n = std::atoi(next());
+            cfg.n = static_cast<int>(intval(next()));
         } else if (arg == "--rate") {
             cfg.total_rate = num(next());
         } else if (arg == "--value-size") {
-            cfg.value_size = static_cast<std::uint32_t>(std::atoi(next()));
+            cfg.value_size = static_cast<std::uint32_t>(u64val(next()));
         } else if (arg == "--loss") {
             cfg.loss_rate = num(next());
         } else if (arg == "--no-timeouts") {
@@ -96,11 +139,11 @@ int main(int argc, char** argv) {
         } else if (arg == "--no-aggregation") {
             cfg.semantic.aggregation = false;
         } else if (arg == "--batch") {
-            cfg.gossip_params.batch_size = static_cast<std::size_t>(std::atoi(next()));
+            cfg.gossip_params.batch_size = static_cast<std::size_t>(u64val(next()));
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next(), nullptr, 10);
+            cfg.seed = u64val(next());
         } else if (arg == "--overlay-seed") {
-            cfg.overlay_seed = std::strtoull(next(), nullptr, 10);
+            cfg.overlay_seed = u64val(next());
         } else if (arg == "--chaos") {
             const std::string v = next();
             if (v == "light") cfg.chaos = ChaosProfile::light();
@@ -109,7 +152,7 @@ int main(int argc, char** argv) {
             else if (v == "heavy-failover") cfg.chaos = ChaosProfile::heavy_failover();
             else usage(argv[0], "bad --chaos (want light|moderate|heavy|heavy-failover)");
         } else if (arg == "--chaos-seed") {
-            cfg.chaos_seed = std::strtoull(next(), nullptr, 10);
+            cfg.chaos_seed = u64val(next());
         } else if (arg == "--failover") {
             cfg.failover = true;
         } else if (arg == "--heartbeat") {
@@ -122,7 +165,21 @@ int main(int argc, char** argv) {
             cfg.trace = true;
             cfg.trace_jsonl_path = next();
         } else if (arg == "--trace-capacity") {
-            cfg.trace_capacity = static_cast<std::size_t>(std::atoll(next()));
+            cfg.trace_capacity = static_cast<std::size_t>(u64val(next()));
+        } else if (arg == "--clients") {
+            cfg.num_clients = static_cast<int>(intval(next()));
+        } else if (arg == "--detector-sweep") {
+            cfg.detector_sweep_interval = SimTime::seconds(num(next()));
+        } else if (arg == "--suspicion-jitter") {
+            cfg.suspicion_jitter_max = SimTime::seconds(num(next()));
+        } else if (arg == "--retransmit-jitter") {
+            cfg.retransmit_jitter_max = SimTime::seconds(num(next()));
+        } else if (arg == "--probe-events") {
+            cfg.invariant_probe_events = u64val(next());
+        } else if (arg == "--bandwidth") {
+            cfg.bandwidth_bytes_per_us = num(next());
+        } else if (arg == "--jitter-frac") {
+            cfg.jitter_frac = num(next());
         } else if (arg == "--warmup") {
             cfg.warmup = SimTime::seconds(num(next()));
         } else if (arg == "--measure") {
@@ -153,6 +210,20 @@ int main(int argc, char** argv) {
         usage(argv[0], "--suspect-after must be positive");
     }
     if (cfg.trace_capacity == 0) usage(argv[0], "--trace-capacity must be positive");
+    if (cfg.num_clients < 1) usage(argv[0], "--clients must be at least 1");
+    if (cfg.detector_sweep_interval <= SimTime::zero()) {
+        usage(argv[0], "--detector-sweep must be positive");
+    }
+    if (cfg.suspicion_jitter_max < SimTime::zero()) {
+        usage(argv[0], "--suspicion-jitter must be non-negative");
+    }
+    if (cfg.retransmit_jitter_max < SimTime::zero()) {
+        usage(argv[0], "--retransmit-jitter must be non-negative");
+    }
+    if (cfg.bandwidth_bytes_per_us <= 0) usage(argv[0], "--bandwidth must be positive");
+    if (cfg.jitter_frac < 0 || cfg.jitter_frac > 1) {
+        usage(argv[0], "--jitter-frac must be in [0, 1]");
+    }
     if (cfg.warmup < SimTime::zero() || cfg.drain < SimTime::zero()) {
         usage(argv[0], "--warmup/--drain must be non-negative");
     }

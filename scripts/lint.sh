@@ -55,10 +55,13 @@ if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
 fi
 
 echo "lint.sh: linting ${#files[@]} file(s) with $("$CLANG_TIDY" --version | head -n1)"
+# One clang-tidy process per file, fanned out across the cores. xargs exits
+# 123 when any invocation fails, preserving the exit contract of the old
+# sequential loop; output may interleave across files but stays line-atomic.
+jobs="$(nproc 2> /dev/null || echo 2)"
 status=0
-for f in "${files[@]}"; do
-    "$CLANG_TIDY" --quiet -p "$BUILD_DIR" "$f" || status=1
-done
+printf '%s\0' "${files[@]}" |
+    xargs -0 -n 1 -P "$jobs" "$CLANG_TIDY" --quiet -p "$BUILD_DIR" || status=1
 
 if [[ $status -ne 0 ]]; then
     echo "lint.sh: clang-tidy reported errors (see above)" >&2

@@ -17,6 +17,7 @@ namespace gossipc {
 
 /// Body kind tags: a cheap substitute for dynamic_cast on the hot path.
 enum class BodyKind : std::uint8_t {
+    // gclint: allow(wire-coverage) Other is the in-memory-only sentinel: encode_inner rejects it (WireCodec.OtherBodyKindIsUnencodable) and no wire tag exists by design
     Other = 0,
     GossipEnvelope,
     PullDigest,

@@ -140,7 +140,12 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
                 case PaxosMsgType::LearnRequest:
                     info.instance = static_cast<const LearnRequestMsg&>(pm).instance();
                     break;
-                default:
+                case PaxosMsgType::ClientValue:
+                case PaxosMsgType::Phase1a:
+                case PaxosMsgType::Phase1b:
+                case PaxosMsgType::Heartbeat:
+                    // Not bound to a single consensus instance; traced with
+                    // the type tag only.
                     break;
             }
             return info;

@@ -66,6 +66,10 @@ struct ExperimentConfig {
     /// submission-repair backoff (applies regardless of `failover`).
     SimTime retransmit_jitter_max = SimTime::millis(150);
 
+    // `faults` is a programmatic schedule of arbitrary timed closures with
+    // no scalar CLI/JSON form; scripts build it in code, and --chaos covers
+    // the declarative case.
+    // gclint: allow(config-wiring) programmatic-only structured field
     FaultSchedule faults;
     std::optional<ChaosProfile> chaos;
     /// Seed for chaos generation; 0 means "reuse `seed`". Splitting the two
@@ -76,6 +80,9 @@ struct ExperimentConfig {
     // of one system size, enforcing the paper's fixed-overlay methodology;
     // `overlay` overrides generation entirely (Figures 7/8).
     std::uint64_t overlay_seed = 42;
+    // `overlay` is an explicit adjacency override for tests that pin a
+    // topology; the CLI/JSON surface is --overlay-seed.
+    // gclint: allow(config-wiring) programmatic-only structured field
     std::optional<Graph> overlay;
 
     // Semantic techniques (Semantic Gossip setup; ablations toggle these).
@@ -87,7 +94,10 @@ struct ExperimentConfig {
     /// `seed` and `strategy` inside are overridden by the fields above.
     GossipNode::Params gossip_params{};
 
-    // Substrate calibration.
+    // Substrate calibration. `node_params`'s scalar knobs are surfaced
+    // individually (--bandwidth, --jitter-frac); its remaining members are
+    // calibration constants fixed by the paper.
+    // gclint: allow(config-wiring) nested calibration struct, knobs surfaced individually
     Node::Params node_params{};
     double bandwidth_bytes_per_us = 125.0;
     double jitter_frac = 0.02;

@@ -56,7 +56,20 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
       << ", \"overlay_seed\": " << config.overlay_seed
       << ", \"warmup_s\": " << config.warmup.as_seconds()
       << ", \"measure_s\": " << config.measure.as_seconds()
-      << ", \"drain_s\": " << config.drain.as_seconds() << "},\n";
+      << ", \"drain_s\": " << config.drain.as_seconds()
+      << ", \"num_clients\": " << config.num_clients
+      << ", \"heartbeat_interval_s\": " << config.heartbeat_interval.as_seconds()
+      << ", \"suspect_after_s\": " << config.suspect_after.as_seconds()
+      << ", \"detector_sweep_interval_s\": " << config.detector_sweep_interval.as_seconds()
+      << ", \"suspicion_jitter_max_s\": " << config.suspicion_jitter_max.as_seconds()
+      << ", \"retransmit_jitter_max_s\": " << config.retransmit_jitter_max.as_seconds()
+      << ", \"invariant_probe_events\": " << config.invariant_probe_events
+      << ", \"bandwidth_bytes_per_us\": " << config.bandwidth_bytes_per_us
+      << ", \"jitter_frac\": " << config.jitter_frac
+      << ", \"batch_size\": " << config.gossip_params.batch_size
+      << ", \"trace\": " << (config.trace ? "true" : "false")
+      << ", \"trace_capacity\": " << config.trace_capacity
+      << ", \"trace_jsonl_path\": \"" << json_escape(config.trace_jsonl_path) << "\"},\n";
     o << "  \"workload\": {"
       << "\"throughput\": " << w.throughput
       << ", \"offered\": " << w.offered_load

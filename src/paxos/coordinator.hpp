@@ -62,6 +62,17 @@ public:
 
     bool phase1_complete() const { return phase1_complete_; }
     Round round() const { return round_; }
+
+#if GC_ENABLE_INVARIANTS
+    // Test-only corruption hook (invariant death tests): forces the
+    // coordinator active at an arbitrary round, bypassing activate()'s
+    // ownership arithmetic — the exact corruption the P-CRD monitors exist
+    // to catch.
+    void debug_force_round(Round round) {
+        round_ = round;
+        active_ = true;
+    }
+#endif
     const Counters& counters() const { return counters_; }
     std::size_t pending_values() const { return pending_.size(); }
     std::size_t undecided_proposals() const { return proposals_.size(); }

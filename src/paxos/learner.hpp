@@ -59,6 +59,13 @@ public:
     /// Truncates the delivered log below `instance` (state-machine snapshot).
     void truncate_log_below(InstanceId instance);
 
+#if GC_ENABLE_INVARIANTS
+    // Test-only corruption hook (invariant death tests): overwrites the
+    // delivered-value counter without moving the frontier, breaking the
+    // frontier == delivered + 1 lockstep that P-LRN-3 monitors.
+    void debug_set_delivered_count(std::uint64_t n) { delivered_count_ = n; }
+#endif
+
     /// Wipes ALL learner state (fault engine: crash with storage loss); the
     /// delivery frontier rewinds to 1 and every decision is re-learnable.
     /// Listeners are kept. The shadow monitors must be told (DESIGN.md §7).

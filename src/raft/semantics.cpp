@@ -50,9 +50,13 @@ bool RaftSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
             view(peer).mark_decision(m.index());
             return true;
         }
-        default:
+        case RaftMsgType::ClientForward:
+        case RaftMsgType::Append:
+            // No filtering rule applies: forwards and appends are unique
+            // per (index, term) and must always reach the leader/followers.
             return true;
     }
+    return true;
 }
 
 std::vector<GossipAppMessage> RaftSemantics::aggregate(std::vector<GossipAppMessage> pending,

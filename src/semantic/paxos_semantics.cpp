@@ -44,7 +44,7 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
         }
         case PaxosMsgType::Phase2bAggregate: {
             const auto& m = static_cast<const Phase2bAggregateMsg&>(*paxos);
-            // S-AGG-2: a malformed aggregate (duplicate or missing senders)
+            // G-AGG-2: a malformed aggregate (duplicate or missing senders)
             // would double-count one acceptor's vote toward the quorum below
             // and could mark a decision the peer cannot actually learn.
             check::check_aggregate_wellformed(m);
@@ -64,6 +64,10 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
             const auto& m = static_cast<const DecisionMsg&>(*paxos);
             PeerView& pv = view(peer);
             pv.mark_decision(m.instance());
+            // gclint: allow(invariant-test-coverage) S-FLT-1 asserts a
+            // postcondition of the mark_decision call on the previous line;
+            // PeerView is a pure container with no forgetting path or debug
+            // corruption hook, so no test can trip it without adding one.
             // S-FLT-1: the sent Decision must be visible in the peer view
             // immediately — filtering rule F1 is only sound while the view
             // remembers every Decision this process forwarded to the peer.
@@ -72,9 +76,17 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
                          static_cast<long long>(m.instance()));
             return true;
         }
-        default:
+        case PaxosMsgType::ClientValue:
+        case PaxosMsgType::Phase1a:
+        case PaxosMsgType::Phase1b:
+        case PaxosMsgType::Phase2a:
+        case PaxosMsgType::LearnRequest:
+        case PaxosMsgType::Heartbeat:
+            // No filtering rule applies (rules F1/F2 concern the Phase 2b
+            // vote-counting path and Decisions only, Section 3.2).
             return true;
     }
+    return true;
 }
 
 std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMessage> pending,

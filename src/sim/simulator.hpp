@@ -90,6 +90,15 @@ public:
     /// Clears all pending events and rewinds the clock to zero.
     void reset();
 
+#if GC_ENABLE_INVARIANTS
+    // Test-only corruption hook (invariant death tests): enqueues a callback
+    // at `at` without the schedule-path clamp, planting the past-dated event
+    // that SIM-1 exists to catch.
+    void debug_schedule_at_unclamped(SimTime at, EventQueue::Callback fn) {
+        queue_.push(at, std::move(fn));
+    }
+#endif
+
     std::size_t pending_events() const { return queue_.size(); }
 
     /// Installs an observer invoked after every `every_events`-th executed

@@ -1,6 +1,7 @@
 #include "wire/codec.hpp"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 namespace gossipc::wire {
@@ -49,6 +50,52 @@ enum : std::uint8_t {
 
 // Envelope flag bits (u8): the remaining bits must be zero on decode.
 constexpr std::uint8_t kEnvelopeAggregated = 0x01;
+
+// Tag-to-enum mapping, the single place unknown wire bytes are rejected.
+// These switches are over raw u8 values, so a default arm is their
+// unknown-input rejection path; every switch over the *enums* below is
+// exhaustive with no default (enforced by -Wswitch-enum on this file and
+// gclint's switch-exhaustiveness rule), so adding a message type fails the
+// build until its decode case exists.
+std::optional<PaxosMsgType> paxos_type_from_tag(std::uint8_t tag) {
+    switch (tag) {
+        case kPaxosClientValue: return PaxosMsgType::ClientValue;
+        case kPaxosPhase1a: return PaxosMsgType::Phase1a;
+        case kPaxosPhase1b: return PaxosMsgType::Phase1b;
+        case kPaxosPhase2a: return PaxosMsgType::Phase2a;
+        case kPaxosPhase2b: return PaxosMsgType::Phase2b;
+        case kPaxosPhase2bAggregate: return PaxosMsgType::Phase2bAggregate;
+        case kPaxosDecision: return PaxosMsgType::Decision;
+        case kPaxosLearnRequest: return PaxosMsgType::LearnRequest;
+        case kPaxosHeartbeat: return PaxosMsgType::Heartbeat;
+        default: return std::nullopt;
+    }
+}
+
+std::optional<RaftMsgType> raft_type_from_tag(std::uint8_t tag) {
+    switch (tag) {
+        case kRaftClientForward: return RaftMsgType::ClientForward;
+        case kRaftAppend: return RaftMsgType::Append;
+        case kRaftAck: return RaftMsgType::Ack;
+        case kRaftAckAggregate: return RaftMsgType::AckAggregate;
+        case kRaftCommit: return RaftMsgType::Commit;
+        default: return std::nullopt;
+    }
+}
+
+std::optional<WireBodyKind> body_kind_from_tag(std::uint8_t tag) {
+    switch (tag) {
+        case static_cast<std::uint8_t>(WireBodyKind::GossipEnvelope):
+            return WireBodyKind::GossipEnvelope;
+        case static_cast<std::uint8_t>(WireBodyKind::PullDigest):
+            return WireBodyKind::PullDigest;
+        case static_cast<std::uint8_t>(WireBodyKind::Paxos):
+            return WireBodyKind::Paxos;
+        case static_cast<std::uint8_t>(WireBodyKind::Raft):
+            return WireBodyKind::Raft;
+        default: return std::nullopt;
+    }
+}
 
 void put_value(const Value& v, WireWriter& out) {
     out.i32(v.id.client);
@@ -201,11 +248,17 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
 }
 
 BodyPtr decode_paxos(WireReader& in) {
+    const std::size_t tag_offset = in.pos();
     const std::uint8_t tag = in.u8();
     const ProcessId sender = in.i32();
     if (!in.ok()) return nullptr;
-    switch (tag) {
-        case kPaxosClientValue: {
+    const std::optional<PaxosMsgType> type = paxos_type_from_tag(tag);
+    if (!type) {
+        in.fail_at(WireError::BadMsgType, tag, tag_offset);
+        return nullptr;
+    }
+    switch (*type) {
+        case PaxosMsgType::ClientValue: {
             const Value value = get_value(in);
             const std::int32_t attempt = in.i32();
             const ProcessId target = in.i32();
@@ -215,13 +268,13 @@ BodyPtr decode_paxos(WireReader& in) {
             return std::make_shared<ClientValueMsg>(sender, value, attempt, target,
                                                     forwarded != 0);
         }
-        case kPaxosPhase1a: {
+        case PaxosMsgType::Phase1a: {
             const Round round = in.i32();
             const InstanceId from = in.i64();
             if (!in.ok()) return nullptr;
             return std::make_shared<Phase1aMsg>(sender, round, from);
         }
-        case kPaxosPhase1b: {
+        case PaxosMsgType::Phase1b: {
             const Round round = in.i32();
             const InstanceId from = in.i64();
             const std::uint32_t count = in.u32();
@@ -241,7 +294,7 @@ BodyPtr decode_paxos(WireReader& in) {
             if (!in.ok()) return nullptr;
             return std::make_shared<Phase1bMsg>(sender, round, from, std::move(accepted));
         }
-        case kPaxosPhase2a: {
+        case PaxosMsgType::Phase2a: {
             const InstanceId instance = in.i64();
             const Round round = in.i32();
             const Value value = get_value(in);
@@ -249,7 +302,7 @@ BodyPtr decode_paxos(WireReader& in) {
             if (!in.ok()) return nullptr;
             return std::make_shared<Phase2aMsg>(sender, instance, round, value, attempt);
         }
-        case kPaxosPhase2b: {
+        case PaxosMsgType::Phase2b: {
             const InstanceId instance = in.i64();
             const Round round = in.i32();
             const ValueId id = get_value_id(in);
@@ -258,7 +311,7 @@ BodyPtr decode_paxos(WireReader& in) {
             if (!in.ok()) return nullptr;
             return std::make_shared<Phase2bMsg>(sender, instance, round, id, digest, attempt);
         }
-        case kPaxosPhase2bAggregate: {
+        case PaxosMsgType::Phase2bAggregate: {
             const InstanceId instance = in.i64();
             const Round round = in.i32();
             const ValueId id = get_value_id(in);
@@ -269,7 +322,7 @@ BodyPtr decode_paxos(WireReader& in) {
             return std::make_shared<Phase2bAggregateMsg>(sender, instance, round, id, digest,
                                                          std::move(senders), attempt);
         }
-        case kPaxosDecision: {
+        case PaxosMsgType::Decision: {
             const InstanceId instance = in.i64();
             const ValueId id = get_value_id(in);
             const std::uint64_t digest = in.u64();
@@ -281,23 +334,21 @@ BodyPtr decode_paxos(WireReader& in) {
             if (!in.ok()) return nullptr;
             return std::make_shared<DecisionMsg>(sender, instance, id, digest, full, attempt);
         }
-        case kPaxosLearnRequest: {
+        case PaxosMsgType::LearnRequest: {
             const InstanceId instance = in.i64();
             const std::int32_t attempt = in.i32();
             const ProcessId target = in.i32();
             if (!in.ok()) return nullptr;
             return std::make_shared<LearnRequestMsg>(sender, instance, attempt, target);
         }
-        case kPaxosHeartbeat: {
+        case PaxosMsgType::Heartbeat: {
             const std::uint64_t seq = in.u64();
             const InstanceId frontier = in.i64();
             if (!in.ok()) return nullptr;
             return std::make_shared<HeartbeatMsg>(sender, seq, frontier);
         }
-        default:
-            in.fail(WireError::BadMsgType);
-            return nullptr;
     }
+    return nullptr;  // unreachable: every case returns
 }
 
 // ---- Raft -----------------------------------------------------------------
@@ -353,31 +404,37 @@ void encode_raft(const RaftMessage& msg, WireWriter& out) {
 }
 
 BodyPtr decode_raft(WireReader& in) {
+    const std::size_t tag_offset = in.pos();
     const std::uint8_t tag = in.u8();
     const ProcessId sender = in.i32();
     if (!in.ok()) return nullptr;
-    switch (tag) {
-        case kRaftClientForward: {
+    const std::optional<RaftMsgType> type = raft_type_from_tag(tag);
+    if (!type) {
+        in.fail_at(WireError::BadMsgType, tag, tag_offset);
+        return nullptr;
+    }
+    switch (*type) {
+        case RaftMsgType::ClientForward: {
             const Value value = get_value(in);
             const std::int32_t attempt = in.i32();
             if (!in.ok()) return nullptr;
             return std::make_shared<ClientForwardMsg>(sender, value, attempt);
         }
-        case kRaftAppend: {
+        case RaftMsgType::Append: {
             const Term term = in.i32();
             const LogIndex index = in.i64();
             const Value value = get_value(in);
             if (!in.ok()) return nullptr;
             return std::make_shared<AppendMsg>(sender, term, index, value);
         }
-        case kRaftAck: {
+        case RaftMsgType::Ack: {
             const Term term = in.i32();
             const LogIndex index = in.i64();
             const std::uint64_t digest = in.u64();
             if (!in.ok()) return nullptr;
             return std::make_shared<AckMsg>(sender, term, index, digest);
         }
-        case kRaftAckAggregate: {
+        case RaftMsgType::AckAggregate: {
             const Term term = in.i32();
             const LogIndex index = in.i64();
             const std::uint64_t digest = in.u64();
@@ -386,17 +443,15 @@ BodyPtr decode_raft(WireReader& in) {
             return std::make_shared<AckAggregateMsg>(sender, term, index, digest,
                                                      std::move(senders));
         }
-        case kRaftCommit: {
+        case RaftMsgType::Commit: {
             const Term term = in.i32();
             const LogIndex index = in.i64();
             const std::uint64_t digest = in.u64();
             if (!in.ok()) return nullptr;
             return std::make_shared<CommitMsg>(sender, term, index, digest);
         }
-        default:
-            in.fail(WireError::BadMsgType);
-            return nullptr;
     }
+    return nullptr;  // unreachable: every case returns
 }
 
 // ---- Envelope / digest ----------------------------------------------------
@@ -422,19 +477,26 @@ BodyPtr decode_envelope(WireReader& in) {
     if (in.ok() && (flags & ~kEnvelopeAggregated) != 0) in.fail(WireError::BadField);
     msg.aggregated = (flags & kEnvelopeAggregated) != 0;
     if (!in.ok()) return nullptr;
+    const std::size_t kind_offset = in.pos();
     const std::uint8_t kind = in.u8();
     if (!in.ok()) return nullptr;
-    switch (static_cast<WireBodyKind>(kind)) {
+    const std::optional<WireBodyKind> body_kind = body_kind_from_tag(kind);
+    if (!body_kind) {
+        in.fail_at(WireError::BadBodyKind, kind, kind_offset);
+        return nullptr;
+    }
+    switch (*body_kind) {
         case WireBodyKind::Paxos:
             msg.payload = decode_paxos(in);
             break;
         case WireBodyKind::Raft:
             msg.payload = decode_raft(in);
             break;
-        default:
+        case WireBodyKind::GossipEnvelope:
+        case WireBodyKind::PullDigest:
             // Envelopes carry protocol bodies only; a nested envelope or
             // digest is malformed.
-            in.fail(WireError::BadBodyKind);
+            in.fail_at(WireError::BadBodyKind, kind, kind_offset);
             return nullptr;
     }
     if (!in.ok()) return nullptr;
@@ -496,27 +558,32 @@ DecodedBody decode_body(std::span<const std::uint8_t> data) {
     const std::uint8_t kind = in.u8();
     BodyPtr body;
     if (in.ok()) {
-        switch (static_cast<WireBodyKind>(kind)) {
-            case WireBodyKind::GossipEnvelope:
-                body = decode_envelope(in);
-                break;
-            case WireBodyKind::PullDigest:
-                body = decode_digest(in);
-                break;
-            case WireBodyKind::Paxos:
-                body = decode_paxos(in);
-                break;
-            case WireBodyKind::Raft:
-                body = decode_raft(in);
-                break;
-            default:
-                in.fail(WireError::BadBodyKind);
-                break;
+        const std::optional<WireBodyKind> body_kind = body_kind_from_tag(kind);
+        if (!body_kind) {
+            in.fail_at(WireError::BadBodyKind, kind, 0);
+        } else {
+            switch (*body_kind) {
+                case WireBodyKind::GossipEnvelope:
+                    body = decode_envelope(in);
+                    break;
+                case WireBodyKind::PullDigest:
+                    body = decode_digest(in);
+                    break;
+                case WireBodyKind::Paxos:
+                    body = decode_paxos(in);
+                    break;
+                case WireBodyKind::Raft:
+                    body = decode_raft(in);
+                    break;
+            }
         }
     }
     in.expect_end();
-    if (!in.ok()) return DecodedBody{nullptr, in.error()};
-    return DecodedBody{std::move(body), WireError::None};
+    if (!in.ok()) {
+        return DecodedBody{nullptr, in.error(),
+                           DecodeError{in.error(), in.error_tag(), in.error_offset()}};
+    }
+    return DecodedBody{std::move(body), WireError::None, DecodeError{}};
 }
 
 }  // namespace gossipc::wire

@@ -43,9 +43,20 @@ enum class WireBodyKind : std::uint8_t {
     Raft = 4,
 };
 
+/// Typed decode failure: which classification was latched, the offending
+/// tag byte for BadBodyKind/BadMsgType (zero for other errors), and the
+/// byte offset of the read that failed. Diagnostics-quality context — a
+/// daemon can log exactly which unknown tag a peer sent and where.
+struct DecodeError {
+    WireError code = WireError::None;
+    std::uint8_t tag = 0;
+    std::size_t offset = 0;
+};
+
 struct DecodedBody {
     BodyPtr body;  ///< null iff error != None
     WireError error = WireError::None;
+    DecodeError detail{};  ///< detail.code == error
 
     bool ok() const { return error == WireError::None; }
 };

@@ -86,13 +86,26 @@ public:
     std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
     std::size_t remaining() const { return data_.size() - pos_; }
+    std::size_t pos() const { return pos_; }
     bool ok() const { return error_ == WireError::None; }
     WireError error() const { return error_; }
+    /// Offending tag byte of a latched BadBodyKind/BadMsgType (0 otherwise).
+    std::uint8_t error_tag() const { return error_tag_; }
+    /// Byte offset of the read that latched the error.
+    std::size_t error_offset() const { return error_offset_; }
 
     /// Records a decode error (no-op if one is already latched, so the
     /// earliest failure wins).
-    void fail(WireError e) {
-        if (error_ == WireError::None) error_ = e;
+    void fail(WireError e) { fail_at(e, 0, pos_); }
+
+    /// Records a decode error caused by a specific tag byte: the unknown
+    /// body-kind or message-type value and the offset it was read from.
+    /// Feeds the typed DecodeError that decode_body() reports.
+    void fail_at(WireError e, std::uint8_t tag, std::size_t offset) {
+        if (error_ != WireError::None) return;
+        error_ = e;
+        error_tag_ = tag;
+        error_offset_ = offset;
     }
 
     /// Decoding of one structure is complete: any unread bytes are an error.
@@ -117,6 +130,8 @@ private:
     std::span<const std::uint8_t> data_;
     std::size_t pos_ = 0;
     WireError error_ = WireError::None;
+    std::uint8_t error_tag_ = 0;
+    std::size_t error_offset_ = 0;
 };
 
 }  // namespace gossipc::wire

@@ -2,6 +2,10 @@
 // manual driving without the bundled workload, and configuration plumbing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "core/semantic_gossip.hpp"
 #include "test_util.hpp"
 
@@ -90,6 +94,49 @@ TEST(DeploymentTest, StrategyPlumbedThrough) {
         pull_rounds += d.gossip_node(id)->counters().pull_rounds;
     }
     EXPECT_GT(pull_rounds, 0u);
+}
+
+// Golden snapshot of the unified registry's name set. A maximal run (semantic
+// setup with failover and tracing on) registers every metric the system can
+// emit; a renamed, dropped, or silently added metric shows up as a diff here.
+// The gclint metrics-hygiene rule cross-checks these names at lint time.
+TEST(DeploymentTest, MetricsRegistryNamesAreStable) {
+    auto cfg = tiny(Setup::SemanticGossip);
+    cfg.failover = true;
+    cfg.trace = true;
+    const auto result = run_experiment(cfg);
+
+    std::vector<std::string> names;
+    names.reserve(result.metrics.size());
+    for (const auto& sample : result.metrics) names.push_back(sample.name);
+    std::sort(names.begin(), names.end());
+
+    const std::vector<std::string> golden = {
+        "failover.heartbeats_sent", "failover.heartbeats_suppressed",
+        "failover.restores", "failover.step_downs", "failover.suspicions",
+        "failover.takeovers", "fault.injected", "gossip.aggregated_away",
+        "gossip.broadcasts", "gossip.delivered", "gossip.duplicates",
+        "gossip.envelopes_received", "gossip.envelopes_sent", "gossip.filtered",
+        "gossip.messages_received", "gossip.pull_rounds", "gossip.pull_served",
+        "gossip.send_queue_drops", "net.arrivals", "net.bytes_sent",
+        "net.coordinator_arrivals", "net.loss_drops", "net.queue_drops",
+        "net.sent", "paxos.decisions_at_coordinator",
+        "paxos.handled.client_value", "paxos.handled.decision",
+        "paxos.handled.heartbeat", "paxos.handled.learn_request",
+        "paxos.handled.phase1a", "paxos.handled.phase1b",
+        "paxos.handled.phase2a", "paxos.handled.phase2b",
+        "paxos.handled.phase2b_aggregate", "paxos.learn_requests_answered",
+        "paxos.learn_requests_sent", "paxos.messages_handled",
+        "paxos.value_retransmissions", "paxos.values_submitted",
+        "semantic.aggregates_built", "semantic.disaggregations",
+        "semantic.filtered_phase2b", "semantic.messages_merged",
+        "sim.callbacks", "sim.deliveries", "sim.events", "sim.faults",
+        "sim.queue_depth", "sim.queue_depth_max", "trace.evicted",
+        "trace.recorded", "workload.completed", "workload.latency_ms",
+        "workload.not_ordered", "workload.offered_load", "workload.submitted",
+        "workload.submitted_in_window", "workload.throughput",
+    };
+    EXPECT_EQ(names, golden);
 }
 
 TEST(DeploymentTest, ValueSizePropagatesToWire) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/failover_invariants.hpp"
 #include "check/gossip_invariants.hpp"
 #include "check/invariant.hpp"
 #include "check/paxos_invariants.hpp"
@@ -15,12 +16,14 @@
 #include "net/network.hpp"
 #include "paxos/acceptor.hpp"
 #include "paxos/learner.hpp"
+#include "paxos/process.hpp"
 #include "semantic/paxos_semantics.hpp"
 #include "test_util.hpp"
 
 namespace gossipc {
 namespace {
 
+using testutil::FakeTransport;
 using testutil::make_2b;
 using testutil::make_value;
 using testutil::wrap;
@@ -93,9 +96,44 @@ TEST(PaxosInvariantDeathTest, AcceptorMonitorCatchesRewrittenVote) {
     check::AcceptorMonitor monitor;
     acceptor.on_phase2a(1, 3, make_value(0, 1));
     monitor.observe(acceptor);
-    // Deliberate corruption: same (instance, vround), different value.
+    // Deliberate corruption, P-ACC-4: same (instance, vround), different value.
     acceptor.debug_overwrite_accepted(1, 3, make_value(0, 9));
     EXPECT_DEATH(monitor.observe(acceptor), "accepted value changed within round");
+}
+
+TEST(PaxosInvariantDeathTest, AcceptorMonitorCatchesVoteRoundRegression) {
+    Acceptor acceptor;
+    check::AcceptorMonitor monitor;
+    acceptor.on_phase2a(1, 3, make_value(0, 1));
+    monitor.observe(acceptor);
+    // Deliberate corruption, P-ACC-3: the recorded vote round moves backwards.
+    acceptor.debug_overwrite_accepted(1, 2, make_value(0, 1));
+    EXPECT_DEATH(monitor.observe(acceptor), "accepted round moved backwards");
+}
+
+TEST(PaxosInvariantDeathTest, LearnerMonitorCatchesFrontierRegression) {
+    CpuContext ctx{SimTime::zero()};
+    Learner learner(2);
+    check::AgreementMonitor monitor;
+    const Value v = make_value(0, 1);
+    learner.on_decision(DecisionMsg{0, 1, v.id, v.digest(), v}, ctx);
+    monitor.observe({&learner});
+    // A crash with storage loss rewinds the frontier; a rewind the monitor
+    // was not told about (forget_learner) must trip P-LRN-2.
+    learner.reset();
+    EXPECT_DEATH(monitor.observe({&learner}), "delivery frontier moved backwards");
+}
+
+TEST(PaxosInvariantDeathTest, LearnerMonitorCatchesDeliveryCountMismatch) {
+    CpuContext ctx{SimTime::zero()};
+    Learner learner(2);
+    check::AgreementMonitor monitor;
+    const Value v = make_value(0, 1);
+    learner.on_decision(DecisionMsg{0, 1, v.id, v.digest(), v}, ctx);
+    // Deliberate corruption, P-LRN-3: the delivered-value counter decouples
+    // from the frontier, so gapless in-order delivery no longer holds.
+    learner.debug_set_delivered_count(5);
+    EXPECT_DEATH(monitor.observe({&learner}), "inconsistent with");
 }
 
 TEST(PaxosInvariantDeathTest, LearnerRejectsConflictingDecisions) {
@@ -115,7 +153,7 @@ TEST(PaxosInvariantDeathTest, CorruptedAcceptorsTripAgreementCheck) {
     // shown to learner A. The acceptors' slots are then deliberately
     // corrupted to v2, votes are re-derived from the corrupted state and
     // shown to learner B — which decides differently. The cross-learner
-    // agreement monitor must catch the divergence.
+    // agreement monitor (P-AGR-1) must catch the divergence.
     const Value v1 = make_value(0, 1);
     const Value v2 = make_value(7, 9);
     std::vector<Acceptor> acceptors(3);
@@ -157,6 +195,68 @@ TEST(PaxosInvariantTest, AgreementMonitorAcceptsConsistentLearners) {
     monitor.observe({&l1, &l2});
     EXPECT_EQ(l1.frontier(), 2);
     EXPECT_EQ(l2.frontier(), 2);
+}
+
+// --- Coordinator-succession invariants --------------------------------------
+
+namespace crd {
+PaxosConfig three_process_config() {
+    PaxosConfig pc;
+    pc.n = 3;
+    pc.id = 0;
+    pc.timeouts_enabled = false;
+    return pc;
+}
+}  // namespace crd
+
+TEST(FailoverInvariantDeathTest, CoordinatorMonitorCatchesUnownedRound) {
+    Simulator sim;
+    FakeTransport t(sim, 0);
+    PaxosProcess p(crd::three_process_config(), t);
+    ASSERT_NE(p.coordinator(), nullptr);
+    check::CoordinatorMonitor monitor;
+    // Deliberate corruption, P-CRD-1: round 2 is owned by process 1, not 0.
+    p.coordinator()->debug_force_round(2);
+    EXPECT_DEATH(monitor.observe({&p}), "owned by");
+}
+
+TEST(FailoverInvariantDeathTest, CoordinatorMonitorCatchesSharedRound) {
+    Simulator sim;
+    FakeTransport t1(sim, 0);
+    FakeTransport t2(sim, 0);
+    // Two processes believing they are process 0 — the double-identity that
+    // a botched failover could produce.
+    PaxosProcess p1(crd::three_process_config(), t1);
+    PaxosProcess p2(crd::three_process_config(), t2);
+    check::CoordinatorMonitor monitor;
+    p1.coordinator()->debug_force_round(1);
+    p2.coordinator()->debug_force_round(1);
+    // P-CRD-2: at most one active coordinator per round.
+    EXPECT_DEATH(monitor.observe({&p1, &p2}), "actively coordinated by both");
+}
+
+TEST(FailoverInvariantDeathTest, CoordinatorMonitorCatchesRoundRegression) {
+    Simulator sim;
+    FakeTransport t(sim, 0);
+    PaxosProcess p(crd::three_process_config(), t);
+    check::CoordinatorMonitor monitor;
+    p.coordinator()->debug_force_round(4);  // owned: (4-1) % 3 == 0
+    monitor.observe({&p});
+    // P-CRD-3: re-activation below a round this process already coordinated.
+    p.coordinator()->debug_force_round(1);
+    EXPECT_DEATH(monitor.observe({&p}), "coordination round moved backwards");
+}
+
+// --- Simulator invariants ---------------------------------------------------
+
+TEST(SimulatorInvariantDeathTest, PastDatedEventTripsTimeMonotonicity) {
+    Simulator sim;
+    sim.schedule_at(SimTime::millis(1), [] {});
+    sim.run_for(SimTime::millis(1));
+    // Deliberate corruption, SIM-1: an event enqueued behind the clock,
+    // bypassing the clamp every real schedule path applies.
+    sim.debug_schedule_at_unclamped(SimTime::zero(), [] {});
+    EXPECT_DEATH(sim.step(), "event scheduled in the past");
 }
 
 // --- Semantic-gossip invariants --------------------------------------------
@@ -214,7 +314,7 @@ TEST(GossipInvariantDeathTest, AggregatedMessageMustNotReachDelivery) {
     GossipNode node(net.node(0), {1}, GossipNode::Params{}, hooks);
     const Value v = make_value(0, 1);
     GossipAppMessage msg = wrap(make_2b(1, 1, 1, v));
-    msg.aggregated = true;  // an unreversed aggregate on the delivery path
+    msg.aggregated = true;  // an unreversed aggregate on the delivery path: G-AGG-1
     CpuContext ctx{SimTime::zero()};
     EXPECT_DEATH(node.broadcast(msg, ctx), "entered the broadcast path");
 }

@@ -314,7 +314,7 @@ TEST(WireCodec, RaftCommitRoundTrip) {
 
 // ---- Envelope / digest round-trips -----------------------------------------
 
-TEST(WireCodec, EnvelopeWithPaxosPayloadRoundTrip) {
+TEST(WireCodec, GossipEnvelopeWithPaxosPayloadRoundTrip) {
     auto payload = std::make_shared<Phase2bMsg>(5, 42, 3, ValueId{2, 8}, 0xfeedfaceULL, 1);
     GossipAppMessage app;
     app.id = payload->unique_key();

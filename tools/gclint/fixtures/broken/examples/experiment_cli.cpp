@@ -1,0 +1,7 @@
+#include "core/experiment.hpp"
+
+int main() {
+    gossipc::ExperimentConfig cfg;
+    cfg.n = 5;
+    return cfg.n;
+}

@@ -1,0 +1,3 @@
+// gclint: allow(made-up-rule) this rule does not exist
+// gclint: allow(config-wiring)
+int main() { return 0; }

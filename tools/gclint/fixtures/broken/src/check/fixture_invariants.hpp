@@ -1,0 +1,3 @@
+#pragma once
+// P-FIX-1: promise floor never regresses.
+// P-FIX-2: decided value never changes.

@@ -1,0 +1,5 @@
+#pragma once
+
+enum class BodyKind : unsigned char {
+    Paxos = 3,
+};

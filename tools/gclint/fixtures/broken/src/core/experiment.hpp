@@ -1,0 +1,10 @@
+#pragma once
+
+namespace gossipc {
+
+struct ExperimentConfig {
+    int n = 3;
+    double unwired_knob = 1.0;
+};
+
+}  // namespace gossipc

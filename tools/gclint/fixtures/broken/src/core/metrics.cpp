@@ -1,0 +1,12 @@
+#include "stats/registry.hpp"
+
+namespace gossipc {
+
+void fill(MetricsRegistry& registry) {
+    registry.counter("m.tested");
+    registry.gauge("m.orphan");
+    registry.histogram("m.conflict");
+    registry.counter("m.conflict");
+}
+
+}  // namespace gossipc

@@ -1,0 +1,5 @@
+#include "core/experiment.hpp"
+
+namespace gossipc {
+int report(const ExperimentConfig& config) { return config.n; }
+}  // namespace gossipc

@@ -1,0 +1,26 @@
+#include "paxos/message.hpp"
+
+namespace gossipc::wire {
+
+constexpr unsigned char kPaxosClientValue = 1;
+constexpr unsigned char kPaxosPhase2b = 5;
+
+int encode(const PaxosMessage& msg) {
+    switch (msg.type()) {
+        case PaxosMsgType::ClientValue: return kPaxosClientValue;
+        case PaxosMsgType::Phase2b: return kPaxosPhase2b;
+        default: return -1;
+    }
+}
+
+int decode(unsigned char tag) {
+    // Raw-tag switch: its default is the unknown-input rejection path and
+    // must stay exempt. Note kPaxosPhase2b has no case here — the broken
+    // wire-coverage expectation.
+    switch (tag) {
+        case kPaxosClientValue: return 0;
+        default: return -1;
+    }
+}
+
+}  // namespace gossipc::wire

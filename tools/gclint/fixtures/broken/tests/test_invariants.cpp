@@ -1,0 +1,1 @@
+// Exercises P-FIX-1 (death test) and the unknown P-TYPO-9.

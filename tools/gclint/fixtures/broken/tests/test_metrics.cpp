@@ -1,0 +1,2 @@
+// Snapshot covers "m.tested" and "m.conflict" only; the orphaned gauge is
+// deliberately absent so the broken fixture trips the snapshot check.

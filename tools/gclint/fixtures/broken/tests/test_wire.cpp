@@ -1,0 +1,7 @@
+#include <gtest/gtest.h>
+
+TEST(WireTest, ClientValueRoundTrip) {}
+
+// Golden layout pins: ClientValue tag 1. (The second enumerator is
+// deliberately absent here.)
+TEST(WireTest, GoldenLayout) {}

@@ -1,0 +1,1 @@
+// Fuzz corpus seeds cover ClientValue only.

@@ -1,0 +1,4 @@
+#pragma once
+// P-FIX-1: promise floor never regresses.
+// gclint: allow(invariant-test-coverage) P-FIX-2 is a pure postcondition with no corruption hook
+// P-FIX-2: decided value never changes.

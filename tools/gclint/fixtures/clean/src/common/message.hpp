@@ -1,0 +1,7 @@
+#pragma once
+
+enum class BodyKind : unsigned char {
+    // gclint: allow(wire-coverage) Other is the in-memory-only sentinel with no wire form
+    Other = 0,
+    Paxos = 3,
+};

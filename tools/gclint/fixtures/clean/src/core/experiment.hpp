@@ -1,0 +1,11 @@
+#pragma once
+
+namespace gossipc {
+
+struct ExperimentConfig {
+    int n = 3;
+    // gclint: allow(config-wiring) fixture: programmatic-only field
+    int internal_only = 0;
+};
+
+}  // namespace gossipc

@@ -1,0 +1,9 @@
+#include "stats/registry.hpp"
+
+namespace gossipc {
+
+void fill(MetricsRegistry& registry) {
+    registry.counter("m.tested");
+}
+
+}  // namespace gossipc

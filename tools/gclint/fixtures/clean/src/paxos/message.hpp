@@ -1,0 +1,10 @@
+#pragma once
+
+namespace gossipc {
+
+enum class PaxosMsgType {
+    ClientValue,
+    Phase2b,
+};
+
+}  // namespace gossipc

@@ -1,0 +1,44 @@
+#include "common/message.hpp"
+#include "paxos/message.hpp"
+
+namespace gossipc::wire {
+
+constexpr unsigned char kPaxosClientValue = 1;
+constexpr unsigned char kPaxosPhase2b = 5;
+
+enum class WireBodyKind : unsigned char { Paxos = 3 };
+
+int encode(const PaxosMessage& msg) {
+    switch (msg.type()) {
+        case PaxosMsgType::ClientValue: return kPaxosClientValue;
+        case PaxosMsgType::Phase2b: return kPaxosPhase2b;
+    }
+    return -1;
+}
+
+int decode(unsigned char tag) {
+    // Raw-tag switch: default is the unknown-input rejection path, exempt
+    // from switch-exhaustiveness by construction.
+    switch (tag) {
+        case kPaxosClientValue: return 0;
+        case kPaxosPhase2b: return 1;
+        default: return -1;
+    }
+}
+
+int encode_kind(BodyKind k) {
+    switch (k) {
+        case BodyKind::Paxos: return 3;
+        case BodyKind::Other: return -1;
+    }
+    return -1;
+}
+
+int route(WireBodyKind k) {
+    switch (k) {
+        case WireBodyKind::Paxos: return 1;
+    }
+    return -1;
+}
+
+}  // namespace gossipc::wire

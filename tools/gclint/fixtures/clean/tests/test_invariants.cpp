@@ -1,0 +1,1 @@
+// Exercises P-FIX-1 via a death test.

@@ -1,0 +1,1 @@
+// Snapshot covers "m.tested".

