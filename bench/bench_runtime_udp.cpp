@@ -1,0 +1,311 @@
+// Runtime transport bench (DESIGN.md §12): UDP vs TCP delivery reliability
+// and latency under injected datagram loss.
+//
+// Every leg runs the real runtime stack — Reactor, RealTransport,
+// PaxosProcess, PaxosSemantics — inside one process and orders the same
+// client-value workload; what varies is the channel underneath:
+//
+//   tcp_semantic            ConnectionManager over real loopback sockets
+//                           (the clean-path reference)
+//   udp_semantic            UdpLink over the in-process datagram harness,
+//                           no faults
+//   udp_semantic_loss20     same link with 20% loss + duplication + reorder
+//   udp_tcplike_loss20      same lossy link with force_reliable: every body
+//                           retransmitted until acked — the TCP-equivalent
+//                           service over identical loss, which is the
+//                           apples-to-apples p99 comparison the stream
+//                           transport itself cannot provide (it cannot ride
+//                           the datagram harness)
+//   udp_direct_loss20       Direct (no gossip redundancy) over the lossy
+//                           link: the reliability layer alone carries Paxos
+//
+// Per leg: ordered fraction, client-observed latency p50/p99, datagram
+// delivery fraction, retransmits, duplicate deliveries. Unlike the
+// simulator benches these run on the wall clock, so the pinned baseline
+// tracks ballpark shifts, not exact values.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/datagram_faults.hpp"
+#include "gossip/hooks.hpp"
+#include "overlay/random_overlay.hpp"
+#include "paxos/process.hpp"
+#include "runtime/conn_manager.hpp"
+#include "runtime/lossy_link.hpp"
+#include "runtime/real_transport.hpp"
+#include "runtime/tcp.hpp"
+#include "runtime/udp_link.hpp"
+#include "semantic/paxos_semantics.hpp"
+#include "stats/histogram.hpp"
+
+namespace gossipc::bench {
+namespace {
+
+using runtime::ConnectionManager;
+using runtime::LossyDatagramNetwork;
+using runtime::PeerChannel;
+using runtime::Reactor;
+using runtime::RealTransport;
+using runtime::UdpLink;
+
+enum class Channel { Tcp, Udp };
+
+struct LegConfig {
+    std::string name;
+    Channel channel = Channel::Udp;
+    RealTransport::Mode mode = RealTransport::Mode::Gossip;
+    bool semantic = true;
+    fault::DatagramFaultSpec faults;
+    bool force_reliable = false;
+    int n = 5;
+    int values = 200;
+};
+
+struct LegResult {
+    double ordered_fraction = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double datagram_delivery = 1.0;  ///< delivered / (sent + duplicated)
+    double retransmits = 0.0;
+    double duplicate_datagrams = 0.0;
+};
+
+struct BenchNode {
+    std::unique_ptr<ConnectionManager> conns;
+    std::unique_ptr<UdpLink> link;
+    PassThroughHooks pass_through;
+    std::unique_ptr<PaxosSemantics> semantics;
+    std::unique_ptr<RealTransport> transport;
+    std::unique_ptr<PaxosProcess> proc;
+    std::size_t delivered = 0;
+};
+
+LegResult run_leg(const LegConfig& leg) {
+    Reactor reactor;
+    const int n = leg.n;
+
+    // Channel setup: either a shared lossy datagram harness or real
+    // loopback TCP listeners on ephemeral ports.
+    std::unique_ptr<LossyDatagramNetwork> net;
+    std::vector<int> listen_fds;
+    std::vector<runtime::PeerAddress> cluster;
+    if (leg.channel == Channel::Udp) {
+        net = std::make_unique<LossyDatagramNetwork>(reactor, n, /*seed=*/2026);
+        net->set_default_fault(leg.faults);
+    } else {
+        for (int i = 0; i < n; ++i) {
+            std::string err;
+            const int fd = runtime::listen_tcp("127.0.0.1", 0, &err);
+            if (fd < 0) {
+                std::fprintf(stderr, "listen_tcp: %s\n", err.c_str());
+                std::exit(1);
+            }
+            listen_fds.push_back(fd);
+            cluster.push_back(runtime::PeerAddress{"127.0.0.1", runtime::local_port(fd)});
+        }
+    }
+
+    const Graph overlay = make_connected_overlay(n, 42);
+    std::vector<std::unique_ptr<BenchNode>> nodes;
+    Histogram latencies_ms;
+    std::map<std::int64_t, SimTime> submitted_at;  ///< by ValueId seq (node 0 owns all)
+
+    for (int i = 0; i < n; ++i) {
+        auto node = std::make_unique<BenchNode>();
+        PeerChannel* chan = nullptr;
+        if (leg.channel == Channel::Udp) {
+            UdpLink::Params lp;
+            lp.force_reliable = leg.force_reliable;
+            node->link = std::make_unique<UdpLink>(reactor, i, n, net->endpoint(i), lp);
+            chan = node->link.get();
+        } else {
+            node->conns = std::make_unique<ConnectionManager>(
+                reactor, i, cluster, listen_fds[static_cast<std::size_t>(i)],
+                ConnectionManager::Params{});
+            chan = node->conns.get();
+        }
+
+        PaxosConfig pc;
+        pc.n = n;
+        pc.id = i;
+        pc.coordinator = 0;
+        pc.heartbeat_piggyback = !leg.semantic;
+
+        GossipHooks* hooks = &node->pass_through;
+        if (leg.semantic) {
+            node->semantics = std::make_unique<PaxosSemantics>(i, pc.quorum(),
+                                                               PaxosSemantics::Options{});
+            hooks = node->semantics.get();
+        }
+
+        RealTransport::Params tp;
+        tp.mode = leg.mode;
+        if (leg.mode == RealTransport::Mode::Gossip) tp.neighbors = overlay.neighbors(i);
+        node->transport = std::make_unique<RealTransport>(reactor, *chan, std::move(tp),
+                                                          *hooks);
+        node->proc = std::make_unique<PaxosProcess>(pc, *node->transport);
+        BenchNode* raw = node.get();
+        auto* lat = &latencies_ms;
+        auto* sub = &submitted_at;
+        auto* r = &reactor;
+        const bool timing_node = i == 0;
+        node->proc->set_delivery_listener(
+            [raw, lat, sub, r, timing_node](InstanceId, const Value& value, CpuContext&) {
+                ++raw->delivered;
+                if (!timing_node) return;
+                if (const auto it = sub->find(value.id.seq); it != sub->end()) {
+                    lat->add((r->now() - it->second).as_nanos() / 1e6);
+                    sub->erase(it);
+                }
+            });
+        nodes.push_back(std::move(node));
+    }
+
+    if (leg.channel == Channel::Tcp) {
+        // Wait for the TCP mesh; UDP needs no handshake.
+        reactor.run_until(
+            [&] {
+                for (int i = 0; i < n; ++i) {
+                    for (const ProcessId p : (leg.mode == RealTransport::Mode::Gossip
+                                                  ? overlay.neighbors(i)
+                                                  : [&] {
+                                                        std::vector<ProcessId> all;
+                                                        for (ProcessId q = 0; q < n; ++q) {
+                                                            if (q != i) all.push_back(q);
+                                                        }
+                                                        return all;
+                                                    }())) {
+                        if (!nodes[static_cast<std::size_t>(i)]->conns->peer_up(p)) {
+                            return false;
+                        }
+                    }
+                }
+                return true;
+            },
+            SimTime::seconds(10));
+    }
+
+    for (auto& node : nodes) node->proc->post_start();
+
+    // All values are submitted by node 0, which also timestamps them; a
+    // paced drip (one value per 500us) keeps queueing delay out of the
+    // latency signal so p99 reflects the transport, not the burst.
+    const int total = leg.values;
+    std::int64_t next = 0;
+    Reactor::TimerId drip = reactor.schedule_every(SimTime::micros(500), [&] {
+        if (next >= total) return;
+        Value value;
+        value.id = ValueId{0, next};
+        submitted_at[next] = reactor.now();
+        ++next;
+        nodes[0]->proc->post_submit(value);
+    });
+
+    const bool converged = reactor.run_until(
+        [&] {
+            if (next < total) return false;
+            for (const auto& node : nodes) {
+                if (node->delivered < static_cast<std::size_t>(total)) return false;
+            }
+            return true;
+        },
+        SimTime::seconds(60));
+    reactor.cancel_timer(drip);
+    if (!converged) {
+        std::fprintf(stderr, "  %s: WARNING — not all values ordered in time\n",
+                     leg.name.c_str());
+    }
+
+    LegResult out;
+    std::size_t min_delivered = static_cast<std::size_t>(total);
+    for (const auto& node : nodes) min_delivered = std::min(min_delivered, node->delivered);
+    out.ordered_fraction = static_cast<double>(min_delivered) / total;
+    if (!latencies_ms.empty()) {
+        out.p50_ms = latencies_ms.percentile(50);
+        out.p99_ms = latencies_ms.percentile(99);
+    }
+    if (net) {
+        const auto& c = net->counters();
+        const double offered = static_cast<double>(c.sent + c.duplicated);
+        if (offered > 0) out.datagram_delivery = static_cast<double>(c.delivered) / offered;
+    }
+    for (const auto& node : nodes) {
+        if (!node->link) continue;
+        const auto& c = node->link->counters();
+        out.retransmits += static_cast<double>(c.retransmits + c.fast_retransmits);
+        out.duplicate_datagrams += static_cast<double>(c.duplicate_datagrams);
+    }
+    return out;
+}
+
+}  // namespace
+}  // namespace gossipc::bench
+
+int main() {
+    using namespace gossipc;
+    using namespace gossipc::bench;
+
+    print_header("Runtime transport: UDP vs TCP under injected loss");
+
+    fault::DatagramFaultSpec loss20;
+    loss20.loss = 0.20;
+    loss20.duplicate = 0.10;
+    loss20.reorder_window = SimTime::millis(2);
+
+    std::vector<LegConfig> legs;
+    {
+        LegConfig leg;
+        leg.name = "tcp_semantic";
+        leg.channel = Channel::Tcp;
+        legs.push_back(leg);
+    }
+    {
+        LegConfig leg;
+        leg.name = "udp_semantic";
+        legs.push_back(leg);
+    }
+    {
+        LegConfig leg;
+        leg.name = "udp_semantic_loss20";
+        leg.faults = loss20;
+        legs.push_back(leg);
+    }
+    {
+        LegConfig leg;
+        leg.name = "udp_tcplike_loss20";
+        leg.faults = loss20;
+        leg.force_reliable = true;
+        legs.push_back(leg);
+    }
+    {
+        LegConfig leg;
+        leg.name = "udp_direct_loss20";
+        leg.mode = RealTransport::Mode::Direct;
+        leg.semantic = false;
+        leg.faults = loss20;
+        leg.n = 3;
+        legs.push_back(leg);
+    }
+
+    BenchReport report("runtime_udp");
+    std::printf("%-22s %8s %9s %9s %9s %9s %7s\n", "leg", "ordered", "p50_ms",
+                "p99_ms", "dgram_ok", "retx", "dups");
+    print_rule();
+    for (const auto& leg : legs) {
+        const LegResult r = run_leg(leg);
+        std::printf("%-22s %8.4f %9.3f %9.3f %9.4f %9.0f %7.0f\n", leg.name.c_str(),
+                    r.ordered_fraction, r.p50_ms, r.p99_ms, r.datagram_delivery,
+                    r.retransmits, r.duplicate_datagrams);
+        report.add(leg.name + ".ordered_fraction", r.ordered_fraction, "frac", true);
+        report.add(leg.name + ".latency_p50_ms", r.p50_ms, "ms", false);
+        report.add(leg.name + ".latency_p99_ms", r.p99_ms, "ms", false);
+        report.add(leg.name + ".datagram_delivery", r.datagram_delivery, "frac", true);
+        report.add(leg.name + ".retransmits", r.retransmits, "count", false);
+    }
+    report.write();
+    return 0;
+}

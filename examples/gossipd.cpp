@@ -1,9 +1,11 @@
 // gossipd — one gossip-consensus node as a real OS process (DESIGN.md §10).
 //
 // Runs the unmodified protocol stack (PaxosProcess + FailureDetector) over
-// the real-socket runtime: the wire codec, the poll reactor, and the TCP
-// connection manager behind a RealTransport. An n-node cluster is n of
-// these processes; scripts/cluster_local.sh launches one on localhost.
+// the real-socket runtime: the wire codec, the poll reactor, and — behind a
+// RealTransport — either the TCP connection manager or the UDP link layer
+// (--transport udp: clustered datagrams with reliable-unordered repair for
+// flagged control traffic, DESIGN.md §12). An n-node cluster is n of these
+// processes; scripts/cluster_local.sh launches one on localhost.
 //
 // Examples:
 //   gossipd --id 0 --cluster 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
@@ -29,6 +31,8 @@
 #include "paxos/process.hpp"
 #include "runtime/real_transport.hpp"
 #include "runtime/tcp.hpp"
+#include "runtime/udp.hpp"
+#include "runtime/udp_link.hpp"
 #include "semantic/paxos_semantics.hpp"
 #include "trace/tracer.hpp"
 
@@ -48,6 +52,9 @@ void on_signal(int) { g_signal = 1; }
         "  --cluster <list>       comma-separated host:port, one per process\n"
         "  --config <file>        same, one host:port per line (# comments)\n"
         "  --setup baseline|gossip|semantic   (default semantic)\n"
+        "  --transport tcp|udp    socket layer (default tcp); udp clusters\n"
+        "                         envelopes into datagrams and retransmits\n"
+        "                         only reliable-flagged control traffic\n"
         "  --degree <k>           gossip overlay out-connections (0 = paper default)\n"
         "  --overlay-seed <u64>   overlay construction seed (default 42); must\n"
         "                         match across the cluster (same seed -> same graph)\n"
@@ -72,6 +79,7 @@ struct Options {
     ProcessId id = -1;
     std::vector<PeerAddress> cluster;
     RealTransport::Mode mode = RealTransport::Mode::Gossip;
+    bool udp = false;
     bool semantic = true;
     int degree = 0;
     std::uint64_t overlay_seed = 42;
@@ -162,6 +170,15 @@ Options parse_options(int argc, char** argv) {
             } else {
                 usage(argv[0], "bad --setup (want baseline|gossip|semantic)");
             }
+        } else if (arg == "--transport") {
+            const std::string v = next();
+            if (v == "tcp") {
+                opt.udp = false;
+            } else if (v == "udp") {
+                opt.udp = true;
+            } else {
+                usage(argv[0], "bad --transport (want tcp|udp)");
+            }
         } else if (arg == "--degree") {
             opt.degree = std::atoi(next());
         } else if (arg == "--overlay-seed") {
@@ -241,8 +258,8 @@ trace::Tracer::PayloadProbe paxos_payload_probe() {
 }
 
 void dump_metrics(std::FILE* out, const Options& opt, const RealTransport& transport,
-                  const ConnectionManager& conns, const PaxosProcess& proc,
-                  const PaxosSemantics* semantics) {
+                  const ConnectionManager* conns, const UdpLink* udp,
+                  const PaxosProcess& proc, const PaxosSemantics* semantics) {
     const auto put = [out](const char* key, std::uint64_t v) {
         std::fprintf(out, "%s %llu\n", key, static_cast<unsigned long long>(v));
     };
@@ -265,18 +282,40 @@ void dump_metrics(std::FILE* out, const Options& opt, const RealTransport& trans
     put("transport.envelopes_sent", tc.envelopes_sent);
     put("transport.send_queue_drops", tc.send_queue_drops);
     put("transport.decode_errors", tc.decode_errors);
-    const auto& cc = conns.counters();
-    put("conn.dials", cc.dials);
-    put("conn.accepts", cc.accepts);
-    put("conn.links_up", cc.links_up);
-    put("conn.disconnects", cc.disconnects);
-    put("conn.frames_sent", cc.frames_sent);
-    put("conn.frames_received", cc.frames_received);
-    put("conn.bytes_sent", cc.bytes_sent);
-    put("conn.bytes_received", cc.bytes_received);
-    put("conn.send_drops_down", cc.send_drops_down);
-    put("conn.send_drops_backpressure", cc.send_drops_backpressure);
-    put("conn.protocol_errors", cc.protocol_errors);
+    if (conns) {
+        const auto& cc = conns->counters();
+        put("conn.dials", cc.dials);
+        put("conn.accepts", cc.accepts);
+        put("conn.links_up", cc.links_up);
+        put("conn.disconnects", cc.disconnects);
+        put("conn.frames_sent", cc.frames_sent);
+        put("conn.frames_received", cc.frames_received);
+        put("conn.bytes_sent", cc.bytes_sent);
+        put("conn.bytes_received", cc.bytes_received);
+        put("conn.send_drops_down", cc.send_drops_down);
+        put("conn.send_drops_backpressure", cc.send_drops_backpressure);
+        put("conn.protocol_errors", cc.protocol_errors);
+    }
+    if (udp) {
+        const auto& uc = udp->counters();
+        put("udp.datagrams_sent", uc.datagrams_sent);
+        put("udp.datagrams_received", uc.datagrams_received);
+        put("udp.bytes_sent", uc.bytes_sent);
+        put("udp.bytes_received", uc.bytes_received);
+        put("udp.bodies_sent", uc.bodies_sent);
+        put("udp.bodies_received", uc.bodies_received);
+        put("udp.acks_only_sent", uc.acks_only_sent);
+        put("udp.jumbo_datagrams", uc.jumbo_datagrams);
+        put("udp.retransmits", uc.retransmits);
+        put("udp.fast_retransmits", uc.fast_retransmits);
+        put("udp.reliable_acked", uc.reliable_acked);
+        put("udp.reliable_dropped", uc.reliable_dropped);
+        put("udp.duplicate_datagrams", uc.duplicate_datagrams);
+        put("udp.stale_datagrams", uc.stale_datagrams);
+        put("udp.duplicate_reliables", uc.duplicate_reliables);
+        put("udp.decode_errors", uc.decode_errors);
+        put("udp.send_failures", uc.send_failures);
+    }
     if (semantics) {
         const auto& ss = semantics->stats();
         put("semantic.filtered_phase2b", ss.filtered_phase2b);
@@ -300,14 +339,33 @@ int main(int argc, char** argv) {
 
     std::string err;
     const PeerAddress& self_addr = opt.cluster[static_cast<std::size_t>(opt.id)];
-    const int listen_fd = listen_tcp(self_addr.host, self_addr.port, &err);
-    if (listen_fd < 0) {
-        std::fprintf(stderr, "gossipd: listen on %s:%u failed: %s\n",
-                     self_addr.host.c_str(), self_addr.port, err.c_str());
-        return 1;
+    std::unique_ptr<ConnectionManager> conns;
+    std::unique_ptr<UdpChannel> udp_channel;
+    std::unique_ptr<UdpLink> udp_link;
+    PeerChannel* chan = nullptr;
+    if (opt.udp) {
+        const int fd = open_udp(self_addr.host, self_addr.port, &err);
+        if (fd < 0) {
+            std::fprintf(stderr, "gossipd: udp bind on %s:%u failed: %s\n",
+                         self_addr.host.c_str(), self_addr.port, err.c_str());
+            return 1;
+        }
+        udp_channel = std::make_unique<UdpChannel>(reactor, fd, opt.cluster);
+        udp_link = std::make_unique<UdpLink>(reactor, opt.id, n, *udp_channel,
+                                             UdpLink::Params{});
+        chan = udp_link.get();
+    } else {
+        const int listen_fd = listen_tcp(self_addr.host, self_addr.port, &err);
+        if (listen_fd < 0) {
+            std::fprintf(stderr, "gossipd: listen on %s:%u failed: %s\n",
+                         self_addr.host.c_str(), self_addr.port, err.c_str());
+            return 1;
+        }
+        conns = std::make_unique<ConnectionManager>(reactor, opt.id, opt.cluster,
+                                                    listen_fd,
+                                                    ConnectionManager::Params{});
+        chan = conns.get();
     }
-    ConnectionManager conns(reactor, opt.id, opt.cluster, listen_fd,
-                            ConnectionManager::Params{});
 
     PaxosConfig pc;
     pc.n = n;
@@ -346,7 +404,7 @@ int main(int argc, char** argv) {
             if (p != opt.id) linked_peers.push_back(p);
         }
     }
-    RealTransport transport(reactor, conns, std::move(tp), *hooks);
+    RealTransport transport(reactor, *chan, std::move(tp), *hooks);
 
     PaxosProcess proc(pc, transport);
 
@@ -411,7 +469,7 @@ int main(int argc, char** argv) {
             return;
         }
         bool all_up = true;
-        for (const ProcessId p : linked_peers) all_up = all_up && conns.peer_up(p);
+        for (const ProcessId p : linked_peers) all_up = all_up && chan->peer_up(p);
         if (all_up || reactor.now() >= start_grace_deadline) {
             reactor.cancel_timer(mesh_poll);
             start_protocol();
@@ -439,7 +497,8 @@ int main(int argc, char** argv) {
                              ? stderr
                              : std::fopen(opt.metrics_path.c_str(), "w");
         if (out) {
-            dump_metrics(out, opt, transport, conns, proc, semantics.get());
+            dump_metrics(out, opt, transport, conns.get(), udp_link.get(), proc,
+                         semantics.get());
             if (out != stderr) std::fclose(out);
         }
     }

@@ -8,6 +8,7 @@
 #     -n NODES     cluster size (default 3, minimum 3)
 #     -v VALUES    total client values to order (default 300)
 #     -s SETUP     baseline | gossip | semantic (default semantic)
+#     -T TRANSPORT tcp | udp (default tcp)
 #     -f           enable failure detector + coordinator failover
 #     -k           SIGKILL the coordinator (node 0) mid-run; implies -f.
 #                  Node 0 then submits no values of its own: values a process
@@ -26,25 +27,32 @@ cd "$(dirname "$0")/.."
 NODES=3
 VALUES=300
 SETUP=semantic
+TRANSPORT=tcp
 FAILOVER=0
 KILL_COORD=0
 TIMEOUT=60
 BINARY=build/examples/gossipd
 DIR=""
 
-while getopts "n:v:s:fkt:b:d:h" o; do
+while getopts "n:v:s:T:fkt:b:d:h" o; do
     case "$o" in
         n) NODES="$OPTARG" ;;
         v) VALUES="$OPTARG" ;;
         s) SETUP="$OPTARG" ;;
+        T) TRANSPORT="$OPTARG" ;;
         f) FAILOVER=1 ;;
         k) KILL_COORD=1; FAILOVER=1 ;;
         t) TIMEOUT="$OPTARG" ;;
         b) BINARY="$OPTARG" ;;
         d) DIR="$OPTARG" ;;
-        h|*) sed -n '2,21p' "$0"; exit 2 ;;
+        h|*) sed -n '2,22p' "$0"; exit 2 ;;
     esac
 done
+
+case "$TRANSPORT" in
+    tcp|udp) ;;
+    *) echo "cluster_local.sh: unknown transport '$TRANSPORT' (tcp|udp)" >&2; exit 2 ;;
+esac
 
 if [ "$NODES" -lt 3 ]; then
     echo "cluster_local.sh: need at least 3 nodes" >&2
@@ -86,7 +94,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "cluster_local.sh: $NODES nodes, $VALUES values, setup=$SETUP" \
-     "failover=$FAILOVER kill-coordinator=$KILL_COORD logs=$DIR"
+     "transport=$TRANSPORT failover=$FAILOVER kill-coordinator=$KILL_COORD logs=$DIR"
 
 for ((i = 0; i < NODES; i++)); do
     SUBMIT=0
@@ -95,7 +103,7 @@ for ((i = 0; i < NODES; i++)); do
         # The first submitter also takes the division remainder.
         [ "$i" -eq "$FIRST_SUBMITTER" ] && SUBMIT=$((PER_NODE + REMAINDER))
     fi
-    ARGS=(--id "$i" --cluster "$CLUSTER" --setup "$SETUP"
+    ARGS=(--id "$i" --cluster "$CLUSTER" --setup "$SETUP" --transport "$TRANSPORT"
           --submit "$SUBMIT" --rate 300 --expect "$VALUES" --run-for "$TIMEOUT"
           --decision-log "$DIR/node$i.log" --metrics "$DIR/node$i.metrics")
     [ "$FAILOVER" -eq 1 ] && ARGS+=(--failover)

@@ -1,0 +1,83 @@
+#include "fault/datagram_faults.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace gossipc::fault {
+
+DatagramFate DatagramFaultModel::decide(const DatagramFaultSpec& spec, ProcessId from,
+                                        ProcessId to, std::uint64_t seq) const {
+    // One independent stream per (link, seq). Every roll is drawn
+    // unconditionally and in a fixed order, so changing one spec field never
+    // shifts the draws behind the others — a corpus pinned with loss-only
+    // faults stays valid when duplication is turned on for the same seed.
+    const std::uint64_t link = hash_combine(
+        hash_combine(static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)),
+                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(to))),
+        seq);
+    Rng rng = Rng::derive(seed_, link);
+
+    const double loss_roll = rng.uniform01();
+    const double dup_roll = rng.uniform01();
+    const double delay_frac = rng.uniform01();
+    const double dup_delay_frac = rng.uniform01();
+    const double trunc_roll = rng.uniform01();
+    const double keep_roll = rng.uniform01();
+
+    DatagramFate fate;
+    if (loss_roll < spec.loss) {
+        fate.drop = true;
+        return fate;  // dropped datagrams have no further fate
+    }
+    if (spec.reorder_window > SimTime::zero()) {
+        fate.delay = SimTime::nanos(static_cast<std::int64_t>(
+            delay_frac * static_cast<double>(spec.reorder_window.as_nanos())));
+    }
+    if (dup_roll < spec.duplicate) {
+        fate.duplicate = true;
+        const SimTime window = spec.reorder_window > SimTime::zero()
+                                   ? spec.reorder_window
+                                   : SimTime::millis(1);
+        fate.duplicate_delay = SimTime::nanos(static_cast<std::int64_t>(
+            dup_delay_frac * static_cast<double>(window.as_nanos())));
+    }
+    if (trunc_roll < spec.truncate) {
+        fate.truncated = true;
+        // Keep between 10% and 90% of the datagram: always lose real bytes,
+        // never the whole thing (total loss is what `loss` models).
+        fate.keep_frac = 0.1 + 0.8 * keep_roll;
+    }
+    return fate;
+}
+
+std::string DatagramFaultModel::describe(ProcessId from, ProcessId to, std::uint64_t seq,
+                                         const DatagramFate& fate) {
+    if (fate.clean()) return {};
+    char buf[160];
+    std::string line;
+    std::snprintf(buf, sizeof buf, "%d->%d seq=%llu", from, to,
+                  static_cast<unsigned long long>(seq));
+    line += buf;
+    if (fate.drop) {
+        line += " drop";
+        return line;
+    }
+    if (fate.delay > SimTime::zero()) {
+        std::snprintf(buf, sizeof buf, " delay_ns=%lld",
+                      static_cast<long long>(fate.delay.as_nanos()));
+        line += buf;
+    }
+    if (fate.duplicate) {
+        std::snprintf(buf, sizeof buf, " dup_delay_ns=%lld",
+                      static_cast<long long>(fate.duplicate_delay.as_nanos()));
+        line += buf;
+    }
+    if (fate.truncated) {
+        std::snprintf(buf, sizeof buf, " trunc_keep=%.6f", fate.keep_frac);
+        line += buf;
+    }
+    return line;
+}
+
+}  // namespace gossipc::fault

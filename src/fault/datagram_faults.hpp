@@ -1,0 +1,83 @@
+// Deterministic datagram-boundary fault model for the UDP runtime
+// (DESIGN.md §12).
+//
+// Mirrors the simulator's LinkFaultSpec semantics (loss, duplication,
+// reordering) at the datagram boundary and adds MTU truncation — the one
+// fault class a datagram transport has that a stream transport does not.
+// Every decision is a pure function of (seed, from, to, seq): the model
+// keeps no state, so the same seed replays the exact same per-datagram
+// fate regardless of wall-clock interleaving. That is what lets the lossy
+// in-process harness (runtime/lossy_link.hpp) produce byte-identical fault
+// logs across runs, and what the pinned corpus in tests/test_regressions.cpp
+// freezes against drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace gossipc::fault {
+
+/// A structured fault window on one *directed* datagram link. Field
+/// semantics match net/network.hpp's LinkFaultSpec where they overlap;
+/// `truncate` is datagram-specific (a slice off the tail, as an MTU
+/// mismatch or a clipped fragment would produce).
+struct DatagramFaultSpec {
+    /// Probability that a datagram is dropped in flight.
+    double loss = 0.0;
+    /// Probability that a datagram is delivered twice (the copy gets its own
+    /// delay draw, so it may also arrive out of order).
+    double duplicate = 0.0;
+    /// When non-zero, each datagram gets uniform extra delay in
+    /// [0, reorder_window] — later sends can overtake earlier ones.
+    SimTime reorder_window = SimTime::zero();
+    /// Probability that a datagram arrives with its tail sliced off (the
+    /// kept fraction is drawn per datagram). Truncated datagrams must be
+    /// rejected cleanly by the datagram codec, never crash it.
+    double truncate = 0.0;
+
+    bool active() const {
+        return loss > 0.0 || duplicate > 0.0 ||
+               reorder_window > SimTime::zero() || truncate > 0.0;
+    }
+};
+
+/// Per-datagram fate. `delay`/`duplicate_delay` are the extra reorder delays
+/// for the original and the duplicate copy; `keep_frac` is the fraction of
+/// the datagram's bytes delivered when truncated (tail removed).
+struct DatagramFate {
+    bool drop = false;
+    bool duplicate = false;
+    bool truncated = false;
+    SimTime delay = SimTime::zero();
+    SimTime duplicate_delay = SimTime::zero();
+    double keep_frac = 1.0;
+
+    bool clean() const { return !drop && !duplicate && !truncated && delay == SimTime::zero(); }
+};
+
+/// Stateless decision source: decide() derives an independent RNG stream
+/// from (seed, from, to, seq) and draws every roll in a fixed order, so a
+/// fate depends only on those four values — never on how many other
+/// datagrams were decided first.
+class DatagramFaultModel {
+public:
+    explicit DatagramFaultModel(std::uint64_t seed) : seed_(seed) {}
+
+    std::uint64_t seed() const { return seed_; }
+
+    DatagramFate decide(const DatagramFaultSpec& spec, ProcessId from, ProcessId to,
+                        std::uint64_t seq) const;
+
+    /// Canonical one-line rendering of a non-clean fate, byte-stable for the
+    /// replay log: "<from>-><to> seq=<seq> <tokens...>". Clean fates render
+    /// to the empty string (they are not logged).
+    static std::string describe(ProcessId from, ProcessId to, std::uint64_t seq,
+                                const DatagramFate& fate);
+
+private:
+    std::uint64_t seed_;
+};
+
+}  // namespace gossipc::fault

@@ -171,6 +171,10 @@ void ConnectionManager::handle_readable(Conn& conn) {
             frame_fn_(conn.peer, frame.type, frame.payload);
             if (!conns_.contains(fd)) return;  // handler tore us down
         }
+        if (body_fn_ && frame.type == wire::FrameType::Body) {
+            body_fn_(conn.peer, frame.payload);
+            if (!conns_.contains(fd)) return;  // handler tore us down
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/peer_channel.hpp"
 #include "runtime/reactor.hpp"
 #include "wire/frame.hpp"
 
@@ -34,7 +35,7 @@ struct PeerAddress {
     std::uint16_t port = 0;
 };
 
-class ConnectionManager {
+class ConnectionManager final : public PeerChannel {
 public:
     struct Params {
         /// Per-connection write-queue cap (bytes); frames beyond it drop.
@@ -66,7 +67,7 @@ public:
     /// (runtime::listen_tcp); the manager owns it from here on.
     ConnectionManager(Reactor& reactor, ProcessId self,
                       std::vector<PeerAddress> cluster, int listen_fd, Params params);
-    ~ConnectionManager();
+    ~ConnectionManager() override;
 
     ConnectionManager(const ConnectionManager&) = delete;
     ConnectionManager& operator=(const ConnectionManager&) = delete;
@@ -76,16 +77,25 @@ public:
 
     /// Declares `peer` a linked neighbor: dials it (if this side dials) and
     /// keeps re-dialing on failure until the manager is destroyed.
-    void link(ProcessId peer);
+    void link(ProcessId peer) override;
 
     /// Queues one frame to `to`. False (and a counter bump) when the link is
     /// down or the write queue is over its cap — the frame is dropped.
     bool send_frame(ProcessId to, wire::FrameType type,
                     std::span<const std::uint8_t> payload);
 
-    bool peer_up(ProcessId peer) const;
-    ProcessId self() const { return self_; }
-    int size() const { return static_cast<int>(cluster_.size()); }
+    // PeerChannel body-level interface. The reliable flag is advisory here:
+    // an up TCP link retransmits everything, a down one drops everything.
+    void set_body_handler(BodyFn fn) override { body_fn_ = std::move(fn); }
+    bool send_body(ProcessId peer, std::span<const std::uint8_t> bytes,
+                   bool reliable) override {
+        (void)reliable;
+        return send_frame(peer, wire::FrameType::Body, bytes);
+    }
+
+    bool peer_up(ProcessId peer) const override;
+    ProcessId self() const override { return self_; }
+    int size() const override { return static_cast<int>(cluster_.size()); }
     const Counters& counters() const { return counters_; }
 
 private:
@@ -121,6 +131,7 @@ private:
     int listen_fd_;
     Params params_;
     FrameFn frame_fn_;
+    BodyFn body_fn_;
     PeerStatusFn status_fn_;
 
     std::unordered_map<int, Conn> conns_;        ///< by fd

@@ -1,0 +1,73 @@
+#include "runtime/lossy_link.hpp"
+
+#include <utility>
+
+namespace gossipc::runtime {
+
+LossyDatagramNetwork::LossyDatagramNetwork(Reactor& reactor, int n, std::uint64_t seed,
+                                           Params params)
+    : reactor_(reactor), params_(params), model_(seed) {
+    endpoints_.reserve(static_cast<std::size_t>(n));
+    for (ProcessId id = 0; id < n; ++id) {
+        endpoints_.push_back(std::make_unique<Endpoint>(*this, id));
+    }
+}
+
+const fault::DatagramFaultSpec& LossyDatagramNetwork::spec_for(ProcessId from,
+                                                               ProcessId to) const {
+    if (const auto it = link_specs_.find({from, to}); it != link_specs_.end()) {
+        return it->second;
+    }
+    return default_spec_;
+}
+
+bool LossyDatagramNetwork::transmit(ProcessId from, ProcessId to,
+                                    std::span<const std::uint8_t> datagram) {
+    if (to < 0 || to >= size() || datagram.size() > params_.max_datagram_bytes) {
+        return false;
+    }
+    ++counters_.sent;
+    const std::uint64_t seq = ++link_seq_[{from, to}];
+    const fault::DatagramFate fate = model_.decide(spec_for(from, to), from, to, seq);
+    if (!fate.clean()) {
+        log_.emplace(std::make_tuple(from, to, seq),
+                     fault::DatagramFaultModel::describe(from, to, seq, fate));
+    }
+    if (fate.drop) {
+        ++counters_.dropped;
+        return true;  // sent, from the sender's point of view
+    }
+    std::vector<std::uint8_t> bytes(datagram.begin(), datagram.end());
+    if (fate.truncated) {
+        ++counters_.truncated;
+        bytes.resize(static_cast<std::size_t>(
+            static_cast<double>(bytes.size()) * fate.keep_frac));
+    }
+    if (fate.delay > SimTime::zero()) ++counters_.reordered;
+    if (fate.duplicate) {
+        ++counters_.duplicated;
+        schedule_delivery(to, bytes, params_.base_delay + fate.duplicate_delay);
+    }
+    schedule_delivery(to, std::move(bytes), params_.base_delay + fate.delay);
+    return true;
+}
+
+void LossyDatagramNetwork::schedule_delivery(ProcessId to, std::vector<std::uint8_t> bytes,
+                                             SimTime delay) {
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+    reactor_.schedule_after(delay, [this, to, buf] {
+        ++counters_.delivered;
+        endpoints_[static_cast<std::size_t>(to)]->deliver(*buf);
+    });
+}
+
+std::string LossyDatagramNetwork::fault_log() const {
+    std::string out;
+    for (const auto& [key, line] : log_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace gossipc::runtime

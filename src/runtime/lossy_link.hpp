@@ -1,0 +1,102 @@
+// Deterministic in-process lossy datagram network (DESIGN.md §12): the
+// test-harness implementation of DatagramChannel.
+//
+// N endpoints exchange datagrams through the reactor's timer queue instead
+// of real sockets; every datagram's fate (drop, duplicate, reorder delay,
+// MTU truncation) comes from the stateless DatagramFaultModel, keyed by
+// (seed, from, to, per-link send index). Two runs that send the same
+// datagrams over the same links therefore produce the same fates — and the
+// harness records each non-clean fate in a canonical log, rendered sorted,
+// so seed-replay tests can assert byte-identical fault logs. No sockets,
+// no kernel buffers: the whole cluster runs under ctest and ASan/UBSan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fault/datagram_faults.hpp"
+#include "runtime/reactor.hpp"
+#include "runtime/udp_link.hpp"
+
+namespace gossipc::runtime {
+
+class LossyDatagramNetwork {
+public:
+    struct Params {
+        /// Channel cap reported to senders (loopback-sized, not WAN-sized).
+        std::size_t max_datagram_bytes = 64 * 1024;
+        /// Fixed propagation delay for every delivery (fates add on top).
+        SimTime base_delay = SimTime::micros(100);
+    };
+
+    struct Counters {
+        std::uint64_t sent = 0;        ///< datagrams handed to the network
+        std::uint64_t delivered = 0;   ///< handler invocations (dups count)
+        std::uint64_t dropped = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t reordered = 0;   ///< got a non-zero reorder delay
+        std::uint64_t truncated = 0;
+    };
+
+    LossyDatagramNetwork(Reactor& reactor, int n, std::uint64_t seed, Params params);
+    LossyDatagramNetwork(Reactor& reactor, int n, std::uint64_t seed)
+        : LossyDatagramNetwork(reactor, n, seed, Params()) {}
+
+    /// Fault spec applied to links without a per-link override.
+    void set_default_fault(const fault::DatagramFaultSpec& spec) { default_spec_ = spec; }
+    void set_link_fault(ProcessId from, ProcessId to,
+                        const fault::DatagramFaultSpec& spec) {
+        link_specs_[{from, to}] = spec;
+    }
+    void clear_link_fault(ProcessId from, ProcessId to) { link_specs_.erase({from, to}); }
+
+    DatagramChannel& endpoint(ProcessId id) { return *endpoints_[static_cast<std::size_t>(id)]; }
+    int size() const { return static_cast<int>(endpoints_.size()); }
+    const Counters& counters() const { return counters_; }
+
+    /// Canonical replay log: one line per non-clean fate, sorted by
+    /// (from, to, seq) — byte-identical for identical (seed, traffic).
+    std::string fault_log() const;
+
+private:
+    class Endpoint final : public DatagramChannel {
+    public:
+        Endpoint(LossyDatagramNetwork& net, ProcessId id) : net_(net), id_(id) {}
+        bool send(ProcessId to, std::span<const std::uint8_t> datagram) override {
+            return net_.transmit(id_, to, datagram);
+        }
+        void set_receive_handler(RecvFn fn) override { recv_ = std::move(fn); }
+        std::size_t max_datagram_bytes() const override {
+            return net_.params_.max_datagram_bytes;
+        }
+        void deliver(std::span<const std::uint8_t> datagram) {
+            if (recv_) recv_(datagram);
+        }
+
+    private:
+        LossyDatagramNetwork& net_;
+        ProcessId id_;
+        RecvFn recv_;
+    };
+
+    bool transmit(ProcessId from, ProcessId to, std::span<const std::uint8_t> datagram);
+    const fault::DatagramFaultSpec& spec_for(ProcessId from, ProcessId to) const;
+    void schedule_delivery(ProcessId to, std::vector<std::uint8_t> bytes, SimTime delay);
+
+    Reactor& reactor_;
+    Params params_;
+    fault::DatagramFaultModel model_;
+    fault::DatagramFaultSpec default_spec_;
+    std::map<std::pair<ProcessId, ProcessId>, fault::DatagramFaultSpec> link_specs_;
+    std::vector<std::unique_ptr<Endpoint>> endpoints_;
+    /// Per-directed-link datagram index driving the fault model.
+    std::map<std::pair<ProcessId, ProcessId>, std::uint64_t> link_seq_;
+    std::map<std::tuple<ProcessId, ProcessId, std::uint64_t>, std::string> log_;
+    Counters counters_;
+};
+
+}  // namespace gossipc::runtime

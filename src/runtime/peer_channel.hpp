@@ -1,0 +1,51 @@
+// The body-level channel seam between RealTransport and the socket layer
+// (DESIGN.md §12).
+//
+// RealTransport decides *what* to send (encoded message bodies) and *how
+// much it matters* (the reliable flag); a PeerChannel decides how bytes get
+// to the peer. Two implementations exist:
+//
+//  * ConnectionManager — framed TCP streams. The kernel already provides
+//    reliable ordered delivery, so the reliable flag is advisory there.
+//  * UdpLink — clustered datagrams with a reliable-unordered layer that
+//    retransmits only reliable-flagged bodies; best-effort bodies ride on
+//    gossip's own redundancy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace gossipc::runtime {
+
+class PeerChannel {
+public:
+    /// Delivers one received encoded message body. `bytes` is valid only for
+    /// the duration of the call.
+    using BodyFn = std::function<void(ProcessId from, std::span<const std::uint8_t> bytes)>;
+
+    virtual ~PeerChannel() = default;
+
+    virtual ProcessId self() const = 0;
+    /// Cluster size (number of processes, including self).
+    virtual int size() const = 0;
+
+    virtual void set_body_handler(BodyFn fn) = 0;
+
+    /// Declares `peer` a linked neighbor the channel should keep reachable.
+    virtual void link(ProcessId peer) = 0;
+
+    /// Whether the link to `peer` is currently believed up.
+    virtual bool peer_up(ProcessId peer) const = 0;
+
+    /// Queues one encoded body to `peer`. `reliable` asks the channel to
+    /// retransmit until acknowledged (where the channel distinguishes —
+    /// a TCP channel delivers everything or nothing either way). False
+    /// means the body was dropped (link down, queue cap, oversized).
+    virtual bool send_body(ProcessId peer, std::span<const std::uint8_t> bytes,
+                           bool reliable) = 0;
+};
+
+}  // namespace gossipc::runtime

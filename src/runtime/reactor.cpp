@@ -1,6 +1,7 @@
 #include "runtime/reactor.hpp"
 
 #include <poll.h>
+#include <time.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -114,10 +115,24 @@ void Reactor::iterate(SimTime max_wait) {
 
     const int timeout_ms =
         static_cast<int>(std::min<std::int64_t>(wait.as_nanos() / 1'000'000 + 1, 1000));
+    ++stats_.polls;
     const int rc = ::poll(pfds.empty() ? nullptr : pfds.data(),
                           static_cast<nfds_t>(pfds.size()), timeout_ms);
     if (rc < 0) {
-        if (errno == EINTR) return;  // signal: let the interrupt check run
+        // EINTR (signal) and EAGAIN (transient kernel resource pressure —
+        // datagram-socket-heavy loops see it) are handled uniformly: return
+        // to the loop top, where the interrupt check runs and timers are
+        // re-evaluated against their deadlines, so an interrupted poll can
+        // neither fire a timer early nor lose one.
+        if (errno == EINTR || errno == EAGAIN) {
+            ++stats_.interrupted;
+            return;
+        }
+        // A persistent poll failure (EINVAL/ENOMEM) would otherwise spin
+        // this loop at 100% CPU; back off briefly and keep serving timers.
+        ++stats_.poll_errors;
+        const timespec backoff{0, 1'000'000};  // 1 ms
+        ::nanosleep(&backoff, nullptr);
         return;
     }
     for (std::size_t i = 0; i < pfds.size(); ++i) {

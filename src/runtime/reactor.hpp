@@ -34,6 +34,16 @@ public:
     using TimerFn = std::function<void()>;
     using TimerId = std::uint64_t;
 
+    /// Loop health counters. Timers are deadline-checked, so an interrupted
+    /// poll can never fire one early — `interrupted` counts how often that
+    /// was exercised; `poll_errors` counts hard poll(2) failures, each of
+    /// which backs off briefly instead of busy-spinning.
+    struct Stats {
+        std::uint64_t polls = 0;        ///< poll(2) calls issued
+        std::uint64_t interrupted = 0;  ///< EINTR/EAGAIN returns
+        std::uint64_t poll_errors = 0;  ///< other poll failures (backoff taken)
+    };
+
     Reactor();
 
     /// Monotonic time since reactor construction.
@@ -71,6 +81,8 @@ public:
     /// whether the predicate held. Test harness convenience.
     bool run_until(const std::function<bool()>& pred, SimTime limit);
 
+    const Stats& stats() const { return stats_; }
+
 private:
     struct FdEntry {
         IoFn fn;
@@ -105,6 +117,7 @@ private:
     std::deque<std::function<void()>> posted_;
     std::function<bool()> interrupt_check_;
     bool stopped_ = false;
+    Stats stats_;
 };
 
 }  // namespace gossipc::runtime

@@ -7,24 +7,24 @@
 
 namespace gossipc::runtime {
 
-RealTransport::RealTransport(Reactor& reactor, ConnectionManager& conns, Params params,
+RealTransport::RealTransport(Reactor& reactor, PeerChannel& chan, Params params,
                              GossipHooks& hooks)
     : reactor_(reactor),
-      conns_(conns),
+      chan_(chan),
       params_(std::move(params)),
       hooks_(hooks),
       seen_(params_.seen_cache_capacity),
       queues_(params_.neighbors.size()) {
-    conns_.set_frame_handler(
-        [this](ProcessId from, wire::FrameType type, std::span<const std::uint8_t> payload) {
-            on_frame(from, type, payload);
+    chan_.set_body_handler(
+        [this](ProcessId from, std::span<const std::uint8_t> payload) {
+            on_body(from, payload);
         });
     if (params_.mode == Mode::Direct) {
-        for (ProcessId p = 0; p < conns_.size(); ++p) {
-            if (p != self()) conns_.link(p);
+        for (ProcessId p = 0; p < chan_.size(); ++p) {
+            if (p != self()) chan_.link(p);
         }
     } else {
-        for (const ProcessId p : params_.neighbors) conns_.link(p);
+        for (const ProcessId p : params_.neighbors) chan_.link(p);
     }
 }
 
@@ -34,7 +34,7 @@ void RealTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
     note_origination(ctx.now());
     if (params_.mode == Mode::Direct) {
         deliver_up(msg, ctx);  // local delivery, as with gossip broadcast
-        for (ProcessId p = 0; p < conns_.size(); ++p) {
+        for (ProcessId p = 0; p < chan_.size(); ++p) {
             if (p != self()) send_body(p, *msg);
         }
         return;
@@ -68,7 +68,7 @@ void RealTransport::send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) {
 
 void RealTransport::send_body(ProcessId to, const MessageBody& body) {
     const std::vector<std::uint8_t> bytes = wire::encode_body(body);
-    conns_.send_frame(to, wire::FrameType::Body, bytes);
+    chan_.send_body(to, bytes, reliable_over_datagrams(body, params_.mode));
 }
 
 void RealTransport::forward(const GossipAppMessage& msg, ProcessId exclude) {
@@ -115,18 +115,16 @@ void RealTransport::drain_peer(std::size_t idx, CpuContext& ctx) {
 void RealTransport::send_envelope(const GossipAppMessage& msg, ProcessId peer) {
     GossipAppMessage out = msg;
     ++out.hops;
-    const std::vector<std::uint8_t> bytes =
-        wire::encode_body(GossipEnvelope{std::move(out)});
-    if (conns_.send_frame(peer, wire::FrameType::Body, bytes)) {
+    const GossipEnvelope envelope{std::move(out)};
+    const std::vector<std::uint8_t> bytes = wire::encode_body(envelope);
+    if (chan_.send_body(peer, bytes, reliable_over_datagrams(envelope, params_.mode))) {
         ++counters_.envelopes_sent;
     }
 }
 
 // -- receiving --------------------------------------------------------------
 
-void RealTransport::on_frame(ProcessId from, wire::FrameType type,
-                             std::span<const std::uint8_t> payload) {
-    if (type != wire::FrameType::Body) return;
+void RealTransport::on_body(ProcessId from, std::span<const std::uint8_t> payload) {
     const wire::DecodedBody decoded = wire::decode_body(payload);
     if (!decoded.ok()) {
         ++counters_.decode_errors;
@@ -179,6 +177,57 @@ void RealTransport::deliver(const GossipAppMessage& msg, CpuContext& ctx) {
     if (msg.payload && msg.payload->kind() == BodyKind::Paxos) {
         deliver_up(std::static_pointer_cast<const PaxosMessage>(msg.payload), ctx);
     }
+}
+
+// -- reliability policy ------------------------------------------------------
+
+bool reliable_over_datagrams(const MessageBody& body, RealTransport::Mode mode) {
+    switch (body.kind()) {
+        case BodyKind::GossipEnvelope: {
+            const auto& env = static_cast<const GossipEnvelope&>(body);
+            return env.message().payload &&
+                   reliable_over_datagrams(*env.message().payload, mode);
+        }
+        case BodyKind::Paxos: {
+            const auto& msg = static_cast<const PaxosMessage&>(body);
+            switch (msg.type()) {
+                // Phase 1 runs once per coordinator round over ranged
+                // instances — losing it stalls the pipeline, so it is always
+                // repaired at the link. Client values and learner repair
+                // requests are unicast (no gossip redundancy behind them).
+                case PaxosMsgType::ClientValue:
+                case PaxosMsgType::Phase1a:
+                case PaxosMsgType::Phase1b:
+                case PaxosMsgType::LearnRequest:
+                    return true;
+                // Phase 2 and Decision traffic: per-instance, flooded in
+                // Gossip mode where redundant paths are the repair
+                // mechanism (and the protocol retransmits on timeout
+                // anyway); point-to-point in Direct mode, where the link is
+                // the only path.
+                case PaxosMsgType::Phase2a:
+                case PaxosMsgType::Phase2b:
+                case PaxosMsgType::Phase2bAggregate:
+                case PaxosMsgType::Decision:
+                    return mode == RealTransport::Mode::Direct;
+                // Heartbeats are periodic by construction; a retransmitted
+                // stale heartbeat is worse than the next fresh one.
+                case PaxosMsgType::Heartbeat:
+                    return false;
+            }
+            return false;  // unreachable: the switch above is exhaustive
+        }
+        // Pull digests are periodic anti-entropy (the next round supersedes
+        // a lost one); Raft ships bare control traffic like Direct Paxos;
+        // Other has no wire form at all.
+        case BodyKind::PullDigest:
+            return false;
+        case BodyKind::Raft:
+            return mode == RealTransport::Mode::Direct;
+        case BodyKind::Other:
+            return false;
+    }
+    return false;  // unreachable: the switch above is exhaustive
 }
 
 // -- timers / tasks ---------------------------------------------------------

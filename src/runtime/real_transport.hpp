@@ -1,7 +1,9 @@
-// Transport over real TCP sockets (DESIGN.md §10): the socket-backed
+// Transport over real sockets (DESIGN.md §10, §12): the socket-backed
 // counterpart of DirectTransport/GossipTransport. PaxosProcess and
 // FailureDetector depend only on the Transport interface, so the protocol
-// stack runs over this transport unmodified.
+// stack runs over this transport unmodified. The socket layer underneath is
+// a PeerChannel — framed TCP streams (ConnectionManager) or clustered UDP
+// datagrams (UdpLink) — selected by gossipd --transport.
 //
 // Two modes, matching the simulator's setups:
 //  * Direct — point-to-point unicast to every cluster member (the Baseline
@@ -26,7 +28,7 @@
 
 #include "gossip/hooks.hpp"
 #include "gossip/seen_cache.hpp"
-#include "runtime/conn_manager.hpp"
+#include "runtime/peer_channel.hpp"
 #include "runtime/reactor.hpp"
 #include "transport/transport.hpp"
 
@@ -64,12 +66,12 @@ public:
 
     /// `hooks` must outlive the transport (pass PassThroughHooks for classic
     /// gossip, PaxosSemantics for the Semantic setup). Installs itself as
-    /// `conns`'s frame handler and links the relevant peers.
-    RealTransport(Reactor& reactor, ConnectionManager& conns, Params params,
+    /// `chan`'s body handler and links the relevant peers.
+    RealTransport(Reactor& reactor, PeerChannel& chan, Params params,
                   GossipHooks& hooks);
 
     // Transport interface — the seam the protocol stack plugs into.
-    ProcessId self() const override { return conns_.self(); }
+    ProcessId self() const override { return chan_.self(); }
     void broadcast(PaxosMessagePtr msg, CpuContext& ctx) override;
     void send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) override;
     void schedule(SimTime delay, std::function<void(CpuContext&)> fn) override;
@@ -79,8 +81,7 @@ public:
     const Counters& counters() const { return counters_; }
 
 private:
-    void on_frame(ProcessId from, wire::FrameType type,
-                  std::span<const std::uint8_t> payload);
+    void on_body(ProcessId from, std::span<const std::uint8_t> payload);
     void on_envelope(const GossipAppMessage& msg, ProcessId from, CpuContext& ctx);
     void accept(const GossipAppMessage& msg, ProcessId received_from, CpuContext& ctx);
     void deliver(const GossipAppMessage& msg, CpuContext& ctx);
@@ -90,7 +91,7 @@ private:
     void send_body(ProcessId to, const MessageBody& body);
 
     Reactor& reactor_;
-    ConnectionManager& conns_;
+    PeerChannel& chan_;
     Params params_;
     GossipHooks& hooks_;
     SeenCache seen_;
@@ -103,5 +104,14 @@ private:
 
     Counters counters_;
 };
+
+/// Reliability policy over datagram channels (DESIGN.md §12): which bodies
+/// the UDP link should retransmit until acked. Consensus-critical control
+/// traffic (Phase 1, client values, learner repair requests) is reliable;
+/// Phase 2 and Decision traffic in Gossip mode rides best-effort on gossip's
+/// own redundancy, exactly the loss tolerance the paper claims. For a
+/// GossipEnvelope the policy is that of its payload. TCP channels ignore
+/// the flag (the stream is reliable wholesale).
+bool reliable_over_datagrams(const MessageBody& body, RealTransport::Mode mode);
 
 }  // namespace gossipc::runtime

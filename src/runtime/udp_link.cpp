@@ -1,0 +1,358 @@
+#include "runtime/udp_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "wire/datagram.hpp"
+
+namespace gossipc::runtime {
+
+UdpLink::UdpLink(Reactor& reactor, ProcessId self, int cluster_size,
+                 DatagramChannel& channel, Params params)
+    : reactor_(reactor),
+      self_(self),
+      cluster_size_(cluster_size),
+      channel_(channel),
+      params_(std::move(params)),
+      peers_(static_cast<std::size_t>(cluster_size)) {
+    channel_.set_receive_handler(
+        [this](std::span<const std::uint8_t> bytes) { on_datagram(bytes); });
+    rto_timer_ = reactor_.schedule_every(params_.rto_sweep, [this] { rto_sweep(); });
+    keepalive_timer_ =
+        reactor_.schedule_every(params_.keepalive, [this] { keepalive_sweep(); });
+}
+
+UdpLink::~UdpLink() {
+    reactor_.cancel_timer(rto_timer_);
+    reactor_.cancel_timer(keepalive_timer_);
+    for (Peer& p : peers_) {
+        if (p.ack_timer_armed) reactor_.cancel_timer(p.ack_timer);
+    }
+    channel_.set_receive_handler(nullptr);
+}
+
+void UdpLink::link(ProcessId peer) {
+    if (peer < 0 || peer >= cluster_size_ || peer == self_) return;
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    if (p.linked) return;
+    p.linked = true;
+    // Introduce ourselves immediately: the peer's peer_up() flips on the
+    // first datagram it hears, and keepalives repeat the introduction until
+    // the peer is actually listening.
+    send_pure_ack(peer, p);
+}
+
+bool UdpLink::peer_up(ProcessId peer) const {
+    if (peer < 0 || peer >= cluster_size_) return false;
+    return peers_[static_cast<std::size_t>(peer)].heard;
+}
+
+std::size_t UdpLink::unacked(ProcessId peer) const {
+    if (peer < 0 || peer >= cluster_size_) return 0;
+    return peers_[static_cast<std::size_t>(peer)].unacked.size();
+}
+
+// -- sending ------------------------------------------------------------------
+
+bool UdpLink::send_body(ProcessId peer, std::span<const std::uint8_t> bytes,
+                        bool reliable) {
+    if (peer < 0 || peer >= cluster_size_ || peer == self_) return false;
+    Peer& p = peers_[static_cast<std::size_t>(peer)];
+    const bool rel = reliable || params_.force_reliable;
+    const std::size_t wire_cost =
+        wire::kDatagramHeaderBytes + wire::kDatagramSubHeaderBytes + bytes.size();
+    if (wire_cost > channel_.max_datagram_bytes()) {
+        ++counters_.send_failures;
+        if (rel) ++counters_.reliable_dropped;
+        return false;
+    }
+    PendingSub sub;
+    sub.reliable = rel;
+    sub.body.assign(bytes.begin(), bytes.end());
+    if (rel) {
+        if (p.unacked.size() >= params_.reliable_window) {
+            ++counters_.reliable_dropped;
+            return false;
+        }
+        sub.rel_id = p.next_rel_id++;
+        RelEntry entry;
+        entry.body = sub.body;
+        entry.rto = params_.rto_initial;
+        entry.rto_deadline = reactor_.now() + entry.rto;
+        p.unacked.emplace(sub.rel_id, std::move(entry));
+    }
+    ++counters_.bodies_sent;
+    queue_sub(peer, p, std::move(sub));
+    return true;
+}
+
+void UdpLink::queue_sub(ProcessId to, Peer& p, PendingSub sub) {
+    p.pending.push_back(std::move(sub));
+    schedule_flush(to, p);
+}
+
+void UdpLink::schedule_flush(ProcessId to, Peer& p) {
+    if (p.flush_scheduled) return;
+    p.flush_scheduled = true;
+    // Flush on the next loop turn so every body queued in this turn (a
+    // broadcast fan-out, a gossip drain batch) clusters into one datagram.
+    reactor_.post([this, to] { flush(to); });
+}
+
+void UdpLink::flush(ProcessId to) {
+    Peer& p = peers_[static_cast<std::size_t>(to)];
+    p.flush_scheduled = false;
+    if (p.pending.empty()) {
+        if (p.ack_pending) send_pure_ack(to, p);
+        return;
+    }
+    std::vector<PendingSub> pending;
+    pending.swap(p.pending);
+    std::size_t i = 0;
+    while (i < pending.size()) {
+        std::vector<wire::DatagramSub> subs;
+        std::size_t size = wire::kDatagramHeaderBytes;
+        while (i < pending.size()) {
+            const std::size_t cost =
+                wire::kDatagramSubHeaderBytes + pending[i].body.size();
+            if (!subs.empty() && size + cost > params_.mtu_bytes) break;
+            subs.push_back(wire::DatagramSub{pending[i].reliable, pending[i].rel_id,
+                                             std::move(pending[i].body)});
+            size += cost;
+            ++i;
+            if (size > params_.mtu_bytes) break;  // lone jumbo body: close it
+        }
+        if (size > params_.mtu_bytes) ++counters_.jumbo_datagrams;
+
+        wire::DatagramHeader h;
+        h.sender = self_;
+        h.seq = p.next_seq++;
+        h.ack = p.recv_latest;
+        h.ack_bits = p.recv_bits;
+        std::vector<std::uint32_t> rels;
+        for (const wire::DatagramSub& s : subs) {
+            if (!s.reliable) continue;
+            rels.push_back(s.rel_id);
+            if (auto it = p.unacked.find(s.rel_id); it != p.unacked.end()) {
+                it->second.newest_seq = h.seq;
+                it->second.rto_deadline = reactor_.now() + it->second.rto;
+            }
+        }
+        if (!rels.empty()) p.seq_rels.emplace(h.seq, std::move(rels));
+
+        const std::vector<std::uint8_t> bytes = wire::encode_datagram(h, subs);
+        p.ack_pending = false;  // the ack rode along
+        p.last_send = reactor_.now();
+        if (channel_.send(to, bytes)) {
+            ++counters_.datagrams_sent;
+            counters_.bytes_sent += bytes.size();
+        } else {
+            ++counters_.send_failures;  // reliable subs will RTO-retransmit
+        }
+    }
+}
+
+void UdpLink::send_pure_ack(ProcessId to, Peer& p) {
+    wire::DatagramHeader h;
+    h.sender = self_;
+    h.seq = 0;  // unsequenced: pure acks are never acked back (no ack storms)
+    h.ack = p.recv_latest;
+    h.ack_bits = p.recv_bits;
+    const std::vector<std::uint8_t> bytes = wire::encode_datagram(h, {});
+    p.ack_pending = false;
+    p.last_send = reactor_.now();
+    if (channel_.send(to, bytes)) {
+        ++counters_.datagrams_sent;
+        ++counters_.acks_only_sent;
+        counters_.bytes_sent += bytes.size();
+    } else {
+        ++counters_.send_failures;
+    }
+}
+
+void UdpLink::retransmit(ProcessId to, Peer& p, std::uint32_t rel_id) {
+    auto it = p.unacked.find(rel_id);
+    if (it == p.unacked.end()) return;  // acked in the meantime
+    PendingSub sub;
+    sub.reliable = true;
+    sub.rel_id = rel_id;
+    sub.body = it->second.body;
+    queue_sub(to, p, std::move(sub));
+}
+
+// -- receiving ----------------------------------------------------------------
+
+void UdpLink::on_datagram(std::span<const std::uint8_t> bytes) {
+    ++counters_.datagrams_received;
+    counters_.bytes_received += bytes.size();
+    wire::DatagramView view;
+    if (wire::decode_datagram(bytes, view) != wire::WireError::None) {
+        ++counters_.decode_errors;
+        return;
+    }
+    const ProcessId from = view.header.sender;
+    if (from < 0 || from >= cluster_size_ || from == self_) {
+        ++counters_.decode_errors;  // mis-addressed or impersonating datagram
+        return;
+    }
+    Peer& p = peers_[static_cast<std::size_t>(from)];
+    p.heard = true;
+    process_acks(from, p, view.header.ack, view.header.ack_bits);
+    if (view.header.seq == 0) return;  // pure ack/keepalive: nothing to deliver
+
+    const bool fresh = note_incoming_seq(p, view.header.seq);
+    // Ack received data lazily: reverse traffic within ack_delay piggybacks
+    // the ack for free, otherwise a pure-ack datagram goes out.
+    p.ack_pending = true;
+    if (!p.ack_timer_armed) {
+        p.ack_timer_armed = true;
+        p.ack_timer = reactor_.schedule_after(params_.ack_delay, [this, from] {
+            Peer& peer = peers_[static_cast<std::size_t>(from)];
+            peer.ack_timer_armed = false;
+            if (peer.ack_pending && !peer.flush_scheduled) send_pure_ack(from, peer);
+        });
+    }
+    if (!fresh) return;  // duplicate datagram: the ack state is all it updates
+
+    for (const wire::DatagramSubView& sub : view.subs) {
+        if (sub.reliable && !note_incoming_rel(p, sub.rel_id)) {
+            ++counters_.duplicate_reliables;
+            continue;
+        }
+        ++counters_.bodies_received;
+        if (body_fn_) body_fn_(from, sub.body);
+    }
+}
+
+bool UdpLink::note_incoming_seq(Peer& p, std::uint32_t seq) {
+    if (seq > p.recv_latest) {
+        const std::uint32_t shift = seq - p.recv_latest;
+        std::uint32_t bits = 0;
+        if (p.recv_latest != 0 && shift <= 32) {
+            bits |= 1u << (shift - 1);  // the old latest enters the window
+            if (shift < 32) bits |= p.recv_bits << shift;
+        }
+        p.recv_bits = bits;
+        p.recv_latest = seq;
+        return true;
+    }
+    if (seq == p.recv_latest) {
+        ++counters_.duplicate_datagrams;
+        return false;
+    }
+    const std::uint32_t behind = p.recv_latest - seq;
+    if (behind > 32) {
+        // Below the window: dedup state is gone. Deliver anyway — reliable
+        // bodies still dedup by rel_id, and everything above the link layer
+        // (seen cache, Paxos) tolerates duplicates by design.
+        ++counters_.stale_datagrams;
+        return true;
+    }
+    const std::uint32_t bit = 1u << (behind - 1);
+    if ((p.recv_bits & bit) != 0) {
+        ++counters_.duplicate_datagrams;
+        return false;
+    }
+    p.recv_bits |= bit;
+    return true;
+}
+
+bool UdpLink::note_incoming_rel(Peer& p, std::uint32_t rel_id) {
+    const std::size_t window = params_.dedup_window;
+    if (p.rel_seen.empty()) p.rel_seen.assign(window, false);
+    if (rel_id > p.rel_latest) {
+        const std::uint32_t jump = rel_id - p.rel_latest;
+        if (static_cast<std::size_t>(jump) >= window) {
+            std::fill(p.rel_seen.begin(), p.rel_seen.end(), false);
+        } else {
+            for (std::uint32_t id = p.rel_latest + 1; id <= rel_id; ++id) {
+                p.rel_seen[id % window] = false;  // slots entering the window
+            }
+        }
+        p.rel_seen[rel_id % window] = true;
+        p.rel_latest = rel_id;
+        return true;
+    }
+    const std::uint32_t behind = p.rel_latest - rel_id;
+    if (static_cast<std::size_t>(behind) >= window) return false;  // too old to tell: assume dup
+    if (p.rel_seen[rel_id % window]) return false;
+    p.rel_seen[rel_id % window] = true;
+    return true;
+}
+
+void UdpLink::process_acks(ProcessId to, Peer& p, std::uint32_t ack,
+                           std::uint32_t ack_bits) {
+    if (ack == 0) return;  // peer has heard nothing from us yet
+    const auto is_acked = [&](std::uint32_t s) {
+        if (s == ack) return true;
+        if (s < ack) {
+            const std::uint32_t behind = ack - s;
+            if (behind <= 32) return ((ack_bits >> (behind - 1)) & 1u) != 0;
+        }
+        return false;  // s > ack: the peer has not seen that far yet
+    };
+    // Scan in one pass; retransmissions are queued after the scan so the
+    // map is not mutated mid-iteration. A rel_id is only re-sent off seq s
+    // when s is its *newest* transmission — an older copy deemed lost while
+    // a fresh one is still in flight is not worth a third copy yet.
+    std::vector<std::uint32_t> retx;
+    for (auto it = p.seq_rels.begin(); it != p.seq_rels.end();) {
+        const std::uint32_t s = it->first;
+        if (is_acked(s)) {
+            for (const std::uint32_t rel : it->second) {
+                if (p.unacked.erase(rel) > 0) ++counters_.reliable_acked;
+            }
+            it = p.seq_rels.erase(it);
+            continue;
+        }
+        const bool off_window = s < ack && ack - s > 32;
+        const bool nacked = s < ack && ack - s >= params_.nack_threshold;
+        if (off_window || nacked) {
+            for (const std::uint32_t rel : it->second) {
+                const auto uit = p.unacked.find(rel);
+                if (uit != p.unacked.end() && uit->second.newest_seq <= s) {
+                    retx.push_back(rel);
+                }
+            }
+            it = p.seq_rels.erase(it);
+            continue;
+        }
+        ++it;
+    }
+    for (const std::uint32_t rel : retx) {
+        ++counters_.fast_retransmits;
+        retransmit(to, p, rel);
+    }
+}
+
+// -- timers -------------------------------------------------------------------
+
+void UdpLink::rto_sweep() {
+    const SimTime now = reactor_.now();
+    for (ProcessId to = 0; to < cluster_size_; ++to) {
+        Peer& p = peers_[static_cast<std::size_t>(to)];
+        if (p.unacked.empty()) continue;
+        std::vector<std::uint32_t> due;
+        for (auto& [rel_id, entry] : p.unacked) {
+            if (now < entry.rto_deadline) continue;
+            entry.rto = std::min(entry.rto * 2, params_.rto_max);
+            entry.rto_deadline = now + entry.rto;
+            due.push_back(rel_id);
+        }
+        for (const std::uint32_t rel : due) {
+            ++counters_.retransmits;
+            retransmit(to, p, rel);
+        }
+    }
+}
+
+void UdpLink::keepalive_sweep() {
+    const SimTime now = reactor_.now();
+    for (ProcessId to = 0; to < cluster_size_; ++to) {
+        Peer& p = peers_[static_cast<std::size_t>(to)];
+        if (!p.linked) continue;
+        if (now - p.last_send >= params_.keepalive) send_pure_ack(to, p);
+    }
+}
+
+}  // namespace gossipc::runtime

@@ -1,0 +1,199 @@
+// UDP link layer (DESIGN.md §12): clusters encoded message bodies into
+// MTU-sized datagrams and runs a reliable-unordered layer on top of a raw
+// datagram channel.
+//
+// Datagram layout is wire/datagram.hpp: every sequenced datagram carries a
+// per-link seq plus an ack + 32-bit selective-ack bitfield piggybacked for
+// the reverse direction. Reliability is per sub-envelope, not per datagram:
+// bodies flagged reliable get a per-link rel_id and are retransmitted
+// (re-clustered into fresh datagrams) until some datagram carrying them is
+// acked — fast-retransmit when the ack window shows later datagrams landed
+// without them, RTO with exponential backoff otherwise. Best-effort bodies
+// are sent exactly once and never mourned: gossip's redundancy is their
+// repair mechanism, which is the paper's premise.
+//
+// Delivery is unordered by design. The receive side dedups datagrams by seq
+// against the 32-deep ack window and dedups reliable bodies by rel_id
+// against a sliding window, so retransmits and network duplicates deliver
+// at most once; ordering is the protocol layer's problem (Paxos instances
+// are self-ordering, gossip envelopes are idempotent by message id).
+//
+// The raw channel underneath is either a real UDP socket (runtime/udp.hpp)
+// or the deterministic in-process lossy harness (runtime/lossy_link.hpp) —
+// UdpLink cannot tell the difference, which is what makes the chaos suite's
+// loss/duplication/reorder/truncation runs byte-reproducible under ctest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/peer_channel.hpp"
+#include "runtime/reactor.hpp"
+
+namespace gossipc::runtime {
+
+/// A raw unreliable datagram endpoint: send whole datagrams, receive whole
+/// datagrams. May drop, duplicate, reorder, or truncate — UdpLink assumes
+/// nothing beyond "a delivered datagram is a contiguous byte buffer".
+class DatagramChannel {
+public:
+    using RecvFn = std::function<void(std::span<const std::uint8_t> datagram)>;
+
+    virtual ~DatagramChannel() = default;
+
+    /// Best-effort send of one datagram. False = locally dropped (too big,
+    /// transient socket error); true says nothing about delivery.
+    virtual bool send(ProcessId to, std::span<const std::uint8_t> datagram) = 0;
+    virtual void set_receive_handler(RecvFn fn) = 0;
+    /// Largest datagram the channel accepts (jumbo sends are capped here).
+    virtual std::size_t max_datagram_bytes() const = 0;
+};
+
+class UdpLink final : public PeerChannel {
+public:
+    struct Params {
+        /// Datagram size budget for clustering. Bodies that do not fit even
+        /// alone are sent as oversized "jumbo" datagrams up to the channel
+        /// cap (loopback and the in-process harness carry them; a real WAN
+        /// path would fragment).
+        std::size_t mtu_bytes = 1400;
+        /// Delay before a pure-ack datagram when no reverse traffic
+        /// piggybacks the ack first.
+        SimTime ack_delay = SimTime::millis(5);
+        /// Retransmit timeout for unacked reliable bodies; doubles per
+        /// retransmit up to rto_max.
+        SimTime rto_initial = SimTime::millis(40);
+        SimTime rto_max = SimTime::seconds(1);
+        /// How often the RTO sweep runs.
+        SimTime rto_sweep = SimTime::millis(10);
+        /// Keepalive/presence interval: an idle link sends an unsequenced
+        /// ack datagram so peers learn the link is up (peer_up()).
+        SimTime keepalive = SimTime::millis(250);
+        /// Fast retransmit: a reliable body whose newest carrying seq lags
+        /// the peer's cumulative ack by this many datagrams without being
+        /// selectively acked is re-sent without waiting for its RTO.
+        std::uint32_t nack_threshold = 3;
+        /// Cap on in-flight reliable bodies per peer; beyond it new reliable
+        /// sends are dropped and counted (bounded memory, like every other
+        /// queue in the runtime).
+        std::size_t reliable_window = 4096;
+        /// Reliable-body dedup window per peer (rel_ids tracked below the
+        /// highest seen).
+        std::size_t dedup_window = 16384;
+        /// When true every body is treated as reliable regardless of the
+        /// caller's flag — the "TCP-like service over the same lossy link"
+        /// configuration the bench uses as its apples-to-apples baseline.
+        bool force_reliable = false;
+    };
+
+    struct Counters {
+        std::uint64_t datagrams_sent = 0;
+        std::uint64_t datagrams_received = 0;
+        std::uint64_t bytes_sent = 0;
+        std::uint64_t bytes_received = 0;
+        std::uint64_t bodies_sent = 0;           ///< sub-envelopes, first transmission
+        std::uint64_t bodies_received = 0;       ///< sub-envelopes delivered up
+        std::uint64_t acks_only_sent = 0;        ///< unsequenced pure-ack datagrams
+        std::uint64_t jumbo_datagrams = 0;       ///< single body exceeded the MTU budget
+        std::uint64_t retransmits = 0;           ///< RTO-driven re-sends
+        std::uint64_t fast_retransmits = 0;      ///< ack-window-driven re-sends
+        std::uint64_t reliable_acked = 0;
+        std::uint64_t reliable_dropped = 0;      ///< window cap or oversize drop
+        std::uint64_t duplicate_datagrams = 0;   ///< seq seen before (window hit)
+        std::uint64_t stale_datagrams = 0;       ///< seq below the dedup window
+        std::uint64_t duplicate_reliables = 0;   ///< rel_id dedup hits
+        std::uint64_t decode_errors = 0;         ///< undecodable/mis-addressed datagrams
+        std::uint64_t send_failures = 0;         ///< channel refused a datagram
+    };
+
+    /// `channel` must outlive the link. Installs itself as the channel's
+    /// receive handler.
+    UdpLink(Reactor& reactor, ProcessId self, int cluster_size,
+            DatagramChannel& channel, Params params);
+    ~UdpLink() override;
+
+    UdpLink(const UdpLink&) = delete;
+    UdpLink& operator=(const UdpLink&) = delete;
+
+    // PeerChannel interface.
+    ProcessId self() const override { return self_; }
+    int size() const override { return cluster_size_; }
+    void set_body_handler(BodyFn fn) override { body_fn_ = std::move(fn); }
+    void link(ProcessId peer) override;
+    /// Up = we have heard any valid datagram from the peer (keepalives
+    /// count). UDP has no connection to complete, so this is presence, not
+    /// a handshake.
+    bool peer_up(ProcessId peer) const override;
+    bool send_body(ProcessId peer, std::span<const std::uint8_t> bytes,
+                   bool reliable) override;
+
+    const Counters& counters() const { return counters_; }
+    /// In-flight reliable bodies to `peer` (tests/diagnostics).
+    std::size_t unacked(ProcessId peer) const;
+
+private:
+    struct RelEntry {
+        std::vector<std::uint8_t> body;
+        std::uint32_t newest_seq = 0;  ///< latest datagram that carried it
+        SimTime rto = SimTime::zero();
+        SimTime rto_deadline = SimTime::zero();
+    };
+    struct PendingSub {
+        bool reliable = false;
+        std::uint32_t rel_id = 0;
+        std::vector<std::uint8_t> body;
+    };
+    struct Peer {
+        bool linked = false;
+        bool heard = false;
+        // -- outgoing --------------------------------------------------------
+        std::uint32_t next_seq = 1;
+        std::uint32_t next_rel_id = 1;
+        std::vector<PendingSub> pending;
+        bool flush_scheduled = false;
+        std::map<std::uint32_t, RelEntry> unacked;  ///< by rel_id
+        /// Reliable rel_ids carried per sequenced datagram, until acked or
+        /// presumed lost. Only datagrams carrying reliable bodies appear.
+        std::map<std::uint32_t, std::vector<std::uint32_t>> seq_rels;
+        SimTime last_send = SimTime::zero();
+        // -- incoming --------------------------------------------------------
+        std::uint32_t recv_latest = 0;  ///< highest seq received (0 = none)
+        std::uint32_t recv_bits = 0;    ///< window behind recv_latest
+        bool ack_pending = false;
+        bool ack_timer_armed = false;
+        Reactor::TimerId ack_timer = 0;
+        std::vector<bool> rel_seen;     ///< rel_id % dedup_window ring
+        std::uint32_t rel_latest = 0;   ///< highest rel_id seen
+    };
+
+    void on_datagram(std::span<const std::uint8_t> bytes);
+    void queue_sub(ProcessId to, Peer& p, PendingSub sub);
+    void schedule_flush(ProcessId to, Peer& p);
+    void flush(ProcessId to);
+    void process_acks(ProcessId to, Peer& p, std::uint32_t ack, std::uint32_t ack_bits);
+    /// True the first time this (peer, seq) is seen; updates the window.
+    bool note_incoming_seq(Peer& p, std::uint32_t seq);
+    /// True the first time this (peer, rel_id) is seen.
+    bool note_incoming_rel(Peer& p, std::uint32_t rel_id);
+    void retransmit(ProcessId to, Peer& p, std::uint32_t rel_id);
+    void send_pure_ack(ProcessId to, Peer& p);
+    void rto_sweep();
+    void keepalive_sweep();
+
+    Reactor& reactor_;
+    ProcessId self_;
+    int cluster_size_;
+    DatagramChannel& channel_;
+    Params params_;
+    BodyFn body_fn_;
+    std::vector<Peer> peers_;  ///< indexed by ProcessId
+    Reactor::TimerId rto_timer_ = 0;
+    Reactor::TimerId keepalive_timer_ = 0;
+    Counters counters_;
+};
+
+}  // namespace gossipc::runtime

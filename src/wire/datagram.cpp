@@ -1,0 +1,74 @@
+#include "wire/datagram.hpp"
+
+namespace gossipc::wire {
+
+std::size_t datagram_wire_size(std::span<const DatagramSub> subs) {
+    std::size_t total = kDatagramHeaderBytes;
+    for (const DatagramSub& s : subs) total += kDatagramSubHeaderBytes + s.body.size();
+    return total;
+}
+
+std::vector<std::uint8_t> encode_datagram(const DatagramHeader& header,
+                                          std::span<const DatagramSub> subs) {
+    WireWriter w;
+    w.u32(kDatagramMagic);
+    w.u8(kWireVersion);
+    w.u8(0);  // flags, reserved
+    w.u16(static_cast<std::uint16_t>(subs.size()));
+    w.i32(header.sender);
+    w.u32(header.seq);
+    w.u32(header.ack);
+    w.u32(header.ack_bits);
+    for (const DatagramSub& s : subs) {
+        w.u8(s.reliable ? 1 : 0);
+        w.u32(s.rel_id);
+        w.u32(static_cast<std::uint32_t>(s.body.size()));
+        w.bytes(s.body);
+    }
+    return w.take();
+}
+
+WireError decode_datagram(std::span<const std::uint8_t> data, DatagramView& out) {
+    out.subs.clear();
+    if (data.size() > kMaxDatagramBytes) return WireError::Oversized;
+    WireReader r(data);
+    const std::uint32_t magic = r.u32();
+    if (r.ok() && magic != kDatagramMagic) return WireError::BadMagic;
+    const std::uint8_t version = r.u8();
+    if (r.ok() && version != kWireVersion) return WireError::BadVersion;
+    const std::uint8_t flags = r.u8();
+    if (r.ok() && flags != 0) return WireError::BadField;
+    const std::uint16_t count = r.u16();
+    out.header.sender = r.i32();
+    out.header.seq = r.u32();
+    out.header.ack = r.u32();
+    out.header.ack_bits = r.u32();
+    if (!r.ok()) return r.error();
+    if (out.header.sender < 0) return WireError::BadField;
+    // Pure-ack datagrams are unsequenced; sequenced delivery only exists for
+    // datagrams that carry sub-envelopes.
+    if (out.header.seq == 0 && count != 0) return WireError::BadField;
+    // Each sub-envelope costs at least its sub-header: a count that cannot
+    // fit the remaining bytes is rejected before any per-sub work.
+    if (static_cast<std::size_t>(count) * kDatagramSubHeaderBytes > r.remaining()) {
+        return WireError::Truncated;
+    }
+    out.subs.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+        DatagramSubView sub;
+        const std::uint8_t sflags = r.u8();
+        sub.rel_id = r.u32();
+        const std::uint32_t len = r.u32();
+        if (!r.ok()) return r.error();
+        if ((sflags & ~std::uint8_t{1}) != 0) return WireError::BadField;
+        sub.reliable = (sflags & 1) != 0;
+        if (sub.reliable != (sub.rel_id != 0)) return WireError::BadField;
+        sub.body = r.bytes(len);
+        if (!r.ok()) return r.error();
+        out.subs.push_back(sub);
+    }
+    r.expect_end();
+    return r.ok() ? WireError::None : r.error();
+}
+
+}  // namespace gossipc::wire

@@ -1,0 +1,93 @@
+// Datagram framing for the UDP transport (DESIGN.md §12).
+//
+// Where the TCP stream uses 12-byte length-prefixed frames (wire/frame.hpp),
+// a datagram is self-delimiting: one UDP packet carries one datagram, which
+// clusters up to count sub-envelopes behind a fixed 24-byte header:
+//
+//   offset  size  field
+//   0       4     magic      0x47435744 ("DWCG", little-endian)
+//   4       1     version    kWireVersion
+//   5       1     flags      reserved, must be zero
+//   6       2     count      sub-envelopes that follow
+//   8       4     sender     process id of the sending node
+//   12      4     seq        per-link datagram sequence number (1-based);
+//                            0 marks an unsequenced pure-ack/keepalive
+//                            datagram, which must carry count == 0
+//   16      4     ack        highest seq received from the destination
+//                            (0 = nothing received yet)
+//   20      4     ack_bits   bit i set => seq `ack - 1 - i` was received
+//                            (a 32-deep selective-ack history window)
+//
+// Each sub-envelope is a 9-byte sub-header followed by one encoded message
+// body (wire/codec.hpp layout):
+//
+//   offset  size  field
+//   0       1     flags      bit 0 = reliable; other bits must be zero
+//   1       4     rel_id     per-link reliable-envelope id (>= 1 iff the
+//                            reliable flag is set, 0 otherwise)
+//   5       4     length     body bytes that follow
+//
+// Decoding is strict and allocation-free: truncated sub-envelopes, lengths
+// overrunning the datagram, a count that lies, reserved bits, and trailing
+// bytes are all typed errors, never UB — a datagram that fails to decode is
+// dropped whole (datagrams are droppable by definition; the reliability
+// layer re-sends what mattered). The fuzz suite drives this decoder with
+// the same malformed-corpus machinery as the stream framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wire/wire.hpp"
+
+namespace gossipc::wire {
+
+inline constexpr std::uint32_t kDatagramMagic = 0x47435744;  // "DWCG" on the wire (LE)
+inline constexpr std::size_t kDatagramHeaderBytes = 24;
+inline constexpr std::size_t kDatagramSubHeaderBytes = 9;
+/// Hard cap on one datagram's total size: the largest payload a UDP/IPv4
+/// packet can carry. Anything above is rejected before parsing sub-envelopes.
+inline constexpr std::uint32_t kMaxDatagramBytes = 65507;
+
+struct DatagramHeader {
+    ProcessId sender = -1;
+    std::uint32_t seq = 0;       ///< 0 = unsequenced (pure ack/keepalive)
+    std::uint32_t ack = 0;       ///< 0 = nothing received yet
+    std::uint32_t ack_bits = 0;  ///< selective-ack window behind `ack`
+};
+
+/// One sub-envelope to encode: an already-encoded body plus its reliability
+/// tag. `rel_id` must be >= 1 iff `reliable`.
+struct DatagramSub {
+    bool reliable = false;
+    std::uint32_t rel_id = 0;
+    std::vector<std::uint8_t> body;
+};
+
+/// One decoded sub-envelope; `body` views the input buffer.
+struct DatagramSubView {
+    bool reliable = false;
+    std::uint32_t rel_id = 0;
+    std::span<const std::uint8_t> body;
+};
+
+/// One decoded datagram; sub bodies view the input buffer and are valid only
+/// while it lives.
+struct DatagramView {
+    DatagramHeader header;
+    std::vector<DatagramSubView> subs;
+};
+
+/// Serialized size of a datagram carrying `subs` (header + sub-headers +
+/// body bytes) — what UdpLink packs against the MTU budget.
+std::size_t datagram_wire_size(std::span<const DatagramSub> subs);
+
+std::vector<std::uint8_t> encode_datagram(const DatagramHeader& header,
+                                          std::span<const DatagramSub> subs);
+
+/// Strict one-shot decode of one datagram occupying all of `data`.
+/// On failure `out` is unspecified and the error says why.
+WireError decode_datagram(std::span<const std::uint8_t> data, DatagramView& out);
+
+}  // namespace gossipc::wire

@@ -85,6 +85,19 @@ public:
     std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
     std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 
+    /// Views the next `n` bytes and advances past them. On underrun latches
+    /// Truncated and returns an empty span.
+    std::span<const std::uint8_t> bytes(std::size_t n) {
+        if (!ok()) return {};
+        if (remaining() < n) {
+            fail(WireError::Truncated);
+            return {};
+        }
+        const auto view = data_.subspan(pos_, n);
+        pos_ += n;
+        return view;
+    }
+
     std::size_t remaining() const { return data_.size() - pos_; }
     std::size_t pos() const { return pos_; }
     bool ok() const { return error_ == WireError::None; }

@@ -6,11 +6,15 @@
 // machine may fire a timer late, never early.
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <fcntl.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/reactor.hpp"
@@ -217,6 +221,97 @@ TEST(Reactor, RemoveFdFromWithinCallback) {
     ASSERT_EQ(::write(p.writer(), "y", 1), 1);
     r.run_until([] { return false; }, ms(5));
     EXPECT_EQ(events, 1);
+}
+
+// -- EINTR / poll-failure handling (DESIGN.md §12) ---------------------------
+
+namespace {
+/// Installs a no-op SIGUSR1 handler (no SA_RESTART, so poll(2) really
+/// returns EINTR) and restores the previous disposition on destruction.
+struct ScopedUsr1Handler {
+    struct sigaction previous = {};
+    ScopedUsr1Handler() {
+        struct sigaction sa = {};
+        sa.sa_handler = [](int) {};
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0;
+        EXPECT_EQ(::sigaction(SIGUSR1, &sa, &previous), 0);
+    }
+    ~ScopedUsr1Handler() { ::sigaction(SIGUSR1, &previous, nullptr); }
+};
+}  // namespace
+
+TEST(Reactor, InterruptedPollNeitherFiresTimersEarlyNorLosesThem) {
+    ScopedUsr1Handler guard;
+    Reactor r;
+
+    const SimTime deadline = ms(40);
+    int fired = 0;
+    SimTime fired_at = SimTime::zero();
+    r.schedule_after(deadline, [&] {
+        ++fired;
+        fired_at = r.now();
+    });
+
+    // Hammer the reactor thread with signals while it sits in poll waiting
+    // for the timer. Every interrupted poll must return to the loop top,
+    // re-check deadlines, and keep waiting — not fire early, not busy-spin,
+    // not drop the timer.
+    std::atomic<bool> stop_signals{false};
+    const pthread_t reactor_thread = ::pthread_self();
+    std::thread pinger([&] {
+        while (!stop_signals.load()) {
+            ::pthread_kill(reactor_thread, SIGUSR1);
+            ::usleep(2000);  // ~20 interrupts across the 40 ms window
+        }
+    });
+
+    const bool done = r.run_until([&] { return fired > 0; }, ms(2000));
+    stop_signals.store(true);
+    pinger.join();
+
+    ASSERT_TRUE(done) << "timer lost under signal storm";
+    EXPECT_EQ(fired, 1);
+    EXPECT_GE(fired_at, deadline) << "timer fired before its deadline";
+    EXPECT_GE(r.stats().interrupted, 1u) << "no poll was actually interrupted";
+    EXPECT_EQ(r.stats().poll_errors, 0u);
+}
+
+TEST(Reactor, InterruptedPollDoesNotBusySpin) {
+    ScopedUsr1Handler guard;
+    Reactor r;
+
+    std::atomic<bool> stop_signals{false};
+    const pthread_t reactor_thread = ::pthread_self();
+    std::thread pinger([&] {
+        while (!stop_signals.load()) {
+            ::pthread_kill(reactor_thread, SIGUSR1);
+            ::usleep(5000);
+        }
+    });
+
+    // Idle reactor under a ~200 Hz interrupt stream for 50 ms: each EINTR
+    // costs exactly one extra loop iteration, so polls stay within the same
+    // order of magnitude as the interrupts. A busy-spinning EINTR path
+    // (retrying poll with a zero timeout, say) would rack up tens of
+    // thousands of polls here.
+    r.run_until([] { return false; }, ms(50));
+    stop_signals.store(true);
+    pinger.join();
+
+    const auto& s = r.stats();
+    EXPECT_GE(s.interrupted, 1u);
+    EXPECT_LE(s.polls, 500u) << "interrupted=" << s.interrupted
+                             << " — EINTR path appears to busy-spin";
+}
+
+TEST(Reactor, IdleLoopIsNotHot) {
+    Reactor r;
+    // 50 ms idle with no fds and no near timers: the poll timeout is capped
+    // at 50 ms, so only a handful of polls may happen.
+    r.run_until([] { return false; }, ms(50));
+    EXPECT_LE(r.stats().polls, 100u);
+    EXPECT_EQ(r.stats().poll_errors, 0u);
 }
 
 TEST(Reactor, TimerAndIoInterleave) {

@@ -20,6 +20,7 @@
 #include "gossip/hooks.hpp"
 #include "overlay/random_overlay.hpp"
 #include "paxos/process.hpp"
+#include "runtime/conn_manager.hpp"
 #include "runtime/real_transport.hpp"
 #include "runtime/tcp.hpp"
 #include "semantic/paxos_semantics.hpp"

@@ -2,7 +2,10 @@
 // encodes a scenario that once failed.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/semantic_gossip.hpp"
+#include "fault/datagram_faults.hpp"
 #include "test_util.hpp"
 
 namespace gossipc {
@@ -251,6 +254,70 @@ TEST(Regression, ChaosCorpusInjectedFaultLogIsPinned) {
               "30000000 partition {1}\n"
               "40000000 heal\n"
               "45000000 churn-drop 0-1 [skipped: no overlay]\n");
+}
+
+// UDP datagram-fate corpus: the same replay contract for the lossy-link
+// harness (DESIGN.md §12). A datagram's fate is a pure function of
+// (seed, from, to, per-link seq) — LossyDatagramNetwork::fault_log() lines
+// are exactly these describe() strings, so pinning the model pins every
+// archived chaos.udp seed. Deliberate fate-model changes must update this
+// corpus and accept that old seeds no longer replay.
+TEST(Regression, UdpDatagramFateCorpusSeed99) {
+    fault::DatagramFaultSpec spec;
+    spec.loss = 0.25;
+    spec.duplicate = 0.15;
+    spec.reorder_window = SimTime::millis(1);
+    spec.truncate = 0.20;
+    const fault::DatagramFaultModel model(99);
+
+    std::string out;
+    const int links[3][2] = {{0, 1}, {1, 0}, {0, 2}};
+    for (const auto& link : links) {
+        for (std::uint64_t seq = 1; seq <= 8; ++seq) {
+            const auto fate = model.decide(spec, link[0], link[1], seq);
+            const std::string line =
+                fault::DatagramFaultModel::describe(link[0], link[1], seq, fate);
+            if (!line.empty()) {
+                out += line;
+                out += '\n';
+            }
+        }
+    }
+    EXPECT_EQ(out,
+              "0->1 seq=1 drop\n"
+              "0->1 seq=2 delay_ns=935641 dup_delay_ns=862870\n"
+              "0->1 seq=3 drop\n"
+              "0->1 seq=4 delay_ns=907791 dup_delay_ns=150876\n"
+              "0->1 seq=5 delay_ns=96297 dup_delay_ns=355882\n"
+              "0->1 seq=6 delay_ns=464602\n"
+              "0->1 seq=7 delay_ns=732274\n"
+              "0->1 seq=8 delay_ns=962238\n"
+              "1->0 seq=1 delay_ns=354763\n"
+              "1->0 seq=2 delay_ns=860115 trunc_keep=0.708014\n"
+              "1->0 seq=3 delay_ns=952554\n"
+              "1->0 seq=4 delay_ns=348362\n"
+              "1->0 seq=5 drop\n"
+              "1->0 seq=6 drop\n"
+              "1->0 seq=7 delay_ns=85424\n"
+              "1->0 seq=8 drop\n"
+              "0->2 seq=1 drop\n"
+              "0->2 seq=2 delay_ns=875700\n"
+              "0->2 seq=3 delay_ns=582436\n"
+              "0->2 seq=4 delay_ns=455465\n"
+              "0->2 seq=5 drop\n"
+              "0->2 seq=6 delay_ns=23851\n"
+              "0->2 seq=7 delay_ns=36692 trunc_keep=0.691527\n"
+              "0->2 seq=8 drop\n");
+
+    // Fates are stateless: querying out of order, or from a fresh model with
+    // the same seed, reproduces the exact same line.
+    const fault::DatagramFaultModel replay(99);
+    EXPECT_EQ(fault::DatagramFaultModel::describe(0, 1, 3, replay.decide(spec, 0, 1, 3)),
+              "0->1 seq=3 drop");
+
+    // A disabled spec never harms a datagram, whatever the seed says.
+    const auto clean = replay.decide(fault::DatagramFaultSpec{}, 0, 1, 3);
+    EXPECT_TRUE(clean.clean());
 }
 
 }  // namespace

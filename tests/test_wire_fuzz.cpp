@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <numeric>
 #include <random>
@@ -24,6 +25,7 @@
 #include "paxos/message.hpp"
 #include "raft/message.hpp"
 #include "wire/codec.hpp"
+#include "wire/datagram.hpp"
 #include "wire/frame.hpp"
 
 namespace gossipc {
@@ -324,6 +326,290 @@ TEST(WireFuzz, FrameStreamRandomGarbageIsSafe) {
             must_not_crash(frame.payload);
         }
     }
+}
+
+// ---- Datagram-level attacks (DESIGN.md §12) --------------------------------
+//
+// Same corpus machinery as the stream framing, aimed at the datagram
+// decoder: clustered sub-envelopes, the selective-ack header, and the
+// reliability tags. Datagrams arrive from the network whole-or-mangled
+// (UDP truncation, duplication, hostile peers), so the decoder must turn
+// every malformed buffer into a typed error with zero allocations and
+// zero UB.
+
+/// Valid datagrams the mutation tests start from: a pure ack, a lone
+/// best-effort sub, a mixed reliable/best-effort cluster (bodies are valid
+/// codec encodings), and a cluster of opaque junk bodies — the link treats
+/// body bytes as opaque, so they need not decode as messages.
+std::vector<std::vector<std::uint8_t>> datagram_seeds() {
+    std::vector<std::vector<std::uint8_t>> out;
+
+    wire::DatagramHeader pure_ack;
+    pure_ack.sender = 2;
+    pure_ack.seq = 0;
+    pure_ack.ack = 17;
+    pure_ack.ack_bits = 0x0000ffffu;
+    out.push_back(wire::encode_datagram(pure_ack, {}));
+
+    const auto bodies = corpus_seeds();
+    wire::DatagramHeader h;
+    h.sender = 0;
+    h.seq = 5;
+    h.ack = 3;
+    h.ack_bits = 0x3;
+
+    std::vector<wire::DatagramSub> one;
+    one.push_back(wire::DatagramSub{false, 0, bodies[0]});
+    out.push_back(wire::encode_datagram(h, one));
+
+    std::vector<wire::DatagramSub> cluster;
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        const bool reliable = i % 2 == 0;
+        cluster.push_back(wire::DatagramSub{
+            reliable, reliable ? static_cast<std::uint32_t>(i + 1) : 0u, bodies[i]});
+    }
+    h.seq = 6;
+    out.push_back(wire::encode_datagram(h, cluster));
+
+    std::vector<wire::DatagramSub> junk;
+    for (int i = 0; i < 4; ++i) {
+        std::vector<std::uint8_t> body(static_cast<std::size_t>(50 + i * 37),
+                                       static_cast<std::uint8_t>(0xa0 + i));
+        junk.push_back(wire::DatagramSub{true, static_cast<std::uint32_t>(100 + i),
+                                         std::move(body)});
+    }
+    h.seq = 7;
+    out.push_back(wire::encode_datagram(h, junk));
+    return out;
+}
+
+/// Decode must either succeed with a self-consistent view or fail cleanly.
+void datagram_must_not_crash(std::span<const std::uint8_t> data) {
+    wire::DatagramView view;
+    const WireError err = wire::decode_datagram(data, view);
+    if (err != WireError::None) return;
+    EXPECT_GE(view.header.sender, 0);
+    if (view.header.seq == 0) {
+        EXPECT_TRUE(view.subs.empty());
+    }
+    for (const auto& sub : view.subs) {
+        EXPECT_EQ(sub.reliable, sub.rel_id != 0);
+        // Views must stay inside the input buffer (the sanitizer run turns
+        // any out-of-bounds view into a hard failure when we touch it).
+        EXPECT_LE(sub.body.size(), data.size());
+        std::uint8_t checksum = 0;
+        for (const std::uint8_t b : sub.body) checksum ^= b;
+        (void)checksum;
+    }
+}
+
+/// Builds the canonical mixed-cluster datagram and hands the raw buffer to
+/// `mutate` before asserting the decoder's verdict.
+template <typename Fn>
+WireError decode_mutated_datagram(Fn mutate) {
+    const auto bodies = corpus_seeds();
+    wire::DatagramHeader h;
+    h.sender = 1;
+    h.seq = 9;
+    h.ack = 4;
+    std::vector<wire::DatagramSub> subs;
+    subs.push_back(wire::DatagramSub{true, 7, bodies[0]});
+    subs.push_back(wire::DatagramSub{false, 0, bodies[1]});
+    std::vector<std::uint8_t> buf = wire::encode_datagram(h, subs);
+    mutate(buf);
+    wire::DatagramView view;
+    return wire::decode_datagram(as_span(buf), view);
+}
+
+TEST(WireFuzz, DatagramSeedsRoundTrip) {
+    for (const auto& seed : datagram_seeds()) {
+        wire::DatagramView view;
+        EXPECT_EQ(wire::decode_datagram(as_span(seed), view), WireError::None);
+    }
+}
+
+TEST(WireFuzz, EveryPrefixOfEveryDatagramIsRejectedCleanly) {
+    // The decoder is whole-buffer strict: a datagram truncated anywhere —
+    // mid-header, mid-sub-header, mid-body — is a typed error. This is the
+    // MTU-truncation fate the lossy harness injects.
+    for (const auto& seed : datagram_seeds()) {
+        for (std::size_t len = 0; len < seed.size(); ++len) {
+            wire::DatagramView view;
+            const WireError err =
+                wire::decode_datagram(std::span<const std::uint8_t>(seed.data(), len), view);
+            EXPECT_NE(err, WireError::None)
+                << "prefix of length " << len << "/" << seed.size() << " decoded";
+        }
+    }
+}
+
+TEST(WireFuzz, EverySingleByteDatagramCorruptionIsSafe) {
+    for (const auto& seed : datagram_seeds()) {
+        std::vector<std::uint8_t> buf = seed;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            const std::uint8_t orig = buf[i];
+            for (const std::uint8_t pattern :
+                 {std::uint8_t{0x00}, std::uint8_t{0xff}, std::uint8_t{0x80},
+                  static_cast<std::uint8_t>(orig + 1)}) {
+                buf[i] = pattern;
+                datagram_must_not_crash(as_span(buf));
+            }
+            buf[i] = orig;
+        }
+    }
+}
+
+TEST(WireFuzz, SeededRandomDatagramMutationsAreSafe) {
+    std::mt19937_64 rng(0xd474d474ULL);  // fixed seed: reproducible corpus
+    const auto seeds = datagram_seeds();
+    std::uniform_int_distribution<std::size_t> pick_seed(0, seeds.size() - 1);
+    std::uniform_int_distribution<int> byte(0, 255);
+
+    for (int iter = 0; iter < 20000; ++iter) {
+        std::vector<std::uint8_t> buf = seeds[pick_seed(rng)];
+        std::uniform_int_distribution<std::size_t> pos(0, buf.size() - 1);
+        const int mutations = 1 + static_cast<int>(rng() % 8);
+        for (int m = 0; m < mutations; ++m) {
+            switch (rng() % 3) {
+                case 0:  // overwrite a byte — sub lengths overlap, counts lie
+                    buf[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+                    break;
+                case 1:  // truncate — the harness's MTU-truncation fate
+                    buf.resize(pos(rng));
+                    break;
+                case 2:  // append garbage — trailing bytes
+                    buf.push_back(static_cast<std::uint8_t>(byte(rng)));
+                    break;
+            }
+            if (buf.empty()) break;
+        }
+        datagram_must_not_crash(as_span(buf));
+    }
+}
+
+// Pinned datagram attacks — each malformation maps to its specific error,
+// so a decoder regression shows up as the wrong code, not just "some error".
+
+TEST(WireFuzz, DatagramBadMagic) {
+    const WireError err = decode_mutated_datagram([](auto& buf) { buf[0] ^= 0xff; });
+    EXPECT_EQ(err, WireError::BadMagic);
+}
+
+TEST(WireFuzz, DatagramBadVersion) {
+    const WireError err =
+        decode_mutated_datagram([](auto& buf) { buf[4] = wire::kWireVersion + 1; });
+    EXPECT_EQ(err, WireError::BadVersion);
+}
+
+TEST(WireFuzz, DatagramReservedHeaderFlagsRejected) {
+    const WireError err = decode_mutated_datagram([](auto& buf) { buf[5] = 0x01; });
+    EXPECT_EQ(err, WireError::BadField);
+}
+
+TEST(WireFuzz, DatagramNegativeSenderRejected) {
+    const WireError err = decode_mutated_datagram([](auto& buf) {
+        buf[8] = buf[9] = buf[10] = buf[11] = 0xff;  // sender = -1
+    });
+    EXPECT_EQ(err, WireError::BadField);
+}
+
+TEST(WireFuzz, DatagramUnsequencedWithSubsRejected) {
+    // seq == 0 marks a pure ack, which must carry count == 0: zero the seq
+    // field of a datagram that still claims two subs.
+    const WireError err = decode_mutated_datagram([](auto& buf) {
+        buf[12] = buf[13] = buf[14] = buf[15] = 0x00;
+    });
+    EXPECT_EQ(err, WireError::BadField);
+}
+
+TEST(WireFuzz, DatagramCountLyingIsTruncated) {
+    // Count claims 0xffff subs: even the sub-headers alone (9 bytes each)
+    // exceed the buffer, and the decoder must say so before reading any.
+    const WireError err = decode_mutated_datagram([](auto& buf) {
+        buf[6] = 0xff;
+        buf[7] = 0xff;
+    });
+    EXPECT_EQ(err, WireError::Truncated);
+}
+
+TEST(WireFuzz, DatagramSubLengthOverrunIsTruncated) {
+    // First sub's length field (header + sub flags(1) + rel_id(4)) inflated
+    // past the end of the buffer — the "overlapping lengths" attack.
+    const WireError err = decode_mutated_datagram([](auto& buf) {
+        const std::size_t len_off = wire::kDatagramHeaderBytes + 5;
+        const std::uint32_t huge = 0x0000ffffu;
+        std::memcpy(buf.data() + len_off, &huge, sizeof huge);
+    });
+    EXPECT_EQ(err, WireError::Truncated);
+}
+
+TEST(WireFuzz, DatagramSubReservedFlagsRejected) {
+    const WireError err = decode_mutated_datagram(
+        [](auto& buf) { buf[wire::kDatagramHeaderBytes] = 0x82; });
+    EXPECT_EQ(err, WireError::BadField);
+}
+
+TEST(WireFuzz, DatagramReliableWithZeroRelIdRejected) {
+    // First sub is reliable with rel_id 7; zero the rel_id.
+    const WireError err = decode_mutated_datagram([](auto& buf) {
+        const std::size_t rel_off = wire::kDatagramHeaderBytes + 1;
+        std::memset(buf.data() + rel_off, 0, 4);
+    });
+    EXPECT_EQ(err, WireError::BadField);
+}
+
+TEST(WireFuzz, DatagramBestEffortWithRelIdRejected) {
+    // Second sub is best-effort with rel_id 0; give it a rel_id. Its offset
+    // depends on the first body's size, so rebuild instead of patching.
+    const auto bodies = corpus_seeds();
+    wire::DatagramHeader h;
+    h.sender = 1;
+    h.seq = 9;
+    wire::WireWriter w;
+    w.u32(wire::kDatagramMagic);
+    w.u8(wire::kWireVersion);
+    w.u8(0);                       // flags
+    w.u16(1);                      // count
+    w.i32(h.sender);
+    w.u32(h.seq);
+    w.u32(0);                      // ack
+    w.u32(0);                      // ack_bits
+    w.u8(0);                       // sub flags: best-effort
+    w.u32(12345);                  // ...but a rel_id anyway
+    w.u32(static_cast<std::uint32_t>(bodies[0].size()));
+    w.bytes(as_span(bodies[0]));
+    wire::DatagramView view;
+    EXPECT_EQ(wire::decode_datagram(as_span(w.data()), view), WireError::BadField);
+}
+
+TEST(WireFuzz, DatagramTrailingBytesRejected) {
+    const WireError err = decode_mutated_datagram([](auto& buf) { buf.push_back(0x00); });
+    EXPECT_EQ(err, WireError::TrailingBytes);
+}
+
+TEST(WireFuzz, DatagramOversizedRejectedBeforeParsing) {
+    // A buffer above the UDP/IPv4 ceiling cannot have come off a socket;
+    // reject on size alone, without touching the contents.
+    std::vector<std::uint8_t> buf(wire::kMaxDatagramBytes + 1, 0xee);
+    wire::DatagramView view;
+    EXPECT_EQ(wire::decode_datagram(as_span(buf), view), WireError::Oversized);
+}
+
+TEST(WireFuzz, DatagramHostileAckFieldsStillDecode) {
+    // ack/ack_bits are peer-controlled state, not structure: absurd values
+    // (far-future cumulative ack, every selective bit set) must decode fine —
+    // it is the reliability layer's job to ignore nonsense, tested in
+    // test_udp_transport.cpp.
+    wire::DatagramHeader h;
+    h.sender = 3;
+    h.seq = 0;
+    h.ack = 0xffffffffu;
+    h.ack_bits = 0xffffffffu;
+    const auto buf = wire::encode_datagram(h, {});
+    wire::DatagramView view;
+    ASSERT_EQ(wire::decode_datagram(as_span(buf), view), WireError::None);
+    EXPECT_EQ(view.header.ack, 0xffffffffu);
+    EXPECT_EQ(view.header.ack_bits, 0xffffffffu);
 }
 
 TEST(WireFuzz, HelloPayloadWrongLength) {
