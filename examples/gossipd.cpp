@@ -22,13 +22,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fault/chaos.hpp"
+#include "fault/datagram_faults.hpp"
 #include "overlay/random_overlay.hpp"
 #include "paxos/message.hpp"
 #include "paxos/process.hpp"
+#include "runtime/chaos_bridge.hpp"
+#include "runtime/gated_transport.hpp"
 #include "runtime/real_transport.hpp"
 #include "runtime/tcp.hpp"
 #include "runtime/udp.hpp"
@@ -70,7 +77,20 @@ void on_signal(int) { g_signal = 1; }
         "  --linger <s>           keep forwarding after --expect is met (default 2)\n"
         "  --decision-log <file>  \"instance client seq\" per delivered decision\n"
         "  --metrics <file>       counter snapshot on shutdown (- = stderr)\n"
-        "  --trace <file>         message-lifecycle trace, JSONL\n",
+        "  --trace <file>         message-lifecycle trace, JSONL\n"
+        "  --chaos <profile>      replay a fault schedule against this node:\n"
+        "                         light|moderate|heavy|heavy_failover. Every\n"
+        "                         node derives the same schedule and applies\n"
+        "                         the events that touch it (crash/restart of\n"
+        "                         its own stack; with --transport udp also\n"
+        "                         loss/dup/reorder/truncation on its outgoing\n"
+        "                         links). Implies the chaos window precedes\n"
+        "                         --run-for; pair with --failover for the\n"
+        "                         heavy_failover profile.\n"
+        "  --chaos-seed <u64>     schedule seed (default 1); must match\n"
+        "                         across the cluster (same seed -> same\n"
+        "                         schedule -> identical fault logs)\n"
+        "  --chaos-log <file>     write the injected-fault log on shutdown\n",
         argv0);
     std::exit(2);
 }
@@ -96,7 +116,18 @@ struct Options {
     std::string decision_log;
     std::string metrics_path;
     std::string trace_path;
+    std::string chaos;  ///< profile name; empty = no chaos
+    std::uint64_t chaos_seed = 1;
+    std::string chaos_log;
 };
+
+ChaosProfile chaos_profile_by_name(const std::string& name, const char* argv0) {
+    if (name == "light") return ChaosProfile::light();
+    if (name == "moderate") return ChaosProfile::moderate();
+    if (name == "heavy") return ChaosProfile::heavy();
+    if (name == "heavy_failover") return ChaosProfile::heavy_failover();
+    usage(argv0, "bad --chaos (want light|moderate|heavy|heavy_failover)");
+}
 
 bool parse_addr(const std::string& spec, PeerAddress& out) {
     const auto colon = spec.rfind(':');
@@ -209,6 +240,13 @@ Options parse_options(int argc, char** argv) {
             opt.metrics_path = next();
         } else if (arg == "--trace") {
             opt.trace_path = next();
+        } else if (arg == "--chaos") {
+            opt.chaos = next();
+            (void)chaos_profile_by_name(opt.chaos, argv[0]);  // validate now
+        } else if (arg == "--chaos-seed") {
+            opt.chaos_seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--chaos-log") {
+            opt.chaos_log = next();
         } else {
             usage(argv[0], ("unknown flag " + arg).c_str());
         }
@@ -225,6 +263,74 @@ Options parse_options(int argc, char** argv) {
     if (opt.value_size == 0) usage(argv[0], "--value-size must be positive");
     return opt;
 }
+
+// Applies the chaos schedule's link-fault lanes at this node's socket
+// boundary. Each directed link from->to is enforced exactly once, by the
+// sending process, with the same pure (seed, from, to, seq) fate model the
+// in-process lossy harness uses — so a datagram lost between two gossipd
+// processes on loopback was lost because the schedule said so, not because
+// the kernel happened to drop it. The wrapper sits between UdpLink and the
+// real UdpChannel; the channel is swapped out across crash/restart (the
+// socket is torn down and rebound), so it is held by pointer and delayed
+// deliveries check it at fire time.
+class ChaosDatagramChannel final : public DatagramChannel {
+public:
+    ChaosDatagramChannel(Reactor& reactor, ProcessId self, std::uint64_t seed)
+        : reactor_(reactor), self_(self), model_(seed) {}
+
+    void set_inner(DatagramChannel* inner) { inner_ = inner; }
+    void set_fault(ProcessId to, const fault::DatagramFaultSpec& spec) {
+        specs_[to] = spec;
+    }
+    void clear_fault(ProcessId to) { specs_.erase(to); }
+
+    bool send(ProcessId to, std::span<const std::uint8_t> datagram) override {
+        if (inner_ == nullptr) return false;
+        const auto it = specs_.find(to);
+        if (it == specs_.end() || !it->second.active()) {
+            return inner_->send(to, datagram);
+        }
+        const auto fate = model_.decide(it->second, self_, to, seq_[to]++);
+        if (fate.drop) return true;  // consumed by the wire, like real loss
+        std::vector<std::uint8_t> bytes(datagram.begin(), datagram.end());
+        if (fate.truncated) {
+            bytes.resize(static_cast<std::size_t>(
+                static_cast<double>(bytes.size()) * fate.keep_frac));
+        }
+        const SimTime base = it->second.extra_delay;
+        if (fate.duplicate) deliver(to, bytes, base + fate.duplicate_delay);
+        deliver(to, std::move(bytes), base + fate.delay);
+        return true;
+    }
+    void set_receive_handler(RecvFn fn) override {
+        recv_fn_ = std::move(fn);
+        if (inner_ != nullptr) inner_->set_receive_handler(recv_fn_);
+    }
+    std::size_t max_datagram_bytes() const override {
+        return inner_ != nullptr ? inner_->max_datagram_bytes() : 0;
+    }
+
+private:
+    void deliver(ProcessId to, std::vector<std::uint8_t> bytes, SimTime delay) {
+        if (delay == SimTime::zero()) {
+            inner_->send(to, std::span<const std::uint8_t>(bytes));
+            return;
+        }
+        reactor_.schedule_after(delay, [this, to, bytes = std::move(bytes)] {
+            if (inner_ != nullptr) {
+                inner_->send(to, std::span<const std::uint8_t>(bytes));
+            }
+        });
+    }
+
+    Reactor& reactor_;
+    ProcessId self_;
+    fault::DatagramFaultModel model_;
+    DatagramChannel* inner_ = nullptr;
+    RecvFn recv_fn_;
+    std::map<ProcessId, fault::DatagramFaultSpec> specs_;
+    std::map<ProcessId, std::uint64_t> seq_;
+};
 
 trace::Tracer::PayloadProbe paxos_payload_probe() {
     // Same classification the simulator deployment installs (core/experiment).
@@ -257,9 +363,10 @@ trace::Tracer::PayloadProbe paxos_payload_probe() {
     };
 }
 
-void dump_metrics(std::FILE* out, const Options& opt, const RealTransport& transport,
+void dump_metrics(std::FILE* out, const Options& opt, const RealTransport* transport,
                   const ConnectionManager* conns, const UdpLink* udp,
-                  const PaxosProcess& proc, const PaxosSemantics* semantics) {
+                  const PaxosProcess& proc, const PaxosSemantics* semantics,
+                  const GatedTransport* gate, const ChaosBridge* bridge) {
     const auto put = [out](const char* key, std::uint64_t v) {
         std::fprintf(out, "%s %llu\n", key, static_cast<unsigned long long>(v));
     };
@@ -271,17 +378,19 @@ void dump_metrics(std::FILE* out, const Options& opt, const RealTransport& trans
     put("paxos.messages_handled", pc.messages_handled);
     put("paxos.takeovers", pc.takeovers);
     put("paxos.step_downs", pc.step_downs);
-    const auto& tc = transport.counters();
-    put("transport.broadcasts", tc.broadcasts);
-    put("transport.envelopes_received", tc.envelopes_received);
-    put("transport.messages_received", tc.messages_received);
-    put("transport.duplicates", tc.duplicates);
-    put("transport.delivered", tc.delivered);
-    put("transport.filtered", tc.filtered);
-    put("transport.aggregated_away", tc.aggregated_away);
-    put("transport.envelopes_sent", tc.envelopes_sent);
-    put("transport.send_queue_drops", tc.send_queue_drops);
-    put("transport.decode_errors", tc.decode_errors);
+    if (transport) {  // null when the run ended with the node crashed
+        const auto& tc = transport->counters();
+        put("transport.broadcasts", tc.broadcasts);
+        put("transport.envelopes_received", tc.envelopes_received);
+        put("transport.messages_received", tc.messages_received);
+        put("transport.duplicates", tc.duplicates);
+        put("transport.delivered", tc.delivered);
+        put("transport.filtered", tc.filtered);
+        put("transport.aggregated_away", tc.aggregated_away);
+        put("transport.envelopes_sent", tc.envelopes_sent);
+        put("transport.send_queue_drops", tc.send_queue_drops);
+        put("transport.decode_errors", tc.decode_errors);
+    }
     if (conns) {
         const auto& cc = conns->counters();
         put("conn.dials", cc.dials);
@@ -323,6 +432,24 @@ void dump_metrics(std::FILE* out, const Options& opt, const RealTransport& trans
         put("semantic.messages_merged", ss.messages_merged);
         put("semantic.disaggregations", ss.disaggregations);
     }
+    if (bridge) {
+        const auto& gc = gate->counters();
+        put("gate.dropped_sends", gc.dropped_sends);
+        put("gate.dropped_tasks", gc.dropped_tasks);
+        put("gate.attaches", gc.attaches);
+        const auto& bc = bridge->counters();
+        put("chaos.applied", bc.applied);
+        put("chaos.skipped", bc.skipped);
+        put("chaos.crashes", bc.crashes);
+        put("chaos.restarts", bc.restarts);
+        put("chaos.wipes", bc.wipes);
+        put("chaos.partitions", bc.partitions);
+        put("chaos.heals", bc.heals);
+        put("chaos.link_faults", bc.link_faults);
+        put("chaos.link_fault_ends", bc.link_fault_ends);
+        put("chaos.edges_dropped", bc.edges_dropped);
+        put("chaos.edges_added", bc.edges_added);
+    }
 }
 
 }  // namespace
@@ -336,36 +463,6 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
 
     Reactor reactor;
-
-    std::string err;
-    const PeerAddress& self_addr = opt.cluster[static_cast<std::size_t>(opt.id)];
-    std::unique_ptr<ConnectionManager> conns;
-    std::unique_ptr<UdpChannel> udp_channel;
-    std::unique_ptr<UdpLink> udp_link;
-    PeerChannel* chan = nullptr;
-    if (opt.udp) {
-        const int fd = open_udp(self_addr.host, self_addr.port, &err);
-        if (fd < 0) {
-            std::fprintf(stderr, "gossipd: udp bind on %s:%u failed: %s\n",
-                         self_addr.host.c_str(), self_addr.port, err.c_str());
-            return 1;
-        }
-        udp_channel = std::make_unique<UdpChannel>(reactor, fd, opt.cluster);
-        udp_link = std::make_unique<UdpLink>(reactor, opt.id, n, *udp_channel,
-                                             UdpLink::Params{});
-        chan = udp_link.get();
-    } else {
-        const int listen_fd = listen_tcp(self_addr.host, self_addr.port, &err);
-        if (listen_fd < 0) {
-            std::fprintf(stderr, "gossipd: listen on %s:%u failed: %s\n",
-                         self_addr.host.c_str(), self_addr.port, err.c_str());
-            return 1;
-        }
-        conns = std::make_unique<ConnectionManager>(reactor, opt.id, opt.cluster,
-                                                    listen_fd,
-                                                    ConnectionManager::Params{});
-        chan = conns.get();
-    }
 
     PaxosConfig pc;
     pc.n = n;
@@ -388,25 +485,146 @@ int main(int argc, char** argv) {
         hooks = semantics.get();
     }
 
-    RealTransport::Params tp;
-    tp.mode = opt.mode;
+    // Deterministic in (n, degree, seed): every node derives the same
+    // overlay and connects to its own neighbors. Kept as a live object
+    // because chaos churn mutates it over the run.
+    std::unique_ptr<Graph> overlay;
     std::vector<ProcessId> linked_peers;
     if (opt.mode == RealTransport::Mode::Gossip) {
-        // Deterministic in (n, degree, seed): every node derives the same
-        // overlay and connects to its own neighbors.
-        const Graph overlay = opt.degree > 0
-                                  ? make_random_overlay(n, opt.degree, opt.overlay_seed)
-                                  : make_connected_overlay(n, opt.overlay_seed);
-        tp.neighbors = overlay.neighbors(opt.id);
-        linked_peers = tp.neighbors;
+        overlay = std::make_unique<Graph>(
+            opt.degree > 0 ? make_random_overlay(n, opt.degree, opt.overlay_seed)
+                           : make_connected_overlay(n, opt.overlay_seed));
+        linked_peers = overlay->neighbors(opt.id);
     } else {
         for (ProcessId p = 0; p < n; ++p) {
             if (p != opt.id) linked_peers.push_back(p);
         }
     }
-    RealTransport transport(reactor, *chan, std::move(tp), *hooks);
 
-    PaxosProcess proc(pc, transport);
+    // The socket stack is short-lived when chaos is on (a crash tears it
+    // down, a restart rebinds and rebuilds it); PaxosProcess binds to the
+    // stable GatedTransport facade for its whole lifetime. Without chaos the
+    // facade stays attached forever and is pure pass-through.
+    const PeerAddress& self_addr = opt.cluster[static_cast<std::size_t>(opt.id)];
+    std::unique_ptr<ConnectionManager> conns;
+    std::unique_ptr<UdpChannel> udp_channel;
+    std::unique_ptr<ChaosDatagramChannel> chaos_channel;
+    std::unique_ptr<UdpLink> udp_link;
+    std::unique_ptr<RealTransport> transport;
+    PeerChannel* chan = nullptr;
+    std::uint8_t link_epoch = 0;
+    GatedTransport gate(reactor, opt.id);
+    if (!opt.chaos.empty() && opt.udp) {
+        chaos_channel = std::make_unique<ChaosDatagramChannel>(reactor, opt.id,
+                                                               opt.chaos_seed);
+    }
+
+    const auto build_stack = [&]() -> bool {
+        std::string err;
+        if (opt.udp) {
+            const int fd = open_udp(self_addr.host, self_addr.port, &err);
+            if (fd < 0) {
+                std::fprintf(stderr, "gossipd: udp bind on %s:%u failed: %s\n",
+                             self_addr.host.c_str(), self_addr.port, err.c_str());
+                return false;
+            }
+            udp_channel = std::make_unique<UdpChannel>(reactor, fd, opt.cluster);
+            DatagramChannel* dchan = udp_channel.get();
+            if (chaos_channel) {
+                chaos_channel->set_inner(udp_channel.get());
+                dchan = chaos_channel.get();
+            }
+            UdpLink::Params lp;
+            lp.epoch = link_epoch;
+            udp_link = std::make_unique<UdpLink>(reactor, opt.id, n, *dchan, lp);
+            chan = udp_link.get();
+        } else {
+            const int listen_fd = listen_tcp(self_addr.host, self_addr.port, &err);
+            if (listen_fd < 0) {
+                std::fprintf(stderr, "gossipd: listen on %s:%u failed: %s\n",
+                             self_addr.host.c_str(), self_addr.port, err.c_str());
+                return false;
+            }
+            conns = std::make_unique<ConnectionManager>(reactor, opt.id, opt.cluster,
+                                                        listen_fd,
+                                                        ConnectionManager::Params{});
+            chan = conns.get();
+        }
+        RealTransport::Params tp;
+        tp.mode = opt.mode;
+        if (overlay) tp.neighbors = overlay->neighbors(opt.id);
+        transport = std::make_unique<RealTransport>(reactor, *chan, std::move(tp),
+                                                    *hooks);
+        gate.attach(transport.get());
+        return true;
+    };
+    if (!build_stack()) return 1;
+
+    PaxosProcess proc(pc, gate);
+
+    // Chaos bridge: every node derives the identical schedule from
+    // (n, profile, chaos-seed, overlay) — the same trick as the overlay
+    // itself — and applies the events that touch it: crash/restart of its
+    // own stack, outgoing-link faults (UDP only; each directed link is
+    // enforced once, at the sender), and overlay churn. The rendered fault
+    // log is byte-identical across all nodes of a run.
+    std::vector<Value> submitted_values;  ///< re-offered after a wiped restart
+    std::unique_ptr<ChaosBridge> bridge;
+    if (!opt.chaos.empty()) {
+        const ChaosProfile profile = chaos_profile_by_name(opt.chaos, argv[0]);
+        FaultSchedule schedule =
+            generate_chaos(n, pc.coordinator, profile, opt.chaos_seed, overlay.get());
+        ChaosBridge::Hooks ch;
+        ch.crash_node = [&](ProcessId p) {
+            if (p != opt.id) return;
+            gate.detach();
+            transport.reset();
+            udp_link.reset();
+            if (chaos_channel) chaos_channel->set_inner(nullptr);
+            udp_channel.reset();
+            conns.reset();
+            chan = nullptr;
+        };
+        ch.restart_node = [&](ProcessId p, bool wiped) {
+            if (p != opt.id) return;
+            ++link_epoch;  // fresh link incarnation: peers reset dedup state
+            if (!build_stack()) {
+                g_signal = 1;  // rebind failed: shut down instead of limping
+                return;
+            }
+            if (wiped) {
+                proc.wipe_state();
+                // The durable client re-offers everything this node ever
+                // submitted; coordinator value dedup absorbs re-proposals
+                // of already-decided values.
+                for (const Value& v : submitted_values) proc.post_submit(v);
+            }
+        };
+        if (chaos_channel) {
+            ch.set_link = [&](ProcessId from, ProcessId to,
+                              const fault::DatagramFaultSpec& spec) {
+                if (from == opt.id) chaos_channel->set_fault(to, spec);
+            };
+            ch.clear_link = [&](ProcessId from, ProcessId to) {
+                if (from == opt.id) chaos_channel->clear_fault(to);
+            };
+        }
+        if (overlay) {
+            ch.overlay = overlay.get();
+            ch.drop_edge = [&](ProcessId a, ProcessId b) {
+                if (!transport) return;
+                if (a == opt.id) transport->remove_neighbor(b);
+                if (b == opt.id) transport->remove_neighbor(a);
+            };
+            ch.add_edge = [&](ProcessId a, ProcessId b) {
+                if (!transport) return;
+                if (a == opt.id) transport->add_neighbor(b);
+                if (b == opt.id) transport->add_neighbor(a);
+            };
+        }
+        bridge = std::make_unique<ChaosBridge>(reactor, n, std::move(schedule),
+                                               std::move(ch));
+    }
 
     std::unique_ptr<trace::Tracer> tracer;
     if (!opt.trace_path.empty()) {
@@ -433,7 +651,14 @@ int main(int argc, char** argv) {
                 decision_log << instance << ' ' << value.id.client << ' '
                              << value.id.seq << '\n';
             }
-            if (opt.expect > 0 && delivered == opt.expect) expect_met_at = ctx.now();
+            // Frontier-based, not count-based: deliveries are in instance
+            // order and gap-free, so reaching instance `expect` means the
+            // whole prefix is learned. A chaos wipe re-delivers from
+            // instance 1 — counting those duplicates would declare the
+            // expectation met while the tail is still unlearned.
+            if (opt.expect > 0 && instance == static_cast<InstanceId>(opt.expect)) {
+                expect_met_at = ctx.now();
+            }
         });
 
     // Start the protocol once the connection mesh is up (or after a grace
@@ -447,6 +672,9 @@ int main(int argc, char** argv) {
     const SimTime start_grace_deadline = reactor.now() + SimTime::seconds(3.0);
     const auto start_protocol = [&] {
         started = true;
+        // Arm the fault schedule relative to protocol start: the profile's
+        // quiet window then follows mesh establishment on every node.
+        if (bridge) bridge->arm();
         proc.post_start();
         // Client submissions, paced at --rate.
         if (opt.submit > 0) {
@@ -456,9 +684,13 @@ int main(int argc, char** argv) {
                     reactor.cancel_timer(submit_timer);
                     return;
                 }
+                // A crashed node's client defers, exactly like the harness
+                // retrying a submission aimed at a down owner.
+                if (bridge && bridge->crashed(opt.id)) return;
                 Value v;
                 v.id = ValueId{opt.id, submitted++};
                 v.size_bytes = opt.value_size;
+                if (bridge) submitted_values.push_back(v);
                 proc.post_submit(v);
             });
         }
@@ -497,13 +729,17 @@ int main(int argc, char** argv) {
                              ? stderr
                              : std::fopen(opt.metrics_path.c_str(), "w");
         if (out) {
-            dump_metrics(out, opt, transport, conns.get(), udp_link.get(), proc,
-                         semantics.get());
+            dump_metrics(out, opt, transport.get(), conns.get(), udp_link.get(), proc,
+                         semantics.get(), &gate, bridge.get());
             if (out != stderr) std::fclose(out);
         }
     }
+    if (bridge && !opt.chaos_log.empty()) {
+        std::ofstream chaos_out(opt.chaos_log, std::ios::trunc);
+        if (chaos_out) chaos_out << bridge->rendered_log();
+    }
 
-    const bool ok = opt.expect == 0 || delivered >= opt.expect;
+    const bool ok = opt.expect == 0 || expect_met_at < SimTime::max();
     std::fprintf(stderr, "gossipd: node %d delivered %ld decision(s)%s\n", opt.id,
                  delivered, ok ? "" : " (short of --expect)");
     return ok ? 0 : 1;

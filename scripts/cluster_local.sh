@@ -14,12 +14,21 @@
 #                  Node 0 then submits no values of its own: values a process
 #                  accepted but had not yet proposed die with it by design,
 #                  which would make the expected total nondeterministic.
+#     -C PROFILE   replay a chaos fault schedule in every node:
+#                  light | moderate | heavy | heavy_failover. Crash/restart
+#                  and (under -T udp) link-fault lanes are applied against
+#                  the real sockets; all nodes must render the identical
+#                  injected-fault log. heavy_failover permanently crashes
+#                  node 0, so pair it with -k semantics in mind.
+#     -S SEED      chaos schedule seed (default 1); same seed, same schedule
 #     -t SECONDS   per-node hard runtime limit (default 60)
 #     -b BINARY    gossipd binary (default build/examples/gossipd)
 #     -d DIR       scratch directory for logs (default: a fresh mktemp dir)
 #
 # Exit status: 0 iff every (surviving) node exited 0 and all decision logs
-# are identical, complete, and gap-free.
+# are identical, complete, and gap-free. Under -C a crash-wiped node
+# re-delivers from instance 1, so logs are deduplicated per instance before
+# the comparison (every line is an "instance decided value" assertion).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,11 +39,13 @@ SETUP=semantic
 TRANSPORT=tcp
 FAILOVER=0
 KILL_COORD=0
+CHAOS=""
+CHAOS_SEED=1
 TIMEOUT=60
 BINARY=build/examples/gossipd
 DIR=""
 
-while getopts "n:v:s:T:fkt:b:d:h" o; do
+while getopts "n:v:s:T:fkC:S:t:b:d:h" o; do
     case "$o" in
         n) NODES="$OPTARG" ;;
         v) VALUES="$OPTARG" ;;
@@ -42,10 +53,12 @@ while getopts "n:v:s:T:fkt:b:d:h" o; do
         T) TRANSPORT="$OPTARG" ;;
         f) FAILOVER=1 ;;
         k) KILL_COORD=1; FAILOVER=1 ;;
+        C) CHAOS="$OPTARG"; FAILOVER=1 ;;
+        S) CHAOS_SEED="$OPTARG" ;;
         t) TIMEOUT="$OPTARG" ;;
         b) BINARY="$OPTARG" ;;
         d) DIR="$OPTARG" ;;
-        h|*) sed -n '2,22p' "$0"; exit 2 ;;
+        h|*) sed -n '2,31p' "$0"; exit 2 ;;
     esac
 done
 
@@ -94,7 +107,8 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "cluster_local.sh: $NODES nodes, $VALUES values, setup=$SETUP" \
-     "transport=$TRANSPORT failover=$FAILOVER kill-coordinator=$KILL_COORD logs=$DIR"
+     "transport=$TRANSPORT failover=$FAILOVER kill-coordinator=$KILL_COORD" \
+     "chaos=${CHAOS:-off} logs=$DIR"
 
 for ((i = 0; i < NODES; i++)); do
     SUBMIT=0
@@ -107,6 +121,8 @@ for ((i = 0; i < NODES; i++)); do
           --submit "$SUBMIT" --rate 300 --expect "$VALUES" --run-for "$TIMEOUT"
           --decision-log "$DIR/node$i.log" --metrics "$DIR/node$i.metrics")
     [ "$FAILOVER" -eq 1 ] && ARGS+=(--failover)
+    [ -n "$CHAOS" ] && ARGS+=(--chaos "$CHAOS" --chaos-seed "$CHAOS_SEED"
+                              --chaos-log "$DIR/node$i.chaos")
     "$BINARY" "${ARGS[@]}" > "$DIR/node$i.out" 2>&1 &
     PIDS+=($!)
 done
@@ -138,7 +154,19 @@ if [ "$FAIL" -ne 0 ] || [ "$SURVIVOR" -lt 0 ]; then
     exit 1
 fi
 
-REF="$DIR/node$SURVIVOR.log"
+# Under chaos a crash-wiped node re-delivers from instance 1 (and a wipe
+# late in the run can leave a partial re-delivery tail), so normalize each
+# log to its unique "instance client seq" assertions, in instance order. A
+# safety divergence survives normalization as a duplicate instance line and
+# fails the gap check below.
+SUFFIX=""
+if [ -n "$CHAOS" ]; then
+    SUFFIX=".norm"
+    for ((i = FIRST_SUBMITTER; i < NODES; i++)); do
+        sort -u "$DIR/node$i.log" | sort -s -n -k1,1 > "$DIR/node$i.log$SUFFIX"
+    done
+fi
+REF="$DIR/node$SURVIVOR.log$SUFFIX"
 
 # 1. Completeness: the reference log holds exactly the expected count.
 LINES=$(wc -l < "$REF")
@@ -158,11 +186,24 @@ fi
 
 # 3. Agreement: every surviving node produced the identical log.
 for ((i = FIRST_SUBMITTER; i < NODES; i++)); do
-    if ! cmp -s "$REF" "$DIR/node$i.log"; then
+    if ! cmp -s "$REF" "$DIR/node$i.log$SUFFIX"; then
         echo "cluster_local.sh: FAIL (node $i log differs from node $SURVIVOR)" >&2
-        diff "$REF" "$DIR/node$i.log" | head -5 >&2 || true
+        diff "$REF" "$DIR/node$i.log$SUFFIX" | head -5 >&2 || true
         exit 1
     fi
 done
 
-echo "cluster_local.sh: OK — $NODES nodes agreed on $VALUES decisions (logs in $DIR)"
+# 4. Chaos determinism: every surviving node rendered the identical
+# injected-fault log (same profile + seed -> same schedule, byte for byte).
+if [ -n "$CHAOS" ]; then
+    CREF="$DIR/node$SURVIVOR.chaos"
+    for ((i = FIRST_SUBMITTER; i < NODES; i++)); do
+        if ! cmp -s "$CREF" "$DIR/node$i.chaos"; then
+            echo "cluster_local.sh: FAIL (node $i injected-fault log differs)" >&2
+            diff "$CREF" "$DIR/node$i.chaos" | head -5 >&2 || true
+            exit 1
+        fi
+    done
+fi
+
+echo "cluster_local.sh: OK — $NODES nodes agreed on $VALUES decisions${CHAOS:+ under $CHAOS chaos} (logs in $DIR)"

@@ -36,10 +36,16 @@ struct DatagramFaultSpec {
     /// kept fraction is drawn per datagram). Truncated datagrams must be
     /// rejected cleanly by the datagram codec, never crash it.
     double truncate = 0.0;
+    /// Deterministic extra one-way delay added to every delivery on the
+    /// link (mirrors LinkFaultSpec::extra_delay). Applied by the harness on
+    /// top of the per-datagram fate; it draws no RNG roll and is never part
+    /// of the fate log, so adding a delay window cannot perturb the pinned
+    /// fate corpus.
+    SimTime extra_delay = SimTime::zero();
 
     bool active() const {
-        return loss > 0.0 || duplicate > 0.0 ||
-               reorder_window > SimTime::zero() || truncate > 0.0;
+        return loss > 0.0 || duplicate > 0.0 || reorder_window > SimTime::zero() ||
+               truncate > 0.0 || extra_delay > SimTime::zero();
     }
 };
 

@@ -41,13 +41,17 @@ public:
     /// see DESIGN.md on this benign-model simplification).
     void forget_below(InstanceId instance);
 
-    /// Wipes ALL durable state (fault engine: crash with storage loss). The
-    /// acceptor forgets every promise and vote, as if freshly installed.
+    /// Wipes the durable value ledger (fault engine: crash with storage
+    /// loss) but KEEPS the promise floor — the one integer a real
+    /// deployment stores in the tiny boot block outside the wiped database
+    /// (the runtime bridge's link-epoch counter is the same idea). Without
+    /// it, an amnesiac process that previously coordinated round r can
+    /// re-promise r to itself and complete a round-r quorum out of
+    /// acceptors the original quorum never touched, carrying a second
+    /// value into a round it already used (observed under the runtime
+    /// chaos bridge, DESIGN.md §13).
     /// Safety-critical: the shadow monitors must be told (DESIGN.md §7).
-    void reset() {
-        floor_round_ = 0;
-        slots_.clear();
-    }
+    void reset() { slots_.clear(); }
 
     std::size_t slot_count() const { return slots_.size(); }
 

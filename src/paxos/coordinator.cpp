@@ -83,17 +83,29 @@ void Coordinator::complete_phase1(CpuContext& ctx) {
         // Reported-but-already-decided instances must still advance the
         // proposal cursor, or fresh values would be proposed into them.
         next_instance_ = std::max(next_instance_, instance + 1);
-        // The reported value is (possibly) already chosen under its original
-        // instance; treat it as seen so an origin retransmission cannot get
-        // it proposed into a second instance.
-        seen_values_.insert(entry.value.id);
-        drop_pending(entry.value.id);
         // The decision may be known only by digest (a Decision arrived but
         // the Phase 2a carrying the value bytes was lost, e.g. during a
         // partition); the reported value is the missing payload — cache it
         // so the learner can resolve the digest and deliver.
         learner_.on_phase2a(Phase2aMsg(config_.id, instance, entry.vround, entry.value), ctx);
-        if (learner_.knows_decision(instance)) continue;
+        if (learner_.knows_decision(instance)) {
+            // Treat the reported value as consumed only when it IS the
+            // decided value. A lower-round casualty that lost its instance
+            // to another value was never chosen anywhere — marking it seen
+            // would drop every origin retransmission as a duplicate and
+            // lose the value for good (observed live under the runtime
+            // chaos bridge, DESIGN.md §13).
+            if (learner_.decided_digest(instance) == entry.value.digest()) {
+                seen_values_.insert(entry.value.id);
+                drop_pending(entry.value.id);
+            }
+            continue;
+        }
+        // Re-proposing it here: (possibly) already chosen under this
+        // instance, and now in flight again — seen either way, so an origin
+        // retransmission cannot get it proposed into a second instance.
+        seen_values_.insert(entry.value.id);
+        drop_pending(entry.value.id);
         ++counters_.reproposals;
         propose(instance, entry.value, ctx);
     }
@@ -114,14 +126,29 @@ void Coordinator::on_client_value(const Value& value, CpuContext& ctx) {
 }
 
 void Coordinator::flush_pending(CpuContext& ctx) {
+    // Propose into the lowest free instance at or above the delivery
+    // frontier, not blindly past the highest reported instance. Phase 1 can
+    // report nothing for an instance below ones it does report — the accept
+    // quorum may be entirely unreachable (crashed) or its storage lost
+    // (crash-with-wipe slots plus a dead coordinator) — and a hole that is
+    // never refilled jams every learner's frontier below it forever. Filling
+    // it with a fresh client value is the classic multi-Paxos no-op fill
+    // with a real value standing in for the no-op; if the hole's original
+    // value survives on some acceptor it wins the round comparison at the
+    // next Phase 1 instead. Observed live under the runtime chaos bridge
+    // (DESIGN.md §13).
+    InstanceId slot = learner_.frontier();
     while (!pending_.empty()) {
-        // Never propose into an instance already known decided (decisions
-        // from a previous round can land between Phase 1 and the flush).
-        while (learner_.knows_decision(next_instance_)) ++next_instance_;
+        // Skip instances already known decided (decisions from a previous
+        // round can land between Phase 1 and the flush) and instances with a
+        // proposal in flight this round (reported entries were re-proposed
+        // by complete_phase1, so reported evidence is never overwritten).
+        while (learner_.knows_decision(slot) || proposals_.count(slot) != 0) ++slot;
         const Value value = pending_.front();
         pending_.pop_front();
         ++counters_.proposals;
-        propose(next_instance_++, value, ctx);
+        propose(slot, value, ctx);
+        next_instance_ = std::max(next_instance_, slot + 1);
     }
 }
 

@@ -74,6 +74,8 @@ public:
     }
 #endif
     const Counters& counters() const { return counters_; }
+    /// True when `id` is in the proposal dedup set (diagnostics/tests).
+    bool value_seen(const ValueId& id) const { return seen_values_.count(id) != 0; }
     std::size_t pending_values() const { return pending_.size(); }
     std::size_t undecided_proposals() const { return proposals_.size(); }
     /// Instances proposed but not yet known decided (diagnostics/tests).

@@ -110,6 +110,13 @@ struct AcceptedEntry {
     Value value{};
 };
 
+/// Sentinel vround for Phase 1b entries backed by a learner DECISION rather
+/// than a bare acceptance: a decided value outranks any accepted value in
+/// the new coordinator's per-instance merge, so a takeover can never pick a
+/// lower-round casualty (or fill a fresh value) over a value some live
+/// learner knows chosen — even when the accept quorum's storage was wiped.
+inline constexpr Round kDecidedRound = INT32_MAX;
+
 class Phase1bMsg final : public PaxosMessage {
 public:
     Phase1bMsg(ProcessId sender, Round round, InstanceId from_instance,

@@ -70,7 +70,7 @@ void PaxosProcess::wipe_state() {
         // volatile state: their origin processes retransmit them.
         coordinator_->step_down();
     }
-    acceptor_.reset();
+    acceptor_.reset();  // keeps the promise floor (the boot-block integer)
     learner_.reset();
     pending_submissions_.clear();
     last_frontier_ = 1;
@@ -169,8 +169,21 @@ void PaxosProcess::on_message(const PaxosMessagePtr& msg, CpuContext& ctx) {
 
 void PaxosProcess::handle_phase1a(const Phase1aMsg& msg, CpuContext& ctx) {
     note_round_observed(msg.round(), ctx);
-    const auto result = acceptor_.on_phase1a(msg.round(), msg.from_instance());
+    auto result = acceptor_.on_phase1a(msg.round(), msg.from_instance());
     if (!result.promised) return;
+    // Also report decisions this learner knows in the promised range. A
+    // crash-with-wipe can erase every acceptor copy of a chosen value while
+    // unwiped learners still hold it (the Decision broadcast reached them);
+    // without this, a takeover whose promise quorum lost the acceptor
+    // evidence re-fills the instance with a fresh value and splits the live
+    // learners (observed under the runtime chaos bridge, DESIGN.md §13).
+    // The kDecidedRound sentinel makes these entries win the coordinator's
+    // per-instance highest-vround merge over any bare acceptance.
+    for (InstanceId i = msg.from_instance(); i <= learner_.highest_seen(); ++i) {
+        if (const auto v = learner_.decided_value(i)) {
+            result.accepted.push_back(AcceptedEntry{i, kDecidedRound, *v});
+        }
+    }
     transport_.send(config_.round_owner(msg.round()),
                     std::make_shared<Phase1bMsg>(config_.id, msg.round(), msg.from_instance(),
                                                  result.accepted),

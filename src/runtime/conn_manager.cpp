@@ -27,6 +27,7 @@ ConnectionManager::ConnectionManager(Reactor& reactor, ProcessId self,
 }
 
 ConnectionManager::~ConnectionManager() {
+    *alive_ = false;  // disarms the pending redial timers
     for (auto& [fd, conn] : conns_) {
         reactor_.remove_fd(fd);
         close_fd(fd);
@@ -73,7 +74,11 @@ void ConnectionManager::schedule_redial(ProcessId peer) {
     redial_pending_[p] = true;
     const SimTime delay = backoff_[p];
     backoff_[p] = std::min(backoff_[p] * 2, params_.reconnect_backoff_max);
-    reactor_.schedule_after(delay, [this, peer, p] {
+    // The timer may outlive the manager (chaos teardown destroys managers
+    // mid-run with redials armed), so it bails once the manager is gone.
+    reactor_.schedule_after(delay, [this, peer, p, alive = std::weak_ptr<bool>(alive_)] {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
         redial_pending_[p] = false;
         if (linked_[p] && peer_fd_[p] == -1) start_dial(peer);
     });

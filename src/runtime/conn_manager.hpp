@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -139,6 +140,9 @@ private:
     std::vector<bool> linked_;                   ///< peers this node keeps connected
     std::vector<SimTime> backoff_;               ///< next redial delay per peer
     std::vector<bool> redial_pending_;           ///< a redial timer is armed
+    /// Guards the redial timers, which cannot be cancelled individually and
+    /// may fire after the manager is destroyed (chaos crash teardown).
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     Counters counters_;
 };
 

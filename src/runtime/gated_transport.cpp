@@ -1,0 +1,91 @@
+#include "runtime/gated_transport.hpp"
+
+#include <utility>
+
+namespace gossipc::runtime {
+
+GatedTransport::GatedTransport(Reactor& reactor, ProcessId self)
+    : reactor_(reactor), self_(self) {}
+
+GatedTransport::~GatedTransport() {
+    *alive_ = false;
+    for (const Reactor::TimerId id : timers_) reactor_.cancel_timer(id);
+}
+
+void GatedTransport::attach(Transport* inner) {
+    inner_ = inner;
+    ++counters_.attaches;
+    if (inner_ == nullptr) return;
+    inner_->set_deliver([this](const PaxosMessagePtr& msg, CpuContext& ctx) {
+        deliver_up(msg, ctx);
+    });
+}
+
+void GatedTransport::detach() { inner_ = nullptr; }
+
+void GatedTransport::sync_origination() {
+    if (inner_ != nullptr && inner_->last_origination() > last_origination()) {
+        note_origination(inner_->last_origination());
+    }
+}
+
+void GatedTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    if (inner_ == nullptr) {
+        ++counters_.dropped_sends;
+        return;
+    }
+    inner_->broadcast(std::move(msg), ctx);
+    sync_origination();
+}
+
+void GatedTransport::send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) {
+    if (inner_ == nullptr) {
+        ++counters_.dropped_sends;
+        return;
+    }
+    inner_->send(to, std::move(msg), ctx);
+    sync_origination();
+}
+
+void GatedTransport::schedule(SimTime delay, std::function<void(CpuContext&)> fn) {
+    reactor_.schedule_after(
+        delay, [this, fn = std::move(fn), alive = std::weak_ptr<bool>(alive_)] {
+            const auto guard = alive.lock();
+            if (!guard || !*guard) return;
+            if (inner_ == nullptr) {  // crashed at fire time: drop, per contract
+                ++counters_.dropped_tasks;
+                return;
+            }
+            CpuContext ctx(reactor_.now());
+            fn(ctx);
+        });
+}
+
+void GatedTransport::schedule_every(SimTime period, std::function<void(CpuContext&)> fn) {
+    // The chain lives on the facade, not the inner transport: it must
+    // survive crash/restart cycles, dropping only the ticks that land while
+    // the process is down.
+    timers_.push_back(reactor_.schedule_every(period, [this, fn = std::move(fn)] {
+        if (inner_ == nullptr) {
+            ++counters_.dropped_tasks;
+            return;
+        }
+        CpuContext ctx(reactor_.now());
+        fn(ctx);
+    }));
+}
+
+void GatedTransport::post(std::function<void(CpuContext&)> fn) {
+    reactor_.post([this, fn = std::move(fn), alive = std::weak_ptr<bool>(alive_)] {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        if (inner_ == nullptr) {
+            ++counters_.dropped_tasks;
+            return;
+        }
+        CpuContext ctx(reactor_.now());
+        fn(ctx);
+    });
+}
+
+}  // namespace gossipc::runtime

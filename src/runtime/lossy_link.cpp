@@ -28,7 +28,8 @@ bool LossyDatagramNetwork::transmit(ProcessId from, ProcessId to,
     }
     ++counters_.sent;
     const std::uint64_t seq = ++link_seq_[{from, to}];
-    const fault::DatagramFate fate = model_.decide(spec_for(from, to), from, to, seq);
+    const fault::DatagramFaultSpec& spec = spec_for(from, to);
+    const fault::DatagramFate fate = model_.decide(spec, from, to, seq);
     if (!fate.clean()) {
         log_.emplace(std::make_tuple(from, to, seq),
                      fault::DatagramFaultModel::describe(from, to, seq, fate));
@@ -44,11 +45,15 @@ bool LossyDatagramNetwork::transmit(ProcessId from, ProcessId to,
             static_cast<double>(bytes.size()) * fate.keep_frac));
     }
     if (fate.delay > SimTime::zero()) ++counters_.reordered;
+    // extra_delay is a deterministic link property, not a per-datagram fate:
+    // it shifts every delivery (duplicates included) without touching the
+    // fate log.
+    const SimTime base = params_.base_delay + spec.extra_delay;
     if (fate.duplicate) {
         ++counters_.duplicated;
-        schedule_delivery(to, bytes, params_.base_delay + fate.duplicate_delay);
+        schedule_delivery(to, bytes, base + fate.duplicate_delay);
     }
-    schedule_delivery(to, std::move(bytes), params_.base_delay + fate.delay);
+    schedule_delivery(to, std::move(bytes), base + fate.delay);
     return true;
 }
 

@@ -28,6 +28,35 @@ RealTransport::RealTransport(Reactor& reactor, PeerChannel& chan, Params params,
     }
 }
 
+RealTransport::~RealTransport() {
+    *alive_ = false;
+    chan_.set_body_handler(nullptr);
+    for (const Reactor::TimerId id : timers_) reactor_.cancel_timer(id);
+}
+
+void RealTransport::add_neighbor(ProcessId peer) {
+    if (params_.mode != Mode::Gossip || peer == self()) return;
+    for (std::size_t i = 0; i < params_.neighbors.size(); ++i) {
+        if (params_.neighbors[i] == peer) {
+            queues_[i].active = true;  // revive the tombstoned slot
+            chan_.link(peer);
+            return;
+        }
+    }
+    params_.neighbors.push_back(peer);
+    queues_.emplace_back();
+    chan_.link(peer);
+}
+
+void RealTransport::remove_neighbor(ProcessId peer) {
+    for (std::size_t i = 0; i < params_.neighbors.size(); ++i) {
+        if (params_.neighbors[i] != peer) continue;
+        queues_[i].active = false;
+        queues_[i].pending.clear();
+        return;
+    }
+}
+
 // -- sending ----------------------------------------------------------------
 
 void RealTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
@@ -75,6 +104,7 @@ void RealTransport::forward(const GossipAppMessage& msg, ProcessId exclude) {
     for (std::size_t i = 0; i < params_.neighbors.size(); ++i) {
         if (params_.neighbors[i] == exclude) continue;
         PeerQueue& q = queues_[i];
+        if (!q.active) continue;  // churned away
         if (q.pending.size() >= params_.peer_queue_cap) {
             ++counters_.send_queue_drops;
             continue;
@@ -82,7 +112,9 @@ void RealTransport::forward(const GossipAppMessage& msg, ProcessId exclude) {
         q.pending.push_back(msg);
         if (!q.drain_scheduled) {
             q.drain_scheduled = true;
-            reactor_.post([this, i] {
+            reactor_.post([this, i, alive = std::weak_ptr<bool>(alive_)] {
+                const auto guard = alive.lock();
+                if (!guard || !*guard) return;
                 CpuContext ctx(reactor_.now());
                 drain_peer(i, ctx);
             });
@@ -93,7 +125,7 @@ void RealTransport::forward(const GossipAppMessage& msg, ProcessId exclude) {
 void RealTransport::drain_peer(std::size_t idx, CpuContext& ctx) {
     PeerQueue& q = queues_[idx];
     q.drain_scheduled = false;
-    if (q.pending.empty()) return;
+    if (!q.active || q.pending.empty()) return;
     const ProcessId peer = params_.neighbors[idx];
     std::vector<GossipAppMessage> pending;
     pending.swap(q.pending);
@@ -233,21 +265,26 @@ bool reliable_over_datagrams(const MessageBody& body, RealTransport::Mode mode) 
 // -- timers / tasks ---------------------------------------------------------
 
 void RealTransport::schedule(SimTime delay, std::function<void(CpuContext&)> fn) {
-    reactor_.schedule_after(delay, [this, fn = std::move(fn)] {
-        CpuContext ctx(reactor_.now());
-        fn(ctx);
-    });
+    reactor_.schedule_after(
+        delay, [this, fn = std::move(fn), alive = std::weak_ptr<bool>(alive_)] {
+            const auto guard = alive.lock();
+            if (!guard || !*guard) return;
+            CpuContext ctx(reactor_.now());
+            fn(ctx);
+        });
 }
 
 void RealTransport::schedule_every(SimTime period, std::function<void(CpuContext&)> fn) {
-    reactor_.schedule_every(period, [this, fn = std::move(fn)] {
+    timers_.push_back(reactor_.schedule_every(period, [this, fn = std::move(fn)] {
         CpuContext ctx(reactor_.now());
         fn(ctx);
-    });
+    }));
 }
 
 void RealTransport::post(std::function<void(CpuContext&)> fn) {
-    reactor_.post([this, fn = std::move(fn)] {
+    reactor_.post([this, fn = std::move(fn), alive = std::weak_ptr<bool>(alive_)] {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
         CpuContext ctx(reactor_.now());
         fn(ctx);
     });

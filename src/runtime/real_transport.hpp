@@ -69,6 +69,13 @@ public:
     /// `chan`'s body handler and links the relevant peers.
     RealTransport(Reactor& reactor, PeerChannel& chan, Params params,
                   GossipHooks& hooks);
+    /// Detaches from the channel and invalidates the pending drain/timer
+    /// tasks: the chaos bridge tears transports down mid-run, so everything
+    /// posted to the reactor must survive the teardown.
+    ~RealTransport() override;
+
+    RealTransport(const RealTransport&) = delete;
+    RealTransport& operator=(const RealTransport&) = delete;
 
     // Transport interface — the seam the protocol stack plugs into.
     ProcessId self() const override { return chan_.self(); }
@@ -79,6 +86,14 @@ public:
     void post(std::function<void(CpuContext&)> fn) override;
 
     const Counters& counters() const { return counters_; }
+
+    /// Overlay churn over the live runtime (Gossip mode): start/stop
+    /// forwarding to `peer`. A removed neighbor's slot is tombstoned, not
+    /// erased — pending drain tasks capture queue indices, which must stay
+    /// stable. Re-adding a removed neighbor revives its slot.
+    void add_neighbor(ProcessId peer);
+    void remove_neighbor(ProcessId peer);
+    const std::vector<ProcessId>& neighbors() const { return params_.neighbors; }
 
 private:
     void on_body(ProcessId from, std::span<const std::uint8_t> payload);
@@ -99,9 +114,14 @@ private:
     struct PeerQueue {
         std::vector<GossipAppMessage> pending;
         bool drain_scheduled = false;
+        bool active = true;  ///< false = churned away (tombstoned slot)
     };
     std::vector<PeerQueue> queues_;  // parallel to params_.neighbors
 
+    /// Guards reactor tasks/timers posted by this transport: posts cannot
+    /// be cancelled and the chaos bridge destroys transports mid-run.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+    std::vector<Reactor::TimerId> timers_;  ///< periodic chains, cancelled on destroy
     Counters counters_;
 };
 

@@ -1,0 +1,66 @@
+#include "runtime/runtime_metrics.hpp"
+
+#include <string>
+
+namespace gossipc::runtime {
+
+namespace {
+
+std::string peer_key(const char* prefix, ProcessId peer, const char* metric) {
+    return std::string(prefix) + std::to_string(peer) + '.' + metric;
+}
+
+}  // namespace
+
+void fill_udp_link_metrics(MetricsRegistry& reg, const UdpLink& link) {
+    const UdpLink::Counters& c = link.counters();
+    reg.counter("udp.link.datagrams_sent").set(c.datagrams_sent);
+    reg.counter("udp.link.datagrams_received").set(c.datagrams_received);
+    reg.counter("udp.link.bodies_sent").set(c.bodies_sent);
+    reg.counter("udp.link.bodies_received").set(c.bodies_received);
+    reg.counter("udp.link.acks_only_sent").set(c.acks_only_sent);
+    reg.counter("udp.link.retransmits").set(c.retransmits);
+    reg.counter("udp.link.fast_retransmits").set(c.fast_retransmits);
+    reg.counter("udp.link.reliable_acked").set(c.reliable_acked);
+    reg.counter("udp.link.reliable_dropped").set(c.reliable_dropped);
+    reg.counter("udp.link.duplicate_datagrams").set(c.duplicate_datagrams);
+    reg.counter("udp.link.stale_datagrams").set(c.stale_datagrams);
+    reg.counter("udp.link.duplicate_reliables").set(c.duplicate_reliables);
+    reg.counter("udp.link.decode_errors").set(c.decode_errors);
+    reg.counter("udp.link.send_failures").set(c.send_failures);
+    reg.counter("udp.link.epoch_resets").set(c.epoch_resets);
+    reg.counter("udp.link.seq_history_evictions").set(c.seq_history_evictions);
+    for (ProcessId p = 0; p < link.size(); ++p) {
+        if (p == link.self()) continue;
+        const UdpLink::PeerStats st = link.peer_stats(p);
+        reg.gauge(peer_key("udp.peer.", p, "heard")).set(st.heard ? 1.0 : 0.0);
+        reg.gauge(peer_key("udp.peer.", p, "unacked")).set(static_cast<double>(st.unacked));
+        reg.gauge(peer_key("udp.peer.", p, "max_rto_ms"))
+            .set(static_cast<double>(st.max_rto.as_nanos()) / 1e6);
+    }
+}
+
+void fill_lossy_network_metrics(MetricsRegistry& reg, const LossyDatagramNetwork& net) {
+    const LossyDatagramNetwork::Counters& c = net.counters();
+    reg.counter("lossynet.sent").set(c.sent);
+    reg.counter("lossynet.delivered").set(c.delivered);
+    reg.counter("lossynet.dropped").set(c.dropped);
+    reg.counter("lossynet.duplicated").set(c.duplicated);
+    reg.counter("lossynet.reordered").set(c.reordered);
+    reg.counter("lossynet.truncated").set(c.truncated);
+}
+
+void fill_detector_metrics(MetricsRegistry& reg, const FailureDetector& detector,
+                           int cluster_size) {
+    const FailureDetector::Counters& c = detector.counters();
+    reg.counter("detector.heartbeats_sent").set(c.heartbeats_sent);
+    reg.counter("detector.heartbeats_suppressed").set(c.heartbeats_suppressed);
+    reg.counter("detector.suspicions").set(c.suspicions);
+    reg.counter("detector.restores").set(c.restores);
+    for (ProcessId p = 0; p < cluster_size; ++p) {
+        reg.gauge(peer_key("detector.suspect.", p, "now"))
+            .set(detector.suspects(p) ? 1.0 : 0.0);
+    }
+}
+
+}  // namespace gossipc::runtime

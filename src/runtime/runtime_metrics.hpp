@@ -1,0 +1,30 @@
+// Runtime fault-pressure metrics (DESIGN.md §9, §13): folds the runtime
+// stack's scattered counters — UdpLink reliability machinery, the lossy
+// datagram harness, the failure detector — into the unified MetricsRegistry,
+// so chaos runs report fault pressure through the same JSON/CSV snapshot
+// pipeline as the simulator experiments.
+//
+// Per-peer link health (in-flight reliable bodies, current backoff, heard
+// state, detector suspicion) lands under "udp.peer.<id>." / sub-keys built
+// at fill time; the fixed aggregate names are literals so the metrics
+// snapshot test pins them against renames and drops.
+#pragma once
+
+#include "detect/failure_detector.hpp"
+#include "runtime/lossy_link.hpp"
+#include "runtime/udp_link.hpp"
+#include "stats/registry.hpp"
+
+namespace gossipc::runtime {
+
+/// UdpLink aggregate counters plus per-peer retransmit-pressure gauges.
+void fill_udp_link_metrics(MetricsRegistry& reg, const UdpLink& link);
+
+/// LossyDatagramNetwork::Counters (in-process chaos harness fault pressure).
+void fill_lossy_network_metrics(MetricsRegistry& reg, const LossyDatagramNetwork& net);
+
+/// FailureDetector counters plus per-peer suspect gauges.
+void fill_detector_metrics(MetricsRegistry& reg, const FailureDetector& detector,
+                           int cluster_size);
+
+}  // namespace gossipc::runtime

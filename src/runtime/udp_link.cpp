@@ -23,6 +23,7 @@ UdpLink::UdpLink(Reactor& reactor, ProcessId self, int cluster_size,
 }
 
 UdpLink::~UdpLink() {
+    *alive_ = false;
     reactor_.cancel_timer(rto_timer_);
     reactor_.cancel_timer(keepalive_timer_);
     for (Peer& p : peers_) {
@@ -50,6 +51,22 @@ bool UdpLink::peer_up(ProcessId peer) const {
 std::size_t UdpLink::unacked(ProcessId peer) const {
     if (peer < 0 || peer >= cluster_size_) return 0;
     return peers_[static_cast<std::size_t>(peer)].unacked.size();
+}
+
+UdpLink::PeerStats UdpLink::peer_stats(ProcessId peer) const {
+    PeerStats st;
+    if (peer < 0 || peer >= cluster_size_) return st;
+    const Peer& p = peers_[static_cast<std::size_t>(peer)];
+    st.linked = p.linked;
+    st.heard = p.heard;
+    st.unacked = p.unacked.size();
+    st.pending = p.pending.size();
+    st.send_seq = p.next_seq - 1;
+    st.recv_latest = p.recv_latest;
+    for (const auto& [rel_id, entry] : p.unacked) {
+        st.max_rto = std::max(st.max_rto, entry.rto);
+    }
+    return st;
 }
 
 // -- sending ------------------------------------------------------------------
@@ -96,7 +113,13 @@ void UdpLink::schedule_flush(ProcessId to, Peer& p) {
     p.flush_scheduled = true;
     // Flush on the next loop turn so every body queued in this turn (a
     // broadcast fan-out, a gossip drain batch) clusters into one datagram.
-    reactor_.post([this, to] { flush(to); });
+    // Posted tasks cannot be cancelled, so the task checks the alive flag:
+    // the link may have been torn down (chaos crash) before the turn runs.
+    reactor_.post([this, to, alive = std::weak_ptr<bool>(alive_)] {
+        const auto guard = alive.lock();
+        if (!guard || !*guard) return;
+        flush(to);
+    });
 }
 
 void UdpLink::flush(ProcessId to) {
@@ -126,6 +149,7 @@ void UdpLink::flush(ProcessId to) {
 
         wire::DatagramHeader h;
         h.sender = self_;
+        h.epoch = params_.epoch;
         h.seq = p.next_seq++;
         h.ack = p.recv_latest;
         h.ack_bits = p.recv_bits;
@@ -138,7 +162,16 @@ void UdpLink::flush(ProcessId to) {
                 it->second.rto_deadline = reactor_.now() + it->second.rto;
             }
         }
-        if (!rels.empty()) p.seq_rels.emplace(h.seq, std::move(rels));
+        if (!rels.empty()) {
+            // Bounded under an ack-less partition: evict the oldest mapping
+            // once the cap is hit — the rel_ids stay in `unacked` and the
+            // RTO path covers them; only the fast-retransmit hint is lost.
+            if (p.seq_rels.size() >= params_.seq_history) {
+                p.seq_rels.erase(p.seq_rels.begin());
+                ++counters_.seq_history_evictions;
+            }
+            p.seq_rels.emplace(h.seq, std::move(rels));
+        }
 
         const std::vector<std::uint8_t> bytes = wire::encode_datagram(h, subs);
         p.ack_pending = false;  // the ack rode along
@@ -155,6 +188,7 @@ void UdpLink::flush(ProcessId to) {
 void UdpLink::send_pure_ack(ProcessId to, Peer& p) {
     wire::DatagramHeader h;
     h.sender = self_;
+    h.epoch = params_.epoch;
     h.seq = 0;  // unsequenced: pure acks are never acked back (no ack storms)
     h.ack = p.recv_latest;
     h.ack_bits = p.recv_bits;
@@ -197,6 +231,7 @@ void UdpLink::on_datagram(std::span<const std::uint8_t> bytes) {
     }
     Peer& p = peers_[static_cast<std::size_t>(from)];
     p.heard = true;
+    note_incoming_epoch(p, view.header.epoch);
     process_acks(from, p, view.header.ack, view.header.ack_bits);
     if (view.header.seq == 0) return;  // pure ack/keepalive: nothing to deliver
 
@@ -222,6 +257,22 @@ void UdpLink::on_datagram(std::span<const std::uint8_t> bytes) {
         ++counters_.bodies_received;
         if (body_fn_) body_fn_(from, sub.body);
     }
+}
+
+void UdpLink::note_incoming_epoch(Peer& p, std::uint8_t epoch) {
+    if (p.epoch_known && p.recv_epoch == epoch) return;
+    if (p.epoch_known) {
+        // The peer restarted its link layer: its seq and rel_id counters
+        // begin again at 1, so the dedup state built against the previous
+        // incarnation would silently swallow the fresh one's bodies.
+        ++counters_.epoch_resets;
+        p.recv_latest = 0;
+        p.recv_bits = 0;
+        p.rel_latest = 0;
+        std::fill(p.rel_seen.begin(), p.rel_seen.end(), false);
+    }
+    p.epoch_known = true;
+    p.recv_epoch = epoch;
 }
 
 bool UdpLink::note_incoming_seq(Peer& p, std::uint32_t seq) {
@@ -335,8 +386,12 @@ void UdpLink::rto_sweep() {
         std::vector<std::uint32_t> due;
         for (auto& [rel_id, entry] : p.unacked) {
             if (now < entry.rto_deadline) continue;
+            // Exponential backoff, hard-capped at rto_max: during a full
+            // partition every entry settles at the cap instead of growing
+            // (or being reset by keepalive traffic, which never touches
+            // this state). The deterministic jitter de-phases peers.
             entry.rto = std::min(entry.rto * 2, params_.rto_max);
-            entry.rto_deadline = now + entry.rto;
+            entry.rto_deadline = now + entry.rto + rto_jitter(to, rel_id, entry.rto);
             due.push_back(rel_id);
         }
         for (const std::uint32_t rel : due) {
@@ -344,6 +399,17 @@ void UdpLink::rto_sweep() {
             retransmit(to, p, rel);
         }
     }
+}
+
+SimTime UdpLink::rto_jitter(ProcessId to, std::uint32_t rel_id, SimTime rto) const {
+    const std::int64_t range = params_.rto_jitter_max.as_nanos();
+    if (range <= 0) return SimTime::zero();
+    // Pure function of (self, peer, rel_id, backoff stage): the same
+    // retransmission in a replayed run jitters by the same amount.
+    const std::uint64_t h = mix64(hash_combine(
+        hash_combine(static_cast<std::uint64_t>(self_), static_cast<std::uint64_t>(to)),
+        hash_combine(rel_id, static_cast<std::uint64_t>(rto.as_nanos()))));
+    return SimTime::nanos(static_cast<std::int64_t>(h % static_cast<std::uint64_t>(range + 1)));
 }
 
 void UdpLink::keepalive_sweep() {

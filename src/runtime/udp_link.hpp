@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,11 @@ public:
         /// Keepalive/presence interval: an idle link sends an unsequenced
         /// ack datagram so peers learn the link is up (peer_up()).
         SimTime keepalive = SimTime::millis(250);
+        /// Deterministic retransmission jitter: every re-armed RTO deadline
+        /// is stretched by a pure hash of (self, peer, rel_id, backoff) in
+        /// [0, rto_jitter_max], de-phasing retransmit bursts across peers
+        /// during a partition without breaking seed replay.
+        SimTime rto_jitter_max = SimTime::millis(5);
         /// Fast retransmit: a reliable body whose newest carrying seq lags
         /// the peer's cumulative ack by this many datagrams without being
         /// selectively acked is re-sent without waiting for its RTO.
@@ -84,6 +90,18 @@ public:
         /// Reliable-body dedup window per peer (rel_ids tracked below the
         /// highest seen).
         std::size_t dedup_window = 16384;
+        /// Cap on tracked (seq -> reliable rel_ids) mappings per peer. With
+        /// no inbound acks (a full partition) the map would otherwise grow
+        /// with every retransmitted datagram; evicted entries lose only the
+        /// fast-retransmit hint — the rel_ids stay in `unacked` and the RTO
+        /// path re-sends them.
+        std::size_t seq_history = 1024;
+        /// This link incarnation, stamped into every outgoing datagram.
+        /// A node that tears down and re-creates its link (crash/restart)
+        /// must bump it so peers reset their seq/rel_id dedup state instead
+        /// of discarding the fresh incarnation's reliable bodies as
+        /// duplicates of the old one's rel_ids.
+        std::uint8_t epoch = 0;
         /// When true every body is treated as reliable regardless of the
         /// caller's flag — the "TCP-like service over the same lossy link"
         /// configuration the bench uses as its apples-to-apples baseline.
@@ -108,6 +126,19 @@ public:
         std::uint64_t duplicate_reliables = 0;   ///< rel_id dedup hits
         std::uint64_t decode_errors = 0;         ///< undecodable/mis-addressed datagrams
         std::uint64_t send_failures = 0;         ///< channel refused a datagram
+        std::uint64_t epoch_resets = 0;          ///< peer restarted its link incarnation
+        std::uint64_t seq_history_evictions = 0; ///< seq_rels cap hit (partition pressure)
+    };
+
+    /// Per-peer link health snapshot (metrics, chaos diagnostics).
+    struct PeerStats {
+        bool linked = false;
+        bool heard = false;
+        std::size_t unacked = 0;        ///< in-flight reliable bodies
+        std::size_t pending = 0;        ///< bodies queued for the next flush
+        std::uint32_t send_seq = 0;     ///< highest seq sent (next_seq - 1)
+        std::uint32_t recv_latest = 0;  ///< highest seq heard from the peer
+        SimTime max_rto = SimTime::zero();  ///< largest backoff among in-flight bodies
     };
 
     /// `channel` must outlive the link. Installs itself as the channel's
@@ -134,6 +165,13 @@ public:
     const Counters& counters() const { return counters_; }
     /// In-flight reliable bodies to `peer` (tests/diagnostics).
     std::size_t unacked(ProcessId peer) const;
+    PeerStats peer_stats(ProcessId peer) const;
+
+    /// Deterministic retransmission jitter: a pure function of
+    /// (self, peer, rel_id, backoff stage) bounded by Params::rto_jitter_max,
+    /// so a replayed run re-arms every RTO deadline identically. Public so
+    /// tests can pin the purity and bound directly.
+    SimTime rto_jitter(ProcessId to, std::uint32_t rel_id, SimTime rto) const;
 
 private:
     struct RelEntry {
@@ -161,6 +199,8 @@ private:
         std::map<std::uint32_t, std::vector<std::uint32_t>> seq_rels;
         SimTime last_send = SimTime::zero();
         // -- incoming --------------------------------------------------------
+        bool epoch_known = false;       ///< heard at least one datagram
+        std::uint8_t recv_epoch = 0;    ///< peer's last seen link incarnation
         std::uint32_t recv_latest = 0;  ///< highest seq received (0 = none)
         std::uint32_t recv_bits = 0;    ///< window behind recv_latest
         bool ack_pending = false;
@@ -171,6 +211,7 @@ private:
     };
 
     void on_datagram(std::span<const std::uint8_t> bytes);
+    void note_incoming_epoch(Peer& p, std::uint8_t epoch);
     void queue_sub(ProcessId to, Peer& p, PendingSub sub);
     void schedule_flush(ProcessId to, Peer& p);
     void flush(ProcessId to);
@@ -193,6 +234,10 @@ private:
     std::vector<Peer> peers_;  ///< indexed by ProcessId
     Reactor::TimerId rto_timer_ = 0;
     Reactor::TimerId keepalive_timer_ = 0;
+    /// Guards the flush tasks posted to the reactor: posts cannot be
+    /// cancelled, so a task that outlives the link (chaos teardown) must
+    /// detect the destruction and bail instead of touching freed state.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     Counters counters_;
 };
 

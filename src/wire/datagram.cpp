@@ -13,7 +13,7 @@ std::vector<std::uint8_t> encode_datagram(const DatagramHeader& header,
     WireWriter w;
     w.u32(kDatagramMagic);
     w.u8(kWireVersion);
-    w.u8(0);  // flags, reserved
+    w.u8(header.epoch);
     w.u16(static_cast<std::uint16_t>(subs.size()));
     w.i32(header.sender);
     w.u32(header.seq);
@@ -36,8 +36,7 @@ WireError decode_datagram(std::span<const std::uint8_t> data, DatagramView& out)
     if (r.ok() && magic != kDatagramMagic) return WireError::BadMagic;
     const std::uint8_t version = r.u8();
     if (r.ok() && version != kWireVersion) return WireError::BadVersion;
-    const std::uint8_t flags = r.u8();
-    if (r.ok() && flags != 0) return WireError::BadField;
+    out.header.epoch = r.u8();  // any value is a valid incarnation
     const std::uint16_t count = r.u16();
     out.header.sender = r.i32();
     out.header.seq = r.u32();

@@ -7,7 +7,10 @@
 //   offset  size  field
 //   0       4     magic      0x47435744 ("DWCG", little-endian)
 //   4       1     version    kWireVersion
-//   5       1     flags      reserved, must be zero
+//   5       1     epoch      sender's link incarnation (wraps mod 256); a
+//                            change tells the receiver the sender restarted
+//                            its link layer, so seq/rel_id dedup state for
+//                            that peer must be reset
 //   6       2     count      sub-envelopes that follow
 //   8       4     sender     process id of the sending node
 //   12      4     seq        per-link datagram sequence number (1-based);
@@ -52,6 +55,7 @@ inline constexpr std::uint32_t kMaxDatagramBytes = 65507;
 
 struct DatagramHeader {
     ProcessId sender = -1;
+    std::uint8_t epoch = 0;      ///< sender's link incarnation
     std::uint32_t seq = 0;       ///< 0 = unsequenced (pure ack/keepalive)
     std::uint32_t ack = 0;       ///< 0 = nothing received yet
     std::uint32_t ack_bits = 0;  ///< selective-ack window behind `ack`

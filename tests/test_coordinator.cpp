@@ -126,10 +126,16 @@ TEST(CoordinatorTest, ReproposesReportedValuesWithHighestVround) {
     EXPECT_EQ(m.instance(), 3);
     EXPECT_EQ(m.value(), v_high);
     EXPECT_EQ(f.coordinator.counters().reproposals, 1u);
-    // New client values go to instances after the re-proposed one.
+    // New client values hole-fill the evidence-free instances below the
+    // re-proposed one (the classic multi-Paxos no-op fill with a real value
+    // standing in for the no-op) instead of stranding the frontier behind
+    // instances nobody will ever propose into.
     f.coordinator.on_client_value(make_value(0, 9), f.ctx);
     const auto p2a2 = f.transport.sent_of(PaxosMsgType::Phase2a);
-    EXPECT_EQ(static_cast<const Phase2aMsg&>(*p2a2.back()).instance(), 4);
+    EXPECT_EQ(static_cast<const Phase2aMsg&>(*p2a2.back()).instance(), 1);
+    f.coordinator.on_client_value(make_value(0, 10), f.ctx);
+    const auto p2a3 = f.transport.sent_of(PaxosMsgType::Phase2a);
+    EXPECT_EQ(static_cast<const Phase2aMsg&>(*p2a3.back()).instance(), 2);
 }
 
 TEST(CoordinatorTest, BroadcastsDecisionOnQuorumLearn) {

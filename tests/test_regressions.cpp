@@ -6,6 +6,8 @@
 
 #include "core/semantic_gossip.hpp"
 #include "fault/datagram_faults.hpp"
+#include "runtime/chaos_bridge.hpp"
+#include "runtime/reactor.hpp"
 #include "test_util.hpp"
 
 namespace gossipc {
@@ -254,6 +256,81 @@ TEST(Regression, ChaosCorpusInjectedFaultLogIsPinned) {
               "30000000 partition {1}\n"
               "40000000 heal\n"
               "45000000 churn-drop 0-1 [skipped: no overlay]\n");
+}
+
+// Runtime chaos-bridge corpus: the injected-fault log the ChaosBridge
+// produces for the acceptance sweep's failover cell (13 processes,
+// heavy_failover, seed 101). Log lines are stamped with scheduled — not
+// wall-clock — time and every skip decision is a pure function of the
+// schedule and overlay, so the log is byte-identical no matter how the
+// real reactor's clock jitters. Stub hooks stand in for the socket stack:
+// the log does not depend on what the hooks do, only on their presence.
+TEST(Regression, RuntimeChaosBridgeHeavyFailoverLogSeed101) {
+    Graph overlay = make_connected_overlay(13, 42);
+    auto schedule = generate_chaos(13, 0, ChaosProfile::heavy_failover(), 101, &overlay);
+    runtime::Reactor reactor;
+    runtime::ChaosBridge::Hooks hooks;
+    hooks.crash_node = [](ProcessId) {};
+    hooks.restart_node = [](ProcessId, bool) {};
+    hooks.set_link = [](ProcessId, ProcessId, const fault::DatagramFaultSpec&) {};
+    hooks.clear_link = [](ProcessId, ProcessId) {};
+    hooks.overlay = &overlay;
+    hooks.drop_edge = [](ProcessId, ProcessId) {};
+    hooks.add_edge = [](ProcessId, ProcessId) {};
+    runtime::ChaosBridge bridge(reactor, 13, std::move(schedule), std::move(hooks));
+    bridge.arm();
+    // The reactor is a real poll(2) loop: this replays the full 2.25s chaos
+    // window in wall time.
+    ASSERT_TRUE(reactor.run_until([&] { return bridge.done(); }, SimTime::seconds(10)));
+    EXPECT_EQ(
+        bridge.rendered_log(),
+        "276017468 crash p10 preserve\n"
+        "455060853 churn-add 10-3 [skipped: edge present]\n"
+        "624292204 restart p10\n"
+        "688386035 partition {2}\n"
+        "723246100 link-fault 3->10 loss=0.344157 delay_ns=48132071 dup=0.164365"
+        " reorder_ns=2659554\n"
+        "750000000 crash p0 preserve\n"
+        "752341103 crash p3 wipe\n"
+        "771586070 link-fault 5->1 loss=0.127676 delay_ns=46771387 dup=0.0556903"
+        " reorder_ns=3809206\n"
+        "853506343 link-fault 8->10 loss=0.237741 delay_ns=53939245 dup=0.26079"
+        " reorder_ns=90930\n"
+        "865600507 link-fault 0->6 loss=0.1572 delay_ns=1720501 dup=0.34539"
+        " reorder_ns=3832460\n"
+        "870963769 link-fault 0->9 loss=0.464641 delay_ns=42651949 dup=0.089446"
+        " reorder_ns=233299\n"
+        "897774358 heal\n"
+        "1012239495 link-fault 12->11 loss=0.586401 delay_ns=13851323 dup=0.344049"
+        " reorder_ns=2906935\n"
+        "1024965037 churn-drop 10-3\n"
+        "1054222312 link-fault-end 8->10\n"
+        "1100835519 churn-add 5-10\n"
+        "1165265712 link-fault-end 3->10\n"
+        "1199207619 churn-drop 0-11\n"
+        "1232287361 restart p3\n"
+        "1250237594 link-fault-end 5->1\n"
+        "1290189220 churn-add 7-9\n"
+        "1321154557 churn-drop 0-5\n"
+        "1377909505 crash p12 wipe\n"
+        "1389076940 churn-drop 9-12\n"
+        "1462484874 link-fault-end 0->6\n"
+        "1534965331 partition {9}\n"
+        "1622101113 churn-add 0-5\n"
+        "1631429977 link-fault-end 0->9\n"
+        "1661150994 churn-drop 5-10\n"
+        "1698927436 restart p12\n"
+        "1731007362 churn-add 0-11\n"
+        "1855365770 crash p7 preserve\n"
+        "1865670231 churn-drop 7-9\n"
+        "1887623774 link-fault-end 12->11\n"
+        "1893351455 heal\n"
+        "1939445214 churn-drop 2-8\n"
+        "1947577853 churn-add 0-4\n"
+        "1974100479 churn-add 9-12\n"
+        "2016736543 restart p7\n"
+        "2250000000 churn-add 2-8\n"
+        "2250000000 churn-drop 0-4\n");
 }
 
 // UDP datagram-fate corpus: the same replay contract for the lossy-link

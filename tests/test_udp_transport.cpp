@@ -496,5 +496,126 @@ TEST(UdpLink, ForceReliableRepairsEverything) {
     EXPECT_EQ(pair.received_by_b.size(), static_cast<std::size_t>(kBodies));
 }
 
+// -- Satellite: RTO backoff across partition/heal -----------------------------
+
+// Across a partition the exponential backoff must stop at rto_max (not grow
+// unbounded), and after the heal every reliable body must still come through.
+TEST(UdpLink, RtoBackoffCapsAtMaxAcrossPartitionAndHeal) {
+    UdpLink::Params params = test_link_params();
+    params.rto_initial = SimTime::millis(5);
+    params.rto_max = SimTime::millis(40);
+    params.rto_sweep = SimTime::millis(2);
+    LinkPair pair(83, fault::DatagramFaultSpec{}, params);
+
+    // Total blackout in both directions: bodies sent now can only back off.
+    fault::DatagramFaultSpec blackout;
+    blackout.loss = 1.0;
+    pair.net.set_link_fault(0, 1, blackout);
+    pair.net.set_link_fault(1, 0, blackout);
+    constexpr int kBodies = 5;
+    for (int i = 0; i < kBodies; ++i) {
+        ASSERT_TRUE(pair.a.send_body(1, test_body(i), /*reliable=*/true));
+    }
+    pair.reactor.run_until([] { return false; }, SimTime::millis(600));
+    const UdpLink::PeerStats mid = pair.a.peer_stats(1);
+    EXPECT_EQ(mid.unacked, static_cast<std::size_t>(kBodies));
+    EXPECT_EQ(mid.max_rto, params.rto_max) << "backoff did not cap at rto_max";
+
+    pair.net.clear_link_fault(0, 1);
+    pair.net.clear_link_fault(1, 0);
+    ASSERT_TRUE(pair.reactor.run_until(
+        [&] { return pair.received_by_b.size() >= kBodies && pair.a.unacked(1) == 0; },
+        SimTime::seconds(10)))
+        << "bodies did not recover after heal";
+    EXPECT_EQ(pair.received_by_b.size(), static_cast<std::size_t>(kBodies));
+}
+
+// A long ack-less partition with a tiny seq->rel history must evict the
+// fast-retransmit hints (bounded memory) without losing any reliable body:
+// the RTO path owns delivery, the history is only an optimization.
+TEST(UdpLink, SeqHistoryEvictionKeepsReliableDeliveryIntact) {
+    UdpLink::Params params = test_link_params();
+    params.rto_initial = SimTime::millis(5);
+    params.rto_max = SimTime::millis(20);
+    params.rto_sweep = SimTime::millis(2);
+    params.seq_history = 4;
+    LinkPair pair(89, fault::DatagramFaultSpec{}, params);
+
+    fault::DatagramFaultSpec blackout;
+    blackout.loss = 1.0;
+    pair.net.set_link_fault(1, 0, blackout);  // acks never return
+    constexpr int kBodies = 12;
+    for (int i = 0; i < kBodies; ++i) {
+        ASSERT_TRUE(pair.a.send_body(1, test_body(i), /*reliable=*/true));
+    }
+    pair.reactor.run_until([] { return false; }, SimTime::millis(400));
+    EXPECT_GT(pair.a.counters().seq_history_evictions, 0u)
+        << "cap never hit despite retransmission pressure";
+
+    pair.net.clear_link_fault(1, 0);
+    ASSERT_TRUE(pair.reactor.run_until([&] { return pair.a.unacked(1) == 0; },
+                                       SimTime::seconds(10)));
+    // Dedup on the receiver must survive the eviction churn: each body once.
+    EXPECT_EQ(pair.received_by_b.size(), static_cast<std::size_t>(kBodies));
+}
+
+// The retransmission jitter is a pure function of (self, peer, rel_id,
+// backoff stage) — byte-identical across link incarnations — and bounded by
+// rto_jitter_max; distinct rel_ids must not all share one offset.
+TEST(UdpLink, RtoJitterIsDeterministicBoundedAndSpread) {
+    const UdpLink::Params params = test_link_params();
+    Reactor reactor;
+    LossyDatagramNetwork net(reactor, 2, 7);
+    UdpLink first(reactor, 0, 2, net.endpoint(0), params);
+    UdpLink second(reactor, 0, 2, net.endpoint(1), params);
+
+    bool varied = false;
+    SimTime previous = SimTime::nanos(-1);
+    for (std::uint32_t rel = 1; rel <= 64; ++rel) {
+        for (const SimTime rto : {params.rto_initial, params.rto_initial * 2}) {
+            const SimTime j = first.rto_jitter(1, rel, rto);
+            EXPECT_EQ(j, second.rto_jitter(1, rel, rto))
+                << "jitter is not a pure function of its inputs";
+            EXPECT_GE(j, SimTime::zero());
+            EXPECT_LE(j, params.rto_jitter_max);
+            if (previous.as_nanos() >= 0 && j != previous) varied = true;
+            previous = j;
+        }
+    }
+    EXPECT_TRUE(varied) << "every deadline drew the same jitter";
+}
+
+// A recreated sender link (bumped epoch) must be treated as a fresh
+// incarnation: its restarted rel_ids deliver instead of being swallowed by
+// dedup state from the previous life.
+TEST(UdpLink, EpochBumpRestartsIncarnationAndDelivers) {
+    UdpLink::Params params = test_link_params();
+    Reactor reactor;
+    LossyDatagramNetwork net(reactor, 2, 11);
+    UdpLink b(reactor, 1, 2, net.endpoint(1), params);
+    std::vector<std::vector<std::uint8_t>> received;
+    b.set_body_handler([&](ProcessId, std::span<const std::uint8_t> bytes) {
+        received.emplace_back(bytes.begin(), bytes.end());
+    });
+    b.link(0);
+
+    auto a = std::make_unique<UdpLink>(reactor, 0, 2, net.endpoint(0), params);
+    a->link(1);
+    ASSERT_TRUE(a->send_body(1, test_body(1), /*reliable=*/true));
+    ASSERT_TRUE(reactor.run_until([&] { return received.size() >= 1; },
+                                  SimTime::seconds(5)));
+
+    // Same endpoint, next incarnation: rel_id/seq counters restart at 1.
+    params.epoch = 1;
+    a = std::make_unique<UdpLink>(reactor, 0, 2, net.endpoint(0), params);
+    a->link(1);
+    ASSERT_TRUE(a->send_body(1, test_body(2), /*reliable=*/true));
+    ASSERT_TRUE(reactor.run_until([&] { return received.size() >= 2; },
+                                  SimTime::seconds(5)))
+        << "fresh incarnation's first body was swallowed as a duplicate";
+    EXPECT_EQ(b.counters().epoch_resets, 1u);
+    EXPECT_EQ(received[1], test_body(2));
+}
+
 }  // namespace
 }  // namespace gossipc::runtime

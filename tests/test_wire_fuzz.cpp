@@ -501,9 +501,24 @@ TEST(WireFuzz, DatagramBadVersion) {
     EXPECT_EQ(err, WireError::BadVersion);
 }
 
-TEST(WireFuzz, DatagramReservedHeaderFlagsRejected) {
-    const WireError err = decode_mutated_datagram([](auto& buf) { buf[5] = 0x01; });
-    EXPECT_EQ(err, WireError::BadField);
+TEST(WireFuzz, DatagramEpochRoundTrips) {
+    // The epoch byte (offset 5) is the sender's link incarnation: every value
+    // is legal and must survive the codec — a restarted sender relies on the
+    // receiver seeing the changed epoch to reset its dedup state.
+    for (const std::uint8_t epoch : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{0xff}}) {
+        const auto bodies = corpus_seeds();
+        wire::DatagramHeader h;
+        h.sender = 1;
+        h.epoch = epoch;
+        h.seq = 9;
+        std::vector<wire::DatagramSub> subs;
+        subs.push_back(wire::DatagramSub{true, 7, bodies[0]});
+        const std::vector<std::uint8_t> buf = wire::encode_datagram(h, subs);
+        EXPECT_EQ(buf[5], epoch);
+        wire::DatagramView view;
+        ASSERT_EQ(wire::decode_datagram(as_span(buf), view), WireError::None);
+        EXPECT_EQ(view.header.epoch, epoch);
+    }
 }
 
 TEST(WireFuzz, DatagramNegativeSenderRejected) {
