@@ -83,10 +83,20 @@ int main() {
     }
 
     std::map<std::pair<std::string, int>, double> sat;
+    std::map<std::pair<std::string, int>, bool> saturated;
     for (const auto& [key, points] : sweeps) {
         std::vector<SweepPoint> sweep;
         for (const auto& p : points) sweep.push_back({p.rate, p.throughput, p.latency});
-        sat[key] = points[saturation_index(sweep)].throughput;
+        const SaturationResult knee = find_saturation(sweep);
+        sat[key] = points[knee.index].throughput;
+        saturated[key] = knee.saturated;
+        if (!knee.saturated) {
+            std::fprintf(stderr,
+                         "warning: %s n=%d sweep never saturated (throughput still "
+                         "rising at the top of the measured range); reported value "
+                         "is a lower bound, not a saturation point\n",
+                         key.first.c_str(), key.second);
+        }
     }
 
     // Normalize within each system size by the Baseline saturation.
@@ -104,6 +114,11 @@ int main() {
         report.add(key + ".baseline_sat_throughput", base, "ops/s", true);
         report.add(key + ".gossip_normalized", gossip / base, "ratio", true);
         report.add(key + ".semantic_normalized", semantic / base, "ratio", true);
+        // 1.0 when every setup's sweep showed a real knee at this size; 0.0
+        // marks cells whose "saturation" is only the edge of the sweep.
+        const bool all_saturated = saturated[{"Baseline", n}] && saturated[{"Gossip", n}] &&
+                                   saturated[{"SemanticGossip", n}];
+        report.add(key + ".sweep_saturated", all_saturated ? 1.0 : 0.0, "bool", true);
     }
     report.write();
     std::printf("\nPaper reference (normalized to Baseline): Gossip 0.53/0.26/0.41,\n"

@@ -14,6 +14,7 @@
 
 #include "core/report.hpp"
 #include "core/semantic_gossip.hpp"
+#include "wire/codec.hpp"
 
 namespace {
 
@@ -30,6 +31,16 @@ namespace {
         "  --strategy push|pull|push-pull     dissemination (default push)\n"
         "  --no-filtering / --no-aggregation  disable one semantic technique\n"
         "  --batch <size>                     network-level batching (default off)\n"
+        "  --batch-size <n>                   coordinator value batching: values\n"
+        "                                     per Paxos instance (default 1 = off)\n"
+        "  --batch-delay <s>                  partial-batch flush delay (default 0.005)\n"
+        "  --pending-cap <n>                  coordinator queue cap; beyond it new\n"
+        "                                     values are shed (default 65536)\n"
+        "  --pipeline                         pull-mode pipelining: forward in the\n"
+        "                                     same step instead of next round\n"
+        "  --fanout <k>                       forward to k random peers, 0 = all\n"
+        "  --adaptive-fanout                  widen a restricted fanout under\n"
+        "                                     send-queue pressure\n"
         "  --seed <u64> / --overlay-seed <u64>\n"
         "  --chaos light|moderate|heavy|heavy-failover\n"
         "                                     seeded fault schedule (crashes,\n"
@@ -140,6 +151,18 @@ int main(int argc, char** argv) {
             cfg.semantic.aggregation = false;
         } else if (arg == "--batch") {
             cfg.gossip_params.batch_size = static_cast<std::size_t>(u64val(next()));
+        } else if (arg == "--batch-size") {
+            cfg.batch_size = static_cast<std::uint32_t>(u64val(next()));
+        } else if (arg == "--batch-delay") {
+            cfg.batch_delay = SimTime::seconds(num(next()));
+        } else if (arg == "--pending-cap") {
+            cfg.pending_cap = static_cast<std::size_t>(u64val(next()));
+        } else if (arg == "--pipeline") {
+            cfg.pipeline = true;
+        } else if (arg == "--fanout") {
+            cfg.fanout = static_cast<std::size_t>(u64val(next()));
+        } else if (arg == "--adaptive-fanout") {
+            cfg.adaptive_fanout = true;
         } else if (arg == "--seed") {
             cfg.seed = u64val(next());
         } else if (arg == "--overlay-seed") {
@@ -203,6 +226,14 @@ int main(int argc, char** argv) {
     if (cfg.value_size == 0) usage(argv[0], "--value-size must be positive");
     if (cfg.loss_rate < 0 || cfg.loss_rate > 1) usage(argv[0], "--loss must be in [0, 1]");
     if (cfg.gossip_params.batch_size == 0) usage(argv[0], "--batch must be at least 1");
+    if (cfg.batch_size == 0) usage(argv[0], "--batch-size must be at least 1");
+    if (cfg.batch_size > wire::kMaxBatchEntries) {
+        usage(argv[0], "--batch-size exceeds the wire codec's component cap (4096)");
+    }
+    if (cfg.batch_delay < SimTime::zero()) {
+        usage(argv[0], "--batch-delay must be non-negative");
+    }
+    if (cfg.pending_cap == 0) usage(argv[0], "--pending-cap must be at least 1");
     if (cfg.heartbeat_interval <= SimTime::zero()) {
         usage(argv[0], "--heartbeat must be positive");
     }

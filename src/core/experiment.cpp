@@ -73,6 +73,9 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
         pc.suspect_after = config.suspect_after;
         pc.detector_sweep_interval = config.detector_sweep_interval;
         pc.suspicion_jitter_max = config.suspicion_jitter_max;
+        pc.batch_size = config.batch_size;
+        pc.batch_delay = config.batch_delay;
+        pc.pending_cap = config.pending_cap;
 
         if (gossip_setup) {
             if (config.setup == Setup::SemanticGossip) {
@@ -84,6 +87,9 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             GossipNode::Params gp = config.gossip_params;
             gp.seed = config.seed;
             gp.strategy = config.strategy;
+            gp.pipeline = config.pipeline;
+            gp.fanout = config.fanout;
+            gp.adaptive_fanout = config.adaptive_fanout;
             gossip_nodes_.push_back(std::make_unique<GossipNode>(
                 network_->node(id), overlay_->neighbors(id), gp, *hooks_.back()));
             transports_.push_back(std::make_unique<GossipTransport>(*gossip_nodes_.back()));
@@ -349,6 +355,9 @@ void Deployment::fill_metrics(const ExperimentResult& result) {
         gc.pull_served += c.pull_served;
         gc.peers_added += c.peers_added;
         gc.peers_removed += c.peers_removed;
+        gc.pipelined_forwards += c.pipelined_forwards;
+        gc.fanout_limited += c.fanout_limited;
+        gc.fanout_widened += c.fanout_widened;
     }
     set("gossip.broadcasts", gc.broadcasts);
     set("gossip.envelopes_received", gc.envelopes_received);
@@ -374,6 +383,24 @@ void Deployment::fill_metrics(const ExperimentResult& result) {
             pc.handled_by_type[t] += c.handled_by_type[t];
         }
     }
+    Coordinator::Counters cc;
+    for (const auto& p : processes_) {
+        if (const Coordinator* coord = p->coordinator()) {
+            const auto& c = coord->counters();
+            cc.values_shed += c.values_shed;
+            cc.batches_proposed += c.batches_proposed;
+            cc.batched_values += c.batched_values;
+            cc.timer_flushes += c.timer_flushes;
+        }
+    }
+    set("paxos.values_shed", cc.values_shed);
+    set("paxos.batches_proposed", cc.batches_proposed);
+    set("paxos.batched_values", cc.batched_values);
+    set("paxos.batch_timer_flushes", cc.timer_flushes);
+    set("gossip.pipelined_forwards", gc.pipelined_forwards);
+    set("gossip.fanout_limited", gc.fanout_limited);
+    set("gossip.fanout_widened", gc.fanout_widened);
+
     set("paxos.values_submitted", pc.values_submitted);
     set("paxos.messages_handled", pc.messages_handled);
     set("paxos.learn_requests_sent", pc.learn_requests_sent);

@@ -90,6 +90,25 @@ struct ExperimentConfig {
 
     GossipStrategy strategy = GossipStrategy::Push;
 
+    // Coordinator-side value batching + pipelined dissemination (DESIGN.md
+    // §14). batch_size = 1 keeps the paper's one-value-per-instance
+    // behaviour; >= 2 packs queued client values into composite Paxos
+    // values, flushed when the batch fills or batch_delay elapses.
+    std::uint32_t batch_size = 1;
+    SimTime batch_delay = SimTime::millis(5);
+    /// Coordinator backpressure: pending client values beyond this cap are
+    /// shed (counted in paxos.values_shed) instead of growing the queue
+    /// without bound.
+    std::size_t pending_cap = 1 << 16;
+    /// Pull-strategy pipelining: forward validated messages in the same
+    /// simulator step instead of parking them for the next anti-entropy
+    /// round.
+    bool pipeline = false;
+    /// Gossip fanout restriction (0 = flood all peers) and its adaptive
+    /// widening under send-queue pressure.
+    std::size_t fanout = 0;
+    bool adaptive_fanout = false;
+
     /// Gossip-layer tuning (cache sizes, batching ablation, pull interval).
     /// `seed` and `strategy` inside are overridden by the fields above.
     GossipNode::Params gossip_params{};

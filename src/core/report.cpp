@@ -66,7 +66,13 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
       << ", \"invariant_probe_events\": " << config.invariant_probe_events
       << ", \"bandwidth_bytes_per_us\": " << config.bandwidth_bytes_per_us
       << ", \"jitter_frac\": " << config.jitter_frac
-      << ", \"batch_size\": " << config.gossip_params.batch_size
+      << ", \"gossip_batch_size\": " << config.gossip_params.batch_size
+      << ", \"batch_size\": " << config.batch_size
+      << ", \"batch_delay_s\": " << config.batch_delay.as_seconds()
+      << ", \"pending_cap\": " << config.pending_cap
+      << ", \"pipeline\": " << (config.pipeline ? "true" : "false")
+      << ", \"fanout\": " << config.fanout
+      << ", \"adaptive_fanout\": " << (config.adaptive_fanout ? "true" : "false")
       << ", \"trace\": " << (config.trace ? "true" : "false")
       << ", \"trace_capacity\": " << config.trace_capacity
       << ", \"trace_jsonl_path\": \"" << json_escape(config.trace_jsonl_path) << "\"},\n";

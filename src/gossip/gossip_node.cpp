@@ -59,6 +59,9 @@ void GossipNode::broadcast(GossipAppMessage msg, CpuContext& ctx) {
     if (deliver_) deliver_(msg, ctx);
     if (params_.strategy != GossipStrategy::Pull) {
         forward(msg, /*exclude=*/-1);
+    } else if (params_.pipeline) {
+        ++counters_.pipelined_forwards;
+        forward(msg, /*exclude=*/-1);
     }
 }
 
@@ -117,6 +120,12 @@ void GossipNode::accept(const GossipAppMessage& msg, ProcessId received_from, Cp
     if (deliver_) deliver_(msg, ctx);
     if (params_.strategy != GossipStrategy::Pull) {
         forward(msg, received_from);
+    } else if (params_.pipeline) {
+        // Pipelined anti-entropy: relay in the step that validated the
+        // message rather than waiting out the round boundary. The pull
+        // rounds still run and repair anything a restricted fanout missed.
+        ++counters_.pipelined_forwards;
+        forward(msg, received_from);
     }
 }
 
@@ -160,9 +169,41 @@ std::size_t GossipNode::active_peer_count() const {
     return count;
 }
 
+std::size_t GossipNode::queued_backlog() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peer_active_[i]) total += queues_[i].pending.size();
+    }
+    return total;
+}
+
 void GossipNode::forward(const GossipAppMessage& msg, ProcessId exclude) {
+    std::vector<std::size_t> targets;
+    targets.reserve(peers_.size());
     for (std::size_t i = 0; i < peers_.size(); ++i) {
         if (peers_[i] == exclude || !peer_active_[i]) continue;
+        targets.push_back(i);
+    }
+    if (params_.fanout > 0 && targets.size() > params_.fanout) {
+        // Restricted fanout — unless adaptive widening sees enough backlog
+        // to justify flooding the whole neighbourhood. The rng is consumed
+        // only on the restricted path, so fanout = 0 runs stay byte-
+        // identical to classic flooding.
+        if (params_.adaptive_fanout && queued_backlog() >= params_.fanout_pressure) {
+            ++counters_.fanout_widened;
+        } else {
+            for (std::size_t j = 0; j < params_.fanout; ++j) {
+                // Partial Fisher-Yates: first `fanout` slots become a
+                // uniform subset without shuffling the whole vector.
+                const auto pick = j + static_cast<std::size_t>(rng_.uniform_int(
+                    0, static_cast<std::int64_t>(targets.size() - 1 - j)));
+                std::swap(targets[j], targets[pick]);
+            }
+            targets.resize(params_.fanout);
+            ++counters_.fanout_limited;
+        }
+    }
+    for (const std::size_t i : targets) {
         PeerQueue& q = queues_[i];
         if (q.pending.size() >= params_.peer_queue_cap) {
             ++counters_.send_queue_drops;

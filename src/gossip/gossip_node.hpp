@@ -95,6 +95,21 @@ public:
         /// Unlike semantic aggregation this postpones sends at low load.
         std::size_t batch_size = 1;  ///< 1 = batching disabled
         SimTime batch_delay = SimTime::millis(5);
+        /// Pipelined dissemination (DESIGN.md §14): under the Pull strategy
+        /// a validated message is forwarded in the same simulator step it
+        /// was accepted, instead of parking in the store until the next
+        /// anti-entropy round answers a digest. Push already pipelines;
+        /// the anti-entropy rounds keep running as a repair backstop.
+        bool pipeline = false;
+        /// Forward each message to this many randomly chosen active peers
+        /// instead of all of them. 0 = every peer (classic flooding).
+        std::size_t fanout = 0;
+        /// Adaptive fanout: when the total send-queue backlog reaches
+        /// `fanout_pressure` pending messages, a restricted fanout widens
+        /// back to every peer — under load, relays spread work across the
+        /// whole neighbourhood instead of funnelling it through few links.
+        bool adaptive_fanout = false;
+        std::size_t fanout_pressure = 64;
         std::uint64_t seed = 1;
     };
 
@@ -112,6 +127,9 @@ public:
         std::uint64_t pull_served = 0;         ///< messages sent in response to digests
         std::uint64_t peers_added = 0;         ///< overlay churn: edges (re-)attached
         std::uint64_t peers_removed = 0;       ///< overlay churn: edges detached
+        std::uint64_t pipelined_forwards = 0;  ///< Pull-mode same-step forwards
+        std::uint64_t fanout_limited = 0;      ///< forwards restricted to a subset
+        std::uint64_t fanout_widened = 0;      ///< restrictions lifted under pressure
     };
 
     using DeliverFn = std::function<void(const GossipAppMessage&, CpuContext&)>;
@@ -155,6 +173,8 @@ private:
     void on_net_receive(const NetMessage& msg, CpuContext& ctx);
     void accept(const GossipAppMessage& msg, ProcessId received_from, CpuContext& ctx);
     void forward(const GossipAppMessage& msg, ProcessId exclude);
+    /// Total pending messages across active peer queues (fanout pressure).
+    std::size_t queued_backlog() const;
     void drain_peer(std::size_t peer_idx, CpuContext& ctx);
     void send_to_peer(const GossipAppMessage& msg, ProcessId peer, CpuContext& ctx);
     void trace_aggregation(const std::vector<GossipAppMessage>& inputs,

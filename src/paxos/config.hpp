@@ -47,6 +47,21 @@ struct PaxosConfig {
     /// deadline jitter, de-synchronizing takeover attempts across observers.
     SimTime suspicion_jitter_max = SimTime::millis(60);
 
+    // Coordinator-side value batching (DESIGN.md §14). batch_size = 1 keeps
+    // the paper's one-value-per-instance behaviour exactly; larger sizes
+    // pack up to batch_size queued client values into one composite Paxos
+    // value, flushed early when the batch fills or when batch_delay elapses
+    // after the first queued value.
+    std::uint32_t batch_size = 1;
+    SimTime batch_delay = SimTime::millis(5);
+
+    /// Cap on the coordinator's queue of not-yet-proposed client values.
+    /// Beyond it, newly arriving client values are shed (counted, never
+    /// marked seen — the origin's retransmission path retries them later).
+    /// Internal re-queues (failover orphans, lost Phase 2 races) bypass the
+    /// cap so no accepted-for-ordering value is ever dropped.
+    std::size_t pending_cap = 1 << 16;
+
     /// Seed for deterministic jitter derivation. No RNG stream is consumed:
     /// jitter is a pure hash of (seed, id, key), keeping replays byte-stable.
     std::uint64_t seed = 1;

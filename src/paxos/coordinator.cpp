@@ -21,6 +21,10 @@ void Coordinator::start(CpuContext& ctx) {
 void Coordinator::begin_phase1(CpuContext& ctx) {
     round_ = config_.round_for(config_.id, phase1_attempt_);
     ++phase1_attempt_;
+    // A crash drops one-shot timers; the armed state must not outlive them
+    // or the first partial batch after recovery would never timer-flush.
+    // complete_phase1 full-flushes anyway, so nothing is lost either way.
+    flush_deadline_ = SimTime::zero();
     phase1_from_ = learner_.frontier();
     phase1_complete_ = false;
     promises_.clear();
@@ -41,7 +45,7 @@ void Coordinator::activate(Round min_round, CpuContext& ctx) {
     // got decided: seed the dedup set with every decision known locally, so
     // origin retransmissions of those values are dropped as duplicates.
     for (InstanceId i = 1; i <= learner_.highest_seen(); ++i) {
-        if (const auto v = learner_.decided_value(i)) seen_values_.insert(v->id);
+        if (const auto v = learner_.decided_value(i)) note_seen(*v);
     }
     start(ctx);
 }
@@ -53,7 +57,17 @@ std::vector<Value> Coordinator::step_down() {
     reported_.clear();
     std::vector<Value> orphaned;
     orphaned.reserve(proposals_.size() + pending_.size());
-    for (const auto& [instance, proposal] : proposals_) orphaned.push_back(proposal.value);
+    // In-flight composites are unpacked to their components: the orphans are
+    // re-routed as client submissions keyed on real client ids, and the new
+    // coordinator must be free to re-batch them its own way.
+    for (auto& [instance, proposal] : proposals_) {
+        if (proposal.value.is_batch()) {
+            seen_values_.erase(proposal.value.id);
+            for (Value& c : proposal.value.batch) orphaned.push_back(std::move(c));
+        } else {
+            orphaned.push_back(std::move(proposal.value));
+        }
+    }
     proposals_.clear();
     for (Value& v : pending_) orphaned.push_back(std::move(v));
     pending_.clear();
@@ -96,16 +110,16 @@ void Coordinator::complete_phase1(CpuContext& ctx) {
             // lose the value for good (observed live under the runtime
             // chaos bridge, DESIGN.md §13).
             if (learner_.decided_digest(instance) == entry.value.digest()) {
-                seen_values_.insert(entry.value.id);
-                drop_pending(entry.value.id);
+                note_seen(entry.value);
+                drop_pending_for(entry.value);
             }
             continue;
         }
         // Re-proposing it here: (possibly) already chosen under this
         // instance, and now in flight again — seen either way, so an origin
         // retransmission cannot get it proposed into a second instance.
-        seen_values_.insert(entry.value.id);
-        drop_pending(entry.value.id);
+        note_seen(entry.value);
+        drop_pending_for(entry.value);
         ++counters_.reproposals;
         propose(instance, entry.value, ctx);
     }
@@ -117,12 +131,50 @@ void Coordinator::complete_phase1(CpuContext& ctx) {
 
 void Coordinator::on_client_value(const Value& value, CpuContext& ctx) {
     if (!active_) return;  // origin processes retransmit to the new coordinator
-    if (!seen_values_.insert(value.id).second) {
+    if (seen_values_.count(value.id) != 0) {
         ++counters_.duplicate_values;
         return;
     }
+    // Backpressure: an overloaded coordinator sheds instead of growing the
+    // queue without bound. Shed values are NOT marked seen — the origin's
+    // repair sweep retransmits them and a later, less loaded arrival gets
+    // through; marking them seen here would drop every retry as a duplicate
+    // and lose the value for good.
+    if (pending_.size() >= config_.pending_cap) {
+        ++counters_.values_shed;
+        return;
+    }
+    seen_values_.insert(value.id);
     pending_.push_back(value);
-    if (phase1_complete_) flush_pending(ctx);
+    if (phase1_complete_) maybe_flush(ctx);
+}
+
+void Coordinator::maybe_flush(CpuContext& ctx) {
+    if (!active_ || !phase1_complete_ || pending_.empty()) return;
+    if (config_.batch_size <= 1 || pending_.size() >= config_.batch_size) {
+        flush_pending(ctx);
+        return;
+    }
+    arm_flush_timer(ctx);
+}
+
+void Coordinator::arm_flush_timer(CpuContext& ctx) {
+    // A live timer is pending: nothing to do. But if the recorded deadline
+    // has passed without the callback clearing it, the one-shot was dropped
+    // by a crash — treat the state as stale and re-arm, or the coordinator
+    // would never timer-flush again until its next Phase 1.
+    if (flush_deadline_ != SimTime::zero() && ctx.now() < flush_deadline_) return;
+    flush_deadline_ = ctx.now() + config_.batch_delay;
+    // One-shot: dropped if this process is crashed when it fires — the
+    // unflushed values then sit in pending_ and survive into step_down()'s
+    // orphan hand-off, complete_phase1's full flush after recovery, or the
+    // stale-deadline re-arm above on the next client arrival.
+    transport_.schedule(config_.batch_delay, [this](CpuContext& c) {
+        flush_deadline_ = SimTime::zero();
+        if (!active_ || !phase1_complete_ || pending_.empty()) return;
+        ++counters_.timer_flushes;
+        flush_pending(c);
+    });
 }
 
 void Coordinator::flush_pending(CpuContext& ctx) {
@@ -138,14 +190,36 @@ void Coordinator::flush_pending(CpuContext& ctx) {
     // next Phase 1 instead. Observed live under the runtime chaos bridge
     // (DESIGN.md §13).
     InstanceId slot = learner_.frontier();
+    const std::size_t batch_size = std::max<std::uint32_t>(config_.batch_size, 1);
     while (!pending_.empty()) {
         // Skip instances already known decided (decisions from a previous
         // round can land between Phase 1 and the flush) and instances with a
         // proposal in flight this round (reported entries were re-proposed
         // by complete_phase1, so reported evidence is never overwritten).
         while (learner_.knows_decision(slot) || proposals_.count(slot) != 0) ++slot;
-        const Value value = pending_.front();
-        pending_.pop_front();
+        Value value;
+        const std::size_t take = std::min(pending_.size(), batch_size);
+        if (take <= 1) {
+            // Plain path: batching off, or a lone remainder — no composite
+            // framing overhead for a batch of one.
+            value = std::move(pending_.front());
+            pending_.pop_front();
+        } else {
+            std::vector<Value> components;
+            components.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                components.push_back(std::move(pending_.front()));
+                pending_.pop_front();
+            }
+            // Synthesized identity: negative client id (real clients are
+            // >= 0) scoped to this process, sequence unique per coordinator
+            // object. Content identity is the digest, which folds the
+            // component digests, so id reuse across incarnations is benign.
+            const ValueId batch_id{-(config_.id + 1), ++batch_seq_};
+            value = make_batch_value(batch_id, std::move(components));
+            ++counters_.batches_proposed;
+            counters_.batched_values += take;
+        }
         ++counters_.proposals;
         propose(slot, value, ctx);
         next_instance_ = std::max(next_instance_, slot + 1);
@@ -164,14 +238,23 @@ void Coordinator::on_decided(InstanceId instance, const Value& value, bool via_q
         if (!(it->second.value == value)) {
             // Our proposal lost this instance to a value chosen in a lower
             // round (coordinator change): re-propose it in a fresh instance.
-            pending_.push_back(it->second.value);
+            // A losing composite is unpacked first — pending_ holds plain
+            // values only, so batches never nest; components the decided
+            // value did carry are dropped right below as duplicates.
+            Value lost = std::move(it->second.value);
+            if (lost.is_batch()) {
+                seen_values_.erase(lost.id);
+                for (Value& c : lost.batch) pending_.push_back(std::move(c));
+            } else {
+                pending_.push_back(std::move(lost));
+            }
         }
         proposals_.erase(it);
     }
-    seen_values_.insert(value.id);  // a recovered coordinator learns past values
-    drop_pending(value.id);         // a queued copy of a decided value is a duplicate
+    note_seen(value);       // a recovered coordinator learns past values
+    drop_pending_for(value);  // a queued copy of a decided value is a duplicate
     next_instance_ = std::max(next_instance_, instance + 1);
-    if (!pending_.empty() && phase1_complete_ && active_) flush_pending(ctx);
+    if (!pending_.empty() && phase1_complete_ && active_) maybe_flush(ctx);
     if (via_quorum && active_) {
         ++counters_.decisions_sent;
         transport_.broadcast(std::make_shared<DecisionMsg>(config_.id, instance, value.id,
@@ -185,6 +268,18 @@ void Coordinator::drop_pending(const ValueId& id) {
         if (it->id == id) it = pending_.erase(it);
         else ++it;
     }
+}
+
+void Coordinator::note_seen(const Value& value) {
+    seen_values_.insert(value.id);
+    // A decided composite means every component is ordered: origin
+    // retransmissions of the components must deduplicate from now on.
+    for (const Value& c : value.batch) seen_values_.insert(c.id);
+}
+
+void Coordinator::drop_pending_for(const Value& value) {
+    drop_pending(value.id);
+    for (const Value& c : value.batch) drop_pending(c.id);
 }
 
 void Coordinator::retransmit_sweep(CpuContext& ctx) {

@@ -29,6 +29,10 @@ public:
         std::uint64_t retransmissions = 0;  ///< Phase 2a retransmitted
         std::uint64_t decisions_sent = 0;
         std::uint64_t duplicate_values = 0;  ///< client values already proposed
+        std::uint64_t values_shed = 0;       ///< client values rejected: pending_ full
+        std::uint64_t batches_proposed = 0;  ///< composite values proposed
+        std::uint64_t batched_values = 0;    ///< client values packed into composites
+        std::uint64_t timer_flushes = 0;     ///< flushes triggered by batch_delay
     };
 
     Coordinator(const PaxosConfig& config, Transport& transport, Learner& learner);
@@ -91,7 +95,17 @@ private:
     void complete_phase1(CpuContext& ctx);
     void drop_pending(const ValueId& id);
     void propose(InstanceId instance, const Value& value, CpuContext& ctx);
+    /// Size-or-timer flush gate (DESIGN.md §14): flushes right away when
+    /// batching is off or a full batch is queued, otherwise arms the
+    /// batch_delay timer for the partial batch.
+    void maybe_flush(CpuContext& ctx);
+    void arm_flush_timer(CpuContext& ctx);
     void flush_pending(CpuContext& ctx);
+    /// Marks a value — and, for composites, every component — as proposed
+    /// or decided, so origin retransmissions of any of them deduplicate.
+    void note_seen(const Value& value);
+    /// drop_pending for a value and all its components.
+    void drop_pending_for(const Value& value);
     void retransmit_sweep(CpuContext& ctx);
 
     PaxosConfig config_;
@@ -108,8 +122,19 @@ private:
     std::map<InstanceId, AcceptedEntry> reported_;
 
     InstanceId next_instance_ = 1;
-    std::deque<Value> pending_;  ///< client values awaiting Phase 1
+    /// Plain client values awaiting proposal (never composites: losing or
+    /// orphaned batches are unpacked before re-queueing, so batches cannot
+    /// nest). Bounded by config_.pending_cap for externally arriving values;
+    /// internal re-queues bypass the cap.
+    std::deque<Value> pending_;
     std::unordered_set<ValueId> seen_values_;
+    /// When the armed flush timer is due; zero() = no timer armed. A crash
+    /// silently drops the one-shot callback, so a plain bool would stay
+    /// "armed" forever and disable timer flushes until the next Phase 1 —
+    /// the deadline lets arm_flush_timer detect the stale state (now past
+    /// the deadline, no callback fired) and re-arm.
+    SimTime flush_deadline_ = SimTime::zero();
+    std::int64_t batch_seq_ = 0;  ///< synthesized composite ids, monotone
 
     struct Proposal {
         Value value;

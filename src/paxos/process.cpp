@@ -26,7 +26,21 @@ PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport)
         // prefix is globally stable.
         pending_submissions_.erase(value.id);
         if (tracer_) tracer_->record_decide(ctx.now(), config_.id, instance);
-        if (delivery_listener_) delivery_listener_(instance, value, ctx);
+        // Composite values (coordinator-side batches, DESIGN.md §14) are
+        // unpacked HERE, above the learner: the learner's log keeps the
+        // composite (digest agreement, LearnRequest answers, instance-
+        // granular delivered_count), while every downstream consumer —
+        // clients, invariant monitors, the workload's latency accounting —
+        // sees the components one by one, in batch order, each with its own
+        // per-value delivery callback.
+        if (value.is_batch()) {
+            for (const Value& component : value.batch) {
+                pending_submissions_.erase(component.id);
+                if (delivery_listener_) delivery_listener_(instance, component, ctx);
+            }
+        } else if (delivery_listener_) {
+            delivery_listener_(instance, value, ctx);
+        }
     });
     learner_.set_decided_listener(
         [this](InstanceId instance, const Value& value, bool via_quorum, CpuContext& ctx) {

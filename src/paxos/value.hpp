@@ -1,9 +1,18 @@
 // Client values ordered by Paxos. The payload is modelled by its size (the
 // experiments use 1KB values); identity and integrity are carried by the
 // (client, sequence) id and a digest derived from it.
+//
+// A Value is either *plain* (one client submission, `batch` empty) or
+// *composite* (a coordinator-built batch of plain values ordered as one
+// Paxos instance, `batch` non-empty — DESIGN.md §14). Components are always
+// plain, so composites never nest. A composite's identity is synthesized by
+// the coordinator (negative client id, see Coordinator::flush_pending) and
+// its digest folds the component digests, so Phase 2b / Decision digest
+// agreement covers the full batch content.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -13,16 +22,45 @@ struct Value {
     ValueId id{};
     std::uint32_t size_bytes = 1024;
 
+    /// Component values when this is a coordinator-side batch (composite).
+    /// Empty for plain client values. Components are always plain.
+    std::vector<Value> batch;
+
+    bool is_batch() const { return !batch.empty(); }
+
     /// Digest used by Phase 2b / Decision messages to refer to the value
-    /// without carrying the payload.
+    /// without carrying the payload. Plain values keep the historical
+    /// formula byte-for-byte; composites fold the component digests after a
+    /// distinct tag so a batch can never collide with a plain value that
+    /// happens to share the synthesized id.
     std::uint64_t digest() const {
-        return hash_combine(hash_combine(0x5a1cebULL, static_cast<std::uint64_t>(id.client)),
-                            static_cast<std::uint64_t>(id.seq));
+        std::uint64_t h =
+            hash_combine(hash_combine(0x5a1cebULL, static_cast<std::uint64_t>(id.client)),
+                         static_cast<std::uint64_t>(id.seq));
+        if (batch.empty()) return h;
+        h = hash_combine(h, 0xba7c4ULL);
+        for (const Value& v : batch) h = hash_combine(h, v.digest());
+        return h;
     }
 
     friend bool operator==(const Value& a, const Value& b) {
-        return a.id == b.id && a.size_bytes == b.size_bytes;
+        return a.id == b.id && a.size_bytes == b.size_bytes && a.batch == b.batch;
     }
 };
+
+/// Packs plain values into one composite ordered as a single Paxos
+/// instance. `id` is the synthesized batch identity (negative client id so
+/// it can never collide with a real client's ValueId). The composite's
+/// size_bytes models the batch framing: the sum of component payloads plus
+/// a 16-byte per-entry header, matching what the wire codec ships.
+inline Value make_batch_value(ValueId id, std::vector<Value> components) {
+    Value v;
+    v.id = id;
+    std::uint64_t total = 0;
+    for (const Value& c : components) total += c.size_bytes + 16u;
+    v.size_bytes = static_cast<std::uint32_t>(total);
+    v.batch = std::move(components);
+    return v;
+}
 
 }  // namespace gossipc

@@ -2,18 +2,31 @@
 
 namespace gossipc {
 
-std::size_t saturation_index(const std::vector<SweepPoint>& sweep) {
-    std::size_t best = 0;
+SaturationResult find_saturation(const std::vector<SweepPoint>& sweep) {
+    SaturationResult result;
     double best_power = -1.0;
+    std::size_t last_valid = 0;
+    bool any_valid = false;
     for (std::size_t i = 0; i < sweep.size(); ++i) {
         if (sweep[i].latency_ms <= 0.0) continue;
+        any_valid = true;
+        last_valid = i;
         const double power = sweep[i].throughput / sweep[i].latency_ms;
         if (power > best_power) {
             best_power = power;
-            best = i;
+            result.index = i;
         }
     }
-    return best;
+    // Saturated only when the sweep measured past the knee: some valid point
+    // after the max-power one has strictly lower power. A monotonically
+    // rising sweep ends at its own best point and proves nothing about where
+    // saturation lies.
+    result.saturated = any_valid && result.index != last_valid;
+    return result;
+}
+
+std::size_t saturation_index(const std::vector<SweepPoint>& sweep) {
+    return find_saturation(sweep).index;
 }
 
 }  // namespace gossipc

@@ -14,8 +14,25 @@ struct SweepPoint {
     double latency_ms = 0.0;     ///< average end-to-end latency
 };
 
+/// Knee detection result. `saturated` is false when the sweep never showed a
+/// downturn — the max-power point is the last valid point, so the "knee" is
+/// really just the edge of the measured range and the true saturation
+/// throughput lies beyond it. Callers must not present an unsaturated index
+/// as a saturation point without flagging it.
+struct SaturationResult {
+    std::size_t index = 0;
+    bool saturated = false;
+};
+
+/// Finds the saturation point (max throughput/latency ratio) and whether the
+/// sweep actually saturated (a valid point past the knee has strictly lower
+/// power). Returns {0, false} for an empty sweep or one with no positive
+/// latencies.
+SaturationResult find_saturation(const std::vector<SweepPoint>& sweep);
+
 /// Index of the saturation point (max throughput/latency ratio). Returns 0
-/// for an empty sweep.
+/// for an empty sweep. Prefer find_saturation(): this shorthand cannot
+/// distinguish a real knee from a sweep that never saturated.
 std::size_t saturation_index(const std::vector<SweepPoint>& sweep);
 
 }  // namespace gossipc

@@ -97,10 +97,20 @@ std::optional<WireBodyKind> body_kind_from_tag(std::uint8_t tag) {
     }
 }
 
+// A value is the (client, seq, size) triple followed by a u16 component
+// count: 0 for plain client values, else the coordinator-batch components
+// (DESIGN.md §14), each encoded as a bare triple. Components carry no count
+// of their own, so nested batches are unrepresentable on the wire.
 void put_value(const Value& v, WireWriter& out) {
     out.i32(v.id.client);
     out.i64(v.id.seq);
     out.u32(v.size_bytes);
+    out.u16(static_cast<std::uint16_t>(v.batch.size()));
+    for (const Value& c : v.batch) {
+        out.i32(c.id.client);
+        out.i64(c.id.seq);
+        out.u32(c.size_bytes);
+    }
 }
 
 Value get_value(WireReader& in) {
@@ -109,6 +119,25 @@ Value get_value(WireReader& in) {
     v.id.seq = in.i64();
     v.size_bytes = in.u32();
     if (in.ok() && v.size_bytes > kMaxValueBytes) in.fail(WireError::Oversized);
+    const std::uint16_t count = in.u16();
+    if (in.ok() && count > kMaxBatchEntries) {
+        in.fail(WireError::LimitExceeded);
+        return v;
+    }
+    // Truncation pre-check before reserving: each component is 16 bytes.
+    if (in.ok() && in.remaining() < static_cast<std::size_t>(count) * 16u) {
+        in.fail(WireError::Truncated);
+        return v;
+    }
+    v.batch.reserve(count);
+    for (std::uint16_t i = 0; i < count && in.ok(); ++i) {
+        Value c;
+        c.id.client = in.i32();
+        c.id.seq = in.i64();
+        c.size_bytes = in.u32();
+        if (in.ok() && c.size_bytes > kMaxValueBytes) in.fail(WireError::Oversized);
+        v.batch.push_back(std::move(c));
+    }
     return v;
 }
 
@@ -279,8 +308,10 @@ BodyPtr decode_paxos(WireReader& in) {
             const InstanceId from = in.i64();
             const std::uint32_t count = in.u32();
             if (in.ok() && count > kMaxListEntries) in.fail(WireError::LimitExceeded);
-            // Each entry is at least 28 bytes; reject sizes the input cannot hold.
-            if (in.ok() && in.remaining() < count * 28u) in.fail(WireError::Truncated);
+            // Each entry is at least 30 bytes (instance + vround + a plain
+            // value with its u16 batch count); reject sizes the input
+            // cannot hold.
+            if (in.ok() && in.remaining() < count * 30u) in.fail(WireError::Truncated);
             if (!in.ok()) return nullptr;
             std::vector<AcceptedEntry> accepted;
             accepted.reserve(count);

@@ -33,6 +33,7 @@ namespace gossipc::wire {
 inline constexpr std::uint32_t kMaxValueBytes = 1u << 24;      ///< 16 MiB payload model
 inline constexpr std::uint32_t kMaxListEntries = 1u << 16;     ///< senders / accepted entries
 inline constexpr std::uint32_t kMaxDigestIds = 1u << 20;       ///< pull-digest ids
+inline constexpr std::uint32_t kMaxBatchEntries = 1u << 12;    ///< composite-value components
 
 /// Body kind tags as written on the wire (decoupled from the in-memory
 /// BodyKind enum so reordering that enum cannot silently change the format).

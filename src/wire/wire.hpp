@@ -20,8 +20,9 @@ namespace gossipc::wire {
 
 /// Wire format version; bumped on any layout change. Shared by the frame
 /// header and the body codec; golden byte-layout tests in tests/test_wire.cpp
-/// pin version 1 against accidental drift.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// pin version 2 against accidental drift (v2 added the u16 batch-component
+/// count to every encoded value, DESIGN.md §14).
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Decode failure classification. Encoders cannot fail; every decoder
 /// returns the first error encountered, leaving the partial output unused.

@@ -121,6 +121,83 @@ INSTANTIATE_TEST_SUITE_P(Profiles, ChaosSweep, ::testing::ValuesIn(chaos_envs())
                              return name;
                          });
 
+// Batching under chaos (DESIGN.md §14): the same safety sweep with composite
+// proposals on. Decided composites carry synthesized (negative-client) ids,
+// so the per-value checks unpack them: components are plain, well-formed
+// client values, none ordered twice across the whole decided log.
+class ChaosBatchingSweep : public ::testing::TestWithParam<ChaosEnv> {};
+
+TEST_P(ChaosBatchingSweep, SafetyHoldsUnderChaosWithBatching) {
+    const ChaosEnv env = GetParam();
+    ExperimentConfig cfg = chaos_config(env.setup, env.profile, env.seed);
+    cfg.batch_size = 8;
+    cfg.total_rate = 260.0;  // enough concurrency that composites actually form
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_GT(result.faults_injected, 0u)
+        << "profile=" << env.profile << " chaos_seed=" << env.seed;
+
+    std::map<InstanceId, std::uint64_t> reference;  // instance -> digest
+    std::set<ValueId> components;
+    std::uint64_t decided_total = 0;
+    bool saw_composite = false;
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        auto& learner = d.process(id).learner();
+        for (InstanceId i = 1; i < learner.frontier(); ++i) {
+            const auto v = learner.decided_value(i);
+            ASSERT_TRUE(v.has_value()) << "gap at process " << id << " instance " << i;
+            const auto [it, inserted] = reference.emplace(i, v->digest());
+            ASSERT_EQ(it->second, v->digest())
+                << "divergent decision at instance " << i << " process " << id
+                << " (profile=" << env.profile << " chaos_seed=" << env.seed << ")";
+            if (!inserted) continue;  // count each instance's values once
+            ++decided_total;
+            const std::vector<Value> units =
+                v->is_batch() ? v->batch : std::vector<Value>{*v};
+            if (v->is_batch()) {
+                saw_composite = true;
+                EXPECT_LT(v->id.client, 0);
+            }
+            for (const Value& u : units) {
+                EXPECT_FALSE(u.is_batch()) << "nested composite decided";
+                EXPECT_GE(u.id.client, 0);
+                EXPECT_LT(u.id.client, cfg.num_clients);
+                EXPECT_TRUE(components.insert(u.id).second)
+                    << "client value ordered twice (instance " << i << ")";
+            }
+        }
+        EXPECT_EQ(learner.delivered_count(),
+                  static_cast<std::uint64_t>(learner.frontier() - 1));
+    }
+    EXPECT_GT(decided_total, 0u);
+    EXPECT_TRUE(saw_composite)
+        << "batch_size=8 run never decided a composite; cell not exercising batching";
+
+    const InstanceId coord_frontier = d.process(0).learner().frontier();
+    ASSERT_GT(coord_frontier, 1);
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        const InstanceId lag = coord_frontier - d.process(id).learner().frontier();
+        EXPECT_LE(lag, 32) << "process " << id << " did not catch up (profile="
+                           << env.profile << " chaos_seed=" << env.seed << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ChaosBatchingSweep,
+    ::testing::Values(ChaosEnv{Setup::Baseline, "moderate", 11},
+                      ChaosEnv{Setup::Gossip, "moderate", 11},
+                      ChaosEnv{Setup::Gossip, "heavy", 23},
+                      ChaosEnv{Setup::SemanticGossip, "moderate", 23}),
+    [](const ::testing::TestParamInfo<ChaosEnv>& info) {
+        const ChaosEnv& e = info.param;
+        std::string name = setup_name(e.setup);
+        name += "_";
+        name += e.profile;
+        name += "_s" + std::to_string(e.seed);
+        return name;
+    });
+
 // Replay determinism: the acceptance contract of the engine. Two deployments
 // built from the same config produce byte-identical injected-fault logs.
 TEST(ChaosReplay, FaultLogIsByteIdenticalAcrossRuns) {

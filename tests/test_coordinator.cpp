@@ -19,9 +19,10 @@ struct CoordFixture {
     Coordinator coordinator;
     CpuContext ctx{SimTime::zero()};
 
-    explicit CoordFixture(int n = 3, bool timeouts = false)
+    explicit CoordFixture(int n = 3, bool timeouts = false,
+                          const std::function<void(PaxosConfig&)>& tweak = {})
         : transport(sim, 0),
-          config(make_config(n, timeouts)),
+          config(make_config(n, timeouts, tweak)),
           learner(config.quorum()),
           coordinator(config, transport, learner) {
         learner.set_decided_listener(
@@ -30,12 +31,14 @@ struct CoordFixture {
             });
     }
 
-    static PaxosConfig make_config(int n, bool timeouts) {
+    static PaxosConfig make_config(int n, bool timeouts,
+                                   const std::function<void(PaxosConfig&)>& tweak = {}) {
         PaxosConfig c;
         c.n = n;
         c.id = 0;
         c.coordinator = 0;
         c.timeouts_enabled = timeouts;
+        if (tweak) tweak(c);
         return c;
     }
 
@@ -194,6 +197,135 @@ TEST(CoordinatorTest, StalePhase1bIgnored) {
     f.coordinator.start(f.ctx);
     f.coordinator.on_phase1b(Phase1bMsg{1, 999, 1, {}}, f.ctx);  // wrong round
     EXPECT_FALSE(f.coordinator.phase1_complete());
+}
+
+// --- Value batching (DESIGN.md §14) ---
+
+struct BatchFixture : CoordFixture {
+    explicit BatchFixture(std::uint32_t batch_size, SimTime delay = SimTime::millis(5),
+                          std::size_t cap = 1 << 16)
+        : CoordFixture(3, /*timeouts=*/false, [&](PaxosConfig& c) {
+              c.batch_size = batch_size;
+              c.batch_delay = delay;
+              c.pending_cap = cap;
+          }) {}
+
+    void complete_phase1() {
+        coordinator.start(ctx);
+        promise(0);
+        promise(1);
+        ASSERT_TRUE(coordinator.phase1_complete());
+    }
+};
+
+TEST(CoordinatorBatching, FullBatchFlushesAsOneCompositeProposal) {
+    BatchFixture f(/*batch_size=*/4);
+    f.complete_phase1();
+    for (int s = 1; s <= 4; ++s) f.coordinator.on_client_value(make_value(0, s), f.ctx);
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 1u);
+    const Value& v = static_cast<const Phase2aMsg&>(*p2a[0]).value();
+    ASSERT_TRUE(v.is_batch());
+    ASSERT_EQ(v.batch.size(), 4u);
+    for (int s = 1; s <= 4; ++s) {  // submission order preserved
+        EXPECT_EQ(v.batch[static_cast<std::size_t>(s - 1)].id,
+                  (ValueId{0, s}));
+    }
+    EXPECT_LT(v.id.client, 0);  // synthesized identity, disjoint from clients
+    EXPECT_EQ(f.coordinator.counters().batches_proposed, 1u);
+    EXPECT_EQ(f.coordinator.counters().batched_values, 4u);
+}
+
+TEST(CoordinatorBatching, PartialBatchFlushesOnTimer) {
+    BatchFixture f(/*batch_size=*/8, SimTime::millis(5));
+    f.complete_phase1();
+    for (int s = 1; s <= 3; ++s) f.coordinator.on_client_value(make_value(0, s), f.ctx);
+    EXPECT_TRUE(f.transport.sent_of(PaxosMsgType::Phase2a).empty());  // parked
+    f.sim.run_until(SimTime::millis(10));
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 1u);
+    const Value& v = static_cast<const Phase2aMsg&>(*p2a[0]).value();
+    ASSERT_TRUE(v.is_batch());
+    EXPECT_EQ(v.batch.size(), 3u);
+    EXPECT_EQ(f.coordinator.counters().timer_flushes, 1u);
+}
+
+TEST(CoordinatorBatching, LoneValueFlushesPlainWithoutCompositeFraming) {
+    BatchFixture f(/*batch_size=*/8);
+    f.complete_phase1();
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    f.sim.run_until(SimTime::millis(10));
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 1u);
+    const Value& v = static_cast<const Phase2aMsg&>(*p2a[0]).value();
+    EXPECT_FALSE(v.is_batch());  // batch-of-one carries no framing overhead
+    EXPECT_EQ(v.id, (ValueId{0, 1}));
+    EXPECT_EQ(f.coordinator.counters().batches_proposed, 0u);
+}
+
+TEST(CoordinatorBatching, BatchSizeOneKeepsLegacyPlainPath) {
+    BatchFixture f(/*batch_size=*/1);
+    f.complete_phase1();
+    for (int s = 1; s <= 3; ++s) f.coordinator.on_client_value(make_value(0, s), f.ctx);
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 3u);  // one instance per value, immediately
+    for (const auto& m : p2a) {
+        EXPECT_FALSE(static_cast<const Phase2aMsg&>(*m).value().is_batch());
+    }
+    EXPECT_EQ(f.coordinator.counters().timer_flushes, 0u);
+}
+
+TEST(CoordinatorBatching, PendingCapShedsWithoutPoisoningRetries) {
+    BatchFixture f(/*batch_size=*/8, SimTime::millis(5), /*cap=*/2);
+    f.coordinator.start(f.ctx);  // phase 1 NOT complete: values queue up
+    for (int s = 1; s <= 5; ++s) f.coordinator.on_client_value(make_value(0, s), f.ctx);
+    EXPECT_EQ(f.coordinator.pending_values(), 2u);
+    EXPECT_EQ(f.coordinator.counters().values_shed, 3u);
+    // Shed values were NOT marked seen: once load clears, the origin's
+    // retransmission of a shed value must get through, not dedup away.
+    f.promise(0);
+    f.promise(1);  // flushes the 2 queued values
+    f.coordinator.on_client_value(make_value(0, 3), f.ctx);  // retry of a shed value
+    EXPECT_EQ(f.coordinator.counters().duplicate_values, 0u);
+    EXPECT_EQ(f.coordinator.counters().values_shed, 3u);
+    EXPECT_FALSE(f.transport.sent_of(PaxosMsgType::Phase2a).empty());
+}
+
+TEST(CoordinatorBatching, StepDownUnpacksInFlightAndUnflushedValues) {
+    BatchFixture f(/*batch_size=*/3, SimTime::seconds(60));
+    f.complete_phase1();
+    // 3 values -> one in-flight composite; 2 more park behind the long timer.
+    for (int s = 1; s <= 5; ++s) f.coordinator.on_client_value(make_value(0, s), f.ctx);
+    ASSERT_EQ(f.transport.sent_of(PaxosMsgType::Phase2a).size(), 1u);
+    ASSERT_EQ(f.coordinator.pending_values(), 2u);
+    const auto orphaned = f.coordinator.step_down();
+    // All 5 client values come back as plain orphans, none as a composite.
+    ASSERT_EQ(orphaned.size(), 5u);
+    for (const Value& v : orphaned) {
+        EXPECT_FALSE(v.is_batch());
+        EXPECT_GE(v.id.client, 0);
+    }
+}
+
+TEST(CoordinatorBatching, DecidedCompositeDeduplicatesComponentRetries) {
+    BatchFixture f(/*batch_size=*/2);
+    f.complete_phase1();
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    f.coordinator.on_client_value(make_value(1, 1), f.ctx);
+    const auto p2a = f.transport.sent_of(PaxosMsgType::Phase2a);
+    ASSERT_EQ(p2a.size(), 1u);
+    const auto& msg = static_cast<const Phase2aMsg&>(*p2a[0]);
+    const Value v = msg.value();
+    ASSERT_TRUE(v.is_batch());
+    f.learner.on_phase2a(msg, f.ctx);
+    f.learner.on_phase2b(Phase2bMsg{0, msg.instance(), 1, v.id, v.digest()}, f.ctx);
+    f.learner.on_phase2b(Phase2bMsg{1, msg.instance(), 1, v.id, v.digest()}, f.ctx);
+    // The composite is decided: origin retransmissions of its components
+    // must dedup, or they would be ordered a second time elsewhere.
+    f.coordinator.on_client_value(make_value(0, 1), f.ctx);
+    f.coordinator.on_client_value(make_value(1, 1), f.ctx);
+    EXPECT_EQ(f.coordinator.counters().duplicate_values, 2u);
+    EXPECT_EQ(f.transport.sent_of(PaxosMsgType::Phase2a).size(), 1u);
 }
 
 }  // namespace

@@ -116,18 +116,22 @@ TEST(DeploymentTest, MetricsRegistryNamesAreStable) {
         "failover.restores", "failover.step_downs", "failover.suspicions",
         "failover.takeovers", "fault.injected", "gossip.aggregated_away",
         "gossip.broadcasts", "gossip.delivered", "gossip.duplicates",
-        "gossip.envelopes_received", "gossip.envelopes_sent", "gossip.filtered",
-        "gossip.messages_received", "gossip.pull_rounds", "gossip.pull_served",
+        "gossip.envelopes_received", "gossip.envelopes_sent",
+        "gossip.fanout_limited", "gossip.fanout_widened", "gossip.filtered",
+        "gossip.messages_received", "gossip.pipelined_forwards",
+        "gossip.pull_rounds", "gossip.pull_served",
         "gossip.send_queue_drops", "net.arrivals", "net.bytes_sent",
         "net.coordinator_arrivals", "net.loss_drops", "net.queue_drops",
-        "net.sent", "paxos.decisions_at_coordinator",
+        "net.sent", "paxos.batch_timer_flushes", "paxos.batched_values",
+        "paxos.batches_proposed", "paxos.decisions_at_coordinator",
         "paxos.handled.client_value", "paxos.handled.decision",
         "paxos.handled.heartbeat", "paxos.handled.learn_request",
         "paxos.handled.phase1a", "paxos.handled.phase1b",
         "paxos.handled.phase2a", "paxos.handled.phase2b",
         "paxos.handled.phase2b_aggregate", "paxos.learn_requests_answered",
         "paxos.learn_requests_sent", "paxos.messages_handled",
-        "paxos.value_retransmissions", "paxos.values_submitted",
+        "paxos.value_retransmissions", "paxos.values_shed",
+        "paxos.values_submitted",
         "semantic.aggregates_built", "semantic.disaggregations",
         "semantic.filtered_phase2b", "semantic.messages_merged",
         "sim.callbacks", "sim.deliveries", "sim.events", "sim.faults",

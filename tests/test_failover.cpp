@@ -174,6 +174,75 @@ TEST(FailoverFalsePositive, PartitionedCoordinatorStepsDownAfterHeal) {
     assert_agreement(d, cfg.n, "false-positive");
 }
 
+// Batching regression (DESIGN.md §14): a coordinator that loses its seat
+// with a partially filled batch — unflushed values parked behind the
+// batch_delay timer plus in-flight composites that never reached a quorum —
+// must hand every one of those client values through the orphaned-value
+// re-queue path. A long batch_delay makes the window essentially permanent:
+// if orphan hand-off skipped the pending partial batch, those values would
+// only survive via origin retransmission races, and with the old coordinator
+// stepped down they would show up as not_ordered here.
+TEST(FailoverBatching, PartialBatchIsRequeuedOnStepDown) {
+    ExperimentConfig cfg = failover_config(Setup::Gossip);
+    // batch_size never fills at 52 ops/s, so every flush is timer-driven and
+    // at any instant ~10 values sit parked in a partial batch. During the
+    // partition the timer keeps flushing the old coordinator's local-client
+    // values into composites nobody can hear — in-flight orphans — while the
+    // latest window's values are still parked unflushed.
+    cfg.batch_size = 64;
+    cfg.batch_delay = SimTime::millis(200);
+    cfg.drain = SimTime::seconds(6);
+    cfg.faults.partition(SimTime::seconds(0.5), {0});
+    cfg.faults.heal(SimTime::seconds(1.4));
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_GE(result.failover.takeovers, 1u);
+    EXPECT_GE(result.failover.step_downs, 1u);
+    // Every client value was ordered — including both kinds of strandees on
+    // the demoted coordinator (unheard in-flight composites, unflushed
+    // pending values), which only the orphan re-queue can save.
+    for (const auto& client : d.workload().clients()) {
+        EXPECT_EQ(client->not_ordered_in_window(), 0u)
+            << "client " << client->id() << " on p" << client->attached_process();
+    }
+    assert_agreement(d, cfg.n, "partial-batch-step-down");
+}
+
+// The same window closed by a crash instead of a partition: the crash kills
+// the one-shot flush timer, so the parked partial batch can only survive
+// through the restart -> observe-higher-round -> step_down orphan hand-off.
+// If step_down dropped pending_ values, the old coordinator's client would
+// end the run with permanently unordered submissions.
+TEST(FailoverBatching, CrashWithPartialBatchRequeuesThroughRestart) {
+    ExperimentConfig cfg = failover_config(Setup::Gossip);
+    cfg.batch_size = 64;
+    cfg.batch_delay = SimTime::millis(200);
+    cfg.drain = SimTime::seconds(6);
+    cfg.faults.crash(SimTime::seconds(0.5), 0);    // timer dies, batch parked
+    cfg.faults.restart(SimTime::seconds(1.5), 0);  // successor rules by now
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_GE(result.failover.takeovers, 1u);
+    EXPECT_GE(result.failover.step_downs, 1u);  // the restartee demotes itself
+    for (const auto& client : d.workload().clients()) {
+        if (client->attached_process() == 0) {
+            // The open-loop client keeps firing into its dead host during the
+            // 1s crash window: those submissions (1s at 52/13 = 4 ops/s) are
+            // lost with the host, by design. Anything above that bound would
+            // mean pre-crash values parked in the partial batch were dropped
+            // instead of re-queued at step-down.
+            EXPECT_LE(client->not_ordered_in_window(), 4u)
+                << "client " << client->id() << " lost parked pre-crash values";
+            continue;
+        }
+        EXPECT_EQ(client->not_ordered_in_window(), 0u)
+            << "client " << client->id() << " on p" << client->attached_process();
+    }
+    assert_agreement(d, cfg.n, "partial-batch-crash-restart");
+}
+
 // A fault-free failover run must be indistinguishable from a non-failover
 // run in the event log: the detector never fires, so no suspicion, takeover,
 // or step-down events exist and the (empty) fault logs match byte-for-byte.

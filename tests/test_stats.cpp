@@ -162,5 +162,41 @@ TEST(SaturationTest, EmptyAndDegenerate) {
     EXPECT_EQ(saturation_index(zero_latency), 0u);
 }
 
+TEST(SaturationTest, FindSaturationFlagsRealKnee) {
+    std::vector<SweepPoint> sweep{
+        {10, 10, 100},  {20, 20, 100}, {40, 40, 105},
+        {80, 80, 120},  {160, 110, 400}, {320, 115, 1500},
+    };
+    const SaturationResult r = find_saturation(sweep);
+    EXPECT_EQ(r.index, 3u);
+    EXPECT_TRUE(r.saturated);  // power falls past the knee
+}
+
+TEST(SaturationTest, FindSaturationRejectsMonotoneSweep) {
+    // Throughput (and power) still rising at the top of the range: the max-
+    // power point is the last one, so the sweep never saturated and the
+    // index must not be presented as a knee.
+    std::vector<SweepPoint> sweep{{10, 10, 100}, {20, 20, 100}, {40, 40, 90}};
+    const SaturationResult r = find_saturation(sweep);
+    EXPECT_EQ(r.index, 2u);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(SaturationTest, FindSaturationDegenerateNotSaturated) {
+    EXPECT_FALSE(find_saturation({}).saturated);
+    std::vector<SweepPoint> zero_latency{{10, 10, 0.0}};
+    const SaturationResult r = find_saturation(zero_latency);
+    EXPECT_EQ(r.index, 0u);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(SaturationTest, FindSaturationIgnoresTrailingInvalidPoints) {
+    // A zero-latency point after the knee is not evidence of a downturn.
+    std::vector<SweepPoint> sweep{{10, 10, 100}, {20, 20, 100}, {40, 0, 0.0}};
+    const SaturationResult r = find_saturation(sweep);
+    EXPECT_EQ(r.index, 1u);
+    EXPECT_FALSE(r.saturated);
+}
+
 }  // namespace
 }  // namespace gossipc

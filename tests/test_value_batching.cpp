@@ -1,0 +1,216 @@
+// End-to-end value batching (DESIGN.md §14): composite proposals must be
+// invisible to consumers — every client value is delivered exactly once, in
+// per-client submission order, in all three setups — while the coordinator
+// counters show the batching actually happened. Also covers the pending-cap
+// overload path (shed values recover via origin retransmission) and the
+// pipelined/fanout-limited gossip counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/semantic_gossip.hpp"
+#include "test_util.hpp"
+
+namespace gossipc {
+namespace {
+
+ExperimentConfig batching_config(Setup setup, std::uint32_t batch_size) {
+    ExperimentConfig cfg;
+    cfg.setup = setup;
+    cfg.n = 7;
+    cfg.total_rate = 260.0;  // enough concurrency for real multi-value batches
+    cfg.warmup = SimTime::seconds(0.25);
+    cfg.measure = SimTime::seconds(1);
+    cfg.drain = SimTime::seconds(1.5);
+    cfg.batch_size = batch_size;
+    return cfg;
+}
+
+std::uint64_t metric(const ExperimentResult& result, const std::string& name) {
+    for (const auto& s : result.metrics) {
+        if (s.name == name) return static_cast<std::uint64_t>(s.value);
+    }
+    ADD_FAILURE() << "metric not registered: " << name;
+    return 0;
+}
+
+class BatchingSweep : public ::testing::TestWithParam<Setup> {};
+
+// The tentpole contract: with batching on, downstream order and completeness
+// are exactly what an unbatched run guarantees — per client value, not per
+// composite.
+TEST_P(BatchingSweep, PerValueDeliveryOrderAndCompleteness) {
+    const ExperimentConfig cfg = batching_config(GetParam(), 8);
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_EQ(result.workload.not_ordered, 0u) << setup_name(cfg.setup);
+    EXPECT_GT(result.workload.submitted, 0u);
+    // Batching actually engaged (the whole point of the high rate).
+    EXPECT_GT(metric(result, "paxos.batches_proposed"), 0u);
+    EXPECT_GT(metric(result, "paxos.batched_values"), 0u);
+
+    // Walk the decided log of every process, unpacking composites: each
+    // client's values appear in strictly increasing sequence order, and no
+    // client value is delivered twice.
+    for (ProcessId id = 0; id < cfg.n; ++id) {
+        auto& learner = d.process(id).learner();
+        std::map<std::int32_t, std::int64_t> last_seq;
+        std::set<ValueId> seen;
+        for (InstanceId i = 1; i < learner.frontier(); ++i) {
+            const auto v = learner.decided_value(i);
+            ASSERT_TRUE(v.has_value()) << "gap at p" << id << " instance " << i;
+            std::vector<Value> units;
+            if (v->is_batch()) {
+                EXPECT_LT(v->id.client, 0);  // synthesized coordinator identity
+                units.assign(v->batch.begin(), v->batch.end());
+            } else {
+                units.push_back(*v);
+            }
+            for (const Value& u : units) {
+                EXPECT_FALSE(u.is_batch()) << "nested composite decided";
+                ASSERT_GE(u.id.client, 0);
+                ASSERT_LT(u.id.client, cfg.num_clients);
+                EXPECT_TRUE(seen.insert(u.id).second)
+                    << "value " << u.id.client << ":" << u.id.seq
+                    << " delivered twice at p" << id;
+                const auto it = last_seq.find(u.id.client);
+                if (it != last_seq.end()) {
+                    EXPECT_LT(it->second, u.id.seq)
+                        << "client " << u.id.client << " out of order at p" << id;
+                }
+                last_seq[u.id.client] = u.id.seq;
+            }
+        }
+        EXPECT_FALSE(seen.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Setups, BatchingSweep,
+                         ::testing::Values(Setup::Baseline, Setup::Gossip,
+                                           Setup::SemanticGossip),
+                         [](const ::testing::TestParamInfo<Setup>& info) {
+                             return std::string(setup_name(info.param));
+                         });
+
+// Low-load path: with batches that never fill, the batch_delay timer is what
+// flushes them — values must not stall behind an unfilled batch.
+TEST(ValueBatching, TimerFlushCarriesPartialBatchesAtLowLoad) {
+    ExperimentConfig cfg = batching_config(Setup::Gossip, 64);
+    cfg.total_rate = 13.0;  // the paper's §3.2 low-load point: batches never fill
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_EQ(result.workload.not_ordered, 0u);
+    EXPECT_GT(result.workload.completed, 0u);
+    EXPECT_GT(metric(result, "paxos.batch_timer_flushes"), 0u);
+}
+
+// Overload shedding is lossless end-to-end: a tiny pending cap sheds most of
+// an initial burst, but origin retransmission re-offers the shed values and
+// every one of them is eventually ordered.
+TEST(ValueBatching, ShedValuesRecoverViaOriginRetransmission) {
+    ExperimentConfig cfg = batching_config(Setup::Gossip, 1);
+    cfg.pending_cap = 2;
+    Deployment d(cfg);
+    d.start_processes();
+    // A burst submitted before Phase 1 completes must overflow the cap.
+    for (int s = 1; s <= 10; ++s) {
+        d.process(1).post_submit(testutil::make_value(42, s));
+    }
+    d.simulator().run_until(SimTime::seconds(10));
+
+    const Coordinator* coord = d.process(0).coordinator();
+    ASSERT_NE(coord, nullptr);
+    EXPECT_GT(coord->counters().values_shed, 0u);
+    EXPECT_EQ(d.process(0).learner().delivered_count(), 10u);
+    const auto result = d.collect();
+    EXPECT_GT(metric(result, "paxos.values_shed"), 0u);
+}
+
+// Pipelined dissemination + fanout restriction engage and are observable.
+TEST(ValueBatching, PipelinedForwardsAndFanoutCountersEngage) {
+    ExperimentConfig cfg = batching_config(Setup::Gossip, 8);
+    cfg.strategy = GossipStrategy::Pull;
+    cfg.pipeline = true;
+    cfg.fanout = 2;
+    cfg.adaptive_fanout = true;
+    Deployment d(cfg);
+    const auto result = d.run();
+
+    EXPECT_EQ(result.workload.not_ordered, 0u);
+    EXPECT_GT(metric(result, "gossip.pipelined_forwards"), 0u);
+    EXPECT_GT(metric(result, "gossip.fanout_limited"), 0u);
+    // Widening needs sustained queue pressure; at this scale just require
+    // the counter to exist and stay consistent with the limited count.
+    EXPECT_LE(metric(result, "gossip.fanout_widened"),
+              metric(result, "gossip.fanout_limited") +
+                  metric(result, "gossip.fanout_widened"));
+}
+
+// Regression: a crash that lands between arming the flush timer and its
+// firing silently drops the one-shot callback. The armed state must not
+// outlive the dropped timer — with the old boolean flag it did, and the
+// coordinator never timer-flushed again until its next Phase 1: every
+// post-restart partial batch stalled until a full batch formed. The
+// stale-deadline re-arm detects the drop on the next client arrival.
+TEST(ValueBatching, DroppedFlushTimerRearmsAfterCrashRestart) {
+    ExperimentConfig cfg;
+    cfg.setup = Setup::Gossip;
+    cfg.n = 7;
+    cfg.batch_size = 8;
+    cfg.batch_delay = SimTime::millis(20);
+    cfg.faults.crash(SimTime::millis(400), 0);    // eats the armed timer
+    cfg.faults.restart(SimTime::millis(450), 0);  // memory (and batch) intact
+    Deployment d(cfg);
+    d.start_processes();
+    auto& sim = d.simulator();
+    // Park a partial batch just before the crash: the first arrival arms the
+    // 20 ms timer, due after the crash point.
+    sim.schedule_at(SimTime::millis(390), [&d] {
+        d.process(0).post_submit(testutil::make_value(7, 1));
+        d.process(0).post_submit(testutil::make_value(7, 2));
+    });
+    // Post-restart arrival: must re-arm the (dropped) timer and flush all
+    // three values; a full batch of 8 never forms in this run.
+    sim.schedule_at(SimTime::millis(600), [&d] {
+        d.process(0).post_submit(testutil::make_value(7, 3));
+    });
+    sim.run_until(SimTime::seconds(5));
+
+    // One decided instance carrying all three values as a composite; with
+    // the stale-flag bug nothing is ever flushed and the count stays 0.
+    ASSERT_EQ(d.process(0).learner().delivered_count(), 1u);
+    const auto v = d.process(0).learner().decided_value(1);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->is_batch());
+    EXPECT_EQ(v->batch.size(), 3u);
+    ASSERT_NE(d.process(0).coordinator(), nullptr);
+    EXPECT_GT(d.process(0).coordinator()->counters().timer_flushes, 0u);
+}
+
+// Determinism: batching does not break replayability — two runs of the same
+// config decide identical logs.
+TEST(ValueBatching, BatchedRunsAreDeterministic) {
+    const ExperimentConfig cfg = batching_config(Setup::SemanticGossip, 8);
+    Deployment a(cfg);
+    a.run();
+    Deployment b(cfg);
+    b.run();
+    auto& la = a.process(0).learner();
+    auto& lb = b.process(0).learner();
+    ASSERT_EQ(la.frontier(), lb.frontier());
+    for (InstanceId i = 1; i < la.frontier(); ++i) {
+        const auto va = la.decided_value(i);
+        const auto vb = lb.decided_value(i);
+        ASSERT_TRUE(va.has_value());
+        ASSERT_TRUE(vb.has_value());
+        EXPECT_EQ(va->digest(), vb->digest()) << "instance " << i;
+    }
+}
+
+}  // namespace
+}  // namespace gossipc

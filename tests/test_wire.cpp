@@ -94,6 +94,90 @@ TEST(WireCodec, ValueAboveCapRejected) {
     EXPECT_EQ(d.body, nullptr);
 }
 
+// ---- Composite (batched) values (DESIGN.md §14) ----------------------------
+
+Value make_batch(std::int32_t coordinator, std::int64_t seq, std::size_t n) {
+    std::vector<Value> components;
+    for (std::size_t i = 0; i < n; ++i) {
+        components.push_back(make_value(static_cast<std::int32_t>(i),
+                                        static_cast<std::int64_t>(100 + i), 512));
+    }
+    return make_batch_value(ValueId{-(coordinator + 1), seq}, std::move(components));
+}
+
+TEST(WireCodec, CompositeValueRoundTrip) {
+    const Value batch = make_batch(0, 7, 5);
+    const Phase2aMsg msg(0, 3, 1, batch);
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<Phase2aMsg>(d, BodyKind::Paxos);
+    ASSERT_EQ(m.value().batch.size(), 5u);
+    EXPECT_EQ(m.value(), batch);
+    EXPECT_EQ(m.value().digest(), batch.digest());
+}
+
+TEST(WireCodec, CompositeValueInDecisionRoundTrip) {
+    const Value batch = make_batch(2, 9, 3);
+    const DecisionMsg msg(2, 11, batch.id, batch.digest(), batch);
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<DecisionMsg>(d, BodyKind::Paxos);
+    ASSERT_TRUE(m.full_value().has_value());
+    EXPECT_EQ(*m.full_value(), batch);
+}
+
+TEST(WireCodec, CompositeValueInPhase1bRoundTrip) {
+    std::vector<AcceptedEntry> accepted;
+    AcceptedEntry e;
+    e.instance = 4;
+    e.vround = 2;
+    e.value = make_batch(1, 3, 2);
+    accepted.push_back(e);
+    const Phase1bMsg msg(1, 5, 1, std::move(accepted));
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<Phase1bMsg>(d, BodyKind::Paxos);
+    ASSERT_EQ(m.accepted().size(), 1u);
+    EXPECT_EQ(m.accepted()[0].value.batch.size(), 2u);
+    EXPECT_EQ(m.accepted()[0].value, make_batch(1, 3, 2));
+}
+
+TEST(WireCodec, CompositeBatchCountAboveCapRejected) {
+    // Hand-corrupt the encoded count: a frame announcing more components
+    // than kMaxBatchEntries must be rejected before any allocation.
+    const Phase2aMsg msg(0, 1, 1, make_batch(0, 1, 2));
+    std::vector<std::uint8_t> bytes = wire::encode_body(msg);
+    // Layout: kind, tag, sender(4), instance(8), round(4), value triple (16),
+    // then the u16 count at offset 2 + 4 + 8 + 4 + 16 = 34.
+    const std::size_t count_off = 34;
+    ASSERT_EQ(bytes[count_off], 2);
+    bytes[count_off] = 0xff;
+    bytes[count_off + 1] = 0xff;  // count = 65535 > kMaxBatchEntries
+    const auto d = wire::decode_body(as_span(bytes));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::LimitExceeded);
+}
+
+TEST(WireCodec, CompositeTruncatedBatchRejected) {
+    const Phase2aMsg msg(0, 1, 1, make_batch(0, 1, 4));
+    std::vector<std::uint8_t> bytes = wire::encode_body(msg);
+    bytes.resize(bytes.size() - 8);  // chop into the last component
+    const auto d = wire::decode_body(as_span(bytes));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::Truncated);
+}
+
+TEST(WireCodec, CompositeDigestDistinguishesContent) {
+    // Same synthesized id, different components: the digest must differ
+    // (all decision agreement is digest-keyed).
+    Value a = make_batch(0, 1, 3);
+    Value b = make_batch(0, 1, 3);
+    b.batch[1].id.seq = 999;
+    EXPECT_NE(a.digest(), b.digest());
+    // And a composite can never collide with a plain value sharing its id.
+    Value plain;
+    plain.id = a.id;
+    plain.size_bytes = a.size_bytes;
+    EXPECT_NE(a.digest(), plain.digest());
+}
+
 TEST(WireCodec, Phase1aRoundTrip) {
     const Phase1aMsg msg(4, 7, 123);
     const auto d = round_trip(msg);
@@ -401,8 +485,9 @@ TEST(WireCodec, TrailingBytesRejected) {
 
 // ---- Golden byte layouts ---------------------------------------------------
 //
-// These pin wire version 1 exactly. If one of them fails you have changed
-// the wire format: bump wire::kWireVersion and update the golden bytes.
+// These pin wire version 2 exactly (v2 added the u16 batch-component count
+// to every encoded value). If one of them fails you have changed the wire
+// format: bump wire::kWireVersion and update the golden bytes.
 
 TEST(WireGolden, HeartbeatLayout) {
     const HeartbeatMsg msg(7, 0x1122334455667788ULL, 42);
@@ -441,6 +526,7 @@ TEST(WireGolden, ClientValueLayout) {
         0x01, 0x00, 0x00, 0x00,                          // value.id.client = 1
         0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // value.id.seq = 2
         0x00, 0x04, 0x00, 0x00,                          // value.size_bytes = 1024
+        0x00, 0x00,                                      // batch count = 0 (plain)
         0x00, 0x00, 0x00, 0x00,                          // attempt = 0
         0xff, 0xff, 0xff, 0xff,                          // target = -1
         0x00,                                            // forwarded = false
@@ -500,7 +586,7 @@ TEST(WireFrame, GoldenHeaderLayout) {
     const std::vector<std::uint8_t> payload = {0xaa, 0xbb};
     const std::vector<std::uint8_t> expected = {
         0x46, 0x57, 0x43, 0x47,  // magic 0x47435746 LE
-        0x01,                    // version
+        0x02,                    // version
         0x02,                    // type = Body
         0x00, 0x00,              // flags
         0x02, 0x00, 0x00, 0x00,  // length = 2

@@ -46,12 +46,17 @@ std::vector<std::vector<std::uint8_t>> corpus_seeds() {
         seeds.push_back(std::move(bytes));
     };
 
-    const Value value{ValueId{3, 17}, 1024};
+    const Value value{ValueId{3, 17}, 1024, {}};
+    // A composite (coordinator batch, DESIGN.md §14): mutations of its u16
+    // component count and of the component triples join the corpus.
+    const Value batch = make_batch_value(ValueId{-1, 5}, {value, Value{ValueId{4, 18}, 512, {}}});
     add(ClientValueMsg(3, value, 2, 0, true));
     add(Phase1aMsg(4, 7, 123));
     add(Phase1bMsg(2, 7, 1,
-                   {AcceptedEntry{10, 1, value}, AcceptedEntry{11, 2, value}}));
+                   {AcceptedEntry{10, 1, value}, AcceptedEntry{11, 2, batch}}));
     add(Phase2aMsg(0, 42, 3, value, 1));
+    add(Phase2aMsg(0, 43, 3, batch, 1));
+    add(DecisionMsg(1, 43, batch.id, batch.digest(), batch, 1));
     add(Phase2bMsg(5, 42, 3, ValueId{2, 8}, 0xfeedfaceULL, 1));
     add(Phase2bAggregateMsg(9, 42, 3, ValueId{2, 8}, 0xfeedfaceULL, {0, 1, 2, 3, 4}, 2));
     add(DecisionMsg(0, 42, ValueId{2, 8}, 0xfeedfaceULL, value, 1));
@@ -239,7 +244,7 @@ TEST(WireFuzz, EnvelopeReservedFlagsRejected) {
 }
 
 TEST(WireFuzz, BooleanFieldAboveOneRejected) {
-    const ClientValueMsg msg(3, Value{ValueId{3, 17}, 1024}, 2, 0, true);
+    const ClientValueMsg msg(3, Value{ValueId{3, 17}, 1024, {}}, 2, 0, true);
     std::vector<std::uint8_t> buf = wire::encode_body(msg);
     buf.back() = 0x02;  // `forwarded` is the final byte; 2 is not a bool
     const wire::DecodedBody d = wire::decode_body(as_span(buf));
