@@ -7,6 +7,7 @@
 //   experiment_cli --setup gossip --n 53 --loss 0.2 --no-timeouts --json
 //   experiment_cli --setup gossip --strategy push-pull --rate 52 --csv
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,9 @@ namespace {
         "usage: %s [options]\n"
         "  --setup baseline|gossip|semantic   (default semantic)\n"
         "  --n <int>                          processes (default 13)\n"
+        "  --groups <int>                     independent consensus groups sharing\n"
+        "                                     the gossip substrate (default 1;\n"
+        "                                     DESIGN.md Sec. 15)\n"
         "  --rate <double>                    submissions/s, all clients (default 52)\n"
         "  --value-size <bytes>               (default 1024)\n"
         "  --loss <0..1>                      receive-side loss rate (default 0)\n"
@@ -131,6 +135,8 @@ int main(int argc, char** argv) {
             else usage(argv[0], "bad --setup (want baseline|gossip|semantic)");
         } else if (arg == "--n") {
             cfg.n = static_cast<int>(intval(next()));
+        } else if (arg == "--groups") {
+            cfg.groups = static_cast<int>(intval(next()));
         } else if (arg == "--rate") {
             cfg.total_rate = num(next());
         } else if (arg == "--value-size") {
@@ -222,6 +228,10 @@ int main(int argc, char** argv) {
     // experiment (zero division, a cluster with no quorum, a negative timer
     // interpreted as "immediately, forever") — reject it up front instead.
     if (cfg.n < 3) usage(argv[0], "--n must be at least 3 (quorum needs a majority)");
+    if (cfg.groups < 1) usage(argv[0], "--groups must be at least 1");
+    if (cfg.groups > static_cast<int>(wire::kMaxGroupFrontiers)) {
+        usage(argv[0], "--groups exceeds the wire codec's heartbeat frontier cap (1024)");
+    }
     if (cfg.total_rate <= 0) usage(argv[0], "--rate must be positive");
     if (cfg.value_size == 0) usage(argv[0], "--value-size must be positive");
     if (cfg.loss_rate < 0 || cfg.loss_rate > 1) usage(argv[0], "--loss must be in [0, 1]");
@@ -286,6 +296,15 @@ int main(int argc, char** argv) {
                         100.0 * result.messages.duplicate_fraction(),
                         static_cast<unsigned long long>(result.semantic.filtered_phase2b),
                         static_cast<unsigned long long>(result.semantic.messages_merged));
+            if (cfg.groups > 1) {
+                std::printf("groups %d, decided per group:", cfg.groups);
+                for (const std::uint64_t d : result.group_decided) {
+                    std::printf(" %llu", static_cast<unsigned long long>(d));
+                }
+                std::printf(" | cross-group merges %llu\n",
+                            static_cast<unsigned long long>(
+                                result.semantic.cross_group_merged));
+            }
             if (cfg.chaos) {
                 std::printf("chaos %s seed %llu: %llu faults injected\n",
                             cfg.chaos->name.c_str(),

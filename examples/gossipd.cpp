@@ -31,6 +31,7 @@
 
 #include "fault/chaos.hpp"
 #include "fault/datagram_faults.hpp"
+#include "group/shard.hpp"
 #include "overlay/random_overlay.hpp"
 #include "paxos/message.hpp"
 #include "paxos/process.hpp"
@@ -42,6 +43,7 @@
 #include "runtime/udp_link.hpp"
 #include "semantic/paxos_semantics.hpp"
 #include "trace/tracer.hpp"
+#include "wire/codec.hpp"
 
 namespace {
 
@@ -59,6 +61,11 @@ void on_signal(int) { g_signal = 1; }
         "  --cluster <list>       comma-separated host:port, one per process\n"
         "  --config <file>        same, one host:port per line (# comments)\n"
         "  --setup baseline|gossip|semantic   (default semantic)\n"
+        "  --groups <int>         independent consensus groups sharing this\n"
+        "                         node's gossip substrate (default 1;\n"
+        "                         DESIGN.md Sec. 15). With >1 the decision\n"
+        "                         log gains a leading group column and\n"
+        "                         --expect counts decisions across groups\n"
         "  --transport tcp|udp    socket layer (default tcp); udp clusters\n"
         "                         envelopes into datagrams and retransmits\n"
         "                         only reliable-flagged control traffic\n"
@@ -101,6 +108,7 @@ struct Options {
     RealTransport::Mode mode = RealTransport::Mode::Gossip;
     bool udp = false;
     bool semantic = true;
+    int groups = 1;
     int degree = 0;
     std::uint64_t overlay_seed = 42;
     std::uint64_t seed = 1;
@@ -201,6 +209,8 @@ Options parse_options(int argc, char** argv) {
             } else {
                 usage(argv[0], "bad --setup (want baseline|gossip|semantic)");
             }
+        } else if (arg == "--groups") {
+            opt.groups = std::atoi(next());
         } else if (arg == "--transport") {
             const std::string v = next();
             if (v == "tcp") {
@@ -254,6 +264,9 @@ Options parse_options(int argc, char** argv) {
     const int n = static_cast<int>(opt.cluster.size());
     if (n < 3) usage(argv[0], "need a cluster of at least 3 (--cluster/--config)");
     if (opt.id < 0 || opt.id >= n) usage(argv[0], "--id out of range for the cluster");
+    if (opt.groups < 1 || opt.groups > static_cast<int>(wire::kMaxGroupFrontiers)) {
+        usage(argv[0], "--groups must be in [1, 1024]");
+    }
     if (opt.heartbeat_s <= 0) usage(argv[0], "--heartbeat must be positive");
     if (opt.suspect_after_s <= 0) usage(argv[0], "--suspect-after must be positive");
     if (opt.rate <= 0) usage(argv[0], "--rate must be positive");
@@ -340,6 +353,7 @@ trace::Tracer::PayloadProbe paxos_payload_probe() {
         const auto& pm = static_cast<const PaxosMessage&>(body);
         info.type = static_cast<std::int16_t>(pm.type());
         info.type_name = paxos_msg_type_name(pm.type());
+        info.group = pm.group();
         switch (pm.type()) {
             case PaxosMsgType::Phase2a:
                 info.instance = static_cast<const Phase2aMsg&>(pm).instance();
@@ -356,6 +370,11 @@ trace::Tracer::PayloadProbe paxos_payload_probe() {
             case PaxosMsgType::LearnRequest:
                 info.instance = static_cast<const LearnRequestMsg&>(pm).instance();
                 break;
+            case PaxosMsgType::GroupBatch:
+                // Spans groups by construction: joinable per entry, not per
+                // envelope.
+                info.group = -1;
+                break;
             default:
                 break;
         }
@@ -365,19 +384,46 @@ trace::Tracer::PayloadProbe paxos_payload_probe() {
 
 void dump_metrics(std::FILE* out, const Options& opt, const RealTransport* transport,
                   const ConnectionManager* conns, const UdpLink* udp,
-                  const PaxosProcess& proc, const PaxosSemantics* semantics,
+                  const group::GroupShard& shard, const PaxosSemantics* semantics,
                   const GatedTransport* gate, const ChaosBridge* bridge) {
     const auto put = [out](const char* key, std::uint64_t v) {
         std::fprintf(out, "%s %llu\n", key, static_cast<unsigned long long>(v));
     };
     std::fprintf(out, "node %d\n", opt.id);
-    put("learner.frontier", static_cast<std::uint64_t>(proc.learner().frontier()));
-    put("learner.delivered", proc.learner().delivered_count());
-    const auto& pc = proc.counters();
+    // Learner and protocol counters are summed across the node's groups; the
+    // single-group dump is unchanged. With --groups > 1 each group's learner
+    // also gets its own pair of lines for per-shard inspection.
+    PaxosProcess::Counters pc;
+    std::uint64_t frontier_sum = 0, delivered_sum = 0;
+    for (GroupId g = 0; g < shard.num_groups(); ++g) {
+        const PaxosProcess& proc = shard.process(g);
+        frontier_sum += static_cast<std::uint64_t>(proc.learner().frontier());
+        delivered_sum += proc.learner().delivered_count();
+        const auto& c = proc.counters();
+        pc.values_submitted += c.values_submitted;
+        pc.messages_handled += c.messages_handled;
+        pc.takeovers += c.takeovers;
+        pc.step_downs += c.step_downs;
+        if (shard.num_groups() > 1) {
+            std::fprintf(out, "learner.g%d.frontier %llu\n", g,
+                         static_cast<unsigned long long>(proc.learner().frontier()));
+            std::fprintf(out, "learner.g%d.delivered %llu\n", g,
+                         static_cast<unsigned long long>(
+                             proc.learner().delivered_count()));
+        }
+    }
+    put("learner.frontier", frontier_sum);
+    put("learner.delivered", delivered_sum);
     put("paxos.values_submitted", pc.values_submitted);
     put("paxos.messages_handled", pc.messages_handled);
     put("paxos.takeovers", pc.takeovers);
     put("paxos.step_downs", pc.step_downs);
+    if (shard.num_groups() > 1) {
+        const auto& dc = shard.dispatcher().counters();
+        put("group.routed", dc.routed);
+        put("group.heartbeats_fanned", dc.heartbeats_fanned);
+        put("group.unroutable", dc.unroutable);
+    }
     if (transport) {  // null when the run ended with the node crashed
         const auto& tc = transport->counters();
         put("transport.broadcasts", tc.broadcasts);
@@ -431,6 +477,8 @@ void dump_metrics(std::FILE* out, const Options& opt, const RealTransport* trans
         put("semantic.aggregates_built", ss.aggregates_built);
         put("semantic.messages_merged", ss.messages_merged);
         put("semantic.disaggregations", ss.disaggregations);
+        put("semantic.cross_group_batches", ss.cross_group_batches);
+        put("semantic.cross_group_merged", ss.cross_group_merged);
     }
     if (bridge) {
         const auto& gc = gate->counters();
@@ -560,7 +608,10 @@ int main(int argc, char** argv) {
     };
     if (!build_stack()) return 1;
 
-    PaxosProcess proc(pc, gate);
+    // The node's consensus stack: one PaxosProcess per group behind a
+    // dispatcher on the gated substrate (DESIGN.md §15). --groups 1 is the
+    // degenerate shard — one facade, behaviorally the single-group stack.
+    group::GroupShard shard(pc, gate, opt.groups);
 
     // Chaos bridge: every node derives the identical schedule from
     // (n, profile, chaos-seed, overlay) — the same trick as the overlay
@@ -572,8 +623,8 @@ int main(int argc, char** argv) {
     std::unique_ptr<ChaosBridge> bridge;
     if (!opt.chaos.empty()) {
         const ChaosProfile profile = chaos_profile_by_name(opt.chaos, argv[0]);
-        FaultSchedule schedule =
-            generate_chaos(n, pc.coordinator, profile, opt.chaos_seed, overlay.get());
+        FaultSchedule schedule = generate_chaos(n, pc.coordinator, profile,
+                                                opt.chaos_seed, overlay.get(), opt.groups);
         ChaosBridge::Hooks ch;
         ch.crash_node = [&](ProcessId p) {
             if (p != opt.id) return;
@@ -593,11 +644,13 @@ int main(int argc, char** argv) {
                 return;
             }
             if (wiped) {
-                proc.wipe_state();
+                for (GroupId g = 0; g < opt.groups; ++g) {
+                    shard.process(g).wipe_state();
+                }
                 // The durable client re-offers everything this node ever
                 // submitted; coordinator value dedup absorbs re-proposals
                 // of already-decided values.
-                for (const Value& v : submitted_values) proc.post_submit(v);
+                for (const Value& v : submitted_values) shard.post_submit(v);
             }
         };
         if (chaos_channel) {
@@ -630,7 +683,9 @@ int main(int argc, char** argv) {
     if (!opt.trace_path.empty()) {
         tracer = std::make_unique<trace::Tracer>();
         tracer->set_payload_probe(paxos_payload_probe());
-        proc.set_tracer(tracer.get());
+        for (GroupId g = 0; g < opt.groups; ++g) {
+            shard.process(g).set_tracer(tracer.get());
+        }
     }
 
     std::ofstream decision_log;
@@ -643,23 +698,37 @@ int main(int argc, char** argv) {
         }
     }
     long delivered = 0;
+    // Per-group delivered frontier, maintained from the listener's instance
+    // numbers. Frontier-based, not count-based: each group's deliveries are
+    // in instance order and gap-free, so the frontiers' sum counts distinct
+    // learned decisions. A chaos wipe re-delivers from instance 1 — counting
+    // those duplicates would declare the expectation met while the tail is
+    // still unlearned.
+    std::vector<InstanceId> group_frontier(static_cast<std::size_t>(opt.groups), 0);
+    long decided_distinct = 0;
     SimTime expect_met_at = SimTime::max();
-    proc.set_delivery_listener(
-        [&](InstanceId instance, const Value& value, CpuContext& ctx) {
-            ++delivered;
-            if (decision_log.is_open()) {
-                decision_log << instance << ' ' << value.id.client << ' '
-                             << value.id.seq << '\n';
-            }
-            // Frontier-based, not count-based: deliveries are in instance
-            // order and gap-free, so reaching instance `expect` means the
-            // whole prefix is learned. A chaos wipe re-delivers from
-            // instance 1 — counting those duplicates would declare the
-            // expectation met while the tail is still unlearned.
-            if (opt.expect > 0 && instance == static_cast<InstanceId>(opt.expect)) {
-                expect_met_at = ctx.now();
-            }
-        });
+    for (GroupId g = 0; g < opt.groups; ++g) {
+        shard.process(g).set_delivery_listener(
+            [&, g](InstanceId instance, const Value& value, CpuContext& ctx) {
+                ++delivered;
+                if (decision_log.is_open()) {
+                    // Leading group column only under sharding: single-group
+                    // logs stay byte-compatible with existing tooling.
+                    if (opt.groups > 1) decision_log << g << ' ';
+                    decision_log << instance << ' ' << value.id.client << ' '
+                                 << value.id.seq << '\n';
+                }
+                InstanceId& f = group_frontier[static_cast<std::size_t>(g)];
+                if (instance > f) {
+                    decided_distinct += static_cast<long>(instance - f);
+                    f = instance;
+                    if (opt.expect > 0 && decided_distinct >= opt.expect &&
+                        expect_met_at == SimTime::max()) {
+                        expect_met_at = ctx.now();
+                    }
+                }
+            });
+    }
 
     // Start the protocol once the connection mesh is up (or after a grace
     // period if some peer never appears): the coordinator's initial Phase 1a
@@ -675,7 +744,7 @@ int main(int argc, char** argv) {
         // Arm the fault schedule relative to protocol start: the profile's
         // quiet window then follows mesh establishment on every node.
         if (bridge) bridge->arm();
-        proc.post_start();
+        shard.post_start();
         // Client submissions, paced at --rate.
         if (opt.submit > 0) {
             const auto interval = SimTime::seconds(1.0 / opt.rate);
@@ -691,7 +760,7 @@ int main(int argc, char** argv) {
                 v.id = ValueId{opt.id, submitted++};
                 v.size_bytes = opt.value_size;
                 if (bridge) submitted_values.push_back(v);
-                proc.post_submit(v);
+                shard.post_submit(v);
             });
         }
     };
@@ -729,7 +798,7 @@ int main(int argc, char** argv) {
                              ? stderr
                              : std::fopen(opt.metrics_path.c_str(), "w");
         if (out) {
-            dump_metrics(out, opt, transport.get(), conns.get(), udp_link.get(), proc,
+            dump_metrics(out, opt, transport.get(), conns.get(), udp_link.get(), shard,
                          semantics.get(), &gate, bridge.get());
             if (out != stderr) std::fclose(out);
         }

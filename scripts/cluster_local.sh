@@ -8,6 +8,11 @@
 #     -n NODES     cluster size (default 3, minimum 3)
 #     -v VALUES    total client values to order (default 300)
 #     -s SETUP     baseline | gossip | semantic (default semantic)
+#     -G GROUPS    independent consensus groups over the shared substrate
+#                  (default 1; DESIGN.md §15). With >1 every decision-log
+#                  line gains a leading group column, logs are normalized to
+#                  (group, instance) order before comparison, and gap-freedom
+#                  is asserted per group
 #     -T TRANSPORT tcp | udp (default tcp)
 #     -f           enable failure detector + coordinator failover
 #     -k           SIGKILL the coordinator (node 0) mid-run; implies -f.
@@ -36,6 +41,7 @@ cd "$(dirname "$0")/.."
 NODES=3
 VALUES=300
 SETUP=semantic
+NGROUPS=1
 TRANSPORT=tcp
 FAILOVER=0
 KILL_COORD=0
@@ -45,11 +51,12 @@ TIMEOUT=60
 BINARY=build/examples/gossipd
 DIR=""
 
-while getopts "n:v:s:T:fkC:S:t:b:d:h" o; do
+while getopts "n:v:s:G:T:fkC:S:t:b:d:h" o; do
     case "$o" in
         n) NODES="$OPTARG" ;;
         v) VALUES="$OPTARG" ;;
         s) SETUP="$OPTARG" ;;
+        G) NGROUPS="$OPTARG" ;;
         T) TRANSPORT="$OPTARG" ;;
         f) FAILOVER=1 ;;
         k) KILL_COORD=1; FAILOVER=1 ;;
@@ -58,7 +65,7 @@ while getopts "n:v:s:T:fkC:S:t:b:d:h" o; do
         t) TIMEOUT="$OPTARG" ;;
         b) BINARY="$OPTARG" ;;
         d) DIR="$OPTARG" ;;
-        h|*) sed -n '2,31p' "$0"; exit 2 ;;
+        h|*) sed -n '2,36p' "$0"; exit 2 ;;
     esac
 done
 
@@ -69,6 +76,10 @@ esac
 
 if [ "$NODES" -lt 3 ]; then
     echo "cluster_local.sh: need at least 3 nodes" >&2
+    exit 2
+fi
+if [ "$NGROUPS" -lt 1 ]; then
+    echo "cluster_local.sh: -G must be at least 1" >&2
     exit 2
 fi
 if [ ! -x "$BINARY" ]; then
@@ -106,7 +117,7 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "cluster_local.sh: $NODES nodes, $VALUES values, setup=$SETUP" \
+echo "cluster_local.sh: $NODES nodes, $VALUES values, setup=$SETUP groups=$NGROUPS" \
      "transport=$TRANSPORT failover=$FAILOVER kill-coordinator=$KILL_COORD" \
      "chaos=${CHAOS:-off} logs=$DIR"
 
@@ -120,6 +131,7 @@ for ((i = 0; i < NODES; i++)); do
     ARGS=(--id "$i" --cluster "$CLUSTER" --setup "$SETUP" --transport "$TRANSPORT"
           --submit "$SUBMIT" --rate 300 --expect "$VALUES" --run-for "$TIMEOUT"
           --decision-log "$DIR/node$i.log" --metrics "$DIR/node$i.metrics")
+    [ "$NGROUPS" -gt 1 ] && ARGS+=(--groups "$NGROUPS")
     [ "$FAILOVER" -eq 1 ] && ARGS+=(--failover)
     [ -n "$CHAOS" ] && ARGS+=(--chaos "$CHAOS" --chaos-seed "$CHAOS_SEED"
                               --chaos-log "$DIR/node$i.chaos")
@@ -158,9 +170,16 @@ fi
 # late in the run can leave a partial re-delivery tail), so normalize each
 # log to its unique "instance client seq" assertions, in instance order. A
 # safety divergence survives normalization as a duplicate instance line and
-# fails the gap check below.
+# fails the gap check below. With -G > 1 the groups' deliveries interleave
+# in node-local order, so logs are always normalized — to unique
+# "group instance client seq" assertions in (group, instance) order.
 SUFFIX=""
-if [ -n "$CHAOS" ]; then
+if [ "$NGROUPS" -gt 1 ]; then
+    SUFFIX=".norm"
+    for ((i = FIRST_SUBMITTER; i < NODES; i++)); do
+        sort -u "$DIR/node$i.log" | sort -s -k1,1n -k2,2n > "$DIR/node$i.log$SUFFIX"
+    done
+elif [ -n "$CHAOS" ]; then
     SUFFIX=".norm"
     for ((i = FIRST_SUBMITTER; i < NODES; i++)); do
         sort -u "$DIR/node$i.log" | sort -s -n -k1,1 > "$DIR/node$i.log$SUFFIX"
@@ -175,13 +194,26 @@ if [ "$LINES" -ne "$VALUES" ]; then
     exit 1
 fi
 
-# 2. Gap-freedom: the instance column is exactly 1..VALUES in order.
-if ! awk -v want="$VALUES" '
-        $1 != NR { print "instance " $1 " at line " NR; bad = 1; exit }
-        END { if (!bad && NR != want) { print "ended at " NR; exit 1 } else exit bad }
-    ' "$REF"; then
-    echo "cluster_local.sh: FAIL (decision sequence has gaps in $REF)" >&2
-    exit 1
+# 2. Gap-freedom. Single group: the instance column is exactly 1..VALUES in
+# order. Sharded: within each group the instance column is contiguous from 1
+# (the per-group totals vary with the value hash, their sum is checked above).
+if [ "$NGROUPS" -gt 1 ]; then
+    if ! awk '
+            $2 != seen[$1] + 1 { print "group " $1 " instance " $2 \
+                                 " after " seen[$1] + 0; exit 1 }
+            { seen[$1] = $2 }
+        ' "$REF"; then
+        echo "cluster_local.sh: FAIL (a group's decision sequence has gaps in $REF)" >&2
+        exit 1
+    fi
+else
+    if ! awk -v want="$VALUES" '
+            $1 != NR { print "instance " $1 " at line " NR; bad = 1; exit }
+            END { if (!bad && NR != want) { print "ended at " NR; exit 1 } else exit bad }
+        ' "$REF"; then
+        echo "cluster_local.sh: FAIL (decision sequence has gaps in $REF)" >&2
+        exit 1
+    fi
 fi
 
 # 3. Agreement: every surviving node produced the identical log.

@@ -11,31 +11,48 @@ namespace gossipc::check {
 
 namespace {
 
-/// One Phase 2b vote, identified by what matters to the protocol. The
-/// retransmission attempt is deliberately excluded: merging an original and
-/// its retransmission is content-preserving.
-using VoteKey = std::tuple<ProcessId, InstanceId, Round, std::uint64_t>;
+/// One Phase 2b vote, identified by what matters to the protocol — including
+/// the consensus group, so a cross-group repack can never pass the roundtrip
+/// check by trading a vote in one group for the same-numbered instance in
+/// another. The retransmission attempt is deliberately excluded: merging an
+/// original and its retransmission is content-preserving.
+using VoteKey = std::tuple<GroupId, ProcessId, InstanceId, Round, std::uint64_t>;
 
 struct Flattened {
     std::set<VoteKey> votes;             ///< Phase 2b content, aggregates expanded
     std::multiset<GossipMsgId> others;   ///< everything else, by gossip id
 };
 
+void flatten_paxos(const PaxosMessage& paxos, GossipMsgId id, Flattened& f) {
+    if (paxos.type() == PaxosMsgType::Phase2b) {
+        const auto& b = static_cast<const Phase2bMsg&>(paxos);
+        f.votes.insert(
+            VoteKey{b.group(), b.sender(), b.instance(), b.round(), b.value_digest()});
+    } else if (paxos.type() == PaxosMsgType::Phase2bAggregate) {
+        const auto& a = static_cast<const Phase2bAggregateMsg&>(paxos);
+        for (const ProcessId s : a.senders()) {
+            f.votes.insert(
+                VoteKey{a.group(), s, a.instance(), a.round(), a.value_digest()});
+        }
+    } else if (paxos.type() == PaxosMsgType::GroupBatch) {
+        // Cross-group envelopes (rule X1) are transparent to the roundtrip:
+        // what they carry must flatten to exactly what went in, entry ids
+        // standing in for the original gossip ids (they are equal — the
+        // packed entries are the original message objects).
+        const auto& batch = static_cast<const GroupBatchMsg&>(paxos);
+        for (const PaxosMessagePtr& entry : batch.entries()) {
+            flatten_paxos(*entry, entry->unique_key(), f);
+        }
+    } else {
+        f.others.insert(id);
+    }
+}
+
 Flattened flatten(const std::vector<GossipAppMessage>& msgs) {
     Flattened f;
     for (const GossipAppMessage& m : msgs) {
-        const PaxosMessage* paxos = nullptr;
         if (m.payload && m.payload->kind() == BodyKind::Paxos) {
-            paxos = static_cast<const PaxosMessage*>(m.payload.get());
-        }
-        if (paxos != nullptr && paxos->type() == PaxosMsgType::Phase2b) {
-            const auto& b = static_cast<const Phase2bMsg&>(*paxos);
-            f.votes.insert(VoteKey{b.sender(), b.instance(), b.round(), b.value_digest()});
-        } else if (paxos != nullptr && paxos->type() == PaxosMsgType::Phase2bAggregate) {
-            const auto& a = static_cast<const Phase2bAggregateMsg&>(*paxos);
-            for (const ProcessId s : a.senders()) {
-                f.votes.insert(VoteKey{s, a.instance(), a.round(), a.value_digest()});
-            }
+            flatten_paxos(static_cast<const PaxosMessage&>(*m.payload), m.id, f);
         } else {
             f.others.insert(m.id);
         }

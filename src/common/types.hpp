@@ -16,6 +16,12 @@ namespace gossipc {
 /// Index of a process in the deployment, in [0, n).
 using ProcessId = std::int32_t;
 
+/// Index of a consensus group (shard) in a multi-group deployment, in
+/// [0, groups). Single-group deployments run everything in group 0, which is
+/// also the wire-format default, so a groups=1 system is byte-compatible with
+/// the pre-sharding format modulo the version bump.
+using GroupId = std::int32_t;
+
 /// Paxos consensus-instance identifier. Instances are decided in increasing
 /// order with no gaps; instance 0 is never used (frontiers start at 1).
 using InstanceId = std::int64_t;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include <fstream>
 
@@ -11,6 +12,7 @@
 #include "check/paxos_invariants.hpp"
 #include "overlay/random_overlay.hpp"
 #include "paxos/message.hpp"
+#include "wire/codec.hpp"
 
 namespace gossipc {
 
@@ -25,6 +27,9 @@ const char* setup_name(Setup s) {
 
 Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
     if (config.n < 3) throw std::invalid_argument("Deployment: n must be >= 3");
+    if (config.groups < 1 || config.groups > static_cast<int>(wire::kMaxGroupFrontiers)) {
+        throw std::invalid_argument("Deployment: groups out of range");
+    }
     sim_ = std::make_unique<Simulator>();
 
     Network::Params net_params;
@@ -42,11 +47,12 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             throw std::invalid_argument("Deployment: overlay size != n");
         }
         for (const auto& [a, b] : overlay_->edges()) network_->allow_link(a, b);
-    } else if (config.failover) {
+    } else if (config.failover || config.groups > 1) {
         // Baseline + failover: the star around process 0 cannot survive the
         // hub's death (a successor could not reach anyone), so failover runs
         // use the full mesh the paper's Baseline implicitly assumes the
-        // datacenter fabric to provide.
+        // datacenter fabric to provide. Multi-group runs need it too: rank
+        // placement puts group coordinators on every process.
         network_->allow_all_links();
     } else {
         // Baseline: the coordinator communicates directly with every process
@@ -96,28 +102,36 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
         } else {
             transports_.push_back(std::make_unique<DirectTransport>(*network_, id));
         }
-        processes_.push_back(std::make_unique<PaxosProcess>(pc, *transports_.back()));
-        processes_.back()->set_failover_listener(
-            [this, id](FailoverEvent event, ProcessId subject, Round round, CpuContext& ctx) {
-                std::ostringstream line;
-                line << ctx.now().as_nanos() << ' ';
-                switch (event) {
-                    case FailoverEvent::Suspect:
-                        line << "suspect p" << subject << " by p" << id;
-                        break;
-                    case FailoverEvent::Restore:
-                        line << "restore p" << subject << " by p" << id;
-                        break;
-                    case FailoverEvent::Takeover:
-                        line << "takeover p" << id << " round " << round;
-                        break;
-                    case FailoverEvent::StepDown:
-                        line << "step-down p" << id << " round " << round << " to p"
-                             << subject;
-                        break;
-                }
-                failover_log_.push_back(line.str());
-            });
+        shards_.push_back(
+            std::make_unique<group::GroupShard>(pc, *transports_.back(), config.groups));
+        for (GroupId g = 0; g < config.groups; ++g) {
+            const bool tag_group = config.groups > 1;
+            shards_.back()->process(g).set_failover_listener(
+                [this, id, g, tag_group](FailoverEvent event, ProcessId subject,
+                                         Round round, CpuContext& ctx) {
+                    std::ostringstream line;
+                    line << ctx.now().as_nanos() << ' ';
+                    switch (event) {
+                        case FailoverEvent::Suspect:
+                            line << "suspect p" << subject << " by p" << id;
+                            break;
+                        case FailoverEvent::Restore:
+                            line << "restore p" << subject << " by p" << id;
+                            break;
+                        case FailoverEvent::Takeover:
+                            line << "takeover p" << id << " round " << round;
+                            break;
+                        case FailoverEvent::StepDown:
+                            line << "step-down p" << id << " round " << round << " to p"
+                                 << subject;
+                            break;
+                    }
+                    // Group-stamped only in sharded runs so single-group
+                    // fault logs stay byte-identical with pre-group replays.
+                    if (tag_group) line << " g" << g;
+                    failover_log_.push_back(line.str());
+                });
+        }
     }
 
     if (config.trace || !config.trace_jsonl_path.empty()) {
@@ -130,6 +144,7 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             const auto& pm = static_cast<const PaxosMessage&>(body);
             info.type = static_cast<std::int16_t>(pm.type());
             info.type_name = paxos_msg_type_name(pm.type());
+            info.group = pm.group();
             switch (pm.type()) {
                 case PaxosMsgType::Phase2a:
                     info.instance = static_cast<const Phase2aMsg&>(pm).instance();
@@ -146,6 +161,11 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
                 case PaxosMsgType::LearnRequest:
                     info.instance = static_cast<const LearnRequestMsg&>(pm).instance();
                     break;
+                case PaxosMsgType::GroupBatch:
+                    // Spans groups by construction: joinable per entry, not
+                    // per envelope.
+                    info.group = -1;
+                    break;
                 case PaxosMsgType::ClientValue:
                 case PaxosMsgType::Phase1a:
                 case PaxosMsgType::Phase1b:
@@ -157,7 +177,7 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
             return info;
         });
         for (auto& g : gossip_nodes_) g->set_tracer(tracer_.get());
-        for (auto& p : processes_) p->set_tracer(tracer_.get());
+        for (PaxosProcess* p : process_ptrs()) p->set_tracer(tracer_.get());
     }
 
 #if GC_ENABLE_INVARIANTS
@@ -165,18 +185,26 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
     // invariants are re-checked continuously while the experiment runs.
     if (config.invariant_probe_events > 0) {
         invariants_ = std::make_unique<check::InvariantChecker>();
-        std::vector<const Learner*> learners;
-        std::vector<const Acceptor*> acceptors;
-        for (const auto& p : processes_) {
-            learners.push_back(&p->learner());
-            acceptors.push_back(&p->acceptor());
+        // Each consensus group is an independent Paxos instance space, so
+        // agreement/acceptor/failover checks register per group over that
+        // group's process on every node.
+        std::vector<check::PaxosCheckHandles> handles;
+        for (GroupId g = 0; g < config.groups; ++g) {
+            std::vector<const Learner*> learners;
+            std::vector<const Acceptor*> acceptors;
+            std::vector<const PaxosProcess*> procs;
+            for (auto& s : shards_) {
+                learners.push_back(&s->process(g).learner());
+                acceptors.push_back(&s->process(g).acceptor());
+                procs.push_back(&s->process(g));
+            }
+            handles.push_back(check::register_paxos_checks(
+                *invariants_, std::move(learners), std::move(acceptors)));
+            check::register_failover_checks(*invariants_, std::move(procs));
         }
-        auto handles = check::register_paxos_checks(*invariants_, std::move(learners),
-                                                    std::move(acceptors));
-        forget_monitor_ = std::move(handles.forget_process);
-        std::vector<const PaxosProcess*> procs;
-        for (const auto& p : processes_) procs.push_back(p.get());
-        check::register_failover_checks(*invariants_, std::move(procs));
+        forget_monitor_ = [handles = std::move(handles)](std::size_t id) {
+            for (const auto& h : handles) h.forget_process(id);
+        };
         sim_->set_probe(config.invariant_probe_events, [this] { invariants_->run_all(); });
     }
 #endif
@@ -188,7 +216,7 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
     if (config.chaos) {
         const std::uint64_t cseed = config.chaos_seed != 0 ? config.chaos_seed : config.seed;
         schedule.merge(generate_chaos(config.n, /*coordinator=*/0, *config.chaos, cseed,
-                                      overlay_ ? &*overlay_ : nullptr));
+                                      overlay_ ? &*overlay_ : nullptr, config.groups));
     }
     if (!schedule.empty()) {
         FaultInjector::Hooks hooks;
@@ -208,13 +236,23 @@ Deployment::Deployment(const ExperimentConfig& config) : config_(config) {
     wp.measure = config.measure;
     wp.drain = config.drain;
     wp.seed = config.seed;
-    workload_ = std::make_unique<Workload>(*sim_, process_ptrs(), LatencyModel::aws(), wp);
+    std::vector<std::vector<PaxosProcess*>> hosts;
+    hosts.reserve(shards_.size());
+    for (auto& s : shards_) {
+        std::vector<PaxosProcess*> node;
+        node.reserve(static_cast<std::size_t>(config.groups));
+        for (GroupId g = 0; g < config.groups; ++g) node.push_back(&s->process(g));
+        hosts.push_back(std::move(node));
+    }
+    workload_ = std::make_unique<Workload>(*sim_, std::move(hosts), LatencyModel::aws(), wp);
 }
 
 std::vector<PaxosProcess*> Deployment::process_ptrs() {
     std::vector<PaxosProcess*> out;
-    out.reserve(processes_.size());
-    for (auto& p : processes_) out.push_back(p.get());
+    out.reserve(shards_.size() * static_cast<std::size_t>(config_.groups));
+    for (auto& s : shards_) {
+        for (GroupId g = 0; g < config_.groups; ++g) out.push_back(&s->process(g));
+    }
     return out;
 }
 
@@ -224,7 +262,8 @@ GossipNode* Deployment::gossip_node(ProcessId id) {
 }
 
 void Deployment::wipe_process_state(ProcessId id) {
-    processes_.at(static_cast<std::size_t>(id))->wipe_state();
+    auto& shard = *shards_.at(static_cast<std::size_t>(id));
+    for (GroupId g = 0; g < config_.groups; ++g) shard.process(g).wipe_state();
     if (forget_monitor_) forget_monitor_(static_cast<std::size_t>(id));
 }
 
@@ -234,7 +273,7 @@ PaxosSemantics* Deployment::semantics(ProcessId id) {
 }
 
 void Deployment::start_processes() {
-    for (auto& p : processes_) p->post_start();
+    for (auto& s : shards_) s->post_start();
 }
 
 MessageStats Deployment::message_stats() const {
@@ -277,13 +316,25 @@ ExperimentResult Deployment::collect() {
             result.semantic.aggregates_built += st.aggregates_built;
             result.semantic.messages_merged += st.messages_merged;
             result.semantic.disaggregations += st.disaggregations;
+            result.semantic.cross_group_batches += st.cross_group_batches;
+            result.semantic.cross_group_merged += st.cross_group_merged;
         }
     }
-    result.decisions_at_coordinator = processes_.front()->learner().delivered_count();
-    for (const auto& p : processes_) {
+    result.decisions_at_coordinator = shards_.front()->process(0).learner().delivered_count();
+    result.group_decided.reserve(static_cast<std::size_t>(config_.groups));
+    for (GroupId g = 0; g < config_.groups; ++g) {
+        const ProcessId home = group::placement_coordinator(g, config_.n);
+        result.group_decided.push_back(
+            shards_.at(static_cast<std::size_t>(home))->process(g).learner().delivered_count());
+    }
+    for (const PaxosProcess* p : process_ptrs()) {
         result.failover.takeovers += p->counters().takeovers;
         result.failover.step_downs += p->counters().step_downs;
-        if (const FailureDetector* d = p->failure_detector()) {
+    }
+    // Detector counters per node, not per process: a sharded node's groups
+    // share one detector, which must not be multi-counted.
+    for (const auto& s : shards_) {
+        if (const FailureDetector* d = s->detector()) {
             result.failover.heartbeats_sent += d->counters().heartbeats_sent;
             result.failover.heartbeats_suppressed += d->counters().heartbeats_suppressed;
             result.failover.suspicions += d->counters().suspicions;
@@ -371,8 +422,9 @@ void Deployment::fill_metrics(const ExperimentResult& result) {
     set("gossip.pull_rounds", gc.pull_rounds);
     set("gossip.pull_served", gc.pull_served);
 
+    const std::vector<PaxosProcess*> all_processes = process_ptrs();
     PaxosProcess::Counters pc;
-    for (const auto& p : processes_) {
+    for (const PaxosProcess* p : all_processes) {
         const auto& c = p->counters();
         pc.values_submitted += c.values_submitted;
         pc.messages_handled += c.messages_handled;
@@ -384,7 +436,7 @@ void Deployment::fill_metrics(const ExperimentResult& result) {
         }
     }
     Coordinator::Counters cc;
-    for (const auto& p : processes_) {
+    for (const PaxosProcess* p : all_processes) {
         if (const Coordinator* coord = p->coordinator()) {
             const auto& c = coord->counters();
             cc.values_shed += c.values_shed;
@@ -412,7 +464,7 @@ void Deployment::fill_metrics(const ExperimentResult& result) {
         "paxos.handled.phase1b",           "paxos.handled.phase2a",
         "paxos.handled.phase2b",           "paxos.handled.phase2b_aggregate",
         "paxos.handled.decision",          "paxos.handled.learn_request",
-        "paxos.handled.heartbeat"};
+        "paxos.handled.heartbeat",         "paxos.handled.group_batch"};
     for (std::size_t t = 0; t < PaxosProcess::Counters::kNumMsgTypes; ++t) {
         set(kHandledNames[t], pc.handled_by_type[t]);
     }
@@ -421,6 +473,43 @@ void Deployment::fill_metrics(const ExperimentResult& result) {
     set("semantic.aggregates_built", result.semantic.aggregates_built);
     set("semantic.messages_merged", result.semantic.messages_merged);
     set("semantic.disaggregations", result.semantic.disaggregations);
+    set("semantic.cross_group_batches", result.semantic.cross_group_batches);
+    set("semantic.cross_group_merged", result.semantic.cross_group_merged);
+
+    // Multi-group sharding (DESIGN.md §15): dispatcher activity plus one
+    // decided/submitted/takeovers triple per group under paxos.g<id>.*, with
+    // an aggregate rollup over all groups.
+    group::GroupDispatcher::Counters dc;
+    for (const auto& s : shards_) {
+        const auto& c = s->dispatcher().counters();
+        dc.routed += c.routed;
+        dc.heartbeats_fanned += c.heartbeats_fanned;
+        dc.unroutable += c.unroutable;
+    }
+    set("group.routed", dc.routed);
+    set("group.heartbeats_fanned", dc.heartbeats_fanned);
+    set("group.unroutable", dc.unroutable);
+    set("paxos.groups", static_cast<std::uint64_t>(config_.groups));
+    std::uint64_t decided_total = 0;
+    std::uint64_t decided_min = ~0ULL;
+    for (GroupId g = 0; g < config_.groups; ++g) {
+        const std::uint64_t decided =
+            result.group_decided.at(static_cast<std::size_t>(g));
+        std::uint64_t submitted = 0;
+        std::uint64_t takeovers = 0;
+        for (const auto& s : shards_) {
+            submitted += s->process(g).counters().values_submitted;
+            takeovers += s->process(g).counters().takeovers;
+        }
+        const std::string prefix = "paxos.g" + std::to_string(g);
+        registry_.counter(prefix + ".decided").set(decided);
+        registry_.counter(prefix + ".submitted").set(submitted);
+        registry_.counter(prefix + ".takeovers").set(takeovers);
+        decided_total += decided;
+        decided_min = std::min(decided_min, decided);
+    }
+    set("paxos.groups.decided_total", decided_total);
+    set("paxos.groups.decided_min", decided_min);
 
     set("failover.heartbeats_sent", result.failover.heartbeats_sent);
     set("failover.heartbeats_suppressed", result.failover.heartbeats_suppressed);

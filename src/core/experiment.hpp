@@ -14,6 +14,7 @@
 #include "fault/chaos.hpp"
 #include "fault/injector.hpp"
 #include "gossip/gossip_node.hpp"
+#include "group/shard.hpp"
 #include "net/network.hpp"
 #include "overlay/analysis.hpp"
 #include "overlay/graph.hpp"
@@ -36,6 +37,11 @@ const char* setup_name(Setup s);
 struct ExperimentConfig {
     Setup setup = Setup::Gossip;
     int n = 13;
+    /// Independent consensus groups sharded over the same processes and the
+    /// same gossip substrate (DESIGN.md §15). Group g's initial coordinator
+    /// is process g mod n; client values route to groups by key hash. 1 keeps
+    /// the paper's single-group behaviour bit-for-bit.
+    int groups = 1;
 
     // Workload.
     double total_rate = 100.0;  ///< submissions/s over all clients
@@ -145,6 +151,9 @@ struct ExperimentResult {
     OverlayStats overlay;            ///< default for Baseline
     SimTime median_rtt = SimTime::zero();  ///< overlay RTT median (gossip setups)
     std::uint64_t decisions_at_coordinator = 0;
+    /// Delivered count at each group's placement coordinator, in group order
+    /// (size == groups; a single-group run has one entry).
+    std::vector<std::uint64_t> group_decided;
 
     /// Failure-detection / failover activity aggregated over all processes
     /// (zeros when failover is disabled or the detector never fired).
@@ -187,7 +196,20 @@ public:
 
     Simulator& simulator() { return *sim_; }
     Network& network() { return *network_; }
-    PaxosProcess& process(ProcessId id) { return *processes_.at(static_cast<std::size_t>(id)); }
+    /// Node id's group-0 process (the whole node in a single-group run).
+    PaxosProcess& process(ProcessId id) {
+        return shards_.at(static_cast<std::size_t>(id))->process(0);
+    }
+    /// Node id's process for consensus group g.
+    PaxosProcess& process(ProcessId id, GroupId g) {
+        return shards_.at(static_cast<std::size_t>(id))->process(g);
+    }
+    /// Node id's multi-group stack (dispatcher, shared detector, processes).
+    group::GroupShard& shard(ProcessId id) {
+        return *shards_.at(static_cast<std::size_t>(id));
+    }
+    int groups() const { return config_.groups; }
+    /// Every process, node-major then group order (n * groups entries).
     std::vector<PaxosProcess*> process_ptrs();
     Workload& workload() { return *workload_; }
     const ExperimentConfig& config() const { return config_; }
@@ -206,9 +228,10 @@ public:
     /// collect(); callers may register custom metrics before that.
     MetricsRegistry& metrics() { return registry_; }
 
-    /// Wipes one process's durable state (acceptor + learner), re-baselining
-    /// its shadow monitors so the loss is not itself reported as a safety
-    /// violation. Used by the fault engine for wipe-marked restarts.
+    /// Wipes one node's durable state (acceptor + learner of every group),
+    /// re-baselining its shadow monitors so the loss is not itself reported
+    /// as a safety violation. Used by the fault engine for wipe-marked
+    /// restarts.
     void wipe_process_state(ProcessId id);
 
     /// Collects the deployment-wide message statistics (any time).
@@ -226,7 +249,8 @@ private:
     std::vector<std::unique_ptr<GossipHooks>> hooks_;
     std::vector<std::unique_ptr<GossipNode>> gossip_nodes_;
     std::vector<std::unique_ptr<Transport>> transports_;
-    std::vector<std::unique_ptr<PaxosProcess>> processes_;
+    /// One multi-group stack per node; a single-group run is a shard of one.
+    std::vector<std::unique_ptr<group::GroupShard>> shards_;
     std::unique_ptr<Workload> workload_;
     std::unique_ptr<check::InvariantChecker> invariants_;
     std::unique_ptr<FaultInjector> injector_;

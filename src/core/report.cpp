@@ -45,6 +45,7 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
     o << "  \"config\": {"
       << "\"setup\": \"" << setup_name(config.setup) << "\""
       << ", \"n\": " << config.n
+      << ", \"groups\": " << config.groups
       << ", \"rate\": " << config.total_rate
       << ", \"value_size\": " << config.value_size
       << ", \"loss_rate\": " << config.loss_rate
@@ -105,6 +106,14 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
       << ", \"aggregates_built\": " << result.semantic.aggregates_built
       << ", \"messages_merged\": " << result.semantic.messages_merged
       << ", \"disaggregations\": " << result.semantic.disaggregations << "},\n";
+    // Per-group decided counts (DESIGN.md §15): index g is the measured-window
+    // delivery count at group g's placement coordinator. Length == config.groups.
+    o << "  \"groups\": {\"decided\": [";
+    for (std::size_t i = 0; i < result.group_decided.size(); ++i) {
+        if (i != 0) o << ", ";
+        o << result.group_decided[i];
+    }
+    o << "]},\n";
     o << "  \"overlay\": {"
       << "\"average_degree\": " << result.overlay.average_degree
       << ", \"diameter_hops\": " << result.overlay.diameter_hops
@@ -147,7 +156,7 @@ std::string to_json(const ExperimentConfig& config, const ExperimentResult& resu
 }
 
 std::string csv_header() {
-    return "setup,n,rate,loss_rate,timeouts,strategy,filtering,aggregation,seed,"
+    return "setup,n,groups,rate,loss_rate,timeouts,strategy,filtering,aggregation,seed,"
            "throughput,latency_mean_ms,latency_p50_ms,latency_p95_ms,latency_p99_ms,"
            "latency_stddev_ms,submitted,completed,not_ordered,net_arrivals,net_sent,"
            "loss_drops,queue_drops,gossip_received,duplicates,delivered,filtered_2b,"
@@ -160,7 +169,8 @@ std::string to_csv_row(const ExperimentConfig& config, const ExperimentResult& r
     const auto& w = result.workload;
     const auto& m = result.messages;
     std::ostringstream o;
-    o << setup_name(config.setup) << ',' << config.n << ',' << config.total_rate << ','
+    o << setup_name(config.setup) << ',' << config.n << ',' << config.groups << ','
+      << config.total_rate << ','
       << config.loss_rate << ',' << (config.timeouts_enabled ? 1 : 0) << ','
       << strategy_name(config.strategy) << ',' << (config.semantic.filtering ? 1 : 0) << ','
       << (config.semantic.aggregation ? 1 : 0) << ',' << config.seed << ','

@@ -43,7 +43,7 @@ void FailureDetector::observe_alive(ProcessId peer, CpuContext& ctx) {
     if (ps.suspected) {
         ps.suspected = false;
         ++counters_.restores;
-        if (on_restore_) on_restore_(peer, ctx);
+        for (const PeerEventFn& fn : on_restore_) fn(peer, ctx);
     }
 }
 
@@ -82,9 +82,15 @@ void FailureDetector::heartbeat_tick(CpuContext& ctx) {
         return;
     }
     ++counters_.heartbeats_sent;
-    const InstanceId frontier = frontier_provider_ ? frontier_provider_() : 1;
-    transport_.broadcast(std::make_shared<HeartbeatMsg>(config_.id, heartbeat_seq_++, frontier),
-                         ctx);
+    PaxosMessagePtr hb;
+    if (frontiers_provider_) {
+        hb = std::make_shared<HeartbeatMsg>(config_.id, heartbeat_seq_++,
+                                            frontiers_provider_());
+    } else {
+        const InstanceId frontier = frontier_provider_ ? frontier_provider_() : 1;
+        hb = std::make_shared<HeartbeatMsg>(config_.id, heartbeat_seq_++, frontier);
+    }
+    transport_.broadcast(std::move(hb), ctx);
 }
 
 void FailureDetector::sweep(CpuContext& ctx) {
@@ -105,7 +111,7 @@ void FailureDetector::sweep(CpuContext& ctx) {
         if (now - ps.last_heard >= config_.suspect_after + ps.jitter) {
             ps.suspected = true;
             ++counters_.suspicions;
-            if (on_suspect_) on_suspect_(p, ctx);
+            for (const PeerEventFn& fn : on_suspect_) fn(p, ctx);
         }
     }
 }

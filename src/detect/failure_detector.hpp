@@ -43,11 +43,19 @@ public:
     /// `config`. The transport must outlive the detector.
     FailureDetector(const PaxosConfig& config, Transport& transport);
 
-    void set_on_suspect(PeerEventFn fn) { on_suspect_ = std::move(fn); }
-    void set_on_restore(PeerEventFn fn) { on_restore_ = std::move(fn); }
+    /// Subscribes to suspicion/restore transitions. Additive: a detector
+    /// shared by several consensus groups (DESIGN.md §15) fans each event
+    /// out to every subscriber, in subscription order.
+    void set_on_suspect(PeerEventFn fn) { on_suspect_.push_back(std::move(fn)); }
+    void set_on_restore(PeerEventFn fn) { on_restore_.push_back(std::move(fn)); }
     /// Supplies the learner frontier advertised in outgoing heartbeats.
     void set_frontier_provider(std::function<InstanceId()> fn) {
         frontier_provider_ = std::move(fn);
+    }
+    /// Multi-group form: one frontier per group, in group order. Takes
+    /// precedence over the scalar provider when both are set.
+    void set_frontiers_provider(std::function<std::vector<InstanceId>()> fn) {
+        frontiers_provider_ = std::move(fn);
     }
 
     /// Arms the heartbeat and suspicion-sweep timer chains (idempotent).
@@ -90,9 +98,10 @@ private:
     std::uint64_t heartbeat_seq_ = 0;
     SimTime last_sweep_ = SimTime::zero();
     Counters counters_;
-    PeerEventFn on_suspect_;
-    PeerEventFn on_restore_;
+    std::vector<PeerEventFn> on_suspect_;
+    std::vector<PeerEventFn> on_restore_;
     std::function<InstanceId()> frontier_provider_;
+    std::function<std::vector<InstanceId>()> frontiers_provider_;
 };
 
 }  // namespace gossipc

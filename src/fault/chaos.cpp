@@ -83,8 +83,11 @@ std::pair<ProcessId, ProcessId> pick_link(Rng& rng, int n, ProcessId coordinator
 }  // namespace
 
 FaultSchedule generate_chaos(int n, ProcessId coordinator, const ChaosProfile& profile,
-                             std::uint64_t seed, const Graph* overlay) {
+                             std::uint64_t seed, const Graph* overlay, int num_groups) {
     if (n < 3) throw std::invalid_argument("generate_chaos: n must be >= 3");
+    if (num_groups < 1) {
+        throw std::invalid_argument("generate_chaos: num_groups must be >= 1");
+    }
     FaultSchedule schedule;
     Rng rng = Rng::derive(seed, "chaos");
     const SimTime window_end = profile.start + profile.horizon;
@@ -104,7 +107,15 @@ FaultSchedule generate_chaos(int n, ProcessId coordinator, const ChaosProfile& p
             // redirect the slot to a process that can still be taken down.
             victim = (victim + 1) % n;
         }
-        const bool wipe = victim != coordinator && rng.chance(profile.wipe_prob);
+        // Wipes never target a process that leads some consensus group: the
+        // configured coordinator, plus — under multi-group rank placement
+        // (DESIGN.md §15) — every node id below the group count. The check
+        // short-circuits before the RNG draw exactly as the single-group
+        // rule did, so num_groups = 1 schedules are byte-identical.
+        const bool leads_some_group =
+            victim == coordinator ||
+            (num_groups > 1 && victim < static_cast<ProcessId>(std::min(num_groups, n)));
+        const bool wipe = !leads_some_group && rng.chance(profile.wipe_prob);
         schedule.crash(down, victim, wipe);
         schedule.restart(up, victim);
     }

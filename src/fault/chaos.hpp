@@ -83,8 +83,13 @@ struct ChaosProfile {
 /// Samples a fault schedule for an n-process deployment. `overlay` (when
 /// present) targets link faults and churn at real overlay edges; without it
 /// (Baseline star) link faults target coordinator links and churn is
-/// omitted. Deterministic in (n, coordinator, profile, seed, overlay).
+/// omitted. `num_groups` > 1 widens the wipe exclusion from the configured
+/// coordinator to every rank-placed group coordinator (nodes 0..groups-1,
+/// DESIGN.md §15); num_groups = 1 schedules are byte-identical to before
+/// the parameter existed. Deterministic in (n, coordinator, profile, seed,
+/// overlay, num_groups).
 FaultSchedule generate_chaos(int n, ProcessId coordinator, const ChaosProfile& profile,
-                             std::uint64_t seed, const Graph* overlay = nullptr);
+                             std::uint64_t seed, const Graph* overlay = nullptr,
+                             int num_groups = 1);
 
 }  // namespace gossipc

@@ -1,0 +1,60 @@
+#include "group/group_transport.hpp"
+
+#include <stdexcept>
+
+namespace gossipc::group {
+
+PaxosMessagePtr GroupTransport::stamped(PaxosMessagePtr msg) const {
+    if (msg && msg->group() != group_) {
+        // Send sites construct their messages fresh (Paxos, the coordinator,
+        // and the repair paths all make_shared at the call site), so the
+        // const_cast mutates an object no other group can alias. The tag is
+        // part of the message identity from here on: unique_key() folds it.
+        const_cast<PaxosMessage&>(*msg).set_group(group_);
+    }
+    return msg;
+}
+
+void GroupTransport::broadcast(PaxosMessagePtr msg, CpuContext& ctx) {
+    substrate_.broadcast(stamped(std::move(msg)), ctx);
+}
+
+void GroupTransport::send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) {
+    substrate_.send(to, stamped(std::move(msg)), ctx);
+}
+
+GroupDispatcher::GroupDispatcher(Transport& substrate, int num_groups)
+    : substrate_(substrate) {
+    if (num_groups <= 0) {
+        throw std::invalid_argument("GroupDispatcher: num_groups must be positive");
+    }
+    facades_.reserve(static_cast<std::size_t>(num_groups));
+    for (GroupId g = 0; g < num_groups; ++g) {
+        facades_.push_back(std::make_unique<GroupTransport>(substrate_, g));
+    }
+    substrate_.set_deliver(
+        [this](const PaxosMessagePtr& msg, CpuContext& ctx) { route(msg, ctx); });
+}
+
+void GroupDispatcher::route(const PaxosMessagePtr& msg, CpuContext& ctx) {
+    if (!msg) return;
+    if (msg->type() == PaxosMsgType::Heartbeat) {
+        // Per-node liveness evidence with one frontier per group: every
+        // group's process reads its own slot (and feeds the one shared
+        // detector, whose observe_alive is idempotent per delivery).
+        for (auto& f : facades_) {
+            ++counters_.heartbeats_fanned;
+            f->deliver_from_substrate(msg, ctx);
+        }
+        return;
+    }
+    const GroupId g = msg->group();
+    if (g < 0 || g >= static_cast<GroupId>(facades_.size())) {
+        ++counters_.unroutable;
+        return;
+    }
+    ++counters_.routed;
+    facades_[static_cast<std::size_t>(g)]->deliver_from_substrate(msg, ctx);
+}
+
+}  // namespace gossipc::group

@@ -1,0 +1,98 @@
+// Group multiplexing over one shared transport substrate (DESIGN.md §15).
+//
+// A sharded node runs one PaxosProcess per consensus group, but exactly one
+// network stack: one gossip node (or direct/UDP transport), one overlay
+// membership, one failure detector. GroupDispatcher is the seam between the
+// two cardinalities. It owns a per-group Transport facade; each group's
+// protocol stack binds to its facade as if it had the substrate to itself:
+//
+//  * outbound — the facade stamps its group id on every message, then
+//    forwards to the substrate, so traffic of all groups shares envelopes,
+//    links, and the origination clock the detector's piggyback rule reads;
+//  * inbound — the dispatcher takes the substrate's single deliver callback
+//    and routes each message to the facade of its group() tag. Heartbeats
+//    are the exception: they are per-node, carry one learner frontier per
+//    group, and fan out to every facade.
+//
+// Messages with a group tag outside [0, groups) — a peer running a different
+// --groups — are counted and dropped, never delivered to the wrong group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace gossipc::group {
+
+class GroupDispatcher;
+
+/// The per-group view of the shared substrate. All scheduling primitives
+/// pass straight through (timers run on the node's one CPU); sends stamp the
+/// group tag first.
+class GroupTransport final : public Transport {
+public:
+    GroupTransport(Transport& substrate, GroupId group)
+        : substrate_(substrate), group_(group) {}
+
+    ProcessId self() const override { return substrate_.self(); }
+    void broadcast(PaxosMessagePtr msg, CpuContext& ctx) override;
+    void send(ProcessId to, PaxosMessagePtr msg, CpuContext& ctx) override;
+    void schedule(SimTime delay, std::function<void(CpuContext&)> fn) override {
+        substrate_.schedule(delay, std::move(fn));
+    }
+    void schedule_every(SimTime period, std::function<void(CpuContext&)> fn) override {
+        substrate_.schedule_every(period, std::move(fn));
+    }
+    void post(std::function<void(CpuContext&)> fn) override {
+        substrate_.post(std::move(fn));
+    }
+
+    GroupId group() const { return group_; }
+
+private:
+    friend class GroupDispatcher;
+    /// Dispatcher-side entry: hands a routed message to this group's stack.
+    void deliver_from_substrate(const PaxosMessagePtr& msg, CpuContext& ctx) {
+        deliver_up(msg, ctx);
+    }
+    /// Stamps the group tag. Outbound messages are freshly constructed by
+    /// their send site (nothing retains a cross-group alias), so the stamp
+    /// is safe; re-sends through the same facade re-stamp the same value.
+    PaxosMessagePtr stamped(PaxosMessagePtr msg) const;
+
+    Transport& substrate_;
+    GroupId group_;
+};
+
+/// Routes the substrate's inbound stream to per-group facades.
+class GroupDispatcher {
+public:
+    struct Counters {
+        std::uint64_t routed = 0;             ///< messages delivered to a group
+        std::uint64_t heartbeats_fanned = 0;  ///< heartbeat copies delivered
+        std::uint64_t unroutable = 0;         ///< group tag outside [0, groups)
+    };
+
+    /// Takes over `substrate`'s deliver callback. The dispatcher must
+    /// outlive every bound protocol stack.
+    GroupDispatcher(Transport& substrate, int num_groups);
+
+    GroupDispatcher(const GroupDispatcher&) = delete;
+    GroupDispatcher& operator=(const GroupDispatcher&) = delete;
+
+    Transport& facade(GroupId g) { return *facades_.at(static_cast<std::size_t>(g)); }
+    int num_groups() const { return static_cast<int>(facades_.size()); }
+    Transport& substrate() { return substrate_; }
+    const Counters& counters() const { return counters_; }
+
+private:
+    void route(const PaxosMessagePtr& msg, CpuContext& ctx);
+
+    Transport& substrate_;
+    std::vector<std::unique_ptr<GroupTransport>> facades_;
+    Counters counters_;
+};
+
+}  // namespace gossipc::group

@@ -1,0 +1,39 @@
+// Deterministic client-side routing for multi-group sharded consensus
+// (DESIGN.md §15).
+//
+// A deployment with `groups` consensus groups partitions the keyspace by a
+// pure hash: every router — clients, daemons, benchmarks — maps the same key
+// to the same group with no coordination and no lookup table. Placement is
+// rank-based for the same reason: group g's initial coordinator is process
+// g mod n, spreading the per-group proposer load across the cluster while
+// leaving the per-group round arithmetic (round_owner / round_for) untouched.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gossipc::group {
+
+/// Maps an opaque routing key to its consensus group. mix64 decorrelates
+/// adjacent keys so sequential ids spread evenly.
+inline GroupId group_for_key(std::uint64_t key, int num_groups) {
+    if (num_groups <= 1) return 0;
+    return static_cast<GroupId>(mix64(key) % static_cast<std::uint64_t>(num_groups));
+}
+
+/// The routing key of a client value: client id and per-client sequence
+/// folded together, so one client's stream spreads across groups.
+inline std::uint64_t value_routing_key(const ValueId& id) {
+    return hash_combine(static_cast<std::uint64_t>(id.client),
+                        static_cast<std::uint64_t>(id.seq));
+}
+
+inline GroupId group_for_value(const ValueId& id, int num_groups) {
+    return group_for_key(value_routing_key(id), num_groups);
+}
+
+/// Rank-based placement: the process initially coordinating group g.
+inline ProcessId placement_coordinator(GroupId g, int n) {
+    return static_cast<ProcessId>(static_cast<int>(g) % n);
+}
+
+}  // namespace gossipc::group

@@ -1,0 +1,46 @@
+#include "group/shard.hpp"
+
+#include <stdexcept>
+
+namespace gossipc::group {
+
+GroupShard::GroupShard(const PaxosConfig& base, Transport& substrate, int num_groups)
+    : dispatcher_(substrate, num_groups) {
+    if (num_groups <= 0) {
+        throw std::invalid_argument("GroupShard: num_groups must be positive");
+    }
+    if (base.failover_enabled) {
+        // One detector per node, on the raw substrate: heartbeats are
+        // per-node (group-independent liveness), and the piggyback rule must
+        // see the origination clock that all groups share.
+        detector_ = std::make_unique<FailureDetector>(base, substrate);
+        detector_->set_frontiers_provider([this] { return frontiers(); });
+    }
+    processes_.reserve(static_cast<std::size_t>(num_groups));
+    for (GroupId g = 0; g < num_groups; ++g) {
+        PaxosConfig pc = base;
+        pc.group = g;
+        pc.num_groups = num_groups;
+        pc.coordinator = placement_coordinator(g, base.n);
+        processes_.push_back(
+            std::make_unique<PaxosProcess>(pc, dispatcher_.facade(g), detector_.get()));
+    }
+}
+
+void GroupShard::post_start() {
+    for (auto& p : processes_) p->post_start();
+}
+
+void GroupShard::post_submit(const Value& value) {
+    const GroupId g = group_for_value(value.id, num_groups());
+    process(g).post_submit(value);
+}
+
+std::vector<InstanceId> GroupShard::frontiers() const {
+    std::vector<InstanceId> out;
+    out.reserve(processes_.size());
+    for (const auto& p : processes_) out.push_back(p->learner().frontier());
+    return out;
+}
+
+}  // namespace gossipc::group

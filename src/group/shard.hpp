@@ -1,0 +1,64 @@
+// One node's multi-group consensus stack (DESIGN.md §15): N independent
+// PaxosProcess instances — one per consensus group, with rank-spread
+// placement — multiplexed over a single shared transport substrate by a
+// GroupDispatcher, with one shared FailureDetector observing the node's
+// peers for every group at once.
+//
+// The shard is deliberately thin: each group's PaxosProcess is the unmodified
+// single-group implementation, handed a per-group Transport facade and (when
+// failover is on) the shared detector. Suspicions fan out to every group's
+// succession logic; heartbeats advertise one learner frontier per group.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "group/group_transport.hpp"
+#include "group/router.hpp"
+#include "paxos/process.hpp"
+
+namespace gossipc::group {
+
+class GroupShard {
+public:
+    /// Builds the per-group stacks on top of `substrate` (not owned; must
+    /// outlive the shard). `base` carries this node's deployment-wide config;
+    /// its `group`, `num_groups`, and `coordinator` fields are overwritten
+    /// per group (coordinator by rank placement, DESIGN.md §15).
+    GroupShard(const PaxosConfig& base, Transport& substrate, int num_groups);
+
+    GroupShard(const GroupShard&) = delete;
+    GroupShard& operator=(const GroupShard&) = delete;
+
+    int num_groups() const { return static_cast<int>(processes_.size()); }
+    PaxosProcess& process(GroupId g) {
+        return *processes_.at(static_cast<std::size_t>(g));
+    }
+    const PaxosProcess& process(GroupId g) const {
+        return *processes_.at(static_cast<std::size_t>(g));
+    }
+    GroupDispatcher& dispatcher() { return dispatcher_; }
+    const GroupDispatcher& dispatcher() const { return dispatcher_; }
+    /// The node's shared detector; null when failover is disabled.
+    FailureDetector* detector() { return detector_.get(); }
+    const FailureDetector* detector() const { return detector_.get(); }
+
+    /// Starts every group's protocol (and, through the first one, the shared
+    /// detector's heartbeat/sweep chains).
+    void post_start();
+
+    /// Routes a submission to its group by the deterministic key router and
+    /// posts it onto the node's CPU.
+    void post_submit(const Value& value);
+
+    /// One learner frontier per group, in group order (heartbeat payload).
+    std::vector<InstanceId> frontiers() const;
+
+private:
+    GroupDispatcher dispatcher_;
+    std::unique_ptr<FailureDetector> detector_;
+    std::vector<std::unique_ptr<PaxosProcess>> processes_;
+};
+
+}  // namespace gossipc::group

@@ -10,6 +10,12 @@ struct PaxosConfig {
     ProcessId id = -1;            ///< this process
     ProcessId coordinator = 0;    ///< elected coordinator (round owner)
 
+    // Multi-group sharding (DESIGN.md §15). Each group runs an independent
+    // Paxos instance space; group 0 with num_groups 1 is the classic
+    // single-group deployment, byte-for-byte.
+    GroupId group = 0;            ///< this process's consensus group
+    int num_groups = 1;           ///< groups sharing the gossip substrate
+
     /// Timeout-triggered procedures (coordinator Phase 2a retransmission and
     /// learner gap repair). The reliability experiment (Section 4.5) runs
     /// with these disabled.

@@ -15,6 +15,7 @@ const char* paxos_msg_type_name(PaxosMsgType t) {
         case PaxosMsgType::Decision: return "Decision";
         case PaxosMsgType::LearnRequest: return "LearnRequest";
         case PaxosMsgType::Heartbeat: return "Heartbeat";
+        case PaxosMsgType::GroupBatch: return "GroupBatch";
     }
     return "?";
 }
@@ -26,8 +27,9 @@ std::string PaxosMessage::describe() const {
 }
 
 std::uint64_t PaxosMessage::key_base() const {
-    return hash_combine(static_cast<std::uint64_t>(type()),
-                        static_cast<std::uint64_t>(sender()));
+    return hash_combine(hash_combine(static_cast<std::uint64_t>(type()),
+                                     static_cast<std::uint64_t>(sender())),
+                        static_cast<std::uint64_t>(group()));
 }
 
 namespace {
@@ -99,6 +101,18 @@ std::uint64_t LearnRequestMsg::unique_key() const {
 
 std::uint64_t HeartbeatMsg::unique_key() const {
     return hash_combine(key_base(), seq_);
+}
+
+std::uint32_t GroupBatchMsg::wire_size() const {
+    std::uint32_t total = 16;
+    for (const auto& e : entries_) total += e->wire_size();
+    return total;
+}
+
+std::uint64_t GroupBatchMsg::unique_key() const {
+    std::uint64_t k = key_base();
+    for (const auto& e : entries_) k = hash_combine(k, e->unique_key());
+    return k;
 }
 
 }  // namespace gossipc

@@ -29,6 +29,7 @@ enum class PaxosMsgType {
     Decision,
     LearnRequest,
     Heartbeat,
+    GroupBatch,
 };
 
 const char* paxos_msg_type_name(PaxosMsgType t);
@@ -40,6 +41,12 @@ public:
     virtual PaxosMsgType type() const = 0;
     ProcessId sender() const { return sender_; }
 
+    /// Consensus group (shard) this message belongs to. Group 0 is the only
+    /// group of a single-group deployment; the group transport stamps the
+    /// owning group on every outbound message before it reaches the wire.
+    GroupId group() const { return group_; }
+    void set_group(GroupId group) { group_ = group; }
+
     /// Unique key for gossip duplicate suppression: distinct protocol
     /// messages (including retransmission attempts) get distinct keys,
     /// identical re-forwards share one.
@@ -49,10 +56,14 @@ public:
     BodyKind kind() const override { return BodyKind::Paxos; }
 
 protected:
+    /// Folds (type, sender, group) — group-scoping every unique_key at once,
+    /// so instances of different groups never collide in seen caches or
+    /// semantic views.
     std::uint64_t key_base() const;
 
 private:
     ProcessId sender_;
+    GroupId group_ = 0;
 };
 
 using PaxosMessagePtr = std::shared_ptr<const PaxosMessage>;
@@ -279,19 +290,35 @@ private:
 class HeartbeatMsg final : public PaxosMessage {
 public:
     HeartbeatMsg(ProcessId sender, std::uint64_t seq, InstanceId frontier = 1)
-        : PaxosMessage(sender), seq_(seq), frontier_(frontier) {}
+        : PaxosMessage(sender), seq_(seq), frontiers_(1, frontier) {}
+    /// Multi-group heartbeat: one frontier per group, indexed by GroupId.
+    /// A shared failure detector emits one heartbeat for the whole shard, so
+    /// every group's repair path rides the same message.
+    HeartbeatMsg(ProcessId sender, std::uint64_t seq, std::vector<InstanceId> frontiers)
+        : PaxosMessage(sender), seq_(seq), frontiers_(std::move(frontiers)) {
+        if (frontiers_.empty()) frontiers_.push_back(1);
+    }
 
     PaxosMsgType type() const override { return PaxosMsgType::Heartbeat; }
     std::uint64_t seq() const { return seq_; }
-    /// First instance the sender does not know decided.
-    InstanceId frontier() const { return frontier_; }
+    /// First instance the sender does not know decided (group 0).
+    InstanceId frontier() const { return frontiers_[0]; }
+    /// Per-group frontiers; always non-empty. frontier_for(g) falls back to
+    /// 1 (no advertisement) for groups the sender did not report.
+    const std::vector<InstanceId>& frontiers() const { return frontiers_; }
+    InstanceId frontier_for(GroupId g) const {
+        const auto i = static_cast<std::size_t>(g);
+        return g >= 0 && i < frontiers_.size() ? frontiers_[i] : 1;
+    }
 
-    std::uint32_t wire_size() const override { return 24; }
+    std::uint32_t wire_size() const override {
+        return 24 + 8 * static_cast<std::uint32_t>(frontiers_.size() - 1);
+    }
     std::uint64_t unique_key() const override;
 
 private:
     std::uint64_t seq_;
-    InstanceId frontier_;
+    std::vector<InstanceId> frontiers_;
 };
 
 /// Learner gap repair: asks for the decision (with value) of an instance.
@@ -316,6 +343,32 @@ private:
     InstanceId instance_;
     std::int32_t attempt_;
     ProcessId target_;
+};
+
+/// Cross-group aggregation (DESIGN.md §15): identical-verb digest-sized
+/// messages (Phase 2b or Decision) belonging to *different* groups but bound
+/// to the same peer, packed into one gossip envelope. Like
+/// Phase2bAggregateMsg it is reversible and exists only on the wire: the
+/// receiving gossip layer unpacks the originals — whose ids match the
+/// pre-packing messages exactly, so duplicate suppression is unaffected —
+/// before delivery, and Paxos never sees this type. Entries are always plain
+/// (never aggregates or nested batches; the codec rejects both).
+class GroupBatchMsg final : public PaxosMessage {
+public:
+    GroupBatchMsg(ProcessId packer, PaxosMsgType verb, std::vector<PaxosMessagePtr> entries)
+        : PaxosMessage(packer), verb_(verb), entries_(std::move(entries)) {}
+
+    PaxosMsgType type() const override { return PaxosMsgType::GroupBatch; }
+    /// The shared type of every entry (Phase2b or Decision).
+    PaxosMsgType verb() const { return verb_; }
+    const std::vector<PaxosMessagePtr>& entries() const { return entries_; }
+
+    std::uint32_t wire_size() const override;
+    std::uint64_t unique_key() const override;
+
+private:
+    PaxosMsgType verb_;
+    std::vector<PaxosMessagePtr> entries_;
 };
 
 }  // namespace gossipc

@@ -7,7 +7,8 @@
 
 namespace gossipc {
 
-PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport)
+PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport,
+                           FailureDetector* shared_detector)
     : config_(config),
       transport_(transport),
       learner_(config.quorum()),
@@ -25,7 +26,7 @@ PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport)
         // via Acceptor::forget_below / Learner::truncate_log_below once a
         // prefix is globally stable.
         pending_submissions_.erase(value.id);
-        if (tracer_) tracer_->record_decide(ctx.now(), config_.id, instance);
+        if (tracer_) tracer_->record_decide(ctx.now(), config_.id, instance, config_.group);
         // Composite values (coordinator-side batches, DESIGN.md §14) are
         // unpacked HERE, above the learner: the learner's log keeps the
         // composite (digest agreement, LearnRequest answers, instance-
@@ -50,13 +51,22 @@ PaxosProcess::PaxosProcess(const PaxosConfig& config, Transport& transport)
         coordinator_ = std::make_unique<Coordinator>(config_, transport_, learner_);
     }
     if (config_.failover_enabled) {
-        detector_ = std::make_unique<FailureDetector>(config_, transport_);
+        if (shared_detector != nullptr) {
+            // Sharded deployment: the detector (heartbeats, suspicion state,
+            // succession rank) is per-node and shared; this group only
+            // subscribes to its events. The shard layer provides the
+            // per-group heartbeat frontiers.
+            detector_ = shared_detector;
+        } else {
+            owned_detector_ = std::make_unique<FailureDetector>(config_, transport_);
+            detector_ = owned_detector_.get();
+            detector_->set_frontier_provider([this] { return learner_.frontier(); });
+        }
         detector_->set_on_suspect(
             [this](ProcessId peer, CpuContext& ctx) { on_peer_suspected(peer, ctx); });
         detector_->set_on_restore([this](ProcessId peer, CpuContext& ctx) {
             emit_failover(FailoverEvent::Restore, peer, highest_round_seen_, ctx);
         });
-        detector_->set_frontier_provider([this] { return learner_.frontier(); });
     }
 }
 
@@ -174,9 +184,15 @@ void PaxosProcess::on_message(const PaxosMessagePtr& msg, CpuContext& ctx) {
             break;
         case PaxosMsgType::Heartbeat:
             // observe_alive above took the liveness evidence; the advertised
-            // frontier feeds gap repair (see repair_sweep).
+            // frontier feeds gap repair (see repair_sweep). Heartbeats carry
+            // one frontier per group; read the slot for this group.
             advertised_frontier_ = std::max(
-                advertised_frontier_, static_cast<const HeartbeatMsg&>(*msg).frontier());
+                advertised_frontier_,
+                static_cast<const HeartbeatMsg&>(*msg).frontier_for(config_.group));
+            break;
+        case PaxosMsgType::GroupBatch:
+            // Cross-group aggregates are unpacked by the gossip layer before
+            // delivery (like Phase2bAggregate); Paxos never handles them.
             break;
     }
 }

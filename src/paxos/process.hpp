@@ -50,11 +50,17 @@ public:
         std::uint64_t takeovers = 0;   ///< this process assumed coordination
         std::uint64_t step_downs = 0;  ///< demoted on observing a higher round
         /// Messages handled by protocol phase, indexed by PaxosMsgType.
-        static constexpr std::size_t kNumMsgTypes = 9;
+        static constexpr std::size_t kNumMsgTypes = 10;
         std::uint64_t handled_by_type[kNumMsgTypes] = {};
     };
 
-    PaxosProcess(const PaxosConfig& config, Transport& transport);
+    /// `shared_detector`, when non-null, is a failure detector owned by the
+    /// sharding layer and shared by every consensus group on this node
+    /// (DESIGN.md §15): the process subscribes to its suspect/restore events
+    /// instead of constructing (and heartbeating from) its own. Null keeps
+    /// the classic one-detector-per-process wiring.
+    PaxosProcess(const PaxosConfig& config, Transport& transport,
+                 FailureDetector* shared_detector = nullptr);
 
     /// Kicks off the protocol (coordinator Phase 1, repair timer, detector).
     void post_start();
@@ -83,10 +89,8 @@ public:
     Acceptor& acceptor() { return acceptor_; }
     Coordinator* coordinator() { return coordinator_ ? coordinator_.get() : nullptr; }
     const Coordinator* coordinator() const { return coordinator_ ? coordinator_.get() : nullptr; }
-    FailureDetector* failure_detector() { return detector_ ? detector_.get() : nullptr; }
-    const FailureDetector* failure_detector() const {
-        return detector_ ? detector_.get() : nullptr;
-    }
+    FailureDetector* failure_detector() { return detector_; }
+    const FailureDetector* failure_detector() const { return detector_; }
     const Counters& counters() const { return counters_; }
 
     /// Makes this process start acting as coordinator (e.g. after the
@@ -120,7 +124,10 @@ private:
     Acceptor acceptor_;
     Learner learner_;
     std::unique_ptr<Coordinator> coordinator_;  ///< present once this process ever coordinated
-    std::unique_ptr<FailureDetector> detector_;  ///< present iff failover_enabled
+    std::unique_ptr<FailureDetector> owned_detector_;  ///< single-group wiring only
+    /// Points at owned_detector_ or the sharding layer's shared detector;
+    /// null iff failover is disabled.
+    FailureDetector* detector_ = nullptr;
     DeliveryListener delivery_listener_;
     FailoverListener failover_listener_;
     trace::Tracer* tracer_ = nullptr;

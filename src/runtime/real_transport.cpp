@@ -241,6 +241,7 @@ bool reliable_over_datagrams(const MessageBody& body, RealTransport::Mode mode) 
                 case PaxosMsgType::Phase2b:
                 case PaxosMsgType::Phase2bAggregate:
                 case PaxosMsgType::Decision:
+                case PaxosMsgType::GroupBatch:  // carries Phase 2b / Decisions
                     return mode == RealTransport::Mode::Direct;
                 // Heartbeats are periodic by construction; a retransmitted
                 // stale heartbeat is worse than the next fresh one.

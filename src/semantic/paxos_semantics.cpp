@@ -12,27 +12,24 @@ namespace gossipc {
 PaxosSemantics::PaxosSemantics(ProcessId self, int quorum, Options options)
     : self_(self), quorum_(quorum), options_(options) {}
 
-PeerView& PaxosSemantics::view(ProcessId peer) {
-    auto it = views_.find(peer);
+PeerView& PaxosSemantics::view(ProcessId peer, GroupId group) {
+    auto it = views_.find({peer, group});
     if (it == views_.end()) {
-        it = views_.emplace(peer, PeerView{quorum_}).first;
+        it = views_.emplace(std::make_pair(peer, group), PeerView{quorum_}).first;
     }
     return it->second;
 }
 
-const PeerView* PaxosSemantics::view_of(ProcessId peer) const {
-    const auto it = views_.find(peer);
+const PeerView* PaxosSemantics::view_of(ProcessId peer, GroupId group) const {
+    const auto it = views_.find({peer, group});
     return it == views_.end() ? nullptr : &it->second;
 }
 
-bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
-    if (!options_.filtering) return true;
-    if (!msg.payload || msg.payload->kind() != BodyKind::Paxos) return true;
-    const auto paxos = std::static_pointer_cast<const PaxosMessage>(msg.payload);
-    switch (paxos->type()) {
+bool PaxosSemantics::validate_plain(const PaxosMessage& paxos, ProcessId peer) {
+    switch (paxos.type()) {
         case PaxosMsgType::Phase2b: {
-            const auto& m = static_cast<const Phase2bMsg&>(*paxos);
-            PeerView& pv = view(peer);
+            const auto& m = static_cast<const Phase2bMsg&>(paxos);
+            PeerView& pv = view(peer, m.group());
             if (pv.knows_decision(m.instance())) {
                 ++stats_.filtered_phase2b;
                 return false;
@@ -43,12 +40,12 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
             return true;
         }
         case PaxosMsgType::Phase2bAggregate: {
-            const auto& m = static_cast<const Phase2bAggregateMsg&>(*paxos);
+            const auto& m = static_cast<const Phase2bAggregateMsg&>(paxos);
             // G-AGG-2: a malformed aggregate (duplicate or missing senders)
             // would double-count one acceptor's vote toward the quorum below
             // and could mark a decision the peer cannot actually learn.
             check::check_aggregate_wellformed(m);
-            PeerView& pv = view(peer);
+            PeerView& pv = view(peer, m.group());
             if (pv.knows_decision(m.instance())) {
                 ++stats_.filtered_phase2b;
                 return false;
@@ -61,8 +58,8 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
             return true;
         }
         case PaxosMsgType::Decision: {
-            const auto& m = static_cast<const DecisionMsg&>(*paxos);
-            PeerView& pv = view(peer);
+            const auto& m = static_cast<const DecisionMsg&>(paxos);
+            PeerView& pv = view(peer, m.group());
             pv.mark_decision(m.instance());
             // gclint: allow(invariant-test-coverage) S-FLT-1 asserts a
             // postcondition of the mark_decision call on the previous line;
@@ -76,6 +73,9 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
                          static_cast<long long>(m.instance()));
             return true;
         }
+        case PaxosMsgType::GroupBatch:
+            // Handled entry-by-entry in validate(); never reaches here.
+            return true;
         case PaxosMsgType::ClientValue:
         case PaxosMsgType::Phase1a:
         case PaxosMsgType::Phase1b:
@@ -89,6 +89,26 @@ bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
     return true;
 }
 
+bool PaxosSemantics::validate(const GossipAppMessage& msg, ProcessId peer) {
+    if (!options_.filtering) return true;
+    if (!msg.payload || msg.payload->kind() != BodyKind::Paxos) return true;
+    const auto paxos = std::static_pointer_cast<const PaxosMessage>(msg.payload);
+    if (paxos->type() == PaxosMsgType::GroupBatch) {
+        // A cross-group batch is dropped only when every entry is provably
+        // obsolete for this peer; a partially-useful batch still ships whole
+        // (filtering is an optimisation — extra entries are merely redundant,
+        // and their vote/decision effects on the peer view are recorded
+        // either way so F1/F2 stay sound downstream).
+        const auto& batch = static_cast<const GroupBatchMsg&>(*paxos);
+        bool any_useful = batch.entries().empty();
+        for (const PaxosMessagePtr& entry : batch.entries()) {
+            if (validate_plain(*entry, peer)) any_useful = true;
+        }
+        return any_useful;
+    }
+    return validate_plain(*paxos, peer);
+}
+
 std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMessage> pending,
                                                         ProcessId peer) {
     (void)peer;
@@ -97,10 +117,13 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
     const std::vector<GossipAppMessage> before = pending;  // for S-AGG-1 below
 #endif
 
-    // Group Phase 2b messages by (instance, round, digest); groups of two or
-    // more are merged into one multi-sender message placed at the position
-    // of the group's first member.
-    using Key = std::tuple<InstanceId, Round, std::uint64_t>;
+    // Group Phase 2b messages by (group, instance, round, digest); groups of
+    // two or more are merged into one multi-sender message placed at the
+    // position of the group's first member. The consensus group is part of
+    // the key: instance numbers from different groups are unrelated, so
+    // merging across groups here would invent votes (rule X1 below packs
+    // cross-group traffic reversibly instead).
+    using Key = std::tuple<GroupId, InstanceId, Round, std::uint64_t>;
     struct Group {
         std::vector<std::size_t> indices;
         std::vector<ProcessId> senders;
@@ -114,7 +137,7 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
         const auto paxos = std::static_pointer_cast<const PaxosMessage>(payload);
         if (paxos->type() != PaxosMsgType::Phase2b) continue;
         const auto& m = static_cast<const Phase2bMsg&>(*paxos);
-        Group& g = groups[Key{m.instance(), m.round(), m.value_digest()}];
+        Group& g = groups[Key{m.group(), m.instance(), m.round(), m.value_digest()}];
         g.indices.push_back(i);
         if (std::find(g.senders.begin(), g.senders.end(), m.sender()) == g.senders.end()) {
             g.senders.push_back(m.sender());
@@ -127,9 +150,10 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
     std::vector<GossipAppMessage> replacement(pending.size());
     for (auto& [key, g] : groups) {
         if (g.indices.size() < 2) continue;
-        const auto& [instance, round, digest] = key;
+        const auto& [group, instance, round, digest] = key;
         auto agg = std::make_shared<Phase2bAggregateMsg>(self_, instance, round, g.value_id,
                                                          digest, g.senders, g.max_attempt);
+        agg->set_group(group);
         GossipAppMessage out;
         out.id = agg->unique_key();
         out.origin = self_;
@@ -151,6 +175,9 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
             out.push_back(std::move(pending[i]));
         }
     }
+    // X1 runs after A1: whatever same-verb plain traffic is left and spans
+    // two or more groups shares one envelope to the peer.
+    pack_cross_group(out);
 #if GC_ENABLE_INVARIANTS
     // S-AGG-1: aggregation is losslessly reversible — the receiver must be
     // able to reconstruct exactly the Phase 2b votes this batch carried.
@@ -159,9 +186,67 @@ std::vector<GossipAppMessage> PaxosSemantics::aggregate(std::vector<GossipAppMes
     return out;
 }
 
+void PaxosSemantics::pack_cross_group(std::vector<GossipAppMessage>& batch) {
+    // Rule X1 (DESIGN.md §15): same-verb plain Phase 2b / Decision messages
+    // for *different* consensus groups, pending for the same peer, are
+    // packed into one GroupBatch envelope placed at the position of the
+    // first member. Entries keep their identity (the receiver unpacks the
+    // byte-identical originals), so this is reversible like A1. Single-group
+    // deployments never trigger it — the batch must span at least two
+    // groups — which keeps the groups=1 message flow exactly the classic one.
+    for (const PaxosMsgType verb : {PaxosMsgType::Phase2b, PaxosMsgType::Decision}) {
+        std::vector<std::size_t> indices;
+        std::vector<PaxosMessagePtr> entries;
+        bool multi_group = false;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const auto& payload = batch[i].payload;
+            if (!payload || payload->kind() != BodyKind::Paxos) continue;
+            auto paxos = std::static_pointer_cast<const PaxosMessage>(payload);
+            if (paxos->type() != verb) continue;
+            if (!entries.empty() && paxos->group() != entries.front()->group()) {
+                multi_group = true;
+            }
+            indices.push_back(i);
+            entries.push_back(std::move(paxos));
+        }
+        if (!multi_group || entries.size() < 2) continue;
+        stats_.cross_group_merged += entries.size() - 1;
+        ++stats_.cross_group_batches;
+        auto packed = std::make_shared<GroupBatchMsg>(self_, verb, std::move(entries));
+        GossipAppMessage env;
+        env.id = packed->unique_key();
+        env.origin = self_;
+        env.aggregated = true;  // the receiving gossip layer must unpack it
+        env.payload = std::move(packed);
+        batch[indices.front()] = std::move(env);
+        // Erase the folded members back-to-front so indices stay valid.
+        for (std::size_t j = indices.size(); j-- > 1;) {
+            batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(indices[j]));
+        }
+    }
+}
+
 std::vector<GossipAppMessage> PaxosSemantics::disaggregate(const GossipAppMessage& msg) {
     if (!msg.payload || msg.payload->kind() != BodyKind::Paxos) return {msg};
     const auto paxos = std::static_pointer_cast<const PaxosMessage>(msg.payload);
+    if (paxos->type() == PaxosMsgType::GroupBatch) {
+        // X1 unpack: the entries ARE the original messages (same object
+        // identity as packed), so ids and dedup behaviour match the
+        // never-packed path exactly.
+        const auto& batch = static_cast<const GroupBatchMsg&>(*paxos);
+        ++stats_.disaggregations;
+        std::vector<GossipAppMessage> out;
+        out.reserve(batch.entries().size());
+        for (const PaxosMessagePtr& entry : batch.entries()) {
+            GossipAppMessage app;
+            app.id = entry->unique_key();
+            app.origin = entry->sender();
+            app.payload = entry;
+            app.hops = msg.hops;
+            out.push_back(std::move(app));
+        }
+        return out;
+    }
     if (paxos->type() != PaxosMsgType::Phase2bAggregate) return {msg};
     const auto& m = static_cast<const Phase2bAggregateMsg&>(*paxos);
     ++stats_.disaggregations;
@@ -170,6 +255,7 @@ std::vector<GossipAppMessage> PaxosSemantics::disaggregate(const GossipAppMessag
     for (const ProcessId sender : m.senders()) {
         auto single = std::make_shared<Phase2bMsg>(sender, m.instance(), m.round(),
                                                    m.value_id(), m.value_digest(), m.attempt());
+        single->set_group(m.group());
         GossipAppMessage app;
         // Reconstructed messages carry the same id the original Phase 2b
         // would have, so the seen cache deduplicates across paths.

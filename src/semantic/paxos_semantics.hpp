@@ -14,10 +14,19 @@
 //        differ only by sender; they are replaced by a single multi-sender
 //        message of essentially the same size. The receiver reconstructs the
 //        originals (disaggregate), so Paxos never sees the aggregate.
+//
+// Multi-group sharding (DESIGN.md §15): every rule is group-scoped — peer
+// views are kept per (peer, group) so instance numbers never collide across
+// groups — and one cross-group rule is added:
+//   X1 — pending same-verb traffic (plain Phase 2b or Decisions) for
+//        *different* groups bound to the same peer is packed into a single
+//        GroupBatch envelope. Like A1 it is reversible: the receiver unpacks
+//        the original messages, ids intact, before Paxos sees them.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
+#include <utility>
 
 #include "gossip/hooks.hpp"
 #include "paxos/message.hpp"
@@ -37,6 +46,8 @@ public:
         std::uint64_t aggregates_built = 0;   ///< aggregate messages created
         std::uint64_t messages_merged = 0;    ///< single 2b replaced by aggregates
         std::uint64_t disaggregations = 0;    ///< aggregates unpacked on receive
+        std::uint64_t cross_group_batches = 0;  ///< X1 GroupBatch envelopes built
+        std::uint64_t cross_group_merged = 0;   ///< messages folded into X1 batches
     };
 
     PaxosSemantics(ProcessId self, int quorum, Options options);
@@ -49,16 +60,23 @@ public:
     const Stats& stats() const { return stats_; }
     const Options& options() const { return options_; }
 
-    /// Peer-view accessor for tests and diagnostics.
-    const PeerView* view_of(ProcessId peer) const;
+    /// Peer-view accessor for tests and diagnostics (group-scoped; the
+    /// default selects the sole view of a single-group deployment).
+    const PeerView* view_of(ProcessId peer, GroupId group = 0) const;
 
 private:
-    PeerView& view(ProcessId peer);
+    PeerView& view(ProcessId peer, GroupId group);
+    /// Applies filtering rules F1/F2 to one plain Paxos message (never an
+    /// aggregate or batch) bound for `peer`; false means provably obsolete.
+    bool validate_plain(const PaxosMessage& paxos, ProcessId peer);
+    /// X1: packs same-verb cross-group traffic in `batch` into GroupBatch
+    /// envelopes (in place). No-op unless at least two groups are present.
+    void pack_cross_group(std::vector<GossipAppMessage>& batch);
 
     ProcessId self_;
     int quorum_;
     Options options_;
-    std::unordered_map<ProcessId, PeerView> views_;
+    std::map<std::pair<ProcessId, GroupId>, PeerView> views_;
     Stats stats_;
 };
 

@@ -47,16 +47,18 @@ void Tracer::record(SimTime at, Stage stage, ProcessId node, ProcessId peer,
         e.type = info.type;
         e.type_name = info.type_name;
         e.instance = info.instance;
+        e.group = info.group;
     }
     push(e);
 }
 
-void Tracer::record_decide(SimTime at, ProcessId node, InstanceId instance) {
+void Tracer::record_decide(SimTime at, ProcessId node, InstanceId instance, GroupId group) {
     Event e;
     e.at = at;
     e.stage = Stage::Decide;
     e.node = node;
     e.instance = instance;
+    e.group = group;
     push(e);
 }
 
@@ -78,6 +80,7 @@ void Tracer::export_jsonl(std::ostream& os) const {
         if (e.msg != 0) os << ",\"msg\":\"" << e.msg << "\",\"hops\":" << e.hops;
         if (e.type_name != nullptr) os << ",\"type\":\"" << e.type_name << "\"";
         if (e.instance >= 0) os << ",\"instance\":" << e.instance;
+        if (e.group >= 0) os << ",\"group\":" << e.group;
         os << "}\n";
     }
 }

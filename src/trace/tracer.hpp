@@ -44,11 +44,14 @@ const char* stage_name(Stage s);
 
 /// What the payload probe reports about an application body. `type` is an
 /// application-defined small integer (PaxosMsgType here), `type_name` a
-/// static string for export, `instance` the consensus instance (or -1).
+/// static string for export, `instance` the consensus instance (or -1),
+/// `group` the consensus group (or -1 for bodies spanning groups, so sharded
+/// JSONL exports stay joinable per shard — DESIGN.md §15).
 struct PayloadInfo {
     std::int16_t type = -1;
     const char* type_name = nullptr;
     InstanceId instance = -1;
+    GroupId group = -1;
 };
 
 struct Event {
@@ -61,6 +64,7 @@ struct Event {
     std::int16_t type = -1;
     const char* type_name = nullptr;
     InstanceId instance = -1;
+    GroupId group = -1;  ///< consensus group of the payload (or -1)
 };
 
 class Tracer {
@@ -79,8 +83,8 @@ public:
                 const GossipAppMessage& msg);
 
     /// Records a consensus-level event that has no gossip message attached
-    /// anymore (Decide: the learner delivered `instance`).
-    void record_decide(SimTime at, ProcessId node, InstanceId instance);
+    /// anymore (Decide: the learner delivered `instance` in `group`).
+    void record_decide(SimTime at, ProcessId node, InstanceId instance, GroupId group = 0);
 
     /// Events currently in the ring, oldest first.
     std::vector<Event> events() const;

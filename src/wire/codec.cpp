@@ -38,6 +38,7 @@ enum : std::uint8_t {
     kPaxosDecision = 7,
     kPaxosLearnRequest = 8,
     kPaxosHeartbeat = 9,
+    kPaxosGroupBatch = 10,
 };
 
 enum : std::uint8_t {
@@ -68,6 +69,7 @@ std::optional<PaxosMsgType> paxos_type_from_tag(std::uint8_t tag) {
         case kPaxosDecision: return PaxosMsgType::Decision;
         case kPaxosLearnRequest: return PaxosMsgType::LearnRequest;
         case kPaxosHeartbeat: return PaxosMsgType::Heartbeat;
+        case kPaxosGroupBatch: return PaxosMsgType::GroupBatch;
         default: return std::nullopt;
     }
 }
@@ -183,6 +185,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const ClientValueMsg&>(msg);
             out.u8(kPaxosClientValue);
             out.i32(m.sender());
+            out.i32(m.group());
             put_value(m.value(), out);
             out.i32(m.attempt());
             out.i32(m.target());
@@ -193,6 +196,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const Phase1aMsg&>(msg);
             out.u8(kPaxosPhase1a);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i32(m.round());
             out.i64(m.from_instance());
             return;
@@ -201,6 +205,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const Phase1bMsg&>(msg);
             out.u8(kPaxosPhase1b);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i32(m.round());
             out.i64(m.from_instance());
             out.u32(static_cast<std::uint32_t>(m.accepted().size()));
@@ -215,6 +220,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const Phase2aMsg&>(msg);
             out.u8(kPaxosPhase2a);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i64(m.instance());
             out.i32(m.round());
             put_value(m.value(), out);
@@ -225,6 +231,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const Phase2bMsg&>(msg);
             out.u8(kPaxosPhase2b);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i64(m.instance());
             out.i32(m.round());
             put_value_id(m.value_id(), out);
@@ -236,6 +243,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const Phase2bAggregateMsg&>(msg);
             out.u8(kPaxosPhase2bAggregate);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i64(m.instance());
             out.i32(m.round());
             put_value_id(m.value_id(), out);
@@ -248,6 +256,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const DecisionMsg&>(msg);
             out.u8(kPaxosDecision);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i64(m.instance());
             put_value_id(m.value_id(), out);
             out.u64(m.value_digest());
@@ -260,6 +269,7 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const LearnRequestMsg&>(msg);
             out.u8(kPaxosLearnRequest);
             out.i32(m.sender());
+            out.i32(m.group());
             out.i64(m.instance());
             out.i32(m.attempt());
             out.i32(m.target());
@@ -269,23 +279,43 @@ void encode_paxos(const PaxosMessage& msg, WireWriter& out) {
             const auto& m = static_cast<const HeartbeatMsg&>(msg);
             out.u8(kPaxosHeartbeat);
             out.i32(m.sender());
+            out.i32(m.group());
             out.u64(m.seq());
-            out.i64(m.frontier());
+            // v3: one frontier per group (count >= 1 by construction).
+            out.u16(static_cast<std::uint16_t>(m.frontiers().size()));
+            for (const InstanceId f : m.frontiers()) out.i64(f);
+            return;
+        }
+        case PaxosMsgType::GroupBatch: {
+            const auto& m = static_cast<const GroupBatchMsg&>(msg);
+            out.u8(kPaxosGroupBatch);
+            out.i32(m.sender());
+            out.i32(m.group());
+            out.u8(m.verb() == PaxosMsgType::Decision ? kPaxosDecision : kPaxosPhase2b);
+            out.u16(static_cast<std::uint16_t>(m.entries().size()));
+            // Entries are complete Paxos bodies (tag, sender, group, fields),
+            // so the unpacked originals regenerate their exact gossip ids.
+            for (const PaxosMessagePtr& e : m.entries()) encode_paxos(*e, out);
             return;
         }
     }
 }
 
-BodyPtr decode_paxos(WireReader& in) {
+/// `nested` is true when decoding a GroupBatch entry: a batch inside a batch
+/// is malformed (mirroring the envelope's nested-envelope rejection), which
+/// also bounds decode recursion to depth two.
+std::shared_ptr<PaxosMessage> decode_paxos(WireReader& in, bool nested = false) {
     const std::size_t tag_offset = in.pos();
     const std::uint8_t tag = in.u8();
     const ProcessId sender = in.i32();
+    const GroupId group = in.i32();
     if (!in.ok()) return nullptr;
     const std::optional<PaxosMsgType> type = paxos_type_from_tag(tag);
     if (!type) {
         in.fail_at(WireError::BadMsgType, tag, tag_offset);
         return nullptr;
     }
+    std::shared_ptr<PaxosMessage> msg;
     switch (*type) {
         case PaxosMsgType::ClientValue: {
             const Value value = get_value(in);
@@ -294,14 +324,16 @@ BodyPtr decode_paxos(WireReader& in) {
             const std::uint8_t forwarded = in.u8();
             if (in.ok() && forwarded > 1) in.fail(WireError::BadField);
             if (!in.ok()) return nullptr;
-            return std::make_shared<ClientValueMsg>(sender, value, attempt, target,
-                                                    forwarded != 0);
+            msg = std::make_shared<ClientValueMsg>(sender, value, attempt, target,
+                                                   forwarded != 0);
+            break;
         }
         case PaxosMsgType::Phase1a: {
             const Round round = in.i32();
             const InstanceId from = in.i64();
             if (!in.ok()) return nullptr;
-            return std::make_shared<Phase1aMsg>(sender, round, from);
+            msg = std::make_shared<Phase1aMsg>(sender, round, from);
+            break;
         }
         case PaxosMsgType::Phase1b: {
             const Round round = in.i32();
@@ -323,7 +355,8 @@ BodyPtr decode_paxos(WireReader& in) {
                 accepted.push_back(e);
             }
             if (!in.ok()) return nullptr;
-            return std::make_shared<Phase1bMsg>(sender, round, from, std::move(accepted));
+            msg = std::make_shared<Phase1bMsg>(sender, round, from, std::move(accepted));
+            break;
         }
         case PaxosMsgType::Phase2a: {
             const InstanceId instance = in.i64();
@@ -331,7 +364,8 @@ BodyPtr decode_paxos(WireReader& in) {
             const Value value = get_value(in);
             const std::int32_t attempt = in.i32();
             if (!in.ok()) return nullptr;
-            return std::make_shared<Phase2aMsg>(sender, instance, round, value, attempt);
+            msg = std::make_shared<Phase2aMsg>(sender, instance, round, value, attempt);
+            break;
         }
         case PaxosMsgType::Phase2b: {
             const InstanceId instance = in.i64();
@@ -340,7 +374,8 @@ BodyPtr decode_paxos(WireReader& in) {
             const std::uint64_t digest = in.u64();
             const std::int32_t attempt = in.i32();
             if (!in.ok()) return nullptr;
-            return std::make_shared<Phase2bMsg>(sender, instance, round, id, digest, attempt);
+            msg = std::make_shared<Phase2bMsg>(sender, instance, round, id, digest, attempt);
+            break;
         }
         case PaxosMsgType::Phase2bAggregate: {
             const InstanceId instance = in.i64();
@@ -350,8 +385,9 @@ BodyPtr decode_paxos(WireReader& in) {
             std::vector<ProcessId> senders = get_senders(in);
             const std::int32_t attempt = in.i32();
             if (!in.ok()) return nullptr;
-            return std::make_shared<Phase2bAggregateMsg>(sender, instance, round, id, digest,
-                                                         std::move(senders), attempt);
+            msg = std::make_shared<Phase2bAggregateMsg>(sender, instance, round, id, digest,
+                                                        std::move(senders), attempt);
+            break;
         }
         case PaxosMsgType::Decision: {
             const InstanceId instance = in.i64();
@@ -363,23 +399,69 @@ BodyPtr decode_paxos(WireReader& in) {
             if (in.ok() && has_value) full = get_value(in);
             const std::int32_t attempt = in.i32();
             if (!in.ok()) return nullptr;
-            return std::make_shared<DecisionMsg>(sender, instance, id, digest, full, attempt);
+            msg = std::make_shared<DecisionMsg>(sender, instance, id, digest, full, attempt);
+            break;
         }
         case PaxosMsgType::LearnRequest: {
             const InstanceId instance = in.i64();
             const std::int32_t attempt = in.i32();
             const ProcessId target = in.i32();
             if (!in.ok()) return nullptr;
-            return std::make_shared<LearnRequestMsg>(sender, instance, attempt, target);
+            msg = std::make_shared<LearnRequestMsg>(sender, instance, attempt, target);
+            break;
         }
         case PaxosMsgType::Heartbeat: {
             const std::uint64_t seq = in.u64();
-            const InstanceId frontier = in.i64();
+            const std::uint16_t count = in.u16();
+            if (in.ok() && (count == 0 || count > kMaxGroupFrontiers)) {
+                in.fail(WireError::BadField);
+            }
+            if (in.ok() && in.remaining() < static_cast<std::size_t>(count) * 8u) {
+                in.fail(WireError::Truncated);
+            }
             if (!in.ok()) return nullptr;
-            return std::make_shared<HeartbeatMsg>(sender, seq, frontier);
+            std::vector<InstanceId> frontiers;
+            frontiers.reserve(count);
+            for (std::uint16_t i = 0; i < count && in.ok(); ++i) frontiers.push_back(in.i64());
+            if (!in.ok()) return nullptr;
+            msg = std::make_shared<HeartbeatMsg>(sender, seq, std::move(frontiers));
+            break;
+        }
+        case PaxosMsgType::GroupBatch: {
+            const std::size_t verb_offset = in.pos();
+            const std::uint8_t verb_tag = in.u8();
+            const std::uint16_t count = in.u16();
+            if (!in.ok()) return nullptr;
+            if (nested || (verb_tag != kPaxosPhase2b && verb_tag != kPaxosDecision)) {
+                // Batches pack plain digest-sized messages only; a nested
+                // batch (or any other verb) is malformed.
+                in.fail_at(WireError::BadField, verb_tag, verb_offset);
+                return nullptr;
+            }
+            if (count > kMaxBatchEntries) {
+                in.fail(WireError::LimitExceeded);
+                return nullptr;
+            }
+            const PaxosMsgType verb = verb_tag == kPaxosDecision ? PaxosMsgType::Decision
+                                                                 : PaxosMsgType::Phase2b;
+            std::vector<PaxosMessagePtr> entries;
+            entries.reserve(count);
+            for (std::uint16_t i = 0; i < count && in.ok(); ++i) {
+                std::shared_ptr<PaxosMessage> entry = decode_paxos(in, /*nested=*/true);
+                if (!in.ok() || entry == nullptr) return nullptr;
+                if (entry->type() != verb) {
+                    in.fail(WireError::BadField);
+                    return nullptr;
+                }
+                entries.push_back(std::move(entry));
+            }
+            if (!in.ok()) return nullptr;
+            msg = std::make_shared<GroupBatchMsg>(sender, verb, std::move(entries));
+            break;
         }
     }
-    return nullptr;  // unreachable: every case returns
+    if (msg != nullptr) msg->set_group(group);
+    return msg;
 }
 
 // ---- Raft -----------------------------------------------------------------

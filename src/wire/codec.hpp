@@ -1,7 +1,10 @@
 // Versioned binary codec for every message body the system puts on a real
-// wire (DESIGN.md §10): all nine Paxos message types (including the
-// multi-sender aggregated Phase 2b and failure-detector heartbeats), the
-// five Raft types, gossip envelopes, and pull digests.
+// wire (DESIGN.md §10): all ten Paxos message types (including the
+// multi-sender aggregated Phase 2b, failure-detector heartbeats, and the
+// cross-group GroupBatch), the five Raft types, gossip envelopes, and pull
+// digests. Every Paxos body carries its group id right after the sender
+// (DESIGN.md §15), so a sharded deployment's traffic stays distinguishable
+// end to end.
 //
 // The encoding is little-endian and self-describing one level deep: a body
 // starts with a kind tag (BodyKind), protocol bodies follow with a message
@@ -33,7 +36,8 @@ namespace gossipc::wire {
 inline constexpr std::uint32_t kMaxValueBytes = 1u << 24;      ///< 16 MiB payload model
 inline constexpr std::uint32_t kMaxListEntries = 1u << 16;     ///< senders / accepted entries
 inline constexpr std::uint32_t kMaxDigestIds = 1u << 20;       ///< pull-digest ids
-inline constexpr std::uint32_t kMaxBatchEntries = 1u << 12;    ///< composite-value components
+inline constexpr std::uint32_t kMaxBatchEntries = 1u << 12;    ///< composite-value / group-batch entries
+inline constexpr std::uint32_t kMaxGroupFrontiers = 1u << 10;  ///< per-group heartbeat frontiers
 
 /// Body kind tags as written on the wire (decoupled from the in-memory
 /// BodyKind enum so reordering that enum cannot silently change the format).

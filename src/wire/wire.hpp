@@ -20,9 +20,11 @@ namespace gossipc::wire {
 
 /// Wire format version; bumped on any layout change. Shared by the frame
 /// header and the body codec; golden byte-layout tests in tests/test_wire.cpp
-/// pin version 2 against accidental drift (v2 added the u16 batch-component
-/// count to every encoded value, DESIGN.md §14).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// pin version 3 against accidental drift (v2 added the u16 batch-component
+/// count to every encoded value, DESIGN.md §14; v3 added the i32 group id to
+/// every Paxos body, per-group heartbeat frontiers, and the cross-group
+/// GroupBatch body, DESIGN.md §15).
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /// Decode failure classification. Encoders cannot fail; every decoder
 /// returns the first error encountered, leaving the partial output unused.

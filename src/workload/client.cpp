@@ -2,14 +2,21 @@
 
 #include <stdexcept>
 
+#include "group/router.hpp"
+
 namespace gossipc {
 
 Client::Client(Simulator& sim, PaxosProcess& process, SimTime link_delay, Params params)
+    : Client(sim, std::vector<PaxosProcess*>{&process}, link_delay, params) {}
+
+Client::Client(Simulator& sim, std::vector<PaxosProcess*> hosts, SimTime link_delay,
+               Params params)
     : sim_(sim),
-      process_(process),
+      hosts_(std::move(hosts)),
       link_delay_(link_delay),
       params_(params),
       rng_(Rng::derive(params.seed, 0xc11e47ULL ^ static_cast<std::uint64_t>(params.client_id))) {
+    if (hosts_.empty()) throw std::invalid_argument("Client: no host processes");
     if (params.rate <= 0.0) throw std::invalid_argument("Client: rate must be positive");
 }
 
@@ -41,8 +48,13 @@ void Client::submit_one() {
     // SimTime::max() marks values submitted outside the measurement window:
     // tracked for completion accounting, excluded from latency samples.
     inflight_.emplace(value.id.seq, in_window ? now : SimTime::max());
+    // The client-side router: the value's id deterministically selects the
+    // consensus group, so every client agrees on the shard without
+    // coordination (single-group deployments always pick host 0).
+    PaxosProcess* host = hosts_[static_cast<std::size_t>(
+        group::group_for_value(value.id, static_cast<int>(hosts_.size())))];
     // The client->process connection is reliable: deliver after link_delay.
-    sim_.schedule_at(now + link_delay_, [this, value] { process_.post_submit(value); });
+    sim_.schedule_at(now + link_delay_, [host, value] { host->post_submit(value); });
 }
 
 void Client::on_decision(const Value& value, SimTime delivered_at) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "paxos/process.hpp"
@@ -37,6 +38,12 @@ public:
     /// `link_delay` models the (reliable) client<->process connection.
     Client(Simulator& sim, PaxosProcess& process, SimTime link_delay, Params params);
 
+    /// Multi-group host: one process per consensus group, all on the same
+    /// node. Each submission is routed to hosts[group_for_value(id, size)],
+    /// mirroring the deterministic client-side router (DESIGN.md §15).
+    Client(Simulator& sim, std::vector<PaxosProcess*> hosts, SimTime link_delay,
+           Params params);
+
     /// Begins the submission schedule (staggered within one interval).
     void start();
 
@@ -46,7 +53,7 @@ public:
     const Counts& counts() const { return counts_; }
     const Histogram& latencies() const { return latencies_; }
     std::int32_t id() const { return params_.client_id; }
-    ProcessId attached_process() const { return process_.config().id; }
+    ProcessId attached_process() const { return hosts_.front()->config().id; }
 
     /// Values submitted in the window but never ordered (for Section 4.5).
     std::uint64_t not_ordered_in_window() const;
@@ -56,7 +63,7 @@ private:
     void submit_one();
 
     Simulator& sim_;
-    PaxosProcess& process_;
+    std::vector<PaxosProcess*> hosts_;  ///< one per group, same node
     SimTime link_delay_;
     Params params_;
     Rng rng_;

@@ -7,20 +7,40 @@
 
 namespace gossipc {
 
+namespace {
+
+std::vector<std::vector<PaxosProcess*>> single_group_hosts(
+    std::vector<PaxosProcess*> processes) {
+    std::vector<std::vector<PaxosProcess*>> hosts;
+    hosts.reserve(processes.size());
+    for (PaxosProcess* p : processes) hosts.push_back({p});
+    return hosts;
+}
+
+}  // namespace
+
 Workload::Workload(Simulator& sim, std::vector<PaxosProcess*> processes,
                    const LatencyModel& latency, Params params)
+    : Workload(sim, single_group_hosts(std::move(processes)), latency, params) {}
+
+Workload::Workload(Simulator& sim, std::vector<std::vector<PaxosProcess*>> hosts,
+                   const LatencyModel& latency, Params params)
     : sim_(sim), params_(params) {
-    if (processes.empty()) throw std::invalid_argument("Workload: no processes");
+    if (hosts.empty()) throw std::invalid_argument("Workload: no processes");
+    for (const auto& h : hosts) {
+        if (h.empty()) throw std::invalid_argument("Workload: host with no processes");
+    }
     if (params.num_clients <= 0 || params.num_clients > kNumRegions) {
         throw std::invalid_argument("Workload: bad num_clients");
     }
-    const int n = static_cast<int>(processes.size());
+    const int n = static_cast<int>(hosts.size());
 
-    // First process hosted in each region, by id order.
-    std::unordered_map<int, PaxosProcess*> region_host;
-    for (PaxosProcess* p : processes) {
-        const int r = static_cast<int>(region_of_process(p->config().id, n));
-        region_host.try_emplace(r, p);
+    // First node hosted in each region, by id order.
+    std::unordered_map<int, std::size_t> region_host;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        const int r =
+            static_cast<int>(region_of_process(hosts[i].front()->config().id, n));
+        region_host.try_emplace(r, i);
     }
 
     const SimTime client_link = latency.intra_region();
@@ -29,16 +49,16 @@ Workload::Workload(Simulator& sim, std::vector<PaxosProcess*> processes,
     const SimTime measure_end = params.warmup + params.measure;
 
     // One delivery listener per hosting process fans decisions out to the
-    // clients attached to it.
-    std::unordered_map<PaxosProcess*, std::vector<Client*>> attached;
+    // clients attached to its node; each client filters by its own value ids.
+    std::unordered_map<std::size_t, std::vector<Client*>> attached;
     for (int c = 0; c < params.num_clients; ++c) {
         // The client's region may have no process when n < 13; fall back to
-        // a process chosen round-robin.
-        PaxosProcess* host = nullptr;
+        // a node chosen round-robin.
+        std::size_t host = 0;
         if (const auto it = region_host.find(c % kNumRegions); it != region_host.end()) {
             host = it->second;
         } else {
-            host = processes[static_cast<std::size_t>(c) % processes.size()];
+            host = static_cast<std::size_t>(c) % hosts.size();
         }
         Client::Params cp;
         cp.client_id = c;
@@ -49,14 +69,16 @@ Workload::Workload(Simulator& sim, std::vector<PaxosProcess*> processes,
         cp.measure_start = measure_start;
         cp.measure_end = measure_end;
         cp.seed = params.seed;
-        clients_.push_back(std::make_unique<Client>(sim_, *host, client_link, cp));
+        clients_.push_back(std::make_unique<Client>(sim_, hosts[host], client_link, cp));
         attached[host].push_back(clients_.back().get());
     }
     for (auto& [host, cs] : attached) {
-        host->set_delivery_listener(
-            [clients = cs](InstanceId, const Value& value, CpuContext& ctx) {
-                for (Client* c : clients) c->on_decision(value, ctx.now());
-            });
+        for (PaxosProcess* p : hosts[host]) {
+            p->set_delivery_listener(
+                [clients = cs](InstanceId, const Value& value, CpuContext& ctx) {
+                    for (Client* c : clients) c->on_decision(value, ctx.now());
+                });
+        }
     }
 }
 

@@ -39,6 +39,13 @@ public:
     Workload(Simulator& sim, std::vector<PaxosProcess*> processes,
              const LatencyModel& latency, Params params);
 
+    /// Multi-group form: `hosts[node]` lists the node's per-group processes
+    /// (group order). Clients attach to a node and route each submission to
+    /// its value's group (DESIGN.md §15); decisions from every group of the
+    /// hosting node fan out to the attached clients.
+    Workload(Simulator& sim, std::vector<std::vector<PaxosProcess*>> hosts,
+             const LatencyModel& latency, Params params);
+
     /// Starts all clients. Run the simulator for at least
     /// warmup + measure + drain afterwards.
     void start();

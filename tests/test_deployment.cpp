@@ -120,11 +120,16 @@ TEST(DeploymentTest, MetricsRegistryNamesAreStable) {
         "gossip.fanout_limited", "gossip.fanout_widened", "gossip.filtered",
         "gossip.messages_received", "gossip.pipelined_forwards",
         "gossip.pull_rounds", "gossip.pull_served",
-        "gossip.send_queue_drops", "net.arrivals", "net.bytes_sent",
+        "gossip.send_queue_drops", "group.heartbeats_fanned", "group.routed",
+        "group.unroutable", "net.arrivals", "net.bytes_sent",
         "net.coordinator_arrivals", "net.loss_drops", "net.queue_drops",
         "net.sent", "paxos.batch_timer_flushes", "paxos.batched_values",
         "paxos.batches_proposed", "paxos.decisions_at_coordinator",
+        "paxos.g0.decided", "paxos.g0.submitted", "paxos.g0.takeovers",
+        "paxos.groups", "paxos.groups.decided_min",
+        "paxos.groups.decided_total",
         "paxos.handled.client_value", "paxos.handled.decision",
+        "paxos.handled.group_batch",
         "paxos.handled.heartbeat", "paxos.handled.learn_request",
         "paxos.handled.phase1a", "paxos.handled.phase1b",
         "paxos.handled.phase2a", "paxos.handled.phase2b",
@@ -132,7 +137,8 @@ TEST(DeploymentTest, MetricsRegistryNamesAreStable) {
         "paxos.learn_requests_sent", "paxos.messages_handled",
         "paxos.value_retransmissions", "paxos.values_shed",
         "paxos.values_submitted",
-        "semantic.aggregates_built", "semantic.disaggregations",
+        "semantic.aggregates_built", "semantic.cross_group_batches",
+        "semantic.cross_group_merged", "semantic.disaggregations",
         "semantic.filtered_phase2b", "semantic.messages_merged",
         "sim.callbacks", "sim.deliveries", "sim.events", "sim.faults",
         "sim.queue_depth", "sim.queue_depth_max", "trace.evicted",

@@ -77,7 +77,37 @@ TEST(TracerTest, ExportsJsonlOldestFirst) {
     std::ostringstream os;
     t.export_jsonl(os);
     EXPECT_EQ(os.str(),
-              "{\"t_ns\":1000000,\"stage\":\"decide\",\"node\":3,\"instance\":7}\n");
+              "{\"t_ns\":1000000,\"stage\":\"decide\",\"node\":3,\"instance\":7,"
+              "\"group\":0}\n");
+}
+
+TEST(TracerTest, ExportStampsGroupOnDecideAndPayloadStages) {
+    Tracer t(8);
+    // A sharded decide carries its consensus group for per-shard joins.
+    t.record_decide(SimTime::millis(2), 1, 4, /*group=*/3);
+    const auto events = t.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].group, 3);
+    std::ostringstream os;
+    t.export_jsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"t_ns\":2000000,\"stage\":\"decide\",\"node\":1,\"instance\":4,"
+              "\"group\":3}\n");
+}
+
+TEST(TracerTest, ExportOmitsGroupWhenProbeLeavesItUnset) {
+    // Payload stages without a probed group (e.g. a cross-group batch) keep
+    // group = -1 and the JSONL line omits the key entirely.
+    Tracer t(8);
+    GossipAppMessage msg;
+    msg.id = 77;
+    msg.origin = 2;
+    msg.hops = 0;
+    msg.payload = nullptr;
+    t.record(SimTime::millis(1), Stage::Forward, 2, 5, msg);
+    std::ostringstream os;
+    t.export_jsonl(os);
+    EXPECT_EQ(os.str().find("\"group\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

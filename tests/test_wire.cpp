@@ -1,6 +1,6 @@
 // Wire codec round-trip and golden byte-layout tests (DESIGN.md §10).
 //
-// Every encodable body type — all nine Paxos messages, the five Raft
+// Every encodable body type — all ten Paxos messages, the five Raft
 // messages, gossip envelopes, and pull digests — is driven through
 // encode_body/decode_body and compared field by field, including the edge
 // cases the format must survive: empty values, values at the size cap, and
@@ -144,9 +144,9 @@ TEST(WireCodec, CompositeBatchCountAboveCapRejected) {
     // than kMaxBatchEntries must be rejected before any allocation.
     const Phase2aMsg msg(0, 1, 1, make_batch(0, 1, 2));
     std::vector<std::uint8_t> bytes = wire::encode_body(msg);
-    // Layout: kind, tag, sender(4), instance(8), round(4), value triple (16),
-    // then the u16 count at offset 2 + 4 + 8 + 4 + 16 = 34.
-    const std::size_t count_off = 34;
+    // Layout: kind, tag, sender(4), group(4), instance(8), round(4), value
+    // triple (16), then the u16 count at offset 2 + 4 + 4 + 8 + 4 + 16 = 38.
+    const std::size_t count_off = 38;
     ASSERT_EQ(bytes[count_off], 2);
     bytes[count_off] = 0xff;
     bytes[count_off + 1] = 0xff;  // count = 65535 > kMaxBatchEntries
@@ -321,6 +321,116 @@ TEST(WireCodec, HeartbeatRoundTrip) {
     EXPECT_EQ(m.unique_key(), msg.unique_key());
 }
 
+TEST(WireCodec, MultiGroupHeartbeatRoundTrip) {
+    const HeartbeatMsg msg(7, 11, std::vector<InstanceId>{5, 1, 9, 3});
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<HeartbeatMsg>(d, BodyKind::Paxos);
+    ASSERT_EQ(m.frontiers().size(), 4u);
+    EXPECT_EQ(m.frontiers(), msg.frontiers());
+    EXPECT_EQ(m.frontier_for(0), 5);
+    EXPECT_EQ(m.frontier_for(3), 3);
+}
+
+TEST(WireCodec, HeartbeatZeroFrontierCountRejected) {
+    const HeartbeatMsg msg(7, 11, 42);
+    std::vector<std::uint8_t> bytes = wire::encode_body(msg);
+    // u16 count at kind(1) + tag(1) + sender(4) + group(4) + seq(8) = 18.
+    ASSERT_EQ(bytes[18], 1);
+    bytes[18] = 0;
+    bytes.resize(18 + 2);  // drop the frontier the count no longer announces
+    const auto d = wire::decode_body(as_span(bytes));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::BadField);
+}
+
+TEST(WireCodec, GroupTagRoundTrip) {
+    // v3: every Paxos body carries its consensus group after the sender.
+    Phase2bMsg msg(5, 42, 3, ValueId{2, 8}, 0xfeedfaceULL, 1);
+    msg.set_group(7);
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<Phase2bMsg>(d, BodyKind::Paxos);
+    EXPECT_EQ(m.group(), 7);
+    // The group participates in the gossip id, so the same vote for two
+    // different groups never dedups against itself.
+    Phase2bMsg other(5, 42, 3, ValueId{2, 8}, 0xfeedfaceULL, 1);
+    other.set_group(6);
+    EXPECT_EQ(m.unique_key(), msg.unique_key());
+    EXPECT_NE(m.unique_key(), other.unique_key());
+}
+
+TEST(WireCodec, GroupBatchRoundTrip) {
+    // Cross-group aggregation (DESIGN.md §15): same-verb messages for
+    // different groups packed into one body, unpacked with ids intact.
+    std::vector<PaxosMessagePtr> entries;
+    for (GroupId g = 0; g < 3; ++g) {
+        auto e = std::make_shared<Phase2bMsg>(5, 42, 3, ValueId{2, 8}, 0xfeedfaceULL, 1);
+        e->set_group(g);
+        entries.push_back(std::move(e));
+    }
+    const GroupBatchMsg msg(5, PaxosMsgType::Phase2b, entries);
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<GroupBatchMsg>(d, BodyKind::Paxos);
+    ASSERT_EQ(m.type(), PaxosMsgType::GroupBatch);
+    EXPECT_EQ(m.sender(), 5);
+    EXPECT_EQ(m.verb(), PaxosMsgType::Phase2b);
+    ASSERT_EQ(m.entries().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(m.entries()[i]->group(), static_cast<GroupId>(i));
+        // Decoded entries regenerate the originals' gossip ids exactly —
+        // the S-AGG losslessness monitors match votes by these keys.
+        EXPECT_EQ(m.entries()[i]->unique_key(), entries[i]->unique_key());
+    }
+    EXPECT_EQ(m.unique_key(), msg.unique_key());
+}
+
+TEST(WireCodec, GroupBatchOfDecisionsRoundTrip) {
+    std::vector<PaxosMessagePtr> entries;
+    for (GroupId g = 1; g <= 2; ++g) {
+        auto e = std::make_shared<DecisionMsg>(0, 42, ValueId{2, 8}, 0xfeedfaceULL,
+                                               std::nullopt, 1);
+        e->set_group(g);
+        entries.push_back(std::move(e));
+    }
+    const GroupBatchMsg msg(0, PaxosMsgType::Decision, entries);
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<GroupBatchMsg>(d, BodyKind::Paxos);
+    EXPECT_EQ(m.verb(), PaxosMsgType::Decision);
+    ASSERT_EQ(m.entries().size(), 2u);
+    EXPECT_EQ(m.entries()[0]->unique_key(), entries[0]->unique_key());
+}
+
+TEST(WireCodec, GroupBatchEmptyRoundTrip) {
+    const GroupBatchMsg msg(3, PaxosMsgType::Phase2b, {});
+    const auto d = round_trip(msg);
+    const auto& m = decoded_as<GroupBatchMsg>(d, BodyKind::Paxos);
+    EXPECT_TRUE(m.entries().empty());
+}
+
+TEST(WireCodec, NestedGroupBatchRejected) {
+    // A batch inside a batch is malformed — mirrors the envelope's
+    // nested-envelope rejection and bounds decode recursion.
+    auto inner = std::make_shared<GroupBatchMsg>(1, PaxosMsgType::Phase2b,
+                                                 std::vector<PaxosMessagePtr>{});
+    const GroupBatchMsg msg(1, PaxosMsgType::Phase2b,
+                            std::vector<PaxosMessagePtr>{inner});
+    const std::vector<std::uint8_t> bytes = wire::encode_body(msg);
+    const auto d = wire::decode_body(as_span(bytes));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::BadField);
+}
+
+TEST(WireCodec, GroupBatchVerbMismatchRejected) {
+    // The batch verb claims Phase2b but an entry is a Decision.
+    auto e = std::make_shared<DecisionMsg>(0, 42, ValueId{2, 8}, 0xfeedfaceULL,
+                                           std::nullopt, 1);
+    const GroupBatchMsg msg(0, PaxosMsgType::Phase2b,
+                            std::vector<PaxosMessagePtr>{e});
+    const std::vector<std::uint8_t> bytes = wire::encode_body(msg);
+    const auto d = wire::decode_body(as_span(bytes));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::BadField);
+}
+
 TEST(WireCodec, NegativeFieldsRoundTrip) {
     // Sentinel values (-1 ids, negative rounds) must survive the unsigned
     // little-endian encoding.
@@ -485,9 +595,11 @@ TEST(WireCodec, TrailingBytesRejected) {
 
 // ---- Golden byte layouts ---------------------------------------------------
 //
-// These pin wire version 2 exactly (v2 added the u16 batch-component count
-// to every encoded value). If one of them fails you have changed the wire
-// format: bump wire::kWireVersion and update the golden bytes.
+// These pin wire version 3 exactly (v3 added the i32 consensus-group tag
+// after every Paxos sender and the per-group heartbeat frontier vector;
+// v2 added the u16 batch-component count to every encoded value). If one
+// of them fails you have changed the wire format: bump wire::kWireVersion
+// and update the golden bytes.
 
 TEST(WireGolden, HeartbeatLayout) {
     const HeartbeatMsg msg(7, 0x1122334455667788ULL, 42);
@@ -495,8 +607,26 @@ TEST(WireGolden, HeartbeatLayout) {
         0x03,                                            // kind = Paxos
         0x09,                                            // tag = Heartbeat
         0x07, 0x00, 0x00, 0x00,                          // sender = 7 (i32 LE)
+        0x00, 0x00, 0x00, 0x00,                          // group = 0 (i32 LE)
         0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // seq (u64 LE)
-        0x2a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // frontier = 42 (i64 LE)
+        0x01, 0x00,                                      // frontier count = 1 (u16)
+        0x2a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // frontier[0] = 42 (i64 LE)
+    };
+    EXPECT_EQ(wire::encode_body(msg), expected);
+}
+
+TEST(WireGolden, MultiGroupHeartbeatLayout) {
+    // A sharded node's heartbeat advertises one learner frontier per group.
+    const HeartbeatMsg msg(7, 2, std::vector<InstanceId>{5, 1});
+    const std::vector<std::uint8_t> expected = {
+        0x03,                                            // kind = Paxos
+        0x09,                                            // tag = Heartbeat
+        0x07, 0x00, 0x00, 0x00,                          // sender = 7
+        0x00, 0x00, 0x00, 0x00,                          // group = 0
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // seq = 2
+        0x02, 0x00,                                      // frontier count = 2
+        0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // frontier[0] = 5
+        0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // frontier[1] = 1
     };
     EXPECT_EQ(wire::encode_body(msg), expected);
 }
@@ -507,6 +637,7 @@ TEST(WireGolden, Phase2bLayout) {
         0x03,                                            // kind = Paxos
         0x05,                                            // tag = Phase2b
         0x02, 0x00, 0x00, 0x00,                          // sender = 2
+        0x00, 0x00, 0x00, 0x00,                          // group = 0
         0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // instance = 5
         0x01, 0x00, 0x00, 0x00,                          // round = 1
         0x03, 0x00, 0x00, 0x00,                          // value_id.client = 3
@@ -523,6 +654,7 @@ TEST(WireGolden, ClientValueLayout) {
         0x03,                                            // kind = Paxos
         0x01,                                            // tag = ClientValue
         0x01, 0x00, 0x00, 0x00,                          // sender = 1
+        0x00, 0x00, 0x00, 0x00,                          // group = 0
         0x01, 0x00, 0x00, 0x00,                          // value.id.client = 1
         0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // value.id.seq = 2
         0x00, 0x04, 0x00, 0x00,                          // value.size_bytes = 1024
@@ -532,6 +664,29 @@ TEST(WireGolden, ClientValueLayout) {
         0x00,                                            // forwarded = false
     };
     EXPECT_EQ(wire::encode_body(msg), expected);
+}
+
+TEST(WireGolden, GroupBatchHeaderLayout) {
+    // Cross-group batch (DESIGN.md §15): u8 verb tag, u16 entry count, then
+    // each entry as a complete nested Paxos body (its own group tag).
+    auto entry = std::make_shared<Phase2bMsg>(2, 5, 1, ValueId{3, 9}, 0xdeadbeefULL, 4);
+    entry->set_group(6);
+    const GroupBatchMsg msg(1, PaxosMsgType::Phase2b, {entry});
+    const std::vector<std::uint8_t> bytes = wire::encode_body(msg);
+    const std::vector<std::uint8_t> header = {
+        0x03,                    // kind = Paxos
+        0x0a,                    // tag = GroupBatch
+        0x01, 0x00, 0x00, 0x00,  // sender (packer) = 1
+        0x00, 0x00, 0x00, 0x00,  // group = 0 (the batch spans groups)
+        0x05,                    // verb = Phase2b
+        0x01, 0x00,              // entry count = 1
+        0x05,                    // entry[0] tag = Phase2b (no kind byte)
+        0x02, 0x00, 0x00, 0x00,  // entry[0] sender = 2
+        0x06, 0x00, 0x00, 0x00,  // entry[0] group = 6
+    };
+    ASSERT_GE(bytes.size(), header.size());
+    EXPECT_EQ(std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + header.size()),
+              header);
 }
 
 TEST(WireGolden, RaftCommitLayout) {
@@ -586,7 +741,7 @@ TEST(WireFrame, GoldenHeaderLayout) {
     const std::vector<std::uint8_t> payload = {0xaa, 0xbb};
     const std::vector<std::uint8_t> expected = {
         0x46, 0x57, 0x43, 0x47,  // magic 0x47435746 LE
-        0x02,                    // version
+        0x03,                    // version
         0x02,                    // type = Body
         0x00, 0x00,              // flags
         0x02, 0x00, 0x00, 0x00,  // length = 2

@@ -62,6 +62,19 @@ std::vector<std::vector<std::uint8_t>> corpus_seeds() {
     add(DecisionMsg(0, 42, ValueId{2, 8}, 0xfeedfaceULL, value, 1));
     add(LearnRequestMsg(6, 42, 3, 1));
     add(HeartbeatMsg(7, 9, 42));
+    add(HeartbeatMsg(7, 10, std::vector<InstanceId>{42, 1, 17}));  // multi-group
+    // A cross-group batch (DESIGN.md §15): mutations of its verb tag, entry
+    // count, and nested bodies join the corpus.
+    {
+        std::vector<PaxosMessagePtr> entries;
+        for (GroupId g = 0; g < 3; ++g) {
+            auto e = std::make_shared<Phase2bMsg>(5, 42, 3, ValueId{2, 8},
+                                                  0xfeedfaceULL, 1);
+            e->set_group(g);
+            entries.push_back(std::move(e));
+        }
+        add(GroupBatchMsg(5, PaxosMsgType::Phase2b, std::move(entries)));
+    }
     add(ClientForwardMsg(3, value, 2));
     add(AppendMsg(0, 2, 42, value));
     add(AckMsg(4, 2, 42, 0xabcdef01ULL));
@@ -174,10 +187,10 @@ TEST(WireFuzz, BadBodyKindTag) {
 }
 
 TEST(WireFuzz, BadMsgTypeTag) {
-    // kind=Paxos with tag 0 / 10 / 255 — outside [1, 9].
-    for (const std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{10}, std::uint8_t{0xff}}) {
+    // kind=Paxos with tag 0 / 11 / 255 — outside [1, 10].
+    for (const std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{11}, std::uint8_t{0xff}}) {
         std::vector<std::uint8_t> buf = {0x03, tag};
-        buf.insert(buf.end(), 4, 0x00);  // sender
+        buf.insert(buf.end(), 8, 0x00);  // sender + group
         const wire::DecodedBody d = wire::decode_body(as_span(buf));
         EXPECT_FALSE(d.ok());
         EXPECT_EQ(d.error, WireError::BadMsgType) << "tag " << int(tag);
@@ -191,6 +204,7 @@ TEST(WireFuzz, SenderCountAboveCapIsLimitExceeded) {
     w.u8(0x03);                  // Paxos
     w.u8(0x06);                  // Phase2bAggregate
     w.i32(9);                    // sender
+    w.i32(0);                    // group
     w.i64(42);                   // instance
     w.i32(3);                    // round
     w.i32(2);                    // value_id.client
@@ -200,6 +214,48 @@ TEST(WireFuzz, SenderCountAboveCapIsLimitExceeded) {
     const wire::DecodedBody d = wire::decode_body(as_span(w.data()));
     EXPECT_FALSE(d.ok());
     EXPECT_EQ(d.error, WireError::LimitExceeded);
+}
+
+TEST(WireFuzz, GroupBatchEntryCountLyingIsTruncated) {
+    // A GroupBatch announcing more entries than the buffer holds (but under
+    // the cap) must come back Truncated, not crash in the recursive decode.
+    wire::WireWriter w;
+    w.u8(0x03);                  // Paxos
+    w.u8(0x0a);                  // GroupBatch
+    w.i32(5);                    // sender
+    w.i32(0);                    // group
+    w.u8(0x05);                  // verb = Phase2b
+    w.u16(100);                  // entries: none actually follow
+    const wire::DecodedBody d = wire::decode_body(as_span(w.data()));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::Truncated);
+}
+
+TEST(WireFuzz, GroupBatchCountAboveCapIsLimitExceeded) {
+    wire::WireWriter w;
+    w.u8(0x03);                  // Paxos
+    w.u8(0x0a);                  // GroupBatch
+    w.i32(5);                    // sender
+    w.i32(0);                    // group
+    w.u8(0x05);                  // verb = Phase2b
+    w.u16(0xffff);               // count above kMaxBatchEntries
+    const wire::DecodedBody d = wire::decode_body(as_span(w.data()));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::LimitExceeded);
+}
+
+TEST(WireFuzz, GroupBatchBadVerbTagRejected) {
+    // Only Phase2b / Decision may be packed; a heartbeat verb is malformed.
+    wire::WireWriter w;
+    w.u8(0x03);                  // Paxos
+    w.u8(0x0a);                  // GroupBatch
+    w.i32(5);                    // sender
+    w.i32(0);                    // group
+    w.u8(0x09);                  // verb = Heartbeat: not packable
+    w.u16(0);
+    const wire::DecodedBody d = wire::decode_body(as_span(w.data()));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error, WireError::BadField);
 }
 
 TEST(WireFuzz, DigestCountLyingAboutLengthIsTruncated) {

@@ -3,5 +3,8 @@
 int main() {
     gossipc::ExperimentConfig cfg;
     cfg.n = 5;
+    // groups reaches the CLI (--groups) but not the JSON report or the
+    // docs: the broken expectations for config-wiring's other two legs.
+    cfg.groups = 2;
     return cfg.n;
 }

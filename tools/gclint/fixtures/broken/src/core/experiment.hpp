@@ -4,6 +4,7 @@ namespace gossipc {
 
 struct ExperimentConfig {
     int n = 3;
+    int groups = 1;
     double unwired_knob = 1.0;
 };
 

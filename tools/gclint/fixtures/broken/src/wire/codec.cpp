@@ -7,7 +7,9 @@ constexpr unsigned char kPaxosPhase2b = 5;
 
 int encode(const PaxosMessage& msg) {
     switch (msg.type()) {
-        case PaxosMsgType::ClientValue: return kPaxosClientValue;
+        case PaxosMsgType::ClientValue: return kPaxosClientValue + msg.group();
+        // Phase2b's arm drops the v3 consensus-group tag — the broken
+        // group-tagged-body expectation for wire-coverage.
         case PaxosMsgType::Phase2b: return kPaxosPhase2b;
         default: return -1;
     }

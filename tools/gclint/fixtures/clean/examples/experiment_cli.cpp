@@ -3,5 +3,6 @@
 int main() {
     gossipc::ExperimentConfig cfg;
     cfg.n = 5;
+    cfg.groups = 4;
     return cfg.n;
 }

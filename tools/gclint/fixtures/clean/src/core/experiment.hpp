@@ -4,6 +4,7 @@ namespace gossipc {
 
 struct ExperimentConfig {
     int n = 3;
+    int groups = 1;
     // gclint: allow(config-wiring) fixture: programmatic-only field
     int internal_only = 0;
 };

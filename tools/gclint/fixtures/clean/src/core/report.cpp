@@ -1,5 +1,5 @@
 #include "core/experiment.hpp"
 
 namespace gossipc {
-int report(const ExperimentConfig& config) { return config.n; }
+int report(const ExperimentConfig& config) { return config.n + config.groups; }
 }  // namespace gossipc

@@ -9,9 +9,11 @@ constexpr unsigned char kPaxosPhase2b = 5;
 enum class WireBodyKind : unsigned char { Paxos = 3 };
 
 int encode(const PaxosMessage& msg) {
+    // Every arm serializes the v3 consensus-group tag (msg.group()), as the
+    // wire-coverage group-tagged-body leg requires per encode case.
     switch (msg.type()) {
-        case PaxosMsgType::ClientValue: return kPaxosClientValue;
-        case PaxosMsgType::Phase2b: return kPaxosPhase2b;
+        case PaxosMsgType::ClientValue: return kPaxosClientValue + msg.group();
+        case PaxosMsgType::Phase2b: return kPaxosPhase2b + msg.group();
     }
     return -1;
 }

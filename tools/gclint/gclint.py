@@ -200,13 +200,17 @@ def masked_contains(haystack, needle, siblings):
 # Rule: wire-coverage
 
 WIRE_ENUMS = [
-    # (enum name, header, wire tag prefix in codec.cpp, decode-case spelling).
+    # (enum name, header, wire tag prefix in codec.cpp, decode-case spelling,
+    # group-tagged).
     # Paxos/Raft tags are k<Prefix><Value> constants; BodyKind's tags are the
     # WireBodyKind enumerators themselves (codec.hpp pins their values), and
-    # its decode switches spell cases as WireBodyKind::<Value>.
-    ("PaxosMsgType", "src/paxos/message.hpp", "kPaxos", None),
-    ("RaftMsgType", "src/raft/message.hpp", "kRaft", None),
-    ("BodyKind", "src/common/message.hpp", None, "WireBodyKind"),
+    # its decode switches spell cases as WireBodyKind::<Value>. Group-tagged
+    # families (wire v3, DESIGN.md §15) carry an i32 consensus-group id in
+    # every body: each encode arm must write it, or a sharded receiver
+    # routes the message to group 0 silently.
+    ("PaxosMsgType", "src/paxos/message.hpp", "kPaxos", None, True),
+    ("RaftMsgType", "src/raft/message.hpp", "kRaft", None, False),
+    ("BodyKind", "src/common/message.hpp", None, "WireBodyKind", False),
 ]
 CODEC = "src/wire/codec.cpp"
 WIRE_TEST = "tests/test_wire.cpp"
@@ -221,7 +225,7 @@ def rule_wire_coverage(tree):
     fuzz = tree.read(WIRE_FUZZ) or ""
     test_names = re.findall(r"TEST(?:_F)?\(\s*\w+\s*,\s*(\w+)\s*\)", wire_test)
 
-    for enum_name, header, tag_prefix, decode_enum in WIRE_ENUMS:
+    for enum_name, header, tag_prefix, decode_enum, group_tagged in WIRE_ENUMS:
         text = tree.read(header)
         if text is None:
             continue
@@ -247,8 +251,19 @@ def rule_wire_coverage(tree):
                 if not re.search(re.escape(tag) + r"\b", codec):
                     miss(f"wire tag mapping ({tag}) in {CODEC}")
                 decode_case = tag
-            if f"case {enum_name}::{value}" not in codec:
+            encode_at = codec.find(f"case {enum_name}::{value}")
+            if encode_at == -1:
                 miss(f"encode case (case {enum_name}::{value}) in {CODEC}")
+            elif group_tagged:
+                # The arm runs to the next case label (or a bounded window
+                # for the last arm); it must serialize the group id.
+                arm_end = codec.find("case ", encode_at + 1)
+                if arm_end == -1:
+                    arm_end = min(encode_at + 2000, len(codec))
+                if "group(" not in codec[encode_at:arm_end]:
+                    miss(f"consensus-group tag write (group()) in its encode "
+                         f"case in {CODEC} — v3 group-tagged bodies must "
+                         f"carry their group on the wire")
             if not re.search(r"case\s+" + re.escape(decode_case) + r"\b", codec):
                 miss(f"decode case (case {decode_case}) in {CODEC}")
             if not any("RoundTrip" in t and masked_contains(t, value, values)
@@ -506,6 +521,7 @@ LAYERS = [
     ("src/paxos/", 6),
     ("src/check/", 6),
     ("src/semantic/", 7),
+    ("src/group/", 7),
     ("src/workload/", 7),
     ("src/raft/", 8),
     ("src/wire/", 9),

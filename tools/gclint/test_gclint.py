@@ -39,14 +39,16 @@ def anchors(found):
 class TestWireCoverage(unittest.TestCase):
     def test_broken_fires_per_missing_artifact(self):
         found = findings(BROKEN, "wire-coverage")
-        # Phase2b lacks decode case, round-trip test, and golden/fuzz
-        # mention; BodyKind::Paxos (the WireBodyKind-spelled tag mode) lacks
-        # all five; ClientValue is fully covered and must not appear.
+        # Phase2b lacks decode case, round-trip test, golden/fuzz mention,
+        # and (group-tagged family) the consensus-group write in its encode
+        # arm; BodyKind::Paxos (the WireBodyKind-spelled tag mode) lacks all
+        # five; ClientValue is fully covered and must not appear.
         self.assertEqual(anchors(found),
                          [("src/common/message.hpp", 4)] * 5
-                         + [("src/paxos/message.hpp", 7)] * 3)
+                         + [("src/paxos/message.hpp", 7)] * 4)
         messages = " | ".join(f.message for f in found)
         self.assertIn("decode case (case kPaxosPhase2b)", messages)
+        self.assertIn("consensus-group tag write", messages)
         self.assertIn("round-trip test", messages)
         self.assertIn("golden-layout or fuzz mention", messages)
         self.assertIn("wire tag mapping (WireBodyKind::Paxos)", messages)
@@ -61,7 +63,7 @@ class TestWireCoverage(unittest.TestCase):
 class TestSwitchExhaustiveness(unittest.TestCase):
     def test_broken_flags_protocol_switch_default(self):
         found = findings(BROKEN, "switch-exhaustiveness")
-        self.assertEqual(anchors(found), [("src/wire/codec.cpp", 12)])
+        self.assertEqual(anchors(found), [("src/wire/codec.cpp", 14)])
         self.assertIn("msg.type()", found[0].message)
 
     def test_raw_tag_switch_is_exempt(self):
@@ -96,11 +98,18 @@ class TestInvariantTestCoverage(unittest.TestCase):
 class TestConfigWiring(unittest.TestCase):
     def test_broken_fires_cli_report_and_docs(self):
         found = findings(BROKEN, "config-wiring")
-        self.assertEqual(anchors(found), [("src/core/experiment.hpp", 7)] * 3)
+        # groups reaches the CLI but not the JSON report or docs (two legs);
+        # unwired_knob misses all three.
+        self.assertEqual(anchors(found),
+                         [("src/core/experiment.hpp", 7)] * 2
+                         + [("src/core/experiment.hpp", 8)] * 3)
         messages = " | ".join(f.message for f in found)
         self.assertIn("not wired to a CLI flag", messages)
         self.assertIn("missing from the JSON report", messages)
         self.assertIn("undocumented", messages)
+        self.assertIn("ExperimentConfig::groups is missing from the JSON report",
+                      messages)
+        self.assertNotIn("ExperimentConfig::groups is not wired", messages)
         self.assertNotIn("ExperimentConfig::n ", messages)
 
     def test_clean_pragma_suppresses_internal_field(self):
@@ -160,7 +169,7 @@ class TestCleanTree(unittest.TestCase):
     def test_broken_full_run_finding_count(self):
         # One count pin over everything: a rule that starts silently
         # over- or under-matching moves this number.
-        self.assertEqual(len(gclint.run(BROKEN, list(gclint.RULES))), 20)
+        self.assertEqual(len(gclint.run(BROKEN, list(gclint.RULES))), 23)
 
 
 class TestEngine(unittest.TestCase):
